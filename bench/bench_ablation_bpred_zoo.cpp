@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Ablation (beyond the paper) — a wider predictor zoo on the same branch
+ * traces as Figs. 8-10: bimodal and tournament below/between the paper's
+ * Gshare points, a perceptron, and extra TAGE budgets, quantifying how
+ * much of the TAGE win is history length vs raw budget.
+ */
+
+#include <cstdio>
+
+#include "bpred/runner.hpp"
+#include "core/experiment.hpp"
+#include "core/report.hpp"
+#include "encoders/registry.hpp"
+#include "sweep_common.hpp"
+
+int
+main(int argc, char **argv)
+{
+    using namespace vepro;
+    core::RunScale scale = core::RunScale::fromArgs(argc, argv);
+    auto encoder = encoders::encoderByName("SVT-AV1");
+
+    const std::vector<std::string> zoo = {
+        "bimodal-2KB",  "bimodal-32KB",   "gshare-2KB",  "gshare-32KB",
+        "tournament-8KB", "tournament-32KB", "perceptron-8KB", "tage-8KB",
+        "tage-64KB",    "tage-256KB", "tage-sc-l-64KB"};
+
+    std::vector<std::string> header = {"Video"};
+    for (const auto &s : zoo) {
+        header.push_back(s);
+    }
+    core::Table table(header);
+
+    for (const video::SuiteEntry &e : bench::sweepVideos(scale)) {
+        video::Video clip = video::loadSuiteVideo(e, scale.suite);
+        encoders::EncodeParams params;
+        params.preset = 6;
+        params.crf = 40;
+        trace::ProbeConfig pc;
+        pc.collectBranches = true;
+        pc.maxBranches = 1'500'000;
+        pc.branchWarmupOps = 1'000'000;
+        auto r = encoder->encode(clip, params, pc);
+
+        std::vector<std::string> row = {e.name};
+        for (const std::string &spec : zoo) {
+            auto pred = bpred::makePredictor(spec);
+            auto rr = bpred::runTrace(*pred, r.branchTrace,
+                                      r.branchTraceInstructions);
+            row.push_back(core::fmt(rr.missRatePercent(), 2));
+        }
+        table.addRow(row);
+    }
+    table.print("Ablation: predictor zoo miss rates (%) on SVT-AV1 branch "
+                "traces (preset 6, CRF 40)");
+    std::printf("\nExpected shape: bimodal worst, tournament/perceptron "
+                "between the gshare points, TAGE best with diminishing "
+                "returns past 64KB.\n");
+    return 0;
+}

@@ -1,0 +1,13 @@
+/**
+ * @file
+ * Fig. 8 — CBP simulated MPKI per video; branch traces collected from
+ * SVT-AV1 at speed preset 8, CRF 63 (the paper's fast/coarse point).
+ */
+
+#include "cbp_common.hpp"
+
+int
+main(int argc, char **argv)
+{
+    return vepro::bench::runCbpFigure(argc, argv, "Fig 8", 8, 63);
+}

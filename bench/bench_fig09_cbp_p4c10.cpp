@@ -1,0 +1,14 @@
+/**
+ * @file
+ * Fig. 9 — CBP simulated MPKI per video; branch traces collected from
+ * SVT-AV1 at speed preset 4, CRF 10 (the slow/fine point, where branch
+ * behaviour is hardest to predict).
+ */
+
+#include "cbp_common.hpp"
+
+int
+main(int argc, char **argv)
+{
+    return vepro::bench::runCbpFigure(argc, argv, "Fig 9", 4, 10);
+}

@@ -1,0 +1,13 @@
+/**
+ * @file
+ * Fig. 10 — CBP simulated MPKI per video; branch traces collected from
+ * SVT-AV1 at speed preset 4, CRF 60.
+ */
+
+#include "cbp_common.hpp"
+
+int
+main(int argc, char **argv)
+{
+    return vepro::bench::runCbpFigure(argc, argv, "Fig 10", 4, 60);
+}

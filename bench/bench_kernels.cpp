@@ -1,0 +1,147 @@
+/**
+ * @file
+ * Kernel microbenchmarks (google-benchmark): host-side throughput of the
+ * codec primitives (SAD, SATD, DCT, quantisation, range coding, intra
+ * prediction) with and without an installed probe, quantifying the
+ * instrumentation overhead that separates wall time from modeled
+ * instruction counts.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "codec/intra.hpp"
+#include "codec/quant.hpp"
+#include "codec/rangecoder.hpp"
+#include "codec/sad.hpp"
+#include "codec/transform.hpp"
+#include "trace/probe.hpp"
+#include "video/generator.hpp"
+
+namespace
+{
+
+using namespace vepro;
+
+video::Plane
+randomPlane(int w, int h, uint64_t seed)
+{
+    video::Plane p(w, h);
+    video::Rng rng(seed);
+    for (int y = 0; y < h; ++y) {
+        for (int x = 0; x < w; ++x) {
+            p.set(x, y, static_cast<uint8_t>(rng.nextBelow(256)));
+        }
+    }
+    return p;
+}
+
+void
+BM_Sad(benchmark::State &state)
+{
+    const int n = static_cast<int>(state.range(0));
+    video::Plane a = randomPlane(64, 64, 1), b = randomPlane(64, 64, 2);
+    codec::PelView va = codec::viewOf(a, 0), vb = codec::viewOf(b, 0);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(codec::sad(va, vb, n, n));
+    }
+    state.SetItemsProcessed(state.iterations() * n * n);
+}
+BENCHMARK(BM_Sad)->Arg(8)->Arg(16)->Arg(32)->Arg(64);
+
+void
+BM_SadProbed(benchmark::State &state)
+{
+    const int n = static_cast<int>(state.range(0));
+    video::Plane a = randomPlane(64, 64, 1), b = randomPlane(64, 64, 2);
+    codec::PelView va = codec::viewOf(a, 0), vb = codec::viewOf(b, 0);
+    trace::Probe probe;
+    trace::ProbeScope scope(&probe);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(codec::sad(va, vb, n, n));
+    }
+    state.SetItemsProcessed(state.iterations() * n * n);
+}
+BENCHMARK(BM_SadProbed)->Arg(8)->Arg(16)->Arg(32)->Arg(64);
+
+void
+BM_Satd(benchmark::State &state)
+{
+    const int n = static_cast<int>(state.range(0));
+    video::Plane a = randomPlane(64, 64, 3), b = randomPlane(64, 64, 4);
+    codec::PelView va = codec::viewOf(a, 0), vb = codec::viewOf(b, 0);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(codec::satd(va, vb, n, n));
+    }
+    state.SetItemsProcessed(state.iterations() * n * n);
+}
+BENCHMARK(BM_Satd)->Arg(8)->Arg(16)->Arg(32);
+
+void
+BM_ForwardDct(benchmark::State &state)
+{
+    const int n = static_cast<int>(state.range(0));
+    std::vector<int16_t> src(static_cast<size_t>(n) * n, 17);
+    std::vector<int32_t> dst(static_cast<size_t>(n) * n);
+    for (auto _ : state) {
+        codec::forwardDct(src.data(), dst.data(), n, 0, 0);
+        benchmark::DoNotOptimize(dst.data());
+    }
+    state.SetItemsProcessed(state.iterations() * n * n);
+}
+BENCHMARK(BM_ForwardDct)->Arg(4)->Arg(8)->Arg(16)->Arg(32);
+
+void
+BM_QuantizeBlock(benchmark::State &state)
+{
+    codec::Quantizer quant(32, 63);
+    std::vector<int32_t> coeff(32 * 32, 123), levels(32 * 32);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            quant.quantizeBlock(coeff.data(), levels.data(), 32, 0, 0));
+    }
+    state.SetItemsProcessed(state.iterations() * 32 * 32);
+}
+BENCHMARK(BM_QuantizeBlock);
+
+void
+BM_RangeCoderBit(benchmark::State &state)
+{
+    codec::Bitstream stream;
+    codec::RangeEncoder enc(stream);
+    codec::BinContext ctx;
+    uint32_t lfsr = 0xace1;
+    for (auto _ : state) {
+        lfsr = (lfsr >> 1) ^ ((-(lfsr & 1u)) & 0xb400u);
+        enc.encodeBit(ctx, lfsr & 1);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RangeCoderBit);
+
+void
+BM_IntraPredict(benchmark::State &state)
+{
+    auto mode = static_cast<codec::IntraMode>(state.range(0));
+    codec::IntraNeighbors nb{};
+    nb.hasTop = nb.hasLeft = true;
+    video::Rng rng(9);
+    for (int i = 0; i < 2 * codec::kMaxIntraSize; ++i) {
+        nb.top[i] = static_cast<uint8_t>(rng.nextBelow(256));
+        nb.left[i] = static_cast<uint8_t>(rng.nextBelow(256));
+    }
+    video::Plane out(32, 32);
+    for (auto _ : state) {
+        codec::predictIntra(mode, nb, 32, 32, codec::viewOf(out, 0));
+        benchmark::DoNotOptimize(out.data());
+    }
+    state.SetItemsProcessed(state.iterations() * 32 * 32);
+}
+BENCHMARK(BM_IntraPredict)
+    ->Arg(static_cast<int>(codec::IntraMode::Dc))
+    ->Arg(static_cast<int>(codec::IntraMode::Planar))
+    ->Arg(static_cast<int>(codec::IntraMode::D135))
+    ->Arg(static_cast<int>(codec::IntraMode::Smooth));
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,86 @@
+#ifndef VEPRO_BENCH_CBP_COMMON_HPP
+#define VEPRO_BENCH_CBP_COMMON_HPP
+
+/**
+ * @file
+ * Shared driver for the CBP predictor figures (8-10): capture a branch
+ * trace from an instrumented SVT-AV1 encode of each clip (warmed past
+ * the first frames, like the paper's mid-run 1B-instruction interval),
+ * then replay it through the paper's four predictor configurations.
+ */
+
+#include <cstdio>
+#include <string>
+
+#include "bpred/runner.hpp"
+#include "core/experiment.hpp"
+#include "core/report.hpp"
+#include "encoders/registry.hpp"
+#include "sweep_common.hpp"
+
+namespace vepro::bench
+{
+
+/** The paper's Fig. 8-10 predictor set. */
+inline const std::vector<std::string> &
+paperPredictors()
+{
+    static const std::vector<std::string> specs = {
+        "gshare-2KB", "gshare-32KB", "tage-8KB", "tage-64KB"};
+    return specs;
+}
+
+/** Run one CBP figure: capture traces at (preset, crf), evaluate all
+ *  four predictors per clip, print MPKI and miss-rate tables. */
+inline int
+runCbpFigure(int argc, char **argv, const char *figure, int preset, int crf)
+{
+    core::RunScale scale = core::RunScale::fromArgs(argc, argv);
+    auto encoder = encoders::encoderByName("SVT-AV1");
+
+    std::vector<std::string> header = {"Video"};
+    for (const std::string &s : paperPredictors()) {
+        header.push_back(s);
+    }
+    core::Table mpki(header);
+    core::Table rate(header);
+
+    for (const video::SuiteEntry &e : sweepVideos(scale)) {
+        video::Video clip = video::loadSuiteVideo(e, scale.suite);
+        encoders::EncodeParams params;
+        params.preset = preset;
+        params.crf = crf;
+
+        trace::ProbeConfig pc;
+        pc.collectBranches = true;
+        pc.maxBranches = 2'000'000;
+        // Start the trace past the keyframe, "roughly halfway through".
+        pc.branchWarmupOps = 2'000'000;
+        encoders::EncodeResult r = encoder->encode(clip, params, pc);
+
+        std::vector<std::string> mpki_row = {e.name};
+        std::vector<std::string> rate_row = {e.name};
+        for (const std::string &spec : paperPredictors()) {
+            auto pred = bpred::makePredictor(spec);
+            bpred::RunResult rr = bpred::runTrace(
+                *pred, r.branchTrace, r.branchTraceInstructions);
+            mpki_row.push_back(core::fmt(rr.mpki(), 2));
+            rate_row.push_back(core::fmt(rr.missRatePercent(), 2));
+        }
+        mpki.addRow(mpki_row);
+        rate.addRow(rate_row);
+        std::fprintf(stderr, "  [%s: %zu branches]\n", e.name.c_str(),
+                     r.branchTrace.size());
+    }
+    mpki.print(std::string(figure) + ": simulated MPKI per video (preset " +
+               std::to_string(preset) + ", CRF " + std::to_string(crf) + ")");
+    rate.print(std::string(figure) + " (companion): miss rate in percent");
+    std::printf("\nExpected shape: MPKI(gshare-2KB) > MPKI(gshare-32KB) and "
+                "MPKI(tage-8KB) > MPKI(tage-64KB); TAGE beats Gshare at "
+                "comparable budgets.\n");
+    return 0;
+}
+
+} // namespace vepro::bench
+
+#endif // VEPRO_BENCH_CBP_COMMON_HPP

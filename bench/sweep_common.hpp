@@ -1,0 +1,70 @@
+#ifndef VEPRO_BENCH_SWEEP_COMMON_HPP
+#define VEPRO_BENCH_SWEEP_COMMON_HPP
+
+/**
+ * @file
+ * Shared CRF-sweep driver for the microarchitectural figures (4-7): one
+ * instrumented encode plus one core-model simulation per (video, CRF)
+ * point, at the paper's preset 4.
+ *
+ * Quick mode trims the suite to five entropy-representative clips so
+ * each figure regenerates in about a minute; --full or --videos=...
+ * restores the full Table 1 suite.
+ */
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/experiment.hpp"
+#include "encoders/registry.hpp"
+
+namespace vepro::bench
+{
+
+/** One simulated sweep point. */
+struct SweepRow {
+    std::string video;
+    int crf;
+    core::SweepPoint point;
+};
+
+/** The clips a sweep covers: explicit > full suite > 5-clip quick set. */
+inline std::vector<video::SuiteEntry>
+sweepVideos(const core::RunScale &scale)
+{
+    if (!scale.videos.empty() || scale.suite.divisor <= 4) {
+        return core::selectedVideos(scale);
+    }
+    // Quick default: span the entropy axis with five clips.
+    std::vector<video::SuiteEntry> subset;
+    for (const char *name : {"desktop", "funny", "game1", "cat", "hall"}) {
+        subset.push_back(video::suiteEntry(name));
+    }
+    return subset;
+}
+
+/** Run the (video x CRF) sweep with encode + core simulation. */
+inline std::vector<SweepRow>
+runCrfSweep(const core::RunScale &scale,
+            const std::string &encoder_name = "SVT-AV1", int preset = 4)
+{
+    auto encoder = encoders::encoderByName(encoder_name);
+    std::vector<SweepRow> rows;
+    for (const video::SuiteEntry &e : sweepVideos(scale)) {
+        video::Video clip = video::loadSuiteVideo(e, scale.suite);
+        for (int crf : core::crfSweepAv1()) {
+            SweepRow row;
+            row.video = e.name;
+            row.crf = crf;
+            row.point = core::runPoint(*encoder, clip, crf, preset, scale);
+            rows.push_back(std::move(row));
+            std::fprintf(stderr, "  [%s crf=%d done]\n", e.name.c_str(), crf);
+        }
+    }
+    return rows;
+}
+
+} // namespace vepro::bench
+
+#endif // VEPRO_BENCH_SWEEP_COMMON_HPP

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Hot-function profile example — the paper's gprof step: profile an
+ * encoder run at function (instrumentation-site) granularity to find
+ * the kernels worth tracing, and show how the profile shifts between a
+ * fine-quality and a coarse-quality encode.
+ *
+ * Usage: hot_functions [crf] (default 30)
+ */
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "encoders/registry.hpp"
+#include "trace/profile.hpp"
+#include "video/suite.hpp"
+
+namespace
+{
+
+void
+profileAt(int crf)
+{
+    using namespace vepro;
+    video::SuiteScale scale;
+    scale.divisor = 8;
+    scale.frames = 4;
+    video::Video clip = video::loadSuiteVideo("game1", scale);
+
+    auto encoder = encoders::encoderByName("SVT-AV1");
+    encoders::EncodeParams params;
+    params.crf = crf;
+    params.preset = 4;
+
+    trace::Probe probe([] {
+        trace::ProbeConfig pc;
+        pc.profileSites = true;
+        return pc;
+    }());
+    {
+        trace::ProbeScope scope(&probe);
+        codec::FrameCodec fc(encoder->toolConfig(params), clip.width(),
+                             clip.height(), &probe);
+        for (int f = 0; f < clip.frameCount(); ++f) {
+            fc.encodeFrame(clip.frame(f), f == 0);
+        }
+    }
+    std::printf("\nFlat profile, SVT-AV1 model, game1, CRF %d, preset 4 "
+                "(%llu instructions):\n%s",
+                crf, static_cast<unsigned long long>(probe.totalOps()),
+                trace::formatProfile(trace::profileReport(probe, 0.5))
+                    .c_str());
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    int crf = argc > 1 ? std::atoi(argv[1]) : 30;
+    profileAt(crf);
+    if (argc <= 1) {
+        // Show how the hot set shifts when quality is relaxed.
+        profileAt(60);
+    }
+    return 0;
+}

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Quickstart: synthesise a clip, encode it with the SVT-AV1 model, and
+ * print the headline numbers — the five-minute tour of the library.
+ */
+
+#include <cstdio>
+
+#include "encoders/registry.hpp"
+#include "trace/probe.hpp"
+#include "video/metrics.hpp"
+#include "video/suite.hpp"
+
+int
+main()
+{
+    using namespace vepro;
+
+    // 1. Materialise a suite clip (synthetic stand-in for vbench's
+    //    "game1", scaled for quick runs).
+    video::SuiteScale scale;
+    scale.divisor = 8;
+    scale.frames = 4;
+    video::Video clip = video::loadSuiteVideo("game1", scale);
+    std::printf("clip %s: %dx%d, %d frames, measured entropy %.2f bits\n",
+                clip.name().c_str(), clip.width(), clip.height(),
+                clip.frameCount(), video::measureEntropy(clip));
+
+    // 2. Encode with the SVT-AV1 model at CRF 40, preset 6.
+    auto encoder = encoders::encoderByName("SVT-AV1");
+    encoders::EncodeParams params;
+    params.crf = 40;
+    params.preset = 6;
+    encoders::EncodeResult r = encoder->encode(clip, params);
+
+    // 3. Report what the paper's Figures 1/2/4 report per run.
+    std::printf("encoder %s  crf=%d preset=%d\n", r.encoder.c_str(),
+                r.params.crf, r.params.preset);
+    std::printf("  instructions : %llu\n",
+                static_cast<unsigned long long>(r.instructions));
+    std::printf("  wall time    : %.3f s\n", r.wallSeconds);
+    std::printf("  PSNR         : %.2f dB\n", r.psnrDb);
+    std::printf("  bitrate      : %.1f kbps\n", r.bitrateKbps);
+    std::printf("  branch share : %.1f%%\n",
+                r.mix.categoryPercent(trace::MixCategory::Branch));
+    std::printf("  AVX share    : %.1f%%\n",
+                r.mix.categoryPercent(trace::MixCategory::Avx));
+    std::printf("  load share   : %.1f%%\n",
+                r.mix.categoryPercent(trace::MixCategory::Load));
+    return 0;
+}

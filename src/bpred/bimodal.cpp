@@ -1,0 +1,58 @@
+#include "bpred/bimodal.hpp"
+
+#include <stdexcept>
+
+namespace vepro::bpred
+{
+
+BimodalPredictor::BimodalPredictor(size_t budget_bytes)
+{
+    if (budget_bytes < 16) {
+        throw std::invalid_argument("BimodalPredictor: budget too small");
+    }
+    size_t entries = budget_bytes * 4;
+    // Round down to a power of two.
+    size_t pow2 = 1;
+    while (pow2 * 2 <= entries) {
+        pow2 *= 2;
+    }
+    mask_ = static_cast<uint32_t>(pow2 - 1);
+    table_.assign(pow2, 2);
+}
+
+std::string
+BimodalPredictor::name() const
+{
+    return "bimodal-" + std::to_string(sizeBytes() / 1024) + "KB";
+}
+
+size_t
+BimodalPredictor::sizeBytes() const
+{
+    return table_.size() / 4;
+}
+
+bool
+BimodalPredictor::predict(uint64_t pc)
+{
+    return table_[(pc >> 2) & mask_] >= 2;
+}
+
+void
+BimodalPredictor::update(uint64_t pc, bool taken, bool /*predicted*/)
+{
+    uint8_t &ctr = table_[(pc >> 2) & mask_];
+    if (taken && ctr < 3) {
+        ++ctr;
+    } else if (!taken && ctr > 0) {
+        --ctr;
+    }
+}
+
+void
+BimodalPredictor::reset()
+{
+    std::fill(table_.begin(), table_.end(), 2);
+}
+
+} // namespace vepro::bpred

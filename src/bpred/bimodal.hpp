@@ -1,0 +1,36 @@
+#ifndef VEPRO_BPRED_BIMODAL_HPP
+#define VEPRO_BPRED_BIMODAL_HPP
+
+/**
+ * @file
+ * Bimodal predictor: per-PC 2-bit counters with no history. The ablation
+ * baseline below Gshare.
+ */
+
+#include <vector>
+
+#include "bpred/predictor.hpp"
+
+namespace vepro::bpred
+{
+
+/** Classic bimodal (Smith) predictor. */
+class BimodalPredictor : public BranchPredictor
+{
+  public:
+    explicit BimodalPredictor(size_t budget_bytes);
+
+    std::string name() const override;
+    size_t sizeBytes() const override;
+    bool predict(uint64_t pc) override;
+    void update(uint64_t pc, bool taken, bool predicted) override;
+    void reset() override;
+
+  private:
+    uint32_t mask_;
+    std::vector<uint8_t> table_;
+};
+
+} // namespace vepro::bpred
+
+#endif // VEPRO_BPRED_BIMODAL_HPP

@@ -1,0 +1,77 @@
+#include "bpred/gshare.hpp"
+
+#include <stdexcept>
+
+namespace vepro::bpred
+{
+
+namespace
+{
+
+int
+log2Floor(size_t v)
+{
+    int b = 0;
+    while ((v >> (b + 1)) != 0) {
+        ++b;
+    }
+    return b;
+}
+
+} // namespace
+
+GsharePredictor::GsharePredictor(size_t budget_bytes)
+{
+    if (budget_bytes < 16) {
+        throw std::invalid_argument("GsharePredictor: budget too small");
+    }
+    // Four 2-bit counters per byte.
+    index_bits_ = log2Floor(budget_bytes * 4);
+    mask_ = (1u << index_bits_) - 1;
+    table_.assign(size_t{1} << index_bits_, 2);  // weakly taken
+}
+
+std::string
+GsharePredictor::name() const
+{
+    return "gshare-" + std::to_string((table_.size() / 4) / 1024) + "KB";
+}
+
+size_t
+GsharePredictor::sizeBytes() const
+{
+    return table_.size() / 4;
+}
+
+uint32_t
+GsharePredictor::index(uint64_t pc) const
+{
+    return static_cast<uint32_t>(((pc >> 2) ^ history_) & mask_);
+}
+
+bool
+GsharePredictor::predict(uint64_t pc)
+{
+    return table_[index(pc)] >= 2;
+}
+
+void
+GsharePredictor::update(uint64_t pc, bool taken, bool /*predicted*/)
+{
+    uint8_t &ctr = table_[index(pc)];
+    if (taken && ctr < 3) {
+        ++ctr;
+    } else if (!taken && ctr > 0) {
+        --ctr;
+    }
+    history_ = ((history_ << 1) | (taken ? 1 : 0)) & mask_;
+}
+
+void
+GsharePredictor::reset()
+{
+    std::fill(table_.begin(), table_.end(), 2);
+    history_ = 0;
+}
+
+} // namespace vepro::bpred

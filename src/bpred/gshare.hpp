@@ -1,0 +1,45 @@
+#ifndef VEPRO_BPRED_GSHARE_HPP
+#define VEPRO_BPRED_GSHARE_HPP
+
+/**
+ * @file
+ * Gshare predictor (McFarling 1993): a single table of 2-bit saturating
+ * counters indexed by PC xor global history. One of the two predictor
+ * families the paper evaluates (2 KB and 32 KB points).
+ */
+
+#include <vector>
+
+#include "bpred/predictor.hpp"
+
+namespace vepro::bpred
+{
+
+/** Gshare direction predictor with a byte-budget-derived geometry. */
+class GsharePredictor : public BranchPredictor
+{
+  public:
+    /** @param budget_bytes Hardware budget; the table holds 4 counters
+     *  per byte, so 2 KB = 8K counters (13 index bits). */
+    explicit GsharePredictor(size_t budget_bytes);
+
+    std::string name() const override;
+    size_t sizeBytes() const override;
+    bool predict(uint64_t pc) override;
+    void update(uint64_t pc, bool taken, bool predicted) override;
+    void reset() override;
+
+    int indexBits() const { return index_bits_; }
+
+  private:
+    uint32_t index(uint64_t pc) const;
+
+    int index_bits_;
+    uint32_t mask_;
+    uint64_t history_ = 0;
+    std::vector<uint8_t> table_;  ///< 2-bit counters, one per entry.
+};
+
+} // namespace vepro::bpred
+
+#endif // VEPRO_BPRED_GSHARE_HPP

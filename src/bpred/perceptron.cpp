@@ -1,0 +1,85 @@
+#include "bpred/perceptron.hpp"
+
+#include <cmath>
+#include <cstdlib>
+#include <stdexcept>
+
+namespace vepro::bpred
+{
+
+PerceptronPredictor::PerceptronPredictor(size_t budget_bytes)
+{
+    if (budget_bytes < 256) {
+        throw std::invalid_argument("PerceptronPredictor: budget too small");
+    }
+    history_len_ = 24;
+    size_t row_bytes = static_cast<size_t>(history_len_) + 1;
+    size_t rows = budget_bytes / row_bytes;
+    size_t pow2 = 1;
+    while (pow2 * 2 <= rows) {
+        pow2 *= 2;
+    }
+    mask_ = static_cast<uint32_t>(pow2 - 1);
+    weights_.assign(pow2 * row_bytes, 0);
+    threshold_ = static_cast<int>(1.93 * history_len_ + 14);
+}
+
+std::string
+PerceptronPredictor::name() const
+{
+    return "perceptron-" + std::to_string(sizeBytes() / 1024) + "KB";
+}
+
+size_t
+PerceptronPredictor::sizeBytes() const
+{
+    return weights_.size();
+}
+
+bool
+PerceptronPredictor::predict(uint64_t pc)
+{
+    const int8_t *row =
+        &weights_[((pc >> 2) & mask_) * (static_cast<size_t>(history_len_) + 1)];
+    int y = row[0];  // bias
+    for (int i = 0; i < history_len_; ++i) {
+        int x = ((history_ >> i) & 1) ? 1 : -1;
+        y += x * row[i + 1];
+    }
+    last_output_ = y;
+    return y >= 0;
+}
+
+void
+PerceptronPredictor::update(uint64_t pc, bool taken, bool predicted)
+{
+    int t = taken ? 1 : -1;
+    if (predicted != taken || std::abs(last_output_) <= threshold_) {
+        int8_t *row = &weights_[((pc >> 2) & mask_) *
+                                (static_cast<size_t>(history_len_) + 1)];
+        auto bump = [&](int8_t &w, int x) {
+            int v = w + t * x;
+            if (v > 127) {
+                v = 127;
+            } else if (v < -128) {
+                v = -128;
+            }
+            w = static_cast<int8_t>(v);
+        };
+        bump(row[0], 1);
+        for (int i = 0; i < history_len_; ++i) {
+            bump(row[i + 1], ((history_ >> i) & 1) ? 1 : -1);
+        }
+    }
+    history_ = (history_ << 1) | (taken ? 1 : 0);
+}
+
+void
+PerceptronPredictor::reset()
+{
+    std::fill(weights_.begin(), weights_.end(), 0);
+    history_ = 0;
+    last_output_ = 0;
+}
+
+} // namespace vepro::bpred

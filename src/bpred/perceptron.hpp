@@ -1,0 +1,40 @@
+#ifndef VEPRO_BPRED_PERCEPTRON_HPP
+#define VEPRO_BPRED_PERCEPTRON_HPP
+
+/**
+ * @file
+ * Perceptron predictor (Jiménez & Lin): per-PC weight vectors dotted
+ * with global history. An ablation point between Gshare and TAGE.
+ */
+
+#include <vector>
+
+#include "bpred/predictor.hpp"
+
+namespace vepro::bpred
+{
+
+/** Global-history perceptron predictor. */
+class PerceptronPredictor : public BranchPredictor
+{
+  public:
+    explicit PerceptronPredictor(size_t budget_bytes);
+
+    std::string name() const override;
+    size_t sizeBytes() const override;
+    bool predict(uint64_t pc) override;
+    void update(uint64_t pc, bool taken, bool predicted) override;
+    void reset() override;
+
+  private:
+    int history_len_;
+    int threshold_;
+    uint32_t mask_;
+    uint64_t history_ = 0;
+    std::vector<int8_t> weights_;  ///< rows x (history_len_ + 1 bias).
+    int last_output_ = 0;
+};
+
+} // namespace vepro::bpred
+
+#endif // VEPRO_BPRED_PERCEPTRON_HPP

@@ -1,0 +1,63 @@
+#ifndef VEPRO_BPRED_PREDICTOR_HPP
+#define VEPRO_BPRED_PREDICTOR_HPP
+
+/**
+ * @file
+ * CBP-style branch predictor interface.
+ *
+ * Mirrors the contract of the Championship Branch Prediction (CBP-2016)
+ * framework the paper uses: a predictor sees a conditional branch's PC,
+ * produces a taken/not-taken guess, and is then told the resolved
+ * direction. Predictors are sized by a hardware byte budget so the
+ * paper's 2 KB / 32 KB Gshare and 8 KB / 64 KB TAGE points are first-
+ * class configurations.
+ */
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+namespace vepro::bpred
+{
+
+/** Abstract conditional-branch direction predictor. */
+class BranchPredictor
+{
+  public:
+    virtual ~BranchPredictor() = default;
+
+    /** Human-readable name including the budget, e.g. "gshare-32KB". */
+    virtual std::string name() const = 0;
+
+    /** Approximate implemented hardware budget in bytes. */
+    virtual size_t sizeBytes() const = 0;
+
+    /** Predict the direction of the branch at @p pc. */
+    virtual bool predict(uint64_t pc) = 0;
+
+    /**
+     * Train with the resolved direction. Called exactly once after each
+     * predict(), with the same @p pc.
+     *
+     * @param pc        Branch PC.
+     * @param taken     Resolved direction.
+     * @param predicted The direction predict() returned (lets
+     *                  predictors track their own provider state).
+     */
+    virtual void update(uint64_t pc, bool taken, bool predicted) = 0;
+
+    /** Reset all tables to their power-on state. */
+    virtual void reset() = 0;
+};
+
+/**
+ * Build a predictor from a spec string: "gshare-2KB", "gshare-32KB",
+ * "tage-8KB", "tage-64KB", "tage-sc-l-64KB", "bimodal-4KB",
+ * "perceptron-8KB", "tournament-16KB". Any budget with the suffix KB is accepted.
+ * @throws std::invalid_argument for unknown kinds or malformed specs.
+ */
+std::unique_ptr<BranchPredictor> makePredictor(const std::string &spec);
+
+} // namespace vepro::bpred
+
+#endif // VEPRO_BPRED_PREDICTOR_HPP

@@ -1,0 +1,23 @@
+#include "bpred/runner.hpp"
+
+namespace vepro::bpred
+{
+
+RunResult
+runTrace(BranchPredictor &predictor,
+         const std::vector<trace::BranchRecord> &records,
+         uint64_t instructions)
+{
+    RunResult result;
+    result.predictor = predictor.name();
+    result.instructions = instructions;
+    for (const trace::BranchRecord &r : records) {
+        bool pred = predictor.predict(r.pc);
+        predictor.update(r.pc, r.taken, pred);
+        ++result.branches;
+        result.misses += pred != r.taken;
+    }
+    return result;
+}
+
+} // namespace vepro::bpred

@@ -1,0 +1,62 @@
+#ifndef VEPRO_BPRED_RUNNER_HPP
+#define VEPRO_BPRED_RUNNER_HPP
+
+/**
+ * @file
+ * CBP-style trace evaluation: replay a captured branch trace through a
+ * predictor and report the paper's metrics (miss rate and MPKI).
+ */
+
+#include <cstdint>
+#include <vector>
+
+#include "bpred/predictor.hpp"
+#include "trace/probe.hpp"
+
+namespace vepro::bpred
+{
+
+/** Metrics of one predictor on one trace. */
+struct RunResult {
+    std::string predictor;
+    uint64_t branches = 0;      ///< Conditional branches evaluated.
+    uint64_t misses = 0;        ///< Mispredicted branches.
+    uint64_t instructions = 0;  ///< Instruction window the trace covers.
+
+    /** Misprediction rate in percent. */
+    double
+    missRatePercent() const
+    {
+        return branches ? 100.0 * static_cast<double>(misses) /
+                              static_cast<double>(branches)
+                        : 0.0;
+    }
+
+    /** Mispredictions per kilo-instruction. */
+    double
+    mpki() const
+    {
+        return instructions ? 1000.0 * static_cast<double>(misses) /
+                                  static_cast<double>(instructions)
+                            : 0.0;
+    }
+};
+
+/**
+ * Replay @p records through @p predictor (predict then update per
+ * branch, CBP-2016 style).
+ *
+ * @param predictor     Predictor under test (not reset; callers reset
+ *                      between traces for independent runs).
+ * @param records       Captured branch trace.
+ * @param instructions  Dynamic instruction count of the traced interval,
+ *                      used as the MPKI denominator (the paper traces
+ *                      ~1B-instruction intervals).
+ */
+RunResult runTrace(BranchPredictor &predictor,
+                   const std::vector<trace::BranchRecord> &records,
+                   uint64_t instructions);
+
+} // namespace vepro::bpred
+
+#endif // VEPRO_BPRED_RUNNER_HPP

@@ -1,0 +1,256 @@
+#include "bpred/tage.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace vepro::bpred
+{
+
+TageConfig
+tageGeometry(size_t budget_bytes)
+{
+    if (budget_bytes < 1024) {
+        throw std::invalid_argument("tageGeometry: budget too small");
+    }
+    TageConfig cfg;
+    if (budget_bytes < 16 * 1024) {
+        // 8 KB class: 1 KB base + 4 tables x 1K entries x 14 bits ~ 7 KB.
+        cfg.baseBits = 12;
+        cfg.tableBits = 10;
+        cfg.tagBits = 9;
+        cfg.histLengths = {5, 15, 44, 130};
+    } else if (budget_bytes < 128 * 1024) {
+        // 64 KB class: 4 KB base + 6 tables x 4K entries x 16 bits ~ 48 KB.
+        cfg.baseBits = 14;
+        cfg.tableBits = 12;
+        cfg.tagBits = 11;
+        cfg.histLengths = {4, 9, 21, 48, 110, 250};
+    } else {
+        cfg.baseBits = 16;
+        cfg.tableBits = 13;
+        cfg.tagBits = 12;
+        cfg.histLengths = {4, 9, 21, 48, 110, 250, 500};
+    }
+    return cfg;
+}
+
+TagePredictor::TagePredictor(size_t budget_bytes)
+    : TagePredictor(tageGeometry(budget_bytes), budget_bytes)
+{
+}
+
+TagePredictor::TagePredictor(TageConfig config, size_t budget_bytes)
+    : config_(std::move(config)), budget_bytes_(budget_bytes)
+{
+    const int ntab = static_cast<int>(config_.histLengths.size());
+    base_.assign(size_t{1} << config_.baseBits, 2);
+    tables_.assign(static_cast<size_t>(ntab),
+                   std::vector<Entry>(size_t{1} << config_.tableBits));
+    int max_hist = *std::max_element(config_.histLengths.begin(),
+                                     config_.histLengths.end());
+    ghr_.assign(static_cast<size_t>(max_hist) + 8, 0);
+
+    fold_idx_.resize(static_cast<size_t>(ntab));
+    fold_tag0_.resize(static_cast<size_t>(ntab));
+    fold_tag1_.resize(static_cast<size_t>(ntab));
+    for (int t = 0; t < ntab; ++t) {
+        fold_idx_[t].compLength = config_.tableBits;
+        fold_idx_[t].origLength = config_.histLengths[t];
+        fold_tag0_[t].compLength = config_.tagBits;
+        fold_tag0_[t].origLength = config_.histLengths[t];
+        fold_tag1_[t].compLength = config_.tagBits - 1;
+        fold_tag1_[t].origLength = config_.histLengths[t];
+    }
+}
+
+std::string
+TagePredictor::name() const
+{
+    return "tage-" + std::to_string(budget_bytes_ / 1024) + "KB";
+}
+
+size_t
+TagePredictor::sizeBytes() const
+{
+    size_t bits = base_.size() * 2;
+    for (const auto &t : tables_) {
+        bits += t.size() * (config_.tagBits + 3 + 2);
+    }
+    return bits / 8;
+}
+
+uint32_t
+TagePredictor::tableIndex(uint64_t pc, int t) const
+{
+    uint32_t mask = (1u << config_.tableBits) - 1;
+    uint64_t p = pc >> 2;
+    return static_cast<uint32_t>(
+               (p ^ (p >> (config_.tableBits - (t % config_.tableBits))) ^
+                fold_idx_[t].comp)) & mask;
+}
+
+uint16_t
+TagePredictor::tableTag(uint64_t pc, int t) const
+{
+    uint32_t mask = (1u << config_.tagBits) - 1;
+    uint64_t p = pc >> 2;
+    return static_cast<uint16_t>(
+        (p ^ fold_tag0_[t].comp ^ (fold_tag1_[t].comp << 1)) & mask);
+}
+
+bool
+TagePredictor::predict(uint64_t pc)
+{
+    const int ntab = static_cast<int>(tables_.size());
+    provider_ = -1;
+    int alt = -1;
+    for (int t = ntab - 1; t >= 0; --t) {
+        if (tables_[t][tableIndex(pc, t)].tag == tableTag(pc, t)) {
+            if (provider_ < 0) {
+                provider_ = t;
+            } else {
+                alt = t;
+                break;
+            }
+        }
+    }
+    bool base_pred = base_[(pc >> 2) & ((1u << config_.baseBits) - 1)] >= 2;
+    alt_pred_ = alt >= 0
+                    ? tables_[alt][tableIndex(pc, alt)].ctr >= 0
+                    : base_pred;
+    if (provider_ >= 0) {
+        provider_pred_ = tables_[provider_][tableIndex(pc, provider_)].ctr >= 0;
+        return provider_pred_;
+    }
+    provider_pred_ = base_pred;
+    return base_pred;
+}
+
+void
+TagePredictor::updateHistories(bool taken)
+{
+    const int max_hist = static_cast<int>(ghr_.size()) - 8;
+    // ghr_pos_ points at the slot for the newest bit.
+    ghr_[static_cast<size_t>(ghr_pos_)] = taken ? 1 : 0;
+    auto bit_at = [&](int age) {
+        int idx = ghr_pos_ - age;
+        if (idx < 0) {
+            idx += static_cast<int>(ghr_.size());
+        }
+        return static_cast<uint32_t>(ghr_[static_cast<size_t>(idx)]);
+    };
+    for (size_t t = 0; t < tables_.size(); ++t) {
+        uint32_t oldest = bit_at(config_.histLengths[t]);
+        uint32_t newest = taken ? 1 : 0;
+        fold_idx_[t].update(newest, oldest);
+        fold_tag0_[t].update(newest, oldest);
+        fold_tag1_[t].update(newest, oldest);
+    }
+    ghr_pos_ = (ghr_pos_ + 1) % static_cast<int>(ghr_.size());
+    (void)max_hist;
+}
+
+void
+TagePredictor::update(uint64_t pc, bool taken, bool predicted)
+{
+    const int ntab = static_cast<int>(tables_.size());
+    ++update_count_;
+
+    // Allocate on a final misprediction if a longer table is available.
+    if (predicted != taken && provider_ < ntab - 1) {
+        int start = provider_ + 1;
+        // Probabilistic start offset (LFSR), as in the reference TAGE.
+        lfsr_ = (lfsr_ >> 1) ^ (static_cast<uint32_t>(-(lfsr_ & 1u)) & 0xb400u);
+        if (start < ntab - 1 && (lfsr_ & 1)) {
+            ++start;
+        }
+        bool allocated = false;
+        for (int t = start; t < ntab; ++t) {
+            Entry &e = tables_[t][tableIndex(pc, t)];
+            if (e.u == 0) {
+                e.tag = tableTag(pc, t);
+                e.ctr = taken ? 0 : -1;
+                allocated = true;
+                break;
+            }
+        }
+        if (!allocated) {
+            for (int t = start; t < ntab; ++t) {
+                Entry &e = tables_[t][tableIndex(pc, t)];
+                if (e.u > 0) {
+                    --e.u;
+                }
+            }
+        }
+    }
+
+    // Update the provider counter (or the base table).
+    if (provider_ >= 0) {
+        Entry &e = tables_[provider_][tableIndex(pc, provider_)];
+        if (taken && e.ctr < 3) {
+            ++e.ctr;
+        } else if (!taken && e.ctr > -4) {
+            --e.ctr;
+        }
+        // Usefulness: provider differed from altpred and was right/wrong.
+        if (provider_pred_ != alt_pred_) {
+            if (provider_pred_ == taken && e.u < 3) {
+                ++e.u;
+            } else if (provider_pred_ != taken && e.u > 0) {
+                --e.u;
+            }
+        }
+        // The base table still trains slowly as a fallback.
+        if (provider_pred_ != taken) {
+            uint8_t &b = base_[(pc >> 2) & ((1u << config_.baseBits) - 1)];
+            if (taken && b < 3) {
+                ++b;
+            } else if (!taken && b > 0) {
+                --b;
+            }
+        }
+    } else {
+        uint8_t &b = base_[(pc >> 2) & ((1u << config_.baseBits) - 1)];
+        if (taken && b < 3) {
+            ++b;
+        } else if (!taken && b > 0) {
+            --b;
+        }
+    }
+
+    // Periodic graceful aging of usefulness bits.
+    if ((update_count_ & ((1u << 18) - 1)) == 0) {
+        for (auto &table : tables_) {
+            for (Entry &e : table) {
+                e.u >>= 1;
+            }
+        }
+    }
+
+    updateHistories(taken);
+}
+
+void
+TagePredictor::reset()
+{
+    std::fill(base_.begin(), base_.end(), 2);
+    for (auto &t : tables_) {
+        std::fill(t.begin(), t.end(), Entry{});
+    }
+    std::fill(ghr_.begin(), ghr_.end(), 0);
+    ghr_pos_ = 0;
+    for (auto &f : fold_idx_) {
+        f.comp = 0;
+    }
+    for (auto &f : fold_tag0_) {
+        f.comp = 0;
+    }
+    for (auto &f : fold_tag1_) {
+        f.comp = 0;
+    }
+    lfsr_ = 0xace1u;
+    update_count_ = 0;
+    provider_ = -1;
+}
+
+} // namespace vepro::bpred

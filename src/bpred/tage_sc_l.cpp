@@ -1,0 +1,134 @@
+#include "bpred/tage_sc_l.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+
+namespace vepro::bpred
+{
+
+TageScLPredictor::TageScLPredictor(size_t budget_bytes)
+    : tage_(budget_bytes * 3 / 4), budget_bytes_(budget_bytes)
+{
+    sc_.assign(kScTables, std::vector<int8_t>(size_t{1} << kScBits, 0));
+    loops_.assign(256, LoopEntry{});
+}
+
+std::string
+TageScLPredictor::name() const
+{
+    return "tage-sc-l-" + std::to_string(budget_bytes_ / 1024) + "KB";
+}
+
+size_t
+TageScLPredictor::sizeBytes() const
+{
+    return tage_.sizeBytes() + kScTables * (size_t{1} << kScBits) +
+           loops_.size() * 8;
+}
+
+int
+TageScLPredictor::scIndex(uint64_t pc, int table) const
+{
+    // Each table folds a geometrically longer history segment.
+    static const int lengths[kScTables] = {3, 8, 16, 27};
+    uint64_t seg = history_ & ((1ULL << lengths[table]) - 1);
+    uint64_t h = (pc >> 2) ^ (seg * 0x9e3779b97f4a7c15ULL >> 17) ^
+                 (static_cast<uint64_t>(table) << 7);
+    return static_cast<int>(h & ((1u << kScBits) - 1));
+}
+
+TageScLPredictor::LoopEntry &
+TageScLPredictor::loopEntryFor(uint64_t pc)
+{
+    size_t idx = (pc >> 2) % loops_.size();
+    return loops_[idx];
+}
+
+bool
+TageScLPredictor::predict(uint64_t pc)
+{
+    tage_pred_ = tage_.predict(pc);
+
+    // Loop predictor: confident entries predict the trip-count exit.
+    loop_used_ = false;
+    LoopEntry &loop = loopEntryFor(pc);
+    uint16_t tag = static_cast<uint16_t>((pc >> 10) & 0xffff);
+    if (loop.valid && loop.tag == tag && loop.confidence >= 7 &&
+        loop.tripCount > 2) {
+        loop_used_ = true;
+        loop_pred_ = loop.current + 1 < loop.tripCount;
+        return loop_pred_;
+    }
+
+    // Statistical corrector vote; the TAGE core's opinion carries real
+    // weight so the corrector only overrides on strong history evidence.
+    sc_sum_ = tage_pred_ ? 40 : -40;
+    for (int t = 0; t < kScTables; ++t) {
+        sc_sum_ += sc_[static_cast<size_t>(t)]
+                      [static_cast<size_t>(scIndex(pc, t))];
+    }
+    sc_used_ = std::abs(sc_sum_) >= sc_threshold_ &&
+               (sc_sum_ >= 0) != tage_pred_;
+    return sc_used_ ? sc_sum_ >= 0 : tage_pred_;
+}
+
+void
+TageScLPredictor::update(uint64_t pc, bool taken, bool predicted)
+{
+    // Loop predictor training.
+    LoopEntry &loop = loopEntryFor(pc);
+    uint16_t tag = static_cast<uint16_t>((pc >> 10) & 0xffff);
+    if (!loop.valid || loop.tag != tag) {
+        // (Re)allocate on a not-taken outcome (a loop exit candidate).
+        if (!taken) {
+            loop = LoopEntry{};
+            loop.tag = tag;
+            loop.valid = true;
+        }
+    } else if (taken) {
+        if (loop.current < 0xfffe) {
+            ++loop.current;
+        }
+    } else {
+        uint16_t trip = static_cast<uint16_t>(loop.current + 1);
+        if (loop.tripCount == trip) {
+            if (loop.confidence < 7) {
+                ++loop.confidence;
+            }
+        } else {
+            loop.tripCount = trip;
+            loop.confidence = 0;
+        }
+        loop.current = 0;
+    }
+
+    // Statistical corrector training: on mispredicts or weak votes.
+    if (!loop_used_ && predicted != taken) {
+        for (int t = 0; t < kScTables; ++t) {
+            int8_t &w = sc_[static_cast<size_t>(t)]
+                           [static_cast<size_t>(scIndex(pc, t))];
+            if (taken && w < 31) {
+                ++w;
+            } else if (!taken && w > -32) {
+                --w;
+            }
+        }
+    }
+
+    // The TAGE core always trains with its own prediction.
+    tage_.update(pc, taken, tage_pred_);
+    history_ = (history_ << 1) | (taken ? 1 : 0);
+}
+
+void
+TageScLPredictor::reset()
+{
+    tage_.reset();
+    for (auto &table : sc_) {
+        std::fill(table.begin(), table.end(), 0);
+    }
+    std::fill(loops_.begin(), loops_.end(), LoopEntry{});
+    history_ = 0;
+}
+
+} // namespace vepro::bpred

@@ -1,0 +1,70 @@
+#ifndef VEPRO_BPRED_TAGE_SC_L_HPP
+#define VEPRO_BPRED_TAGE_SC_L_HPP
+
+/**
+ * @file
+ * TAGE-SC-L (Seznec, "TAGE-SC-L branch predictors again" — the paper's
+ * reference [33]): a TAGE core augmented with a loop predictor that
+ * captures regular trip counts exactly, and a statistical corrector
+ * that overrides TAGE when the weighted history vote disagrees with
+ * high confidence.
+ */
+
+#include <vector>
+
+#include "bpred/predictor.hpp"
+#include "bpred/tage.hpp"
+
+namespace vepro::bpred
+{
+
+/** TAGE + statistical corrector + loop predictor. */
+class TageScLPredictor : public BranchPredictor
+{
+  public:
+    explicit TageScLPredictor(size_t budget_bytes);
+
+    std::string name() const override;
+    size_t sizeBytes() const override;
+    bool predict(uint64_t pc) override;
+    void update(uint64_t pc, bool taken, bool predicted) override;
+    void reset() override;
+
+  private:
+    struct LoopEntry {
+        uint16_t tag = 0;
+        uint16_t tripCount = 0;   ///< Learned iterations per execution.
+        uint16_t current = 0;     ///< Iterations seen this execution.
+        uint8_t confidence = 0;   ///< Saturating confirmations.
+        bool valid = false;
+    };
+
+    int scIndex(uint64_t pc, int table) const;
+    LoopEntry &loopEntryFor(uint64_t pc);
+
+    TagePredictor tage_;
+    size_t budget_bytes_;
+
+    // Statistical corrector: GEHL-style signed weight tables over
+    // different history segment lengths.
+    static constexpr int kScTables = 4;
+    static constexpr int kScBits = 10;
+    std::vector<std::vector<int8_t>> sc_;
+    int sc_threshold_ = 24;
+
+    // Loop predictor.
+    std::vector<LoopEntry> loops_;
+
+    uint64_t history_ = 0;
+
+    // Prediction state carried to update().
+    bool tage_pred_ = false;
+    bool sc_used_ = false;
+    bool loop_used_ = false;
+    bool loop_pred_ = false;
+    int sc_sum_ = 0;
+};
+
+} // namespace vepro::bpred
+
+#endif // VEPRO_BPRED_TAGE_SC_L_HPP

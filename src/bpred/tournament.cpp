@@ -1,0 +1,64 @@
+#include "bpred/tournament.hpp"
+
+namespace vepro::bpred
+{
+
+TournamentPredictor::TournamentPredictor(size_t budget_bytes)
+    : bimodal_(budget_bytes / 4), gshare_(budget_bytes / 2)
+{
+    size_t chooser_bytes = budget_bytes / 4;
+    size_t entries = chooser_bytes * 4;
+    size_t pow2 = 1;
+    while (pow2 * 2 <= entries) {
+        pow2 *= 2;
+    }
+    chooser_mask_ = static_cast<uint32_t>(pow2 - 1);
+    chooser_.assign(pow2, 2);
+}
+
+std::string
+TournamentPredictor::name() const
+{
+    return "tournament-" + std::to_string(sizeBytes() / 1024) + "KB";
+}
+
+size_t
+TournamentPredictor::sizeBytes() const
+{
+    return bimodal_.sizeBytes() + gshare_.sizeBytes() + chooser_.size() / 4;
+}
+
+bool
+TournamentPredictor::predict(uint64_t pc)
+{
+    last_bimodal_ = bimodal_.predict(pc);
+    last_gshare_ = gshare_.predict(pc);
+    bool use_gshare = chooser_[(pc >> 2) & chooser_mask_] >= 2;
+    return use_gshare ? last_gshare_ : last_bimodal_;
+}
+
+void
+TournamentPredictor::update(uint64_t pc, bool taken, bool /*predicted*/)
+{
+    // Train the chooser only when the components disagree.
+    if (last_bimodal_ != last_gshare_) {
+        uint8_t &c = chooser_[(pc >> 2) & chooser_mask_];
+        if (last_gshare_ == taken && c < 3) {
+            ++c;
+        } else if (last_bimodal_ == taken && c > 0) {
+            --c;
+        }
+    }
+    bimodal_.update(pc, taken, last_bimodal_);
+    gshare_.update(pc, taken, last_gshare_);
+}
+
+void
+TournamentPredictor::reset()
+{
+    bimodal_.reset();
+    gshare_.reset();
+    std::fill(chooser_.begin(), chooser_.end(), 2);
+}
+
+} // namespace vepro::bpred

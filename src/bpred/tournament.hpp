@@ -1,0 +1,45 @@
+#ifndef VEPRO_BPRED_TOURNAMENT_HPP
+#define VEPRO_BPRED_TOURNAMENT_HPP
+
+/**
+ * @file
+ * Tournament predictor: a bimodal and a gshare component arbitrated by a
+ * per-PC chooser (Alpha 21264 style). Ablation point for the "combining
+ * branch predictors" lineage the paper cites via McFarling.
+ */
+
+#include <memory>
+#include <vector>
+
+#include "bpred/bimodal.hpp"
+#include "bpred/gshare.hpp"
+#include "bpred/predictor.hpp"
+
+namespace vepro::bpred
+{
+
+/** Bimodal/gshare tournament with a 2-bit chooser table. */
+class TournamentPredictor : public BranchPredictor
+{
+  public:
+    explicit TournamentPredictor(size_t budget_bytes);
+
+    std::string name() const override;
+    size_t sizeBytes() const override;
+    bool predict(uint64_t pc) override;
+    void update(uint64_t pc, bool taken, bool predicted) override;
+    void reset() override;
+
+  private:
+    BimodalPredictor bimodal_;
+    GsharePredictor gshare_;
+    uint32_t chooser_mask_;
+    std::vector<uint8_t> chooser_;  ///< 2-bit: >=2 selects gshare.
+
+    bool last_bimodal_ = false;
+    bool last_gshare_ = false;
+};
+
+} // namespace vepro::bpred
+
+#endif // VEPRO_BPRED_TOURNAMENT_HPP

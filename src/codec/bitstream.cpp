@@ -1,0 +1,4 @@
+#include "codec/bitstream.hpp"
+
+// Bitstream is header-only today; this translation unit anchors the
+// library target and reserves room for future file-backed streams.

@@ -1,0 +1,48 @@
+#ifndef VEPRO_CODEC_BITSTREAM_HPP
+#define VEPRO_CODEC_BITSTREAM_HPP
+
+/**
+ * @file
+ * Byte-oriented output buffer for the range coder, with a synthetic
+ * address so stream writes appear in the instrumented memory traffic.
+ */
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace vepro::codec
+{
+
+/** Growable encoded-byte buffer. */
+class Bitstream
+{
+  public:
+    Bitstream() = default;
+    explicit Bitstream(uint64_t vaddr) : vaddr_(vaddr) {}
+
+    void
+    putByte(uint8_t b)
+    {
+        bytes_.push_back(b);
+    }
+
+    size_t sizeBytes() const { return bytes_.size(); }
+    uint64_t sizeBits() const { return static_cast<uint64_t>(bytes_.size()) * 8; }
+
+    const std::vector<uint8_t> &bytes() const { return bytes_; }
+    uint64_t vaddr() const { return vaddr_; }
+
+    /** Synthetic address of the next byte to be written. */
+    uint64_t nextVaddr() const { return vaddr_ + bytes_.size(); }
+
+    void clear() { bytes_.clear(); }
+
+  private:
+    std::vector<uint8_t> bytes_;
+    uint64_t vaddr_ = 0;
+};
+
+} // namespace vepro::codec
+
+#endif // VEPRO_CODEC_BITSTREAM_HPP

@@ -1,0 +1,76 @@
+#ifndef VEPRO_CODEC_BLOCK_HPP
+#define VEPRO_CODEC_BLOCK_HPP
+
+/**
+ * @file
+ * Lightweight pixel-block views used by all codec kernels.
+ *
+ * A view couples the host pointer/stride with the *synthetic* address of
+ * the same pixels in the instrumentation address space, so kernels can
+ * report the memory traffic they would generate as compiled code.
+ */
+
+#include <cstddef>
+#include <cstdint>
+
+#include "video/frame.hpp"
+
+namespace vepro::codec
+{
+
+/** Read-only view of a pixel rectangle. */
+struct PelView {
+    const uint8_t *pel = nullptr;  ///< Host pixels, row-major with stride.
+    int stride = 0;                ///< Host row stride in bytes.
+    uint64_t vaddr = 0;            ///< Synthetic address of pel[0].
+
+    /** View shifted by (@p x, @p y) pixels. */
+    PelView
+    sub(int x, int y) const
+    {
+        return {pel + static_cast<ptrdiff_t>(y) * stride + x, stride,
+                vaddr + static_cast<uint64_t>(y) * stride + x};
+    }
+
+    const uint8_t *row(int y) const
+    {
+        return pel + static_cast<ptrdiff_t>(y) * stride;
+    }
+};
+
+/** Mutable view of a pixel rectangle. */
+struct PelViewMut {
+    uint8_t *pel = nullptr;
+    int stride = 0;
+    uint64_t vaddr = 0;
+
+    PelViewMut
+    sub(int x, int y)
+    {
+        return {pel + static_cast<ptrdiff_t>(y) * stride + x, stride,
+                vaddr + static_cast<uint64_t>(y) * stride + x};
+    }
+
+    /** Implicit read-only view of the same pixels. */
+    operator PelView() const { return {pel, stride, vaddr}; }
+
+    uint8_t *row(int y) { return pel + static_cast<ptrdiff_t>(y) * stride; }
+};
+
+/** Bind a read-only view to a whole plane with synthetic base @p vaddr. */
+inline PelView
+viewOf(const video::Plane &plane, uint64_t vaddr)
+{
+    return {plane.data(), plane.stride(), vaddr};
+}
+
+/** Bind a mutable view to a whole plane with synthetic base @p vaddr. */
+inline PelViewMut
+viewOf(video::Plane &plane, uint64_t vaddr)
+{
+    return {plane.data(), plane.stride(), vaddr};
+}
+
+} // namespace vepro::codec
+
+#endif // VEPRO_CODEC_BLOCK_HPP

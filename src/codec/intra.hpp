@@ -1,0 +1,92 @@
+#ifndef VEPRO_CODEC_INTRA_HPP
+#define VEPRO_CODEC_INTRA_HPP
+
+/**
+ * @file
+ * Intra prediction: DC / directional / gradient predictors over
+ * reconstructed neighbour samples.
+ *
+ * The mode list is ordered so that a codec model evaluating the first K
+ * modes gets the K most generally useful predictors — this is how the
+ * encoder models express the growing intra toolsets of AVC (few modes)
+ * through AV1 (many modes).
+ */
+
+#include <cstdint>
+#include <span>
+#include <string_view>
+
+#include "codec/block.hpp"
+
+namespace vepro::codec
+{
+
+/** Intra prediction modes, in model evaluation priority order. */
+enum class IntraMode : uint8_t {
+    Dc,
+    Vertical,
+    Horizontal,
+    Planar,
+    D45,       ///< Up-right diagonal.
+    D135,      ///< Down-right diagonal.
+    Smooth,
+    Paeth,
+    D63,
+    D117,
+    D153,
+    D207,
+    SmoothV,
+    SmoothH,
+    D22,
+    D67,
+    Count,
+};
+
+inline constexpr int kNumIntraModes = static_cast<int>(IntraMode::Count);
+
+/** Printable mode name. */
+std::string_view intraModeName(IntraMode mode);
+
+/** The first @p count modes in priority order. */
+std::span<const IntraMode> intraModeList(int count);
+
+/** Maximum supported intra block dimension. */
+inline constexpr int kMaxIntraSize = 64;
+
+/**
+ * Reconstructed neighbour samples for one block, gathered once and shared
+ * by all candidate modes.
+ */
+struct IntraNeighbors {
+    /** Top row, extended to 2*w samples (replicated past the frame). */
+    uint8_t top[2 * kMaxIntraSize];
+    /** Left column, extended to 2*h samples. */
+    uint8_t left[2 * kMaxIntraSize];
+    uint8_t topLeft;
+    bool hasTop;
+    bool hasLeft;
+};
+
+/**
+ * Gather neighbours for the block at (@p x, @p y) of size w x h from the
+ * reconstructed plane. Unavailable samples are synthesised per the usual
+ * half-range / replication rules. Reports the scalar gather stream.
+ *
+ * @param recon   Reconstructed plane view (origin at the plane corner).
+ * @param x,y     Block position in pixels.
+ * @param w,h     Block size.
+ * @param plane_w,plane_h Plane dimensions, for availability clamping.
+ */
+IntraNeighbors gatherNeighbors(const PelView &recon, int x, int y, int w,
+                               int h, int plane_w, int plane_h);
+
+/**
+ * Produce the prediction for @p mode into @p dst (w x h). Reports the
+ * vector prediction stream.
+ */
+void predictIntra(IntraMode mode, const IntraNeighbors &nb, int w, int h,
+                  PelViewMut dst);
+
+} // namespace vepro::codec
+
+#endif // VEPRO_CODEC_INTRA_HPP

@@ -1,0 +1,87 @@
+#include "codec/loopfilter.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+
+#include "trace/probe.hpp"
+
+namespace vepro::codec
+{
+
+using trace::OpClass;
+using trace::Probe;
+using trace::currentProbe;
+using trace::sitePc;
+
+void
+loopFilterPlane(video::Plane &plane, int width, int height, int passes,
+                double qstep, uint64_t recon_vaddr)
+{
+    static const uint64_t filter_site = sitePc("codec.loopfilter.strong");
+    Probe *p = currentProbe();
+    const int thresh = static_cast<int>(2.0 + qstep * 0.5);
+
+    for (int pass = 0; pass < passes; ++pass) {
+        video::Plane &y = plane;
+        if (p) {
+            static const uint64_t site = sitePc("codec.loopfilter");
+            p->enterKernel(site, 16);
+        }
+        // Vertical block boundaries.
+        for (int x = 8; x < width; x += 8) {
+            for (int row = 0; row < height; ++row) {
+                uint8_t *line = y.row(row);
+                int p0 = line[x - 1], q0 = line[x];
+                bool strong = std::abs(p0 - q0) < thresh;
+                if (p) {
+                    p->mem(OpClass::Load, recon_vaddr +
+                           static_cast<uint64_t>(row) * y.stride() + x - 1);
+                    p->decision(filter_site, strong);
+                }
+                if (strong) {
+                    int delta = (q0 - p0) / 4;
+                    line[x - 1] = static_cast<uint8_t>(p0 + delta);
+                    line[x] = static_cast<uint8_t>(q0 - delta);
+                    if (p) {
+                        p->mem(OpClass::Store, recon_vaddr +
+                               static_cast<uint64_t>(row) * y.stride() + x, 1);
+                        p->ops(OpClass::Alu, 4, 1);
+                    }
+                }
+            }
+            if (p) {
+                p->loopBranches(static_cast<uint64_t>(height));
+            }
+        }
+        // Horizontal block boundaries.
+        for (int yb = 8; yb < height; yb += 8) {
+            uint8_t *above = y.row(yb - 1);
+            uint8_t *below = y.row(yb);
+            for (int x = 0; x < width; ++x) {
+                int p0 = above[x], q0 = below[x];
+                bool strong = std::abs(p0 - q0) < thresh;
+                if (p) {
+                    p->mem(OpClass::Load, recon_vaddr +
+                           static_cast<uint64_t>(yb - 1) * y.stride() + x);
+                    p->decision(filter_site, strong);
+                }
+                if (strong) {
+                    int delta = (q0 - p0) / 4;
+                    above[x] = static_cast<uint8_t>(p0 + delta);
+                    below[x] = static_cast<uint8_t>(q0 - delta);
+                    if (p) {
+                        p->mem(OpClass::Store, recon_vaddr +
+                               static_cast<uint64_t>(yb) * y.stride() + x, 1);
+                        p->ops(OpClass::Alu, 4, 1);
+                    }
+                }
+            }
+            if (p) {
+                p->loopBranches(static_cast<uint64_t>(width));
+            }
+        }
+    }
+}
+
+} // namespace vepro::codec

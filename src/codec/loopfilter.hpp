@@ -1,0 +1,31 @@
+#ifndef VEPRO_CODEC_LOOPFILTER_HPP
+#define VEPRO_CODEC_LOOPFILTER_HPP
+
+/**
+ * @file
+ * In-loop deblocking filter shared by the encoder and the decoder: both
+ * sides must run the identical filter so their reconstructions match
+ * bit for bit.
+ */
+
+#include "video/frame.hpp"
+
+namespace vepro::codec
+{
+
+/**
+ * Smooth 8-pixel block boundaries of a luma plane in place.
+ *
+ * @param plane   Reconstructed luma plane.
+ * @param width,height Plane dimensions.
+ * @param passes  Filter passes (the AV1 models run 2: deblock + CDEF-ish).
+ * @param qstep   Quantiser step; sets the edge threshold.
+ * @param recon_vaddr Synthetic address of the plane for instrumentation
+ *                (ignored when no probe is installed).
+ */
+void loopFilterPlane(video::Plane &plane, int width, int height, int passes,
+                     double qstep, uint64_t recon_vaddr);
+
+} // namespace vepro::codec
+
+#endif // VEPRO_CODEC_LOOPFILTER_HPP

@@ -1,0 +1,87 @@
+#ifndef VEPRO_CODEC_QUANT_HPP
+#define VEPRO_CODEC_QUANT_HPP
+
+/**
+ * @file
+ * Scalar quantiser with CRF-to-step mapping, dequantiser, and a fast
+ * coefficient-rate estimator used inside RD optimisation.
+ */
+
+#include <cstdint>
+#include <vector>
+
+namespace vepro::codec
+{
+
+/** Zigzag scan order (index list) for an n x n tile (n in 4/8/16/32). */
+const std::vector<int> &zigzagScan(int n);
+
+/** Quantiser derived from a CRF-like quality index. */
+class Quantizer
+{
+  public:
+    /**
+     * Build a quantiser for a quality index.
+     *
+     * @param q_index     Quality index (larger = coarser). The AV1/VP9
+     *                    family maps CRF 0-63 here directly; the x264/x265
+     *                    family maps CRF 0-51.
+     * @param index_range The family's CRF range (63 or 51), used to
+     *                    normalise to a common step curve.
+     */
+    Quantizer(int q_index, int index_range);
+
+    /** Quantisation step size in pixel units. */
+    double step() const { return step_; }
+
+    /**
+     * RD lambda paired with this step (HM-style: lambda ~ c * step^2),
+     * converting rate in bits into distortion (SSE) units.
+     */
+    double lambda() const { return lambda_; }
+
+    /** Quantise one coefficient (round-to-nearest with dead zone). */
+    int32_t
+    quantize(int32_t coeff) const
+    {
+        double v = coeff >= 0 ? (coeff + dead_zone_) * inv_step_
+                              : (coeff - dead_zone_) * inv_step_;
+        return static_cast<int32_t>(v);
+    }
+
+    /** Dequantise one level back to coefficient scale. */
+    int32_t
+    dequantize(int32_t level) const
+    {
+        return static_cast<int32_t>(level * step_);
+    }
+
+    /**
+     * Quantise an n x n coefficient tile; returns the number of nonzero
+     * levels. Reports the vector quantisation stream.
+     */
+    int quantizeBlock(const int32_t *coeff, int32_t *levels, int n,
+                      uint64_t coeff_vaddr, uint64_t levels_vaddr) const;
+
+    /** Dequantise an n x n level tile. Reports the vector stream. */
+    void dequantizeBlock(const int32_t *levels, int32_t *coeff, int n,
+                         uint64_t levels_vaddr, uint64_t coeff_vaddr) const;
+
+  private:
+    double step_;
+    double inv_step_;
+    double dead_zone_;
+    double lambda_;
+};
+
+/**
+ * Fast (context-free) estimate of the bits needed to entropy-code an
+ * n x n tile of quantised levels. Used in RDO inner loops where running
+ * the real range coder would be too slow; the final encode pass uses the
+ * real coder. Reports the scalar scan stream.
+ */
+double estimateCoeffBits(const int32_t *levels, int n, uint64_t levels_vaddr);
+
+} // namespace vepro::codec
+
+#endif // VEPRO_CODEC_QUANT_HPP

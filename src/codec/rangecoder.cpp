@@ -1,0 +1,269 @@
+#include "codec/rangecoder.hpp"
+
+#include <array>
+#include <cmath>
+#include <stdexcept>
+
+#include "trace/probe.hpp"
+
+namespace vepro::codec
+{
+
+using trace::OpClass;
+using trace::Probe;
+using trace::currentProbe;
+using trace::sitePc;
+
+namespace
+{
+
+constexpr uint32_t kTopValue = 1u << 24;
+constexpr int kProbBits = 11;
+constexpr int kProbMax = 1 << kProbBits;  // 2048
+constexpr int kMoveBits = 5;
+
+/** -log2(p) lookup over 128 probability buckets. */
+const std::array<double, 128> &
+bitCostTable()
+{
+    static const auto table = [] {
+        std::array<double, 128> t{};
+        for (int i = 0; i < 128; ++i) {
+            double p = (i + 0.5) / 128.0;
+            t[i] = -std::log2(p);
+        }
+        return t;
+    }();
+    return table;
+}
+
+} // namespace
+
+double
+contextBits(uint16_t prob, bool bit)
+{
+    double p0 = static_cast<double>(prob) / kProbMax;
+    double p = bit ? 1.0 - p0 : p0;
+    int bucket = static_cast<int>(p * 128.0);
+    if (bucket < 0) {
+        bucket = 0;
+    } else if (bucket > 127) {
+        bucket = 127;
+    }
+    return bitCostTable()[bucket];
+}
+
+RangeEncoder::RangeEncoder(Bitstream &out, uint64_t ctx_vaddr)
+    : out_(out), ctx_vaddr_(ctx_vaddr)
+{
+}
+
+void
+RangeEncoder::shiftLow()
+{
+    if (static_cast<uint32_t>(low_) < 0xff000000u ||
+        static_cast<int>(low_ >> 32) != 0) {
+        uint8_t carry = static_cast<uint8_t>(low_ >> 32);
+        uint8_t temp = cache_;
+        do {
+            out_.putByte(static_cast<uint8_t>(temp + carry));
+            temp = 0xff;
+        } while (--cache_size_ != 0);
+        cache_ = static_cast<uint8_t>(low_ >> 24);
+    }
+    ++cache_size_;
+    low_ = (low_ & 0x00ffffffULL) << 8;
+}
+
+void
+RangeEncoder::encodeBit(BinContext &ctx, bool bit, uint32_t ctx_index)
+{
+    uint32_t bound = (range_ >> kProbBits) * ctx.prob;
+    if (!bit) {
+        range_ = bound;
+        ctx.prob = static_cast<uint16_t>(ctx.prob +
+                                         ((kProbMax - ctx.prob) >> kMoveBits));
+    } else {
+        low_ += bound;
+        range_ -= bound;
+        ctx.prob = static_cast<uint16_t>(ctx.prob - (ctx.prob >> kMoveBits));
+    }
+    ++bins_;
+
+    bool renormed = range_ < kTopValue;
+    while (range_ < kTopValue) {
+        range_ <<= 8;
+        shiftLow();
+    }
+
+    if (Probe *p = currentProbe()) {
+        static const uint64_t site = sitePc("codec.rc.bit");
+        static const uint64_t renorm_site = sitePc("codec.rc.renorm");
+        (void)bit;
+        // Context load + update store, bound computation, branch on bit.
+        p->mem(OpClass::Load, ctx_vaddr_ + static_cast<uint64_t>(ctx_index) * 2);
+        p->ops(OpClass::Mul, 1, 1);
+        // The bit-value select compiles to cmov (branchless) in the
+        // LZMA-style coder; only renormalisation actually branches.
+        p->ops(OpClass::Alu, 6, 1);
+        p->mem(OpClass::Store, ctx_vaddr_ + static_cast<uint64_t>(ctx_index) * 2, 1);
+        (void)site;
+        // Renormalisation: a data-dependent branch; taken ~1 time in 3.
+        p->decision(renorm_site, renormed);
+        if (renormed) {
+            p->ops(OpClass::Alu, 3, 1);
+            p->mem(OpClass::Store, out_.nextVaddr(), 1);
+        }
+    }
+}
+
+void
+RangeEncoder::encodeBypass(bool bit)
+{
+    range_ >>= 1;
+    if (bit) {
+        low_ += range_;
+    }
+    ++bins_;
+    bool renormed = range_ < kTopValue;
+    while (range_ < kTopValue) {
+        range_ <<= 8;
+        shiftLow();
+    }
+    if (Probe *p = currentProbe()) {
+        static const uint64_t renorm_site = sitePc("codec.rc.renorm");
+        p->ops(OpClass::Alu, 3, 1);
+        p->decision(renorm_site, renormed);
+        if (renormed) {
+            p->mem(OpClass::Store, out_.nextVaddr(), 1);
+        }
+    }
+}
+
+void
+RangeEncoder::encodeBypassBits(uint32_t value, int count)
+{
+    for (int i = 0; i < count; ++i) {
+        encodeBypass((value >> i) & 1);
+    }
+}
+
+void
+RangeEncoder::encodeUeGolomb(uint32_t value)
+{
+    // Count prefix length.
+    uint32_t v = value + 1;
+    int bits = 0;
+    while ((v >> bits) > 1) {
+        ++bits;
+    }
+    for (int i = 0; i < bits; ++i) {
+        encodeBypass(false);
+    }
+    encodeBypass(true);
+    for (int i = bits - 1; i >= 0; --i) {
+        encodeBypass((v >> i) & 1);
+    }
+}
+
+void
+RangeEncoder::finish()
+{
+    if (finished_) {
+        throw std::logic_error("RangeEncoder: finish() called twice");
+    }
+    finished_ = true;
+    for (int i = 0; i < 5; ++i) {
+        shiftLow();
+    }
+}
+
+RangeDecoder::RangeDecoder(const std::vector<uint8_t> &bytes) : bytes_(bytes)
+{
+    // The first emitted byte is the initial cache (zero); skip it and
+    // prime the code register with the next four.
+    ++pos_;
+    for (int i = 0; i < 4; ++i) {
+        code_ = (code_ << 8) | nextByte();
+    }
+}
+
+uint8_t
+RangeDecoder::nextByte()
+{
+    if (pos_ >= bytes_.size()) {
+        return 0;
+    }
+    return bytes_[pos_++];
+}
+
+void
+RangeDecoder::normalize()
+{
+    while (range_ < kTopValue) {
+        range_ <<= 8;
+        code_ = (code_ << 8) | nextByte();
+    }
+}
+
+bool
+RangeDecoder::decodeBit(BinContext &ctx)
+{
+    uint32_t bound = (range_ >> kProbBits) * ctx.prob;
+    bool bit;
+    if (code_ < bound) {
+        range_ = bound;
+        ctx.prob = static_cast<uint16_t>(ctx.prob +
+                                         ((kProbMax - ctx.prob) >> kMoveBits));
+        bit = false;
+    } else {
+        code_ -= bound;
+        range_ -= bound;
+        ctx.prob = static_cast<uint16_t>(ctx.prob - (ctx.prob >> kMoveBits));
+        bit = true;
+    }
+    normalize();
+    return bit;
+}
+
+bool
+RangeDecoder::decodeBypass()
+{
+    range_ >>= 1;
+    bool bit = false;
+    if (code_ >= range_) {
+        code_ -= range_;
+        bit = true;
+    }
+    normalize();
+    return bit;
+}
+
+uint32_t
+RangeDecoder::decodeBypassBits(int count)
+{
+    uint32_t v = 0;
+    for (int i = 0; i < count; ++i) {
+        v |= static_cast<uint32_t>(decodeBypass()) << i;
+    }
+    return v;
+}
+
+uint32_t
+RangeDecoder::decodeUeGolomb()
+{
+    int bits = 0;
+    while (!decodeBypass()) {
+        ++bits;
+        if (bits > 31) {
+            throw std::runtime_error("RangeDecoder: corrupt golomb prefix");
+        }
+    }
+    uint32_t v = 1;
+    for (int i = 0; i < bits; ++i) {
+        v = (v << 1) | static_cast<uint32_t>(decodeBypass());
+    }
+    return v - 1;
+}
+
+} // namespace vepro::codec

@@ -1,0 +1,110 @@
+#ifndef VEPRO_CODEC_RANGECODER_HPP
+#define VEPRO_CODEC_RANGECODER_HPP
+
+/**
+ * @file
+ * Adaptive binary range coder (LZMA-style arithmetic coder) plus the
+ * matching decoder and a fractional-bit cost estimator.
+ *
+ * This is the "real" entropy coder used for the final encode pass: it
+ * produces an actual decodable byte stream whose length is the reported
+ * bitrate. The probe sees its context-table loads/stores and its
+ * data-dependent renormalisation branches — a major source of the
+ * hard-to-predict branches the paper measures.
+ */
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "codec/bitstream.hpp"
+
+namespace vepro::codec
+{
+
+/** One adaptive binary context: 11-bit probability of the zero symbol. */
+struct BinContext {
+    uint16_t prob = 1024;  ///< p(bit == 0) in units of 1/2048.
+};
+
+/**
+ * Fractional-bit cost of coding @p bit with context probability
+ * @p prob (11-bit). Table-driven; used by RD estimation.
+ */
+double contextBits(uint16_t prob, bool bit);
+
+/** Range encoder writing to a Bitstream. */
+class RangeEncoder
+{
+  public:
+    /**
+     * @param out        Destination stream.
+     * @param ctx_vaddr  Synthetic base address of the context tables this
+     *                   encoder will touch (for instrumentation).
+     */
+    explicit RangeEncoder(Bitstream &out, uint64_t ctx_vaddr = 0);
+
+    /** Encode @p bit with adaptive context @p ctx (updates the context).
+     *  @param ctx_index Index of the context within its table, used to
+     *  report the context-load address. */
+    void encodeBit(BinContext &ctx, bool bit, uint32_t ctx_index = 0);
+
+    /** Encode @p bit with fixed probability 1/2 (no context). */
+    void encodeBypass(bool bit);
+
+    /** Encode @p count low bits of @p value, LSB first, as bypass bins. */
+    void encodeBypassBits(uint32_t value, int count);
+
+    /** Encode an unsigned value with exp-Golomb(0) bypass bins. */
+    void encodeUeGolomb(uint32_t value);
+
+    /** Flush the final bytes. Must be called exactly once. */
+    void finish();
+
+    /** Total adaptive + bypass bins encoded so far. */
+    uint64_t binCount() const { return bins_; }
+
+  private:
+    void shiftLow();
+
+    Bitstream &out_;
+    uint64_t low_ = 0;
+    uint32_t range_ = 0xffffffffu;
+    uint8_t cache_ = 0;
+    uint64_t cache_size_ = 1;
+    uint64_t bins_ = 0;
+    uint64_t ctx_vaddr_ = 0;
+    bool finished_ = false;
+};
+
+/** Range decoder reading from a byte vector (testing / verification). */
+class RangeDecoder
+{
+  public:
+    explicit RangeDecoder(const std::vector<uint8_t> &bytes);
+
+    /** Decode one bit with adaptive context @p ctx. */
+    bool decodeBit(BinContext &ctx);
+
+    /** Decode one bypass bit. */
+    bool decodeBypass();
+
+    /** Decode @p count bypass bits, LSB first. */
+    uint32_t decodeBypassBits(int count);
+
+    /** Decode an exp-Golomb(0) value. */
+    uint32_t decodeUeGolomb();
+
+  private:
+    uint8_t nextByte();
+    void normalize();
+
+    const std::vector<uint8_t> &bytes_;
+    size_t pos_ = 0;
+    uint32_t range_ = 0xffffffffu;
+    uint32_t code_ = 0;
+};
+
+} // namespace vepro::codec
+
+#endif // VEPRO_CODEC_RANGECODER_HPP

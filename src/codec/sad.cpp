@@ -1,0 +1,219 @@
+#include "codec/sad.hpp"
+
+#include <cstddef>
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "trace/probe.hpp"
+
+namespace vepro::codec
+{
+
+using trace::OpClass;
+using trace::Probe;
+using trace::currentProbe;
+using trace::sitePc;
+
+namespace
+{
+
+/**
+ * Report the op stream of a two-operand row-wise vector kernel: per
+ * vector-row chunk two loads, @p alu_per_chunk vector ALU ops, and a
+ * scalar loop counter update; then the loop back-edges and a short
+ * horizontal-reduction tail.
+ */
+void
+probeRowKernel(Probe *p, uint64_t site, const PelView &a, const PelView &b,
+               int w, int h, int alu_per_chunk)
+{
+    p->enterKernel(site, 8);
+    // A 256-bit lane covers 32 pixels; narrow blocks still issue one
+    // (masked) vector load per operand per row. Row loops are unrolled
+    // four deep, as the real AVX2 kernels are.
+    int chunks_per_row = std::max(1, w / 32);
+    for (int y = 0; y < h; ++y) {
+        for (int c = 0; c < chunks_per_row; ++c) {
+            p->mem(OpClass::SimdLoad, a.vaddr + static_cast<uint64_t>(y) * a.stride + c * 32);
+            p->mem(OpClass::SimdLoad, b.vaddr + static_cast<uint64_t>(y) * b.stride + c * 32);
+            p->ops(OpClass::SimdAlu, alu_per_chunk, 1, 2);
+        }
+        if ((y & 3) == 3) {
+            p->ops(OpClass::Alu, 2, 1);  // pointer bumps (unrolled x4)
+        }
+    }
+    p->loopBranches(static_cast<uint64_t>((h + 7) / 8));
+    p->ops(OpClass::SseAlu, 2, 1);   // 128-bit horizontal reduction tail
+    p->ops(OpClass::Alu, 2, 1);      // extract + move to scalar
+}
+
+/** 8x8 (or smaller) Hadamard butterfly on int32 data, in place. */
+void
+hadamard1d(int32_t *v, int n, int stride)
+{
+    for (int len = 1; len < n; len <<= 1) {
+        for (int i = 0; i < n; i += len << 1) {
+            for (int j = i; j < i + len; ++j) {
+                int32_t x = v[j * stride];
+                int32_t y = v[(j + len) * stride];
+                v[j * stride] = x + y;
+                v[(j + len) * stride] = x - y;
+            }
+        }
+    }
+}
+
+uint64_t
+satdTile(const PelView &a, const PelView &b, int n)
+{
+    int32_t buf[8 * 8];
+    for (int y = 0; y < n; ++y) {
+        const uint8_t *ra = a.row(y);
+        const uint8_t *rb = b.row(y);
+        for (int x = 0; x < n; ++x) {
+            buf[y * n + x] = static_cast<int32_t>(ra[x]) - rb[x];
+        }
+    }
+    for (int y = 0; y < n; ++y) {
+        hadamard1d(buf + y * n, n, 1);
+    }
+    for (int x = 0; x < n; ++x) {
+        hadamard1d(buf + x, n, n);
+    }
+    uint64_t sum = 0;
+    for (int i = 0; i < n * n; ++i) {
+        sum += static_cast<uint64_t>(std::abs(buf[i]));
+    }
+    // Normalise roughly to SAD scale.
+    return (sum + (n >> 1)) / n;
+}
+
+} // namespace
+
+uint64_t
+sad(const PelView &a, const PelView &b, int w, int h)
+{
+    uint64_t sum = 0;
+    for (int y = 0; y < h; ++y) {
+        const uint8_t *ra = a.row(y);
+        const uint8_t *rb = b.row(y);
+        for (int x = 0; x < w; ++x) {
+            sum += static_cast<uint64_t>(std::abs(static_cast<int>(ra[x]) -
+                                                  static_cast<int>(rb[x])));
+        }
+    }
+    if (Probe *p = currentProbe()) {
+        static const uint64_t site = sitePc("codec.sad");
+        probeRowKernel(p, site, a, b, w, h, 2);  // psadbw + accumulate
+    }
+    return sum;
+}
+
+uint64_t
+sse(const PelView &a, const PelView &b, int w, int h)
+{
+    uint64_t sum = 0;
+    for (int y = 0; y < h; ++y) {
+        const uint8_t *ra = a.row(y);
+        const uint8_t *rb = b.row(y);
+        for (int x = 0; x < w; ++x) {
+            int d = static_cast<int>(ra[x]) - static_cast<int>(rb[x]);
+            sum += static_cast<uint64_t>(d) * static_cast<uint64_t>(d);
+        }
+    }
+    if (Probe *p = currentProbe()) {
+        static const uint64_t site = sitePc("codec.sse");
+        probeRowKernel(p, site, a, b, w, h, 4);  // unpack, sub, madd, add
+    }
+    return sum;
+}
+
+uint64_t
+satd(const PelView &a, const PelView &b, int w, int h)
+{
+    int tile = (w >= 8 && h >= 8) ? 8 : 4;
+    uint64_t sum = 0;
+    for (int ty = 0; ty + tile <= h; ty += tile) {
+        for (int tx = 0; tx + tile <= w; tx += tile) {
+            sum += satdTile(a.sub(tx, ty), b.sub(tx, ty), tile);
+        }
+    }
+    if (Probe *p = currentProbe()) {
+        static const uint64_t site = sitePc("codec.satd");
+        p->enterKernel(site, 16);
+        int tiles = std::max(1, (w / tile) * (h / tile));
+        for (int t = 0; t < tiles; ++t) {
+            // Load both tiles, difference, two butterfly passes, abs-sum.
+            p->memRun(OpClass::SimdLoad, a.vaddr + t * 64ULL, tile, a.stride);
+            p->memRun(OpClass::SimdLoad, b.vaddr + t * 64ULL, tile, b.stride);
+            p->ops(OpClass::SimdAlu, static_cast<uint64_t>(tile) * 4, 1, 2);
+            p->ops(OpClass::SimdAlu, static_cast<uint64_t>(tile), 1);
+            p->ops(OpClass::Alu, 3, 1);
+        }
+        p->loopBranches((tiles + 1) / 2);
+        p->ops(OpClass::SseAlu, 3, 1);
+        p->ops(OpClass::Alu, 2, 1);
+    }
+    return sum;
+}
+
+void
+residual(const PelView &a, const PelView &b, int w, int h, int16_t *dst,
+         uint64_t dst_vaddr)
+{
+    for (int y = 0; y < h; ++y) {
+        const uint8_t *ra = a.row(y);
+        const uint8_t *rb = b.row(y);
+        int16_t *rd = dst + static_cast<ptrdiff_t>(y) * w;
+        for (int x = 0; x < w; ++x) {
+            rd[x] = static_cast<int16_t>(static_cast<int>(ra[x]) -
+                                         static_cast<int>(rb[x]));
+        }
+    }
+    if (Probe *p = currentProbe()) {
+        static const uint64_t site = sitePc("codec.residual");
+        p->enterKernel(site, 8);
+        int chunks = std::max(1, w / 16);  // 16 pixels -> one 256-bit i16 store
+        for (int y = 0; y < h; ++y) {
+            for (int c = 0; c < chunks; ++c) {
+                p->mem(OpClass::SimdLoad, a.vaddr + static_cast<uint64_t>(y) * a.stride + c * 16);
+                p->mem(OpClass::SimdLoad, b.vaddr + static_cast<uint64_t>(y) * b.stride + c * 16);
+                p->ops(OpClass::SimdAlu, 2, 1, 2);  // unpack + sub
+                p->mem(OpClass::SimdStore, dst_vaddr + (static_cast<uint64_t>(y) * w + c * 16) * 2, 1);
+            }
+        }
+        p->loopBranches(static_cast<uint64_t>((h + 3) / 4));
+    }
+}
+
+void
+reconstruct(const PelView &pred, const int16_t *res, uint64_t res_vaddr,
+            int w, int h, PelViewMut dst)
+{
+    for (int y = 0; y < h; ++y) {
+        const uint8_t *rp = pred.row(y);
+        const int16_t *rr = res + static_cast<ptrdiff_t>(y) * w;
+        uint8_t *rd = dst.row(y);
+        for (int x = 0; x < w; ++x) {
+            int v = static_cast<int>(rp[x]) + rr[x];
+            rd[x] = static_cast<uint8_t>(std::clamp(v, 0, 255));
+        }
+    }
+    if (Probe *p = currentProbe()) {
+        static const uint64_t site = sitePc("codec.reconstruct");
+        p->enterKernel(site, 8);
+        int chunks = std::max(1, w / 16);
+        for (int y = 0; y < h; ++y) {
+            for (int c = 0; c < chunks; ++c) {
+                p->mem(OpClass::SimdLoad, pred.vaddr + static_cast<uint64_t>(y) * pred.stride + c * 16);
+                p->mem(OpClass::SimdLoad, res_vaddr + (static_cast<uint64_t>(y) * w + c * 16) * 2);
+                p->ops(OpClass::SimdAlu, 3, 1, 2);  // widen + add + pack/clamp
+                p->mem(OpClass::SimdStore, dst.vaddr + static_cast<uint64_t>(y) * dst.stride + c * 16, 1);
+            }
+        }
+        p->loopBranches(static_cast<uint64_t>((h + 3) / 4));
+    }
+}
+
+} // namespace vepro::codec

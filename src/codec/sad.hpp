@@ -1,0 +1,50 @@
+#ifndef VEPRO_CODEC_SAD_HPP
+#define VEPRO_CODEC_SAD_HPP
+
+/**
+ * @file
+ * Distortion kernels: SAD, SSE, and Hadamard SATD.
+ *
+ * Each kernel computes its value on the host pixels and, when a probe is
+ * installed, reports the instruction stream of the equivalent AVX2
+ * implementation (vector loads of both operands per row pair, vector
+ * arithmetic, a reduction tail, and the loop back-edges).
+ */
+
+#include <cstdint>
+
+#include "codec/block.hpp"
+
+namespace vepro::codec
+{
+
+/** Sum of absolute differences over a w x h block. */
+uint64_t sad(const PelView &a, const PelView &b, int w, int h);
+
+/** Sum of squared errors over a w x h block. */
+uint64_t sse(const PelView &a, const PelView &b, int w, int h);
+
+/**
+ * Hadamard-transform SAD (SATD) over a w x h block, computed on 8x8 (or
+ * 4x4 for small blocks) tiles. A closer distortion proxy for transform
+ * coding than plain SAD; used by fast mode decision.
+ */
+uint64_t satd(const PelView &a, const PelView &b, int w, int h);
+
+/**
+ * Compute the residual a - b into @p dst (row-major w x h, stride w).
+ * Reports the vector subtract stream.
+ */
+void residual(const PelView &a, const PelView &b, int w, int h, int16_t *dst,
+              uint64_t dst_vaddr);
+
+/**
+ * Reconstruct pred + residual into @p dst with clamping to [0, 255].
+ * Reports the vector add/pack stream.
+ */
+void reconstruct(const PelView &pred, const int16_t *res, uint64_t res_vaddr,
+                 int w, int h, PelViewMut dst);
+
+} // namespace vepro::codec
+
+#endif // VEPRO_CODEC_SAD_HPP

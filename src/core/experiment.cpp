@@ -1,0 +1,104 @@
+#include "core/experiment.hpp"
+
+#include <cstring>
+#include <stdexcept>
+
+namespace vepro::core
+{
+
+RunScale
+RunScale::fromArgs(int argc, char **argv)
+{
+    RunScale scale;
+    scale.suite.divisor = 8;
+    scale.suite.frames = 6;
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg == "--quick") {
+            scale.suite.divisor = 8;
+            scale.suite.frames = 6;
+        } else if (arg == "--full") {
+            scale.suite.divisor = 4;
+            scale.suite.frames = 12;
+            scale.maxTraceOps = 4'000'000;
+        } else if (arg.rfind("--videos=", 0) == 0) {
+            std::string list = arg.substr(9);
+            size_t pos = 0;
+            while (pos < list.size()) {
+                size_t comma = list.find(',', pos);
+                if (comma == std::string::npos) {
+                    comma = list.size();
+                }
+                scale.videos.push_back(list.substr(pos, comma - pos));
+                pos = comma + 1;
+            }
+        } else if (arg.rfind("--benchmark", 0) == 0) {
+            // Google-benchmark flags pass through untouched.
+        } else {
+            throw std::invalid_argument("unknown argument: " + arg);
+        }
+    }
+    return scale;
+}
+
+const std::vector<int> &
+crfSweepAv1()
+{
+    static const std::vector<int> sweep = {10, 20, 30, 40, 50, 60};
+    return sweep;
+}
+
+const std::vector<int> &
+crfSweepX26x()
+{
+    static const std::vector<int> sweep = [] {
+        std::vector<int> v;
+        for (int crf : crfSweepAv1()) {
+            v.push_back(mapCrfToX26x(crf));
+        }
+        return v;
+    }();
+    return sweep;
+}
+
+int
+mapCrfToX26x(int crf_av1)
+{
+    return crf_av1 * 51 / 63;
+}
+
+SweepPoint
+runPoint(const encoders::EncoderModel &encoder, const video::Video &clip,
+         int crf, int preset, const RunScale &scale)
+{
+    encoders::EncodeParams params;
+    params.crf = crf;
+    params.preset = preset;
+
+    trace::ProbeConfig pc;
+    pc.collectOps = true;
+    pc.maxOps = scale.maxTraceOps;
+    pc.opWindow = 150'000;
+    pc.opInterval = 600'000;
+
+    SweepPoint point;
+    point.encode = encoder.encode(clip, params, pc);
+    uarch::Core core;
+    point.core = core.run(point.encode.opTrace);
+    return point;
+}
+
+std::vector<video::SuiteEntry>
+selectedVideos(const RunScale &scale)
+{
+    if (scale.videos.empty()) {
+        return video::vbenchMini();
+    }
+    std::vector<video::SuiteEntry> out;
+    for (const std::string &name : scale.videos) {
+        out.push_back(video::suiteEntry(name));
+    }
+    return out;
+}
+
+} // namespace vepro::core

@@ -1,0 +1,60 @@
+#ifndef VEPRO_CORE_EXPERIMENT_HPP
+#define VEPRO_CORE_EXPERIMENT_HPP
+
+/**
+ * @file
+ * Shared experiment plumbing for the bench binaries: standard sweep
+ * points, quick/full scaling, and the encode+simulate pipeline used by
+ * every microarchitectural figure.
+ */
+
+#include <string>
+#include <vector>
+
+#include "encoders/encoder_model.hpp"
+#include "uarch/core.hpp"
+#include "video/suite.hpp"
+
+namespace vepro::core
+{
+
+/** Run-scale options shared by all benches. */
+struct RunScale {
+    /** Suite geometry; --full halves the divisor and doubles frames. */
+    video::SuiteScale suite{};
+    /** Videos to run; empty = the whole vbench-mini suite. */
+    std::vector<std::string> videos;
+    /** Cap on retained ops for core-model traces. */
+    size_t maxTraceOps = 1'200'000;
+
+    /** Parse --quick / --full / --videos=a,b,c from argv. */
+    static RunScale fromArgs(int argc, char **argv);
+};
+
+/** The CRF sweep points used throughout the paper's Section 4. */
+const std::vector<int> &crfSweepAv1();   ///< {10, 20, 30, 40, 50, 60}
+const std::vector<int> &crfSweepX26x();  ///< Scaled onto the 0-51 range.
+
+/** Map a 0-63 family CRF onto an equivalent 0-51 family CRF. */
+int mapCrfToX26x(int crf_av1);
+
+/** Encode + microarchitectural simulation of one sweep point. */
+struct SweepPoint {
+    encoders::EncodeResult encode;
+    uarch::CoreStats core;
+};
+
+/**
+ * Run one encode with op tracing and simulate the captured trace on the
+ * paper machine's core model.
+ */
+SweepPoint runPoint(const encoders::EncoderModel &encoder,
+                    const video::Video &clip, int crf, int preset,
+                    const RunScale &scale);
+
+/** The suite entries selected by @p scale (all 15 when unfiltered). */
+std::vector<video::SuiteEntry> selectedVideos(const RunScale &scale);
+
+} // namespace vepro::core
+
+#endif // VEPRO_CORE_EXPERIMENT_HPP

@@ -1,0 +1,37 @@
+#include "encoders/libaom_model.hpp"
+
+#include <cmath>
+
+namespace vepro::encoders
+{
+
+codec::ToolConfig
+LibaomModel::toolConfig(const EncodeParams &params) const
+{
+    const double s = slowness(params.preset);
+    codec::ToolConfig tc;
+    tc.superblockSize = 64;
+    tc.minBlockSize = s >= 0.6 ? 4 : 8;
+    tc.partitionMask = codec::kPartitionsAv1;
+    tc.intraModes = 5 + static_cast<int>(std::lround(9 * s));
+    tc.intraModesRect = 2 + static_cast<int>(std::lround(3 * s));
+    tc.txSizeCandidates = s > 0.6 ? 2 : 1;
+    tc.txTypeCandidates = 1 + static_cast<int>(std::lround(1.4 * s));
+    tc.refFramesSearched = 1 + static_cast<int>(std::lround(2.4 * s));
+    tc.interpFilterCands = 1 + static_cast<int>(std::lround(1.2 * s));
+    tc.me.range = 5 + static_cast<int>(std::lround(11 * s));
+    tc.me.exhaustive = s > 0.92;
+    tc.me.subpel = s > 0.25;
+    tc.me.sharpSubpel = true;
+    tc.me.earlyExitPerPel = (1.0 - s) * 1.5;
+    tc.fullRd = s >= 0.45;
+    tc.earlyExitScale = 0.08 + (1.0 - s) * (1.0 - s) * 1.4;
+    tc.modePatience = 1 + static_cast<int>(std::lround(3 * s));
+    tc.filterPasses = 2;
+    tc.pruneMinDepth = 1;
+    tc.coeffContexts = 4;
+    codec::applyQuality(tc, params.crf, crfRange());
+    return tc;
+}
+
+} // namespace vepro::encoders

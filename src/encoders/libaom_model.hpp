@@ -1,0 +1,33 @@
+#ifndef VEPRO_ENCODERS_LIBAOM_MODEL_HPP
+#define VEPRO_ENCODERS_LIBAOM_MODEL_HPP
+
+/**
+ * @file
+ * libaom model: the AV1 toolset with the reference encoder's somewhat
+ * leaner per-preset search (at the paper's operating points libaom ran
+ * below SVT-AV1), and tile-based threading.
+ */
+
+#include "encoders/encoder_model.hpp"
+
+namespace vepro::encoders
+{
+
+/** Model of the libaom AV1 reference encoder. */
+class LibaomModel : public EncoderModel
+{
+  public:
+    std::string name() const override { return "Libaom"; }
+    int crfRange() const override { return 63; }
+    int presetRange() const override { return 8; }
+    bool presetInverted() const override { return false; }
+    ThreadModel threadModel() const override
+    {
+        return ThreadModel::TileParallel;
+    }
+    codec::ToolConfig toolConfig(const EncodeParams &params) const override;
+};
+
+} // namespace vepro::encoders
+
+#endif // VEPRO_ENCODERS_LIBAOM_MODEL_HPP

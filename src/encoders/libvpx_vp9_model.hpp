@@ -1,0 +1,33 @@
+#ifndef VEPRO_ENCODERS_LIBVPX_VP9_MODEL_HPP
+#define VEPRO_ENCODERS_LIBVPX_VP9_MODEL_HPP
+
+/**
+ * @file
+ * libvpx-VP9 model: VP9's 4 partition modes and mid-sized intra set —
+ * the paper's direct predecessor comparison for AV1 (10 partition modes
+ * vs 4 is its worked example of search-space growth).
+ */
+
+#include "encoders/encoder_model.hpp"
+
+namespace vepro::encoders
+{
+
+/** Model of the libvpx VP9 encoder. */
+class LibvpxVp9Model : public EncoderModel
+{
+  public:
+    std::string name() const override { return "Libvpx-vp9"; }
+    int crfRange() const override { return 63; }
+    int presetRange() const override { return 8; }
+    bool presetInverted() const override { return false; }
+    ThreadModel threadModel() const override
+    {
+        return ThreadModel::TileParallel;
+    }
+    codec::ToolConfig toolConfig(const EncodeParams &params) const override;
+};
+
+} // namespace vepro::encoders
+
+#endif // VEPRO_ENCODERS_LIBVPX_VP9_MODEL_HPP

@@ -1,0 +1,38 @@
+#include "encoders/registry.hpp"
+
+#include <stdexcept>
+
+#include "encoders/libaom_model.hpp"
+#include "encoders/libvpx_vp9_model.hpp"
+#include "encoders/svt_av1_model.hpp"
+#include "encoders/x264_model.hpp"
+#include "encoders/x265_model.hpp"
+
+namespace vepro::encoders
+{
+
+std::vector<std::shared_ptr<const EncoderModel>>
+allEncoders()
+{
+    static const std::vector<std::shared_ptr<const EncoderModel>> models = {
+        std::make_shared<SvtAv1Model>(),
+        std::make_shared<LibaomModel>(),
+        std::make_shared<LibvpxVp9Model>(),
+        std::make_shared<X265Model>(),
+        std::make_shared<X264Model>(),
+    };
+    return models;
+}
+
+std::shared_ptr<const EncoderModel>
+encoderByName(const std::string &name)
+{
+    for (const auto &m : allEncoders()) {
+        if (m->name() == name) {
+            return m;
+        }
+    }
+    throw std::out_of_range("encoderByName: unknown encoder '" + name + "'");
+}
+
+} // namespace vepro::encoders

@@ -1,0 +1,37 @@
+#include "encoders/svt_av1_model.hpp"
+
+#include <cmath>
+
+namespace vepro::encoders
+{
+
+codec::ToolConfig
+SvtAv1Model::toolConfig(const EncodeParams &params) const
+{
+    const double s = slowness(params.preset);
+    codec::ToolConfig tc;
+    tc.superblockSize = 64;
+    tc.minBlockSize = s >= 0.5 ? 4 : 8;
+    tc.partitionMask = codec::kPartitionsAv1;
+    tc.intraModes = 6 + static_cast<int>(std::lround(10 * s));
+    tc.intraModesRect = 2 + static_cast<int>(std::lround(4 * s));
+    tc.txSizeCandidates = s > 0.5 ? 2 : 1;
+    tc.txTypeCandidates = 1 + static_cast<int>(std::lround(2 * s));
+    tc.refFramesSearched = 1 + static_cast<int>(std::lround(3 * s));
+    tc.interpFilterCands = 1 + static_cast<int>(std::lround(2 * s));
+    tc.me.range = 6 + static_cast<int>(std::lround(14 * s));
+    tc.me.exhaustive = s > 0.9;
+    tc.me.subpel = s > 0.2;
+    tc.me.sharpSubpel = true;
+    tc.me.earlyExitPerPel = (1.0 - s) * 1.2;
+    tc.fullRd = s >= 0.35;
+    tc.earlyExitScale = 0.05 + (1.0 - s) * (1.0 - s) * 1.1;
+    tc.modePatience = 1 + static_cast<int>(std::lround(4 * s));
+    tc.filterPasses = 2;
+    tc.pruneMinDepth = 1;
+    tc.coeffContexts = 4;
+    codec::applyQuality(tc, params.crf, crfRange());
+    return tc;
+}
+
+} // namespace vepro::encoders

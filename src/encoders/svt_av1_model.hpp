@@ -1,0 +1,30 @@
+#ifndef VEPRO_ENCODERS_SVT_AV1_MODEL_HPP
+#define VEPRO_ENCODERS_SVT_AV1_MODEL_HPP
+
+/**
+ * @file
+ * SVT-AV1 model: the full AV1 toolset (10 partition modes, the largest
+ * intra-mode set, multiple transform sizes, two-pass loop filtering) with
+ * SVT's segment-wavefront threading.
+ */
+
+#include "encoders/encoder_model.hpp"
+
+namespace vepro::encoders
+{
+
+/** Model of the SVT-AV1 encoder (the paper's primary subject). */
+class SvtAv1Model : public EncoderModel
+{
+  public:
+    std::string name() const override { return "SVT-AV1"; }
+    int crfRange() const override { return 63; }
+    int presetRange() const override { return 8; }
+    bool presetInverted() const override { return false; }
+    ThreadModel threadModel() const override { return ThreadModel::Wavefront; }
+    codec::ToolConfig toolConfig(const EncodeParams &params) const override;
+};
+
+} // namespace vepro::encoders
+
+#endif // VEPRO_ENCODERS_SVT_AV1_MODEL_HPP

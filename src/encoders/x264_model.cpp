@@ -1,0 +1,35 @@
+#include "encoders/x264_model.hpp"
+
+#include <cmath>
+
+namespace vepro::encoders
+{
+
+codec::ToolConfig
+X264Model::toolConfig(const EncodeParams &params) const
+{
+    const double s = slowness(params.preset);
+    codec::ToolConfig tc;
+    tc.superblockSize = 16;
+    tc.minBlockSize = 8;
+    tc.partitionMask = codec::kPartitionsRect;
+    tc.intraModes = 3 + static_cast<int>(std::lround(3 * s));
+    tc.intraModesRect = 2;
+    tc.txSizeCandidates = 1;
+    tc.txTypeCandidates = 1;
+    tc.refFramesSearched = s > 0.75 ? 2 : 1;
+    tc.interpFilterCands = 1;
+    tc.me.range = 4 + static_cast<int>(std::lround(8 * s));
+    tc.me.exhaustive = s > 0.95;  // the "placebo" esa search
+    tc.me.subpel = s > 0.3;
+    tc.me.earlyExitPerPel = (1.0 - s) * 3.0 + 0.6;
+    tc.fullRd = s >= 0.8;
+    tc.earlyExitScale = 0.8 + (1.0 - s) * (1.0 - s) * 3.5;
+    tc.modePatience = 1 + static_cast<int>(std::lround(1.5 * s));
+    tc.filterPasses = 1;
+    tc.coeffContexts = 1;
+    codec::applyQuality(tc, params.crf, crfRange());
+    return tc;
+}
+
+} // namespace vepro::encoders

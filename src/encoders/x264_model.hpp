@@ -1,0 +1,33 @@
+#ifndef VEPRO_ENCODERS_X264_MODEL_HPP
+#define VEPRO_ENCODERS_X264_MODEL_HPP
+
+/**
+ * @file
+ * x264 model: AVC's 16x16 macroblocks with one split level and two
+ * rectangular shapes, a small intra set, and frame-level threading with
+ * a row lag — the fastest and most mature of the paper's encoders.
+ */
+
+#include "encoders/encoder_model.hpp"
+
+namespace vepro::encoders
+{
+
+/** Model of the x264 AVC encoder. */
+class X264Model : public EncoderModel
+{
+  public:
+    std::string name() const override { return "x264"; }
+    int crfRange() const override { return 51; }
+    int presetRange() const override { return 9; }
+    bool presetInverted() const override { return true; }
+    ThreadModel threadModel() const override
+    {
+        return ThreadModel::FrameParallel;
+    }
+    codec::ToolConfig toolConfig(const EncodeParams &params) const override;
+};
+
+} // namespace vepro::encoders
+
+#endif // VEPRO_ENCODERS_X264_MODEL_HPP

@@ -1,0 +1,36 @@
+#include "encoders/x265_model.hpp"
+
+#include <cmath>
+
+namespace vepro::encoders
+{
+
+codec::ToolConfig
+X265Model::toolConfig(const EncodeParams &params) const
+{
+    const double s = slowness(params.preset);
+    codec::ToolConfig tc;
+    tc.superblockSize = 64;
+    tc.minBlockSize = 8;
+    tc.partitionMask = codec::kPartitionsRect;
+    tc.intraModes = 4 + static_cast<int>(std::lround(8 * s));
+    tc.intraModesRect = 2 + static_cast<int>(std::lround(3 * s));
+    tc.txSizeCandidates = s > 0.7 ? 2 : 1;
+    tc.txTypeCandidates = 1;
+    tc.refFramesSearched = 1 + static_cast<int>(std::lround(1.2 * s));
+    tc.interpFilterCands = 1;
+    tc.me.range = 4 + static_cast<int>(std::lround(10 * s));
+    tc.me.exhaustive = false;
+    tc.me.subpel = s > 0.3;
+    tc.me.sharpSubpel = true;
+    tc.me.earlyExitPerPel = (1.0 - s) * 2.5;
+    tc.fullRd = s >= 0.65;
+    tc.earlyExitScale = 0.3 + (1.0 - s) * (1.0 - s) * 2.2;
+    tc.modePatience = 1 + static_cast<int>(std::lround(3 * s));
+    tc.filterPasses = 1;
+    tc.coeffContexts = 2;
+    codec::applyQuality(tc, params.crf, crfRange());
+    return tc;
+}
+
+} // namespace vepro::encoders

@@ -1,0 +1,35 @@
+#ifndef VEPRO_ENCODERS_X265_MODEL_HPP
+#define VEPRO_ENCODERS_X265_MODEL_HPP
+
+/**
+ * @file
+ * x265 model: HEVC's 64x64 CTU quad-tree with rectangular PUs and a
+ * mid-sized intra set. Threading follows the paper's observation that
+ * x265 concentrates work in a primary thread with light helpers, which
+ * is what its ~1.3x scaling ceiling and growing backend-boundedness
+ * imply.
+ */
+
+#include "encoders/encoder_model.hpp"
+
+namespace vepro::encoders
+{
+
+/** Model of the x265 HEVC encoder. */
+class X265Model : public EncoderModel
+{
+  public:
+    std::string name() const override { return "x265"; }
+    int crfRange() const override { return 51; }
+    int presetRange() const override { return 9; }
+    bool presetInverted() const override { return true; }
+    ThreadModel threadModel() const override
+    {
+        return ThreadModel::SerialSpine;
+    }
+    codec::ToolConfig toolConfig(const EncodeParams &params) const override;
+};
+
+} // namespace vepro::encoders
+
+#endif // VEPRO_ENCODERS_X265_MODEL_HPP

@@ -1,0 +1,62 @@
+#include "sched/taskgraph.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace vepro::sched
+{
+
+int
+TaskGraph::addTask(Task task)
+{
+    task.id = static_cast<int>(tasks_.size());
+    for (int dep : task.deps) {
+        if (dep < 0 || dep >= task.id) {
+            throw std::invalid_argument(
+                "TaskGraph: dependency must reference an earlier task");
+        }
+    }
+    tasks_.push_back(std::move(task));
+    return tasks_.back().id;
+}
+
+uint64_t
+TaskGraph::totalWeight() const
+{
+    uint64_t sum = 0;
+    for (const Task &t : tasks_) {
+        sum += t.weight;
+    }
+    return sum;
+}
+
+uint64_t
+TaskGraph::criticalPath() const
+{
+    // Tasks are topologically ordered by construction (deps < id).
+    std::vector<uint64_t> finish(tasks_.size(), 0);
+    uint64_t best = 0;
+    for (const Task &t : tasks_) {
+        uint64_t start = 0;
+        for (int dep : t.deps) {
+            start = std::max(start, finish[static_cast<size_t>(dep)]);
+        }
+        finish[static_cast<size_t>(t.id)] = start + t.weight;
+        best = std::max(best, finish[static_cast<size_t>(t.id)]);
+    }
+    return best;
+}
+
+void
+TaskGraph::validate() const
+{
+    for (const Task &t : tasks_) {
+        for (int dep : t.deps) {
+            if (dep < 0 || dep >= t.id) {
+                throw std::invalid_argument("TaskGraph: bad dependency");
+            }
+        }
+    }
+}
+
+} // namespace vepro::sched

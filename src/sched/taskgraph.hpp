@@ -1,0 +1,82 @@
+#ifndef VEPRO_SCHED_TASKGRAPH_HPP
+#define VEPRO_SCHED_TASKGRAPH_HPP
+
+/**
+ * @file
+ * Task graphs describing an encoder's parallel structure.
+ *
+ * The paper measures thread scalability on a 12-core Xeon; this host has
+ * one core, so scaling is *simulated*: each encoder model emits the task
+ * graph its real counterpart would execute (tasks weighted by the
+ * instructions the instrumented run actually spent in them, with the
+ * real dependency edges), and a discrete-event scheduler computes the
+ * makespan on N cores. The speedup shapes are then properties of the
+ * dependency structure, exactly what the paper attributes them to.
+ */
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace vepro::sched
+{
+
+/** What a task does — used for reporting and trace reconstruction. */
+enum class TaskKind : uint8_t {
+    Superblock,  ///< Analysis + coding of one superblock (or tile chunk).
+    Filter,      ///< Loop filtering / reconstruction post-processing.
+    Lookahead,   ///< Pre-analysis (downscaled motion estimation).
+    Serial,      ///< A serialised spine task (x265-style main thread).
+};
+
+/** One schedulable unit of encoder work. */
+struct Task {
+    int id = 0;
+    TaskKind kind = TaskKind::Superblock;
+    uint64_t weight = 1;        ///< Work in dynamic instructions.
+    std::vector<int> deps;      ///< Task ids that must finish first.
+
+    int frame = -1;             ///< Owning frame, -1 if cross-frame.
+    int row = -1;               ///< Superblock row, -1 if n/a.
+    int col = -1;               ///< Superblock column, -1 if n/a.
+
+    /** Half-open range of this task's ops in the captured op trace. */
+    size_t opBegin = 0;
+    size_t opEnd = 0;
+};
+
+/** A whole encode expressed as a dependency graph of tasks. */
+class TaskGraph
+{
+  public:
+    /** Append a task; returns its id. Dependencies must already exist. */
+    int addTask(Task task);
+
+    const std::vector<Task> &tasks() const { return tasks_; }
+    Task &task(int id) { return tasks_[static_cast<size_t>(id)]; }
+    const Task &task(int id) const { return tasks_[static_cast<size_t>(id)]; }
+
+    bool empty() const { return tasks_.empty(); }
+    size_t size() const { return tasks_.size(); }
+
+    /** Sum of all task weights (single-core makespan). */
+    uint64_t totalWeight() const;
+
+    /**
+     * Longest weighted dependency chain — the lower bound on makespan
+     * with unlimited cores.
+     * @throws std::invalid_argument if the graph has a cycle.
+     */
+    uint64_t criticalPath() const;
+
+    /** Validate: dep ids in range and strictly less than the task id. */
+    void validate() const;
+
+  private:
+    std::vector<Task> tasks_;
+};
+
+} // namespace vepro::sched
+
+#endif // VEPRO_SCHED_TASKGRAPH_HPP

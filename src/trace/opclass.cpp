@@ -1,0 +1,64 @@
+#include "trace/opclass.hpp"
+
+namespace vepro::trace
+{
+
+MixCategory
+categoryOf(OpClass cls)
+{
+    switch (cls) {
+      case OpClass::BranchCond:
+      case OpClass::BranchUncond:
+        return MixCategory::Branch;
+      case OpClass::Load:
+        return MixCategory::Load;
+      case OpClass::Store:
+        return MixCategory::Store;
+      case OpClass::SimdAlu:
+      case OpClass::SimdMul:
+      case OpClass::SimdLoad:
+      case OpClass::SimdStore:
+        return MixCategory::Avx;
+      case OpClass::SseAlu:
+        return MixCategory::Sse;
+      default:
+        return MixCategory::Other;
+    }
+}
+
+std::string_view
+opClassName(OpClass cls)
+{
+    switch (cls) {
+      case OpClass::Alu: return "alu";
+      case OpClass::Mul: return "mul";
+      case OpClass::Div: return "div";
+      case OpClass::Load: return "load";
+      case OpClass::Store: return "store";
+      case OpClass::BranchCond: return "br_cond";
+      case OpClass::BranchUncond: return "br_uncond";
+      case OpClass::SimdAlu: return "simd_alu";
+      case OpClass::SimdMul: return "simd_mul";
+      case OpClass::SimdLoad: return "simd_load";
+      case OpClass::SimdStore: return "simd_store";
+      case OpClass::SseAlu: return "sse_alu";
+      case OpClass::Other: return "other";
+      default: return "?";
+    }
+}
+
+std::string_view
+mixCategoryName(MixCategory cat)
+{
+    switch (cat) {
+      case MixCategory::Branch: return "Branch";
+      case MixCategory::Load: return "Load";
+      case MixCategory::Store: return "Store";
+      case MixCategory::Avx: return "AVX";
+      case MixCategory::Sse: return "SSE";
+      case MixCategory::Other: return "Other";
+      default: return "?";
+    }
+}
+
+} // namespace vepro::trace

@@ -1,0 +1,95 @@
+#ifndef VEPRO_TRACE_OPCLASS_HPP
+#define VEPRO_TRACE_OPCLASS_HPP
+
+/**
+ * @file
+ * Dynamic-instruction classification shared by the instrumentation probes
+ * (Pin substitute), the instruction-mix reports (Table 2 / Fig. 3), and
+ * the out-of-order core model.
+ */
+
+#include <cstdint>
+#include <string_view>
+
+namespace vepro::trace
+{
+
+/** Micro-architectural class of one dynamic instruction. */
+enum class OpClass : uint8_t {
+    Alu,           ///< Scalar integer ALU op.
+    Mul,           ///< Scalar multiply.
+    Div,           ///< Scalar divide (long latency).
+    Load,          ///< Scalar load.
+    Store,         ///< Scalar store.
+    BranchCond,    ///< Conditional branch.
+    BranchUncond,  ///< Unconditional branch / call / return.
+    SimdAlu,       ///< 256-bit (AVX-class) vector ALU op.
+    SimdMul,       ///< 256-bit vector multiply / multiply-add.
+    SimdLoad,      ///< 256-bit vector load.
+    SimdStore,     ///< 256-bit vector store.
+    SseAlu,        ///< 128-bit (SSE-class) vector op.
+    Other,         ///< Everything else (moves, lea, system, ...).
+    Count,         ///< Number of classes (not a real class).
+};
+
+inline constexpr int kNumOpClasses = static_cast<int>(OpClass::Count);
+
+/**
+ * Reporting category used by the paper's instruction-mix table (Table 2):
+ * Branch / Load / Store / AVX / SSE / Other. Categories are disjoint;
+ * vector memory ops count as AVX, matching how Pin attributes
+ * register-class usage.
+ */
+enum class MixCategory : uint8_t {
+    Branch,
+    Load,
+    Store,
+    Avx,
+    Sse,
+    Other,
+    Count,
+};
+
+inline constexpr int kNumMixCategories = static_cast<int>(MixCategory::Count);
+
+/** Reporting category for an op class. */
+MixCategory categoryOf(OpClass cls);
+
+/** Short printable name ("alu", "simd_load", ...). */
+std::string_view opClassName(OpClass cls);
+
+/** Printable name of a mix category ("Branch", "AVX", ...). */
+std::string_view mixCategoryName(MixCategory cat);
+
+/** True for both conditional and unconditional branches. */
+inline bool
+isBranch(OpClass cls)
+{
+    return cls == OpClass::BranchCond || cls == OpClass::BranchUncond;
+}
+
+/** True for any op that accesses data memory. */
+inline bool
+isMemory(OpClass cls)
+{
+    return cls == OpClass::Load || cls == OpClass::Store ||
+           cls == OpClass::SimdLoad || cls == OpClass::SimdStore;
+}
+
+/** True for loads (scalar or vector). */
+inline bool
+isLoad(OpClass cls)
+{
+    return cls == OpClass::Load || cls == OpClass::SimdLoad;
+}
+
+/** True for stores (scalar or vector). */
+inline bool
+isStore(OpClass cls)
+{
+    return cls == OpClass::Store || cls == OpClass::SimdStore;
+}
+
+} // namespace vepro::trace
+
+#endif // VEPRO_TRACE_OPCLASS_HPP

@@ -1,0 +1,301 @@
+#include "trace/probe.hpp"
+
+#include <algorithm>
+#include <mutex>
+
+namespace vepro::trace
+{
+
+namespace
+{
+
+thread_local Probe *tls_probe = nullptr;
+
+std::mutex &
+siteRegistryMutex()
+{
+    static std::mutex m;
+    return m;
+}
+
+std::unordered_map<uint64_t, std::string> &
+siteRegistry()
+{
+    static std::unordered_map<uint64_t, std::string> names;
+    return names;
+}
+
+} // namespace
+
+uint64_t
+sitePc(std::string_view name)
+{
+    uint64_t h = 0xcbf29ce484222325ULL;
+    for (char c : name) {
+        h = (h ^ static_cast<uint8_t>(c)) * 0x100000001b3ULL;
+    }
+    // Canonical user-space text range, 1 KiB aligned so each site owns a
+    // private code window.
+    uint64_t pc = 0x400000ULL + ((h << 10) & 0x0000'7fff'ffff'fc00ULL);
+    {
+        std::lock_guard<std::mutex> lock(siteRegistryMutex());
+        siteRegistry().emplace(pc, std::string(name));
+    }
+    return pc;
+}
+
+std::string
+siteName(uint64_t pc)
+{
+    std::lock_guard<std::mutex> lock(siteRegistryMutex());
+    auto it = siteRegistry().find(pc);
+    return it != siteRegistry().end() ? it->second : "?";
+}
+
+uint64_t
+MixCounters::total() const
+{
+    uint64_t sum = 0;
+    for (uint64_t v : byClass) {
+        sum += v;
+    }
+    return sum;
+}
+
+uint64_t
+MixCounters::byCategory(MixCategory cat) const
+{
+    uint64_t sum = 0;
+    for (int i = 0; i < kNumOpClasses; ++i) {
+        if (categoryOf(static_cast<OpClass>(i)) == cat) {
+            sum += byClass[i];
+        }
+    }
+    return sum;
+}
+
+double
+MixCounters::categoryPercent(MixCategory cat) const
+{
+    uint64_t t = total();
+    if (t == 0) {
+        return 0.0;
+    }
+    return 100.0 * static_cast<double>(byCategory(cat)) /
+           static_cast<double>(t);
+}
+
+MixCounters &
+MixCounters::operator+=(const MixCounters &other)
+{
+    for (int i = 0; i < kNumOpClasses; ++i) {
+        byClass[i] += other.byClass[i];
+    }
+    return *this;
+}
+
+uint64_t
+Probe::advance(uint64_t n)
+{
+    if (site_slot_ != nullptr) {
+        *site_slot_ += n;
+    }
+    uint64_t pos = opSeq_ % config_.opInterval;
+    opSeq_ += n;
+    if (!config_.collectOps || opTrace_.size() >= config_.maxOps ||
+        pos >= config_.opWindow) {
+        return 0;
+    }
+    uint64_t in_window = std::min(n, config_.opWindow - pos);
+    return std::min(in_window, config_.maxOps - opTrace_.size());
+}
+
+uint64_t
+Probe::nextPc()
+{
+    uint64_t pc = siteBase_ + 4ULL * (sitePos_ % siteBodyLen_);
+    ++sitePos_;
+    return pc;
+}
+
+void
+Probe::enterKernel(uint64_t site, int body_len)
+{
+    if (config_.profileSites) {
+        site_slot_ = &site_ops_[site];
+    }
+    // Real encoders specialise each kernel by block size / unroll factor;
+    // spread invocations over eight code variants so the instruction
+    // footprint matches a few hundred KB of hot code, not a toy loop.
+    siteBase_ = site + ((opSeq_ >> 6) & 7) * 1024;
+    siteBodyLen_ = std::max(1, body_len);
+    sitePos_ = 0;
+
+    // Call + return plus a tiny scalar preamble (spills / setup).
+    mix_.byClass[static_cast<int>(OpClass::BranchUncond)] += 2;
+    mix_.byClass[static_cast<int>(OpClass::Other)] += 2;
+    if (advance(4) >= 2) {
+        opTrace_.push_back({siteBase_, 0, OpClass::BranchUncond, true, 0, 0});
+        opTrace_.push_back({siteBase_ + 4, 0, OpClass::Other, false, 0, 0});
+    }
+}
+
+void
+Probe::ops(OpClass cls, uint64_t n, uint8_t dep1, uint8_t dep2)
+{
+    mix_.byClass[static_cast<int>(cls)] += n;
+    uint64_t take = advance(n);
+    for (uint64_t i = 0; i < take; ++i) {
+        opTrace_.push_back({nextPc(), 0, cls, false, dep1, dep2});
+    }
+}
+
+void
+Probe::mem(OpClass cls, uint64_t addr, uint8_t dep1)
+{
+    mix_.byClass[static_cast<int>(cls)] += 1;
+    if (advance(1) > 0) {
+        opTrace_.push_back({nextPc(), addr, cls, false, dep1, 0});
+    }
+}
+
+void
+Probe::memRun(OpClass cls, uint64_t addr, int n, int stride, uint8_t dep1)
+{
+    mix_.byClass[static_cast<int>(cls)] += static_cast<uint64_t>(n);
+    uint64_t take = advance(static_cast<uint64_t>(n));
+    for (uint64_t i = 0; i < take; ++i) {
+        opTrace_.push_back({nextPc(),
+                            addr + static_cast<uint64_t>(i) * stride, cls,
+                            false, dep1, 0});
+    }
+}
+
+void
+Probe::decision(uint64_t site, bool taken)
+{
+    mix_.byClass[static_cast<int>(OpClass::BranchCond)] += 1;
+    if (advance(1) > 0) {
+        opTrace_.push_back({site, 0, OpClass::BranchCond, taken, 1, 0});
+    }
+    if (config_.collectBranches && opSeq_ > config_.branchWarmupOps &&
+        branchTrace_.size() < config_.maxBranches) {
+        if (branchTrace_.empty()) {
+            branch_first_op_ = opSeq_;
+        }
+        branch_last_op_ = opSeq_;
+        branchTrace_.push_back({site, taken});
+    }
+}
+
+void
+Probe::loopBranches(uint64_t iterations)
+{
+    if (iterations == 0) {
+        return;
+    }
+    uint64_t loop_pc = siteBase_ + 4ULL * siteBodyLen_;
+    mix_.byClass[static_cast<int>(OpClass::BranchCond)] += iterations;
+    uint64_t take = advance(iterations);
+    for (uint64_t i = 0; i < take; ++i) {
+        opTrace_.push_back(
+            {loop_pc, 0, OpClass::BranchCond, i + 1 < iterations, 1, 0});
+    }
+    if (config_.collectBranches && opSeq_ > config_.branchWarmupOps) {
+        uint64_t room = config_.maxBranches > branchTrace_.size()
+                            ? config_.maxBranches - branchTrace_.size()
+                            : 0;
+        uint64_t take = std::min(iterations, room);
+        if (take > 0) {
+            if (branchTrace_.empty()) {
+                branch_first_op_ = opSeq_;
+            }
+            branch_last_op_ = opSeq_;
+        }
+        for (uint64_t i = 0; i < take; ++i) {
+            branchTrace_.push_back({loop_pc, i + 1 < iterations});
+        }
+    }
+}
+
+uint64_t
+Probe::allocRegion(size_t size)
+{
+    uint64_t base = nextRegion_;
+    uint64_t span = (static_cast<uint64_t>(size) + 4095ULL) & ~4095ULL;
+    nextRegion_ += span + 4096ULL;  // guard page between regions
+    return base;
+}
+
+void
+Probe::mergeFrom(const Probe &other)
+{
+    mix_ += other.mix_;
+    opSeq_ += other.opSeq_;
+    for (const TraceOp &op : other.opTrace_) {
+        if (opTrace_.size() >= config_.maxOps) {
+            break;
+        }
+        opTrace_.push_back(op);
+    }
+    for (const BranchRecord &br : other.branchTrace_) {
+        if (branchTrace_.size() >= config_.maxBranches) {
+            break;
+        }
+        branchTrace_.push_back(br);
+    }
+}
+
+void
+Probe::reset()
+{
+    mix_ = MixCounters{};
+    opSeq_ = 0;
+    sitePos_ = 0;
+    branch_first_op_ = 0;
+    branch_last_op_ = 0;
+    opTrace_.clear();
+    branchTrace_.clear();
+    site_ops_.clear();
+    site_slot_ = nullptr;
+    nextRegion_ = 0x10000000ULL;
+}
+
+void
+emitControl(Probe &probe, uint64_t site, int units, uint64_t hot_addr,
+            uint64_t spread_addr, uint64_t spread_step)
+{
+    probe.enterKernel(site, 20);
+    for (int u = 0; u < units; ++u) {
+        // Hot table lookups (cost LUTs), per-block metadata, stack slots.
+        probe.mem(OpClass::Load, hot_addr + (static_cast<uint64_t>(u) * 72) % 2048);
+        probe.mem(OpClass::Load, hot_addr + 2048 + (static_cast<uint64_t>(u) * 40) % 1024);
+        probe.mem(OpClass::Load, spread_addr + static_cast<uint64_t>(u) * spread_step);
+        probe.mem(OpClass::Load, site + 0x800 + (static_cast<uint64_t>(u) * 24) % 256);
+        probe.ops(OpClass::Alu, 1, 1, 2);
+        if ((u & 1) != 0) {
+            probe.ops(OpClass::Other, 1, 1);
+        }
+        probe.mem(OpClass::Store, spread_addr + static_cast<uint64_t>(u) * spread_step + 8, 1);
+        probe.mem(OpClass::Store, site + 0x800 + (static_cast<uint64_t>(u) * 24) % 256, 1);
+    }
+    probe.loopBranches(static_cast<uint64_t>((units + 3) / 4));
+}
+
+Probe *
+currentProbe()
+{
+    return tls_probe;
+}
+
+ProbeScope::ProbeScope(Probe *probe) : saved_(tls_probe)
+{
+    tls_probe = probe;
+}
+
+ProbeScope::~ProbeScope()
+{
+    tls_probe = saved_;
+}
+
+} // namespace vepro::trace

@@ -1,0 +1,304 @@
+#ifndef VEPRO_TRACE_PROBE_HPP
+#define VEPRO_TRACE_PROBE_HPP
+
+/**
+ * @file
+ * Instrumentation probe: the repository's substitute for Intel Pin.
+ *
+ * Encoder kernels call into a Probe to report the dynamic instructions
+ * they would execute as compiled AVX2 code: op class, synthetic program
+ * counter, data address, branch outcome, and dependency distances. The
+ * probe accumulates three products:
+ *
+ *  - instruction-mix counters (always on, batched — Table 2 / Fig. 3),
+ *  - a branch trace (pc, taken) for the CBP predictor study (Figs. 8-10),
+ *  - a sampled full-op trace for the out-of-order core model
+ *    (Figs. 4-7, 11, 16).
+ *
+ * Synthetic PCs come from a per-call-site registry: each instrumented
+ * kernel or decision point owns a stable 1 KiB code window derived from a
+ * hash of its name, and ops within the site cycle through a small loop
+ * body, mirroring the I-footprint of real compiled kernels.
+ */
+
+#include <array>
+#include <cstdint>
+#include <unordered_map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "trace/opclass.hpp"
+
+namespace vepro::trace
+{
+
+/**
+ * Stable synthetic PC for a named instrumentation site.
+ *
+ * The value is a pure function of the name (FNV-1a, masked into a
+ * canonical user-space range and 1 KiB aligned), so traces are
+ * reproducible across runs and machines.
+ */
+uint64_t sitePc(std::string_view name);
+
+/**
+ * Reverse lookup for profiling: the name registered for a site PC (the
+ * 1 KiB-window base, ignoring code-variant offsets), or "?" if the PC
+ * was never registered through sitePc().
+ */
+std::string siteName(uint64_t pc);
+
+/** One record of the branch trace consumed by the CBP framework. */
+struct BranchRecord {
+    uint64_t pc;   ///< Synthetic PC of the branch instruction.
+    bool taken;    ///< Resolved direction.
+};
+
+/** One record of the full-op trace consumed by the core model. */
+struct TraceOp {
+    uint64_t pc = 0;     ///< Synthetic PC.
+    uint64_t addr = 0;   ///< Data address for memory ops, else 0.
+    OpClass cls = OpClass::Alu;
+    bool taken = false;  ///< Direction, for conditional branches.
+    /**
+     * Distance (in dynamic ops) back to the producers of this op's
+     * sources; 0 means no in-window register dependence. Kernels choose
+     * values that match their dataflow (e.g. 1 for an accumulator chain).
+     */
+    uint8_t dep1 = 0;
+    uint8_t dep2 = 0;
+    /**
+     * True for a store performed by *another* core (thread-study traces
+     * only): the core model treats it as a coherence invalidation rather
+     * than an executed instruction. Deliberately last so the common
+     * aggregate initialisers can omit it.
+     */
+    bool foreign = false;
+};
+
+/** Instruction-mix totals, by op class and by reporting category. */
+struct MixCounters {
+    std::array<uint64_t, kNumOpClasses> byClass{};
+
+    uint64_t total() const;
+    uint64_t byCategory(MixCategory cat) const;
+    /** Percentage share (0-100) of a category; 0 when empty. */
+    double categoryPercent(MixCategory cat) const;
+
+    MixCounters &operator+=(const MixCounters &other);
+};
+
+/** Probe configuration: what to collect and how much. */
+struct ProbeConfig {
+    /** Collect the full-op trace for the core model. */
+    bool collectOps = false;
+    /** Hard cap on retained ops. */
+    size_t maxOps = 2'000'000;
+    /**
+     * Sampling: out of every @ref opInterval dynamic ops, the first
+     * @ref opWindow are recorded. opWindow >= opInterval records
+     * everything.
+     */
+    uint64_t opWindow = 200'000;
+    uint64_t opInterval = 1'000'000;
+
+    /** Accumulate per-site instruction counts (gprof substitute). */
+    bool profileSites = false;
+    /** Collect the branch trace for the CBP framework. */
+    bool collectBranches = false;
+    /** Hard cap on retained branch records. */
+    size_t maxBranches = 4'000'000;
+    /**
+     * Skip this many dynamic ops before branch recording starts: the
+     * paper traces an interval "roughly halfway through the encoding
+     * run", i.e. past the warm-up of the first frames.
+     */
+    uint64_t branchWarmupOps = 0;
+};
+
+/**
+ * Collector for one instrumented run.
+ *
+ * Not thread safe: each simulated encoder worker owns its own Probe and
+ * results are merged afterwards (see Probe::mergeFrom).
+ */
+class Probe
+{
+  public:
+    Probe() = default;
+    explicit Probe(const ProbeConfig &config) : config_(config) {}
+
+    const ProbeConfig &config() const { return config_; }
+
+    // -- Kernel-facing emission API --------------------------------------
+
+    /**
+     * Enter an instrumented kernel. Sets the PC window for subsequent ops
+     * and emits the call/return pair bookkeeping (2 unconditional
+     * branches + small scalar preamble), approximating a real call.
+     *
+     * @param site      PC of the kernel (from sitePc()).
+     * @param body_len  Modeled loop-body length in instructions; op PCs
+     *                  cycle through this window.
+     */
+    void enterKernel(uint64_t site, int body_len = 32);
+
+    /** Record @p n ops of class @p cls (no addresses, batched). */
+    void ops(OpClass cls, uint64_t n, uint8_t dep1 = 0, uint8_t dep2 = 0);
+
+    /** Record one memory op at @p addr. */
+    void mem(OpClass cls, uint64_t addr, uint8_t dep1 = 0);
+
+    /**
+     * Record a run of @p n sequential vector memory ops starting at
+     * @p addr with @p stride bytes between accesses.
+     */
+    void memRun(OpClass cls, uint64_t addr, int n, int stride,
+                uint8_t dep1 = 0);
+
+    /**
+     * Record one data-dependent conditional branch (an RDO decision,
+     * early-exit test, etc.).
+     */
+    void decision(uint64_t site, bool taken);
+
+    /**
+     * Record a counted loop's back-edge branches: @p iterations - 1 taken
+     * plus one fall-through, all at the current kernel's loop-branch PC.
+     */
+    void loopBranches(uint64_t iterations);
+
+    // -- Address-space management ----------------------------------------
+
+    /**
+     * Allocate @p size bytes of synthetic, deterministic address space
+     * (4 KiB aligned). Encoders map each pixel/coefficient buffer once
+     * and derive op addresses from the returned base.
+     */
+    uint64_t allocRegion(size_t size);
+
+    // -- Results ----------------------------------------------------------
+
+    const MixCounters &mix() const { return mix_; }
+    uint64_t totalOps() const { return opSeq_; }
+
+    const std::vector<TraceOp> &opTrace() const { return opTrace_; }
+    const std::vector<BranchRecord> &branchTrace() const
+    {
+        return branchTrace_;
+    }
+
+    /** Move the collected op trace out (leaves the probe's trace empty). */
+    std::vector<TraceOp> takeOpTrace() { return std::move(opTrace_); }
+    /** Move the collected branch trace out. */
+    std::vector<BranchRecord> takeBranchTrace()
+    {
+        return std::move(branchTrace_);
+    }
+
+    /** Dynamic conditional-branch count (for miss-rate denominators). */
+    uint64_t condBranchCount() const
+    {
+        return mix_.byClass[static_cast<int>(OpClass::BranchCond)];
+    }
+
+    /**
+     * Dynamic-instruction span covered by the collected branch trace
+     * (first to last recorded branch) — the MPKI denominator for the
+     * CBP study, mirroring the paper's fixed-length trace interval.
+     */
+    uint64_t branchTraceOpSpan() const
+    {
+        return branch_last_op_ > branch_first_op_
+                   ? branch_last_op_ - branch_first_op_
+                   : 0;
+    }
+
+    /**
+     * Fold another probe's counters into this one (traces are appended up
+     * to this probe's caps). Used to merge per-worker probes.
+     */
+    void mergeFrom(const Probe &other);
+
+    /** Per-site dynamic instruction counts (see ProbeConfig::profileSites). */
+    const std::unordered_map<uint64_t, uint64_t> &siteOps() const
+    {
+        return site_ops_;
+    }
+
+    /** Reset all counters and traces (configuration is kept). */
+    void reset();
+
+  private:
+    /** Advance the op counter; returns how many of the @p n ops fall in
+     *  the current sampling window (0 when op tracing is off). */
+    uint64_t advance(uint64_t n);
+
+    uint64_t nextPc();
+
+    ProbeConfig config_{};
+    MixCounters mix_{};
+    uint64_t opSeq_ = 0;
+
+    uint64_t siteBase_ = sitePc("vepro.default");
+    int siteBodyLen_ = 32;
+    uint32_t sitePos_ = 0;
+
+    uint64_t nextRegion_ = 0x10000000ULL;
+
+    uint64_t branch_first_op_ = 0;
+    uint64_t branch_last_op_ = 0;
+    std::unordered_map<uint64_t, uint64_t> site_ops_;
+    uint64_t *site_slot_ = nullptr;  ///< Current site's counter (hot path).
+
+    std::vector<TraceOp> opTrace_;
+    std::vector<BranchRecord> branchTrace_;
+};
+
+/**
+ * Scoped access to a thread-local "current probe".
+ *
+ * Codec kernels fetch the active probe via currentProbe() so that deep
+ * call chains need not thread a Probe& through every signature. A null
+ * current probe (the default) makes all emission free of side effects,
+ * so un-instrumented library use pays only a pointer test.
+ */
+Probe *currentProbe();
+
+/**
+ * Emit the op stream of scalar control/bookkeeping code (mode decision
+ * logic, cost tables, syntax-element management) — the code that
+ * dominates real encoders' scalar instruction mix.
+ *
+ * Per unit this emits roughly: three scalar loads (a hot cost/LUT entry,
+ * a spread per-block metadata entry, a stack slot), one or two scalar
+ * stores, ALU/address arithmetic, and a loop branch every few units.
+ *
+ * @param probe        Destination (must not be null).
+ * @param site         Call-site PC for the emitted ops.
+ * @param units        Number of control units to emit.
+ * @param hot_addr     Base of a small hot table (cycled over 2 KiB).
+ * @param spread_addr  Base of a large per-block metadata region.
+ * @param spread_step  Stride applied per unit within the spread region.
+ */
+void emitControl(Probe &probe, uint64_t site, int units, uint64_t hot_addr,
+                 uint64_t spread_addr, uint64_t spread_step);
+
+/** RAII installer for the thread-local current probe. */
+class ProbeScope
+{
+  public:
+    explicit ProbeScope(Probe *probe);
+    ~ProbeScope();
+
+    ProbeScope(const ProbeScope &) = delete;
+    ProbeScope &operator=(const ProbeScope &) = delete;
+
+  private:
+    Probe *saved_;
+};
+
+} // namespace vepro::trace
+
+#endif // VEPRO_TRACE_PROBE_HPP

@@ -1,0 +1,44 @@
+#ifndef VEPRO_TRACE_PROFILE_HPP
+#define VEPRO_TRACE_PROFILE_HPP
+
+/**
+ * @file
+ * Function-level profiling report — the repository's GNU gprof
+ * substitute (the paper's tool #4: "find hot functions, which is used
+ * for instruction tracing").
+ *
+ * When a probe runs with ProbeConfig::profileSites, every instrumented
+ * kernel/call-site accumulates its dynamic instruction count; this
+ * module turns those counters into the flat profile gprof would print.
+ */
+
+#include <string>
+#include <vector>
+
+#include "trace/probe.hpp"
+
+namespace vepro::trace
+{
+
+/** One row of the flat profile. */
+struct SiteProfile {
+    std::string name;     ///< Instrumentation-site name (kernel).
+    uint64_t ops = 0;     ///< Dynamic instructions attributed to it.
+    double percent = 0.0; ///< Share of all attributed instructions.
+};
+
+/**
+ * Flat profile of a probe's per-site counters, hottest first.
+ *
+ * @param probe     A probe run with profileSites enabled.
+ * @param min_share Drop sites below this share (percent) of the total.
+ */
+std::vector<SiteProfile> profileReport(const Probe &probe,
+                                       double min_share = 0.1);
+
+/** Render the profile as a gprof-style text table. */
+std::string formatProfile(const std::vector<SiteProfile> &profile);
+
+} // namespace vepro::trace
+
+#endif // VEPRO_TRACE_PROFILE_HPP

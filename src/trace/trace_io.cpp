@@ -1,0 +1,144 @@
+#include "trace/trace_io.hpp"
+
+#include <cstring>
+#include <fstream>
+#include <stdexcept>
+
+namespace vepro::trace
+{
+
+namespace
+{
+
+constexpr uint32_t kVersion = 1;
+
+void
+writeBytes(std::ofstream &out, const void *p, size_t n)
+{
+    out.write(static_cast<const char *>(p), static_cast<std::streamsize>(n));
+    if (!out) {
+        throw std::runtime_error("trace_io: write failed");
+    }
+}
+
+void
+readBytes(std::ifstream &in, void *p, size_t n)
+{
+    in.read(static_cast<char *>(p), static_cast<std::streamsize>(n));
+    if (!in) {
+        throw std::runtime_error("trace_io: truncated or unreadable trace");
+    }
+}
+
+void
+checkHeader(std::ifstream &in, const char expect[4])
+{
+    char magic[4];
+    readBytes(in, magic, 4);
+    if (std::memcmp(magic, expect, 4) != 0) {
+        throw std::runtime_error("trace_io: bad magic");
+    }
+    uint32_t version = 0;
+    readBytes(in, &version, sizeof version);
+    if (version != kVersion) {
+        throw std::runtime_error("trace_io: unsupported version");
+    }
+}
+
+} // namespace
+
+void
+writeBranchTrace(const std::string &path,
+                 const std::vector<BranchRecord> &trace)
+{
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    if (!out) {
+        throw std::runtime_error("trace_io: cannot open " + path);
+    }
+    writeBytes(out, "VEPB", 4);
+    writeBytes(out, &kVersion, sizeof kVersion);
+    uint64_t count = trace.size();
+    writeBytes(out, &count, sizeof count);
+    for (const BranchRecord &r : trace) {
+        writeBytes(out, &r.pc, sizeof r.pc);
+        uint8_t taken = r.taken ? 1 : 0;
+        writeBytes(out, &taken, 1);
+    }
+}
+
+std::vector<BranchRecord>
+readBranchTrace(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+        throw std::runtime_error("trace_io: cannot open " + path);
+    }
+    checkHeader(in, "VEPB");
+    uint64_t count = 0;
+    readBytes(in, &count, sizeof count);
+    std::vector<BranchRecord> trace;
+    trace.reserve(count);
+    for (uint64_t i = 0; i < count; ++i) {
+        BranchRecord r{};
+        readBytes(in, &r.pc, sizeof r.pc);
+        uint8_t taken = 0;
+        readBytes(in, &taken, 1);
+        r.taken = taken != 0;
+        trace.push_back(r);
+    }
+    return trace;
+}
+
+void
+writeOpTrace(const std::string &path, const std::vector<TraceOp> &trace)
+{
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    if (!out) {
+        throw std::runtime_error("trace_io: cannot open " + path);
+    }
+    writeBytes(out, "VEPO", 4);
+    writeBytes(out, &kVersion, sizeof kVersion);
+    uint64_t count = trace.size();
+    writeBytes(out, &count, sizeof count);
+    for (const TraceOp &op : trace) {
+        writeBytes(out, &op.pc, sizeof op.pc);
+        writeBytes(out, &op.addr, sizeof op.addr);
+        uint8_t fields[5] = {static_cast<uint8_t>(op.cls),
+                             static_cast<uint8_t>(op.taken ? 1 : 0), op.dep1,
+                             op.dep2, static_cast<uint8_t>(op.foreign ? 1 : 0)};
+        writeBytes(out, fields, sizeof fields);
+    }
+}
+
+std::vector<TraceOp>
+readOpTrace(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+        throw std::runtime_error("trace_io: cannot open " + path);
+    }
+    checkHeader(in, "VEPO");
+    uint64_t count = 0;
+    readBytes(in, &count, sizeof count);
+    std::vector<TraceOp> trace;
+    trace.reserve(count);
+    for (uint64_t i = 0; i < count; ++i) {
+        TraceOp op{};
+        readBytes(in, &op.pc, sizeof op.pc);
+        readBytes(in, &op.addr, sizeof op.addr);
+        uint8_t fields[5];
+        readBytes(in, fields, sizeof fields);
+        if (fields[0] >= kNumOpClasses) {
+            throw std::runtime_error("trace_io: bad op class");
+        }
+        op.cls = static_cast<OpClass>(fields[0]);
+        op.taken = fields[1] != 0;
+        op.dep1 = fields[2];
+        op.dep2 = fields[3];
+        op.foreign = fields[4] != 0;
+        trace.push_back(op);
+    }
+    return trace;
+}
+
+} // namespace vepro::trace

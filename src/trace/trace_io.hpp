@@ -1,0 +1,42 @@
+#ifndef VEPRO_TRACE_TRACE_IO_HPP
+#define VEPRO_TRACE_TRACE_IO_HPP
+
+/**
+ * @file
+ * Binary (de)serialisation for branch traces and op traces, so expensive
+ * instrumented encoder runs can be captured once and replayed through many
+ * predictor/core configurations (the CBP workflow).
+ */
+
+#include <string>
+#include <vector>
+
+#include "trace/probe.hpp"
+
+namespace vepro::trace
+{
+
+/**
+ * Write a branch trace to @p path.
+ * Format: "VEPB" magic, u32 version, u64 count, then (u64 pc, u8 taken)
+ * records. @throws std::runtime_error on I/O failure.
+ */
+void writeBranchTrace(const std::string &path,
+                      const std::vector<BranchRecord> &trace);
+
+/** Read a branch trace written by writeBranchTrace(). */
+std::vector<BranchRecord> readBranchTrace(const std::string &path);
+
+/**
+ * Write a full-op trace to @p path.
+ * Format: "VEPO" magic, u32 version, u64 count, then packed TraceOp
+ * records. @throws std::runtime_error on I/O failure.
+ */
+void writeOpTrace(const std::string &path, const std::vector<TraceOp> &trace);
+
+/** Read an op trace written by writeOpTrace(). */
+std::vector<TraceOp> readOpTrace(const std::string &path);
+
+} // namespace vepro::trace
+
+#endif // VEPRO_TRACE_TRACE_IO_HPP

@@ -1,0 +1,213 @@
+#include "uarch/cache.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace vepro::uarch
+{
+
+Cache::Cache(const CacheConfig &config) : config_(config)
+{
+    if (config.sizeBytes == 0 || config.ways <= 0 || config.lineBytes <= 0) {
+        throw std::invalid_argument("Cache: bad geometry");
+    }
+    size_t lines = config.sizeBytes / config.lineBytes;
+    num_sets_ = static_cast<int>(lines / config.ways);
+    if (num_sets_ == 0) {
+        throw std::invalid_argument("Cache: fewer lines than ways");
+    }
+    // Sets must be a power of two for cheap indexing.
+    if ((num_sets_ & (num_sets_ - 1)) != 0) {
+        int p = 1;
+        while (p * 2 <= num_sets_) {
+            p *= 2;
+        }
+        num_sets_ = p;
+    }
+    lines_.assign(static_cast<size_t>(num_sets_) * config.ways, Line{});
+}
+
+uint64_t
+Cache::setOf(uint64_t addr) const
+{
+    return (addr / config_.lineBytes) & (static_cast<uint64_t>(num_sets_) - 1);
+}
+
+uint64_t
+Cache::tagOf(uint64_t addr) const
+{
+    return (addr / config_.lineBytes) / static_cast<uint64_t>(num_sets_);
+}
+
+bool
+Cache::access(uint64_t addr, bool is_write)
+{
+    ++accesses_;
+    ++tick_;
+    Line *set = &lines_[setOf(addr) * config_.ways];
+    uint64_t tag = tagOf(addr);
+    Line *victim = &set[0];
+    for (int w = 0; w < config_.ways; ++w) {
+        Line &line = set[w];
+        if (line.valid && line.tag == tag) {
+            line.lastUse = tick_;
+            line.dirty |= is_write;
+            return true;
+        }
+        if (!line.valid) {
+            victim = &line;
+        } else if (victim->valid && line.lastUse < victim->lastUse) {
+            victim = &line;
+        }
+    }
+    ++misses_;
+    victim->valid = true;
+    victim->tag = tag;
+    victim->lastUse = tick_;
+    victim->dirty = is_write;
+    return false;
+}
+
+void
+Cache::fill(uint64_t addr)
+{
+    ++tick_;
+    Line *set = &lines_[setOf(addr) * config_.ways];
+    uint64_t tag = tagOf(addr);
+    Line *victim = &set[0];
+    for (int w = 0; w < config_.ways; ++w) {
+        Line &line = set[w];
+        if (line.valid && line.tag == tag) {
+            return;  // already resident; leave recency untouched
+        }
+        if (!line.valid) {
+            victim = &line;
+        } else if (victim->valid && line.lastUse < victim->lastUse) {
+            victim = &line;
+        }
+    }
+    victim->valid = true;
+    victim->tag = tag;
+    victim->lastUse = tick_;
+    victim->dirty = false;
+}
+
+void
+Cache::invalidate(uint64_t addr)
+{
+    Line *set = &lines_[setOf(addr) * config_.ways];
+    uint64_t tag = tagOf(addr);
+    for (int w = 0; w < config_.ways; ++w) {
+        if (set[w].valid && set[w].tag == tag) {
+            set[w].valid = false;
+            ++invalidations_;
+            return;
+        }
+    }
+}
+
+void
+Cache::resetStats()
+{
+    accesses_ = 0;
+    misses_ = 0;
+    invalidations_ = 0;
+}
+
+Hierarchy::Hierarchy(const Config &config)
+    : config_(config),
+      l1i_(config.l1i),
+      l1d_(config.l1d),
+      l2_(config.l2),
+      llc_(config.llc),
+      streams_(static_cast<size_t>(std::max(1, config.prefetch.streams)))
+{
+}
+
+void
+Hierarchy::trainPrefetcher(uint64_t addr)
+{
+    const uint64_t region = addr >> 12;
+    Stream &s = streams_[static_cast<size_t>(region) % streams_.size()];
+    if (!s.valid || s.region != region) {
+        s = Stream{region, addr, 0, 0, true};
+        return;
+    }
+    int64_t delta = static_cast<int64_t>(addr) -
+                    static_cast<int64_t>(s.lastAddr);
+    if (delta != 0 && delta == s.stride) {
+        if (s.confirmations < 4) {
+            ++s.confirmations;
+        }
+    } else {
+        s.stride = delta;
+        s.confirmations = 0;
+    }
+    s.lastAddr = addr;
+    if (s.confirmations >= 2 && s.stride != 0) {
+        // Fetch the next lines of the stream into L2 (fill only: a
+        // prefetch is not a demand access and must not perturb the
+        // demand hit/miss statistics).
+        for (int d = 1; d <= config_.prefetch.degree; ++d) {
+            uint64_t target = addr + static_cast<uint64_t>(s.stride * d);
+            l2_.fill(target);
+            ++prefetches_;
+        }
+    }
+}
+
+int
+Hierarchy::dataAccess(uint64_t addr, bool is_write)
+{
+    if (l1d_.access(addr, is_write)) {
+        return config_.l1d.hitLatency;
+    }
+    if (config_.prefetch.enabled) {
+        trainPrefetcher(addr);
+    }
+    if (l2_.access(addr, is_write)) {
+        return config_.l2.hitLatency;
+    }
+    if (llc_.access(addr, is_write)) {
+        return config_.llc.hitLatency;
+    }
+    return config_.memoryLatency;
+}
+
+int
+Hierarchy::instrAccess(uint64_t addr)
+{
+    if (l1i_.access(addr, false)) {
+        return 0;
+    }
+    // Instruction misses fill from L2 (shared with data).
+    if (l2_.access(addr, false)) {
+        return config_.l2.hitLatency;
+    }
+    if (llc_.access(addr, false)) {
+        return config_.llc.hitLatency;
+    }
+    return config_.memoryLatency;
+}
+
+void
+Hierarchy::remoteStore(uint64_t addr)
+{
+    // MESI-style: a remote write invalidates our private copies; the
+    // shared LLC keeps the (updated) line.
+    l1d_.invalidate(addr);
+    l2_.invalidate(addr);
+    llc_.access(addr, true);
+}
+
+void
+Hierarchy::resetStats()
+{
+    l1i_.resetStats();
+    l1d_.resetStats();
+    l2_.resetStats();
+    llc_.resetStats();
+    prefetches_ = 0;
+}
+
+} // namespace vepro::uarch

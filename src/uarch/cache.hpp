@@ -1,0 +1,155 @@
+#ifndef VEPRO_UARCH_CACHE_HPP
+#define VEPRO_UARCH_CACHE_HPP
+
+/**
+ * @file
+ * Set-associative cache model with LRU replacement, chainable into the
+ * paper machine's hierarchy (32K L1I / 32K L1D / 256K L2 / 30M LLC),
+ * plus coherence invalidation for the thread-study traces.
+ */
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace vepro::uarch
+{
+
+/** Geometry and timing of one cache level. */
+struct CacheConfig {
+    std::string name = "L1";
+    size_t sizeBytes = 32 * 1024;
+    int ways = 8;
+    int lineBytes = 64;
+    int hitLatency = 4;  ///< Cycles to return data on a hit at this level.
+};
+
+/** One cache level. */
+class Cache
+{
+  public:
+    explicit Cache(const CacheConfig &config);
+
+    /**
+     * Look up @p addr; on miss the line is filled (write-allocate).
+     * @param is_write Marks the line dirty on hit/fill.
+     * @return true on hit.
+     */
+    bool access(uint64_t addr, bool is_write);
+
+    /** Drop the line containing @p addr if present (coherence). */
+    void invalidate(uint64_t addr);
+
+    /**
+     * Insert the line containing @p addr without touching the demand
+     * hit/miss statistics (prefetch fill). Replaces the LRU way.
+     */
+    void fill(uint64_t addr);
+
+    const CacheConfig &config() const { return config_; }
+    uint64_t accesses() const { return accesses_; }
+    uint64_t misses() const { return misses_; }
+    uint64_t invalidations() const { return invalidations_; }
+
+    /** Misses per kilo-instruction given an instruction count. */
+    double
+    mpki(uint64_t instructions) const
+    {
+        return instructions ? 1000.0 * static_cast<double>(misses_) /
+                                  static_cast<double>(instructions)
+                            : 0.0;
+    }
+
+    void resetStats();
+
+  private:
+    struct Line {
+        uint64_t tag = 0;
+        uint64_t lastUse = 0;
+        bool valid = false;
+        bool dirty = false;
+    };
+
+    uint64_t setOf(uint64_t addr) const;
+    uint64_t tagOf(uint64_t addr) const;
+
+    CacheConfig config_;
+    int num_sets_;
+    std::vector<Line> lines_;  ///< num_sets_ x ways, row-major.
+    uint64_t tick_ = 0;
+    uint64_t accesses_ = 0;
+    uint64_t misses_ = 0;
+    uint64_t invalidations_ = 0;
+};
+
+/** Stride prefetcher configuration (off by default; ablation knob). */
+struct PrefetcherConfig {
+    bool enabled = false;
+    /** Tracked access streams (per 4 KiB region). */
+    int streams = 16;
+    /** Lines fetched ahead once a stride is confirmed. */
+    int degree = 2;
+};
+
+/**
+ * The three-level data-side hierarchy plus the instruction L1. Returns
+ * total access latency and keeps per-level hit/miss statistics.
+ */
+class Hierarchy
+{
+  public:
+    /** Timing/geometry of the paper's Xeon E5-2650 v4. */
+    struct Config {
+        CacheConfig l1i{"L1I", 32 * 1024, 8, 64, 1};
+        CacheConfig l1d{"L1D", 32 * 1024, 8, 64, 4};
+        CacheConfig l2{"L2", 256 * 1024, 8, 64, 12};
+        CacheConfig llc{"LLC", 30 * 1024 * 1024, 20, 64, 38};
+        int memoryLatency = 180;
+        PrefetcherConfig prefetch{};
+    };
+
+    Hierarchy() : Hierarchy(Config{}) {}
+    explicit Hierarchy(const Config &config);
+
+    /** Data access; returns total latency in cycles. */
+    int dataAccess(uint64_t addr, bool is_write);
+
+    /** Instruction fetch; returns extra cycles beyond a pipelined hit. */
+    int instrAccess(uint64_t addr);
+
+    /** Coherence invalidation from a remote core's store. */
+    void remoteStore(uint64_t addr);
+
+    const Cache &l1i() const { return l1i_; }
+    const Cache &l1d() const { return l1d_; }
+    const Cache &l2() const { return l2_; }
+    const Cache &llc() const { return llc_; }
+
+    uint64_t prefetchesIssued() const { return prefetches_; }
+
+    void resetStats();
+
+  private:
+    /** Stride detection + L2 fill on L1D misses. */
+    void trainPrefetcher(uint64_t addr);
+
+    struct Stream {
+        uint64_t region = 0;       ///< 4 KiB region tag.
+        uint64_t lastAddr = 0;
+        int64_t stride = 0;
+        int confirmations = 0;
+        bool valid = false;
+    };
+
+    Config config_;
+    Cache l1i_;
+    Cache l1d_;
+    Cache l2_;
+    Cache llc_;
+    std::vector<Stream> streams_;
+    uint64_t prefetches_ = 0;
+};
+
+} // namespace vepro::uarch
+
+#endif // VEPRO_UARCH_CACHE_HPP

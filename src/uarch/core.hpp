@@ -1,0 +1,153 @@
+#ifndef VEPRO_UARCH_CORE_HPP
+#define VEPRO_UARCH_CORE_HPP
+
+/**
+ * @file
+ * Trace-driven out-of-order core model with Intel-style top-down
+ * pipeline-slot accounting.
+ *
+ * The model follows the paper's measurement machine (Xeon E5-2650 v4,
+ * Broadwell): 4-wide allocation/retire, 192-entry ROB, unified 60-entry
+ * scheduler, 72/42-entry load/store buffers, two load ports and one
+ * store port, a TAGE-class front-end direction predictor, and the
+ * 32K/32K/256K/30M cache hierarchy. It consumes the
+ * op traces captured by the instrumentation probes and produces exactly
+ * the statistics the paper reports: IPC, the four top-down slot
+ * categories (plus the memory/core backend split), branch miss rate and
+ * MPKI, per-level cache MPKI, and resource-stall cycle counts for the
+ * RS, ROB, and load/store buffers (Figs. 4-7, 11, 16).
+ */
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bpred/predictor.hpp"
+#include "trace/probe.hpp"
+#include "uarch/cache.hpp"
+
+namespace vepro::uarch
+{
+
+/** Core geometry and timing. Defaults model the paper's Xeon. */
+struct CoreConfig {
+    int width = 4;             ///< Allocation/retire width (slots/cycle).
+    int robSize = 192;
+    int rsSize = 60;
+    int loadBufSize = 72;
+    int storeBufSize = 42;
+
+    int aluPorts = 3;
+    int simdPorts = 2;
+    int mulPorts = 1;
+    int loadPorts = 2;
+    int storePorts = 1;
+    int branchPorts = 1;
+
+    int mispredictPenalty = 14;  ///< Redirect cycles after a bad branch.
+    int takenBranchBubble = 1;   ///< Fetch bubble after a taken branch.
+
+    /** Front-end direction predictor (see bpred::makePredictor specs). */
+    std::string predictorSpec = "tage-64KB";
+
+    Hierarchy::Config mem;
+};
+
+/** Top-down pipeline-slot totals (slots = cycles x width). */
+struct TopDownSlots {
+    uint64_t retiring = 0;
+    uint64_t badSpec = 0;
+    uint64_t frontend = 0;
+    uint64_t backend = 0;
+    uint64_t backendMemory = 0;  ///< Portion of backend due to memory.
+    uint64_t backendCore = 0;    ///< Portion due to execution resources.
+
+    uint64_t
+    total() const
+    {
+        return retiring + badSpec + frontend + backend;
+    }
+
+    double fraction(uint64_t part) const
+    {
+        return total() ? static_cast<double>(part) /
+                             static_cast<double>(total())
+                       : 0.0;
+    }
+};
+
+/** Cycles during which allocation was blocked, by first blocking unit. */
+struct ResourceStalls {
+    uint64_t rs = 0;
+    uint64_t rob = 0;
+    uint64_t loadBuf = 0;
+    uint64_t storeBuf = 0;
+};
+
+/** Everything measured by one simulation. */
+struct CoreStats {
+    uint64_t cycles = 0;
+    uint64_t instructions = 0;
+    TopDownSlots slots;
+    ResourceStalls stalls;
+
+    uint64_t condBranches = 0;
+    uint64_t mispredicts = 0;
+
+    uint64_t l1iMisses = 0;
+    uint64_t l1dAccesses = 0;
+    uint64_t l1dMisses = 0;
+    uint64_t l2Misses = 0;
+    uint64_t llcMisses = 0;
+    uint64_t invalidations = 0;
+
+    double
+    ipc() const
+    {
+        return cycles ? static_cast<double>(instructions) /
+                            static_cast<double>(cycles)
+                      : 0.0;
+    }
+
+    double
+    branchMissRatePercent() const
+    {
+        return condBranches ? 100.0 * static_cast<double>(mispredicts) /
+                                  static_cast<double>(condBranches)
+                            : 0.0;
+    }
+
+    double mpkiOf(uint64_t misses) const
+    {
+        return instructions ? 1000.0 * static_cast<double>(misses) /
+                                  static_cast<double>(instructions)
+                            : 0.0;
+    }
+
+    double branchMpki() const { return mpkiOf(mispredicts); }
+    double l1dMpki() const { return mpkiOf(l1dMisses); }
+    double l2Mpki() const { return mpkiOf(l2Misses); }
+    double llcMpki() const { return mpkiOf(llcMisses); }
+    double l1iMpki() const { return mpkiOf(l1iMisses); }
+};
+
+/** The core model. One instance simulates one trace start-to-finish. */
+class Core
+{
+  public:
+    explicit Core(const CoreConfig &config = {});
+
+    /**
+     * Simulate the trace and return the statistics. Foreign ops in the
+     * trace are applied as coherence invalidations, not instructions.
+     */
+    CoreStats run(const std::vector<trace::TraceOp> &trace);
+
+  private:
+    CoreConfig config_;
+};
+
+} // namespace vepro::uarch
+
+#endif // VEPRO_UARCH_CORE_HPP

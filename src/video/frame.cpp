@@ -1,0 +1,43 @@
+#include "video/frame.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+namespace vepro::video
+{
+
+Plane::Plane(int width, int height, int pad)
+    : width_(width), height_(height), stride_(width + pad)
+{
+    if (width < 0 || height < 0 || pad < 0) {
+        throw std::invalid_argument("Plane: negative dimension");
+    }
+    data_.assign(static_cast<size_t>(stride_) * height_, 0);
+}
+
+uint8_t
+Plane::atClamped(int x, int y) const
+{
+    x = std::clamp(x, 0, width_ - 1);
+    y = std::clamp(y, 0, height_ - 1);
+    return at(x, y);
+}
+
+void
+Plane::fill(uint8_t value)
+{
+    std::fill(data_.begin(), data_.end(), value);
+}
+
+Frame::Frame(int width, int height)
+{
+    if (width <= 0 || height <= 0 || (width % 2) != 0 || (height % 2) != 0) {
+        throw std::invalid_argument("Frame: dimensions must be positive and even");
+    }
+    y_ = Plane(width, height);
+    u_ = Plane(width / 2, height / 2);
+    v_ = Plane(width / 2, height / 2);
+}
+
+} // namespace vepro::video

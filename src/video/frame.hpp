@@ -1,0 +1,134 @@
+#ifndef VEPRO_VIDEO_FRAME_HPP
+#define VEPRO_VIDEO_FRAME_HPP
+
+/**
+ * @file
+ * Planar YUV420 frame and video containers.
+ *
+ * Frames are the raw input to every encoder model in this repository.
+ * All planes are 8-bit with an explicit stride so that encoder block
+ * kernels exercise realistic strided access patterns.
+ */
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace vepro::video
+{
+
+/** A single 8-bit image plane with an explicit row stride. */
+class Plane
+{
+  public:
+    Plane() = default;
+
+    /**
+     * Construct a zero-initialised plane.
+     *
+     * @param width  Plane width in pixels.
+     * @param height Plane height in pixels.
+     * @param pad    Extra padding pixels added to each row (stride =
+     *               width + pad). Padding keeps edge blocks in-bounds for
+     *               motion search without special-casing.
+     */
+    Plane(int width, int height, int pad = 0);
+
+    int width() const { return width_; }
+    int height() const { return height_; }
+    int stride() const { return stride_; }
+
+    /** Mutable pointer to the first pixel of row @p y. */
+    uint8_t *row(int y) { return data_.data() + static_cast<size_t>(y) * stride_; }
+    /** Const pointer to the first pixel of row @p y. */
+    const uint8_t *row(int y) const
+    {
+        return data_.data() + static_cast<size_t>(y) * stride_;
+    }
+
+    /** Pixel accessor with no bounds checking (hot path). */
+    uint8_t at(int x, int y) const { return row(y)[x]; }
+    void set(int x, int y, uint8_t v) { row(y)[x] = v; }
+
+    /** Pixel accessor that clamps coordinates to the plane bounds. */
+    uint8_t atClamped(int x, int y) const;
+
+    /** Fill the entire plane (including padding) with @p value. */
+    void fill(uint8_t value);
+
+    /** Number of payload pixels (width * height, excluding padding). */
+    int64_t pixelCount() const
+    {
+        return static_cast<int64_t>(width_) * height_;
+    }
+
+    uint8_t *data() { return data_.data(); }
+    const uint8_t *data() const { return data_.data(); }
+    size_t sizeBytes() const { return data_.size(); }
+
+  private:
+    int width_ = 0;
+    int height_ = 0;
+    int stride_ = 0;
+    std::vector<uint8_t> data_;
+};
+
+/** One YUV420 picture: full-resolution luma plus half-resolution chroma. */
+class Frame
+{
+  public:
+    Frame() = default;
+
+    /** Construct a black frame. Dimensions must be even. */
+    Frame(int width, int height);
+
+    int width() const { return y_.width(); }
+    int height() const { return y_.height(); }
+
+    Plane &y() { return y_; }
+    Plane &u() { return u_; }
+    Plane &v() { return v_; }
+    const Plane &y() const { return y_; }
+    const Plane &u() const { return u_; }
+    const Plane &v() const { return v_; }
+
+  private:
+    Plane y_;
+    Plane u_;
+    Plane v_;
+};
+
+/** An in-memory video clip: a frame sequence plus rate metadata. */
+class Video
+{
+  public:
+    Video() = default;
+    Video(std::string name, double fps) : name_(std::move(name)), fps_(fps) {}
+
+    const std::string &name() const { return name_; }
+    double fps() const { return fps_; }
+
+    int frameCount() const { return static_cast<int>(frames_.size()); }
+    int width() const { return frames_.empty() ? 0 : frames_[0].width(); }
+    int height() const { return frames_.empty() ? 0 : frames_[0].height(); }
+
+    Frame &frame(int i) { return frames_[i]; }
+    const Frame &frame(int i) const { return frames_[i]; }
+
+    void addFrame(Frame f) { frames_.push_back(std::move(f)); }
+
+    /** Duration of the clip in seconds. */
+    double durationSeconds() const
+    {
+        return fps_ > 0 ? frameCount() / fps_ : 0.0;
+    }
+
+  private:
+    std::string name_;
+    double fps_ = 0.0;
+    std::vector<Frame> frames_;
+};
+
+} // namespace vepro::video
+
+#endif // VEPRO_VIDEO_FRAME_HPP

@@ -1,0 +1,212 @@
+#include "video/metrics.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <stdexcept>
+
+namespace vepro::video
+{
+
+double
+mse(const Plane &a, const Plane &b)
+{
+    if (a.width() != b.width() || a.height() != b.height()) {
+        throw std::invalid_argument("mse: plane size mismatch");
+    }
+    double sum = 0.0;
+    for (int y = 0; y < a.height(); ++y) {
+        const uint8_t *ra = a.row(y);
+        const uint8_t *rb = b.row(y);
+        for (int x = 0; x < a.width(); ++x) {
+            double d = static_cast<double>(ra[x]) - rb[x];
+            sum += d * d;
+        }
+    }
+    return sum / static_cast<double>(a.pixelCount());
+}
+
+double
+psnr(const Plane &a, const Plane &b)
+{
+    double m = mse(a, b);
+    if (m <= 1e-12) {
+        return 99.0;
+    }
+    return 10.0 * std::log10(255.0 * 255.0 / m);
+}
+
+double
+videoPsnr(const Video &reference, const Video &reconstructed)
+{
+    if (reference.frameCount() != reconstructed.frameCount() ||
+        reference.frameCount() == 0) {
+        throw std::invalid_argument("videoPsnr: frame count mismatch");
+    }
+    double sum = 0.0;
+    for (int i = 0; i < reference.frameCount(); ++i) {
+        sum += psnr(reference.frame(i).y(), reconstructed.frame(i).y());
+    }
+    return sum / reference.frameCount();
+}
+
+namespace
+{
+
+/**
+ * Least-squares cubic fit y = c0 + c1 x + c2 x^2 + c3 x^3 solved via the
+ * normal equations with Gaussian elimination (tiny 4x4 system).
+ */
+std::array<double, 4>
+fitCubic(const std::vector<double> &xs, const std::vector<double> &ys)
+{
+    constexpr int n = 4;
+    double a[n][n] = {};
+    double rhs[n] = {};
+    for (size_t k = 0; k < xs.size(); ++k) {
+        double powx[2 * n - 1];
+        powx[0] = 1.0;
+        for (int i = 1; i < 2 * n - 1; ++i) {
+            powx[i] = powx[i - 1] * xs[k];
+        }
+        for (int i = 0; i < n; ++i) {
+            for (int j = 0; j < n; ++j) {
+                a[i][j] += powx[i + j];
+            }
+            rhs[i] += powx[i] * ys[k];
+        }
+    }
+    // Gaussian elimination with partial pivoting.
+    int perm[n] = {0, 1, 2, 3};
+    for (int col = 0; col < n; ++col) {
+        int pivot = col;
+        for (int r = col + 1; r < n; ++r) {
+            if (std::fabs(a[perm[r]][col]) > std::fabs(a[perm[pivot]][col])) {
+                pivot = r;
+            }
+        }
+        std::swap(perm[col], perm[pivot]);
+        double diag = a[perm[col]][col];
+        if (std::fabs(diag) < 1e-12) {
+            throw std::invalid_argument("bdRate: degenerate RD curve");
+        }
+        for (int r = col + 1; r < n; ++r) {
+            double f = a[perm[r]][col] / diag;
+            for (int c = col; c < n; ++c) {
+                a[perm[r]][c] -= f * a[perm[col]][c];
+            }
+            rhs[perm[r]] -= f * rhs[perm[col]];
+        }
+    }
+    std::array<double, 4> coef{};
+    for (int row = n - 1; row >= 0; --row) {
+        double acc = rhs[perm[row]];
+        for (int c = row + 1; c < n; ++c) {
+            acc -= a[perm[row]][c] * coef[c];
+        }
+        coef[row] = acc / a[perm[row]][row];
+    }
+    return coef;
+}
+
+/** Definite integral of the cubic over [lo, hi]. */
+double
+integrateCubic(const std::array<double, 4> &c, double lo, double hi)
+{
+    auto eval = [&](double x) {
+        return c[0] * x + c[1] * x * x / 2.0 + c[2] * x * x * x / 3.0 +
+               c[3] * x * x * x * x / 4.0;
+    };
+    return eval(hi) - eval(lo);
+}
+
+} // namespace
+
+double
+bdRate(const std::vector<RdPoint> &reference, const std::vector<RdPoint> &test)
+{
+    if (reference.size() < 4 || test.size() < 4) {
+        throw std::invalid_argument("bdRate: need at least 4 RD points");
+    }
+    auto split = [](const std::vector<RdPoint> &pts, std::vector<double> &xs,
+                    std::vector<double> &ys) {
+        for (const RdPoint &p : pts) {
+            if (p.bitrateKbps <= 0.0) {
+                throw std::invalid_argument("bdRate: non-positive bitrate");
+            }
+            xs.push_back(p.psnrDb);
+            ys.push_back(std::log(p.bitrateKbps));
+        }
+    };
+    std::vector<double> xr, yr, xt, yt;
+    split(reference, xr, yr);
+    split(test, xt, yt);
+
+    auto cr = fitCubic(xr, yr);
+    auto ct = fitCubic(xt, yt);
+
+    double lo = std::max(*std::min_element(xr.begin(), xr.end()),
+                         *std::min_element(xt.begin(), xt.end()));
+    double hi = std::min(*std::max_element(xr.begin(), xr.end()),
+                         *std::max_element(xt.begin(), xt.end()));
+    if (hi - lo < 1e-9) {
+        throw std::invalid_argument("bdRate: PSNR ranges do not overlap");
+    }
+    double avg_diff =
+        (integrateCubic(ct, lo, hi) - integrateCubic(cr, lo, hi)) / (hi - lo);
+    return (std::exp(avg_diff) - 1.0) * 100.0;
+}
+
+double
+histogramEntropy(const std::vector<uint64_t> &histogram)
+{
+    uint64_t total = 0;
+    for (uint64_t v : histogram) {
+        total += v;
+    }
+    if (total == 0) {
+        return 0.0;
+    }
+    double h = 0.0;
+    for (uint64_t v : histogram) {
+        if (v == 0) {
+            continue;
+        }
+        double p = static_cast<double>(v) / static_cast<double>(total);
+        h -= p * std::log2(p);
+    }
+    return h;
+}
+
+double
+measureEntropy(const Video &video)
+{
+    if (video.frameCount() == 0) {
+        return 0.0;
+    }
+    std::vector<uint64_t> hist(256, 0);
+    for (int f = 0; f < video.frameCount(); ++f) {
+        const Plane &p = video.frame(f).y();
+        // Horizontal spatial gradients.
+        for (int y = 0; y < p.height(); ++y) {
+            const uint8_t *row = p.row(y);
+            for (int x = 1; x < p.width(); ++x) {
+                hist[static_cast<uint8_t>(row[x] - row[x - 1])]++;
+            }
+        }
+        // Temporal differences against the previous frame.
+        if (f > 0) {
+            const Plane &q = video.frame(f - 1).y();
+            for (int y = 0; y < p.height(); ++y) {
+                const uint8_t *cur = p.row(y);
+                const uint8_t *prev = q.row(y);
+                for (int x = 0; x < p.width(); ++x) {
+                    hist[static_cast<uint8_t>(cur[x] - prev[x])]++;
+                }
+            }
+        }
+    }
+    return histogramEntropy(hist);
+}
+
+} // namespace vepro::video

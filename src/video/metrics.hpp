@@ -1,0 +1,70 @@
+#ifndef VEPRO_VIDEO_METRICS_HPP
+#define VEPRO_VIDEO_METRICS_HPP
+
+/**
+ * @file
+ * Video quality and complexity metrics: PSNR, Bjøntegaard delta rate
+ * (BD-Rate), and the vbench-style content-entropy measure.
+ */
+
+#include <vector>
+
+#include "video/frame.hpp"
+
+namespace vepro::video
+{
+
+/** Mean squared error between two equally-sized planes. */
+double mse(const Plane &a, const Plane &b);
+
+/**
+ * Peak signal-to-noise ratio between two planes, in dB.
+ *
+ * Returns +inf (as 99.0 dB, the conventional cap) for identical planes.
+ */
+double psnr(const Plane &a, const Plane &b);
+
+/**
+ * Sequence PSNR between two videos: the per-frame luma PSNR averaged over
+ * all frames, the standard reporting convention used by the paper.
+ *
+ * @pre Both videos have the same geometry and frame count.
+ */
+double videoPsnr(const Video &reference, const Video &reconstructed);
+
+/** One point on a rate-distortion curve. */
+struct RdPoint {
+    double bitrateKbps;  ///< Encoded bitrate in kilobits per second.
+    double psnrDb;       ///< Quality at that bitrate.
+};
+
+/**
+ * Bjøntegaard delta rate between a test RD curve and a reference RD curve.
+ *
+ * Fits a cubic polynomial log(rate) = p(psnr) to each curve by least
+ * squares, integrates the difference over the overlapping PSNR range, and
+ * returns the average bitrate change in percent. Negative means the test
+ * encoder needs less bitrate for the same quality (better).
+ *
+ * @pre Each curve has at least four points with distinct PSNR values.
+ * @throws std::invalid_argument on malformed curves.
+ */
+double bdRate(const std::vector<RdPoint> &reference,
+              const std::vector<RdPoint> &test);
+
+/**
+ * vbench-style content entropy of a clip, in bits (roughly 0..8).
+ *
+ * Computed as the Shannon entropy of the pooled distribution of horizontal
+ * spatial gradients and frame-to-frame temporal differences of the luma
+ * plane. Smooth static content scores near 0; dense texture with fast
+ * motion approaches 8.
+ */
+double measureEntropy(const Video &video);
+
+/** Shannon entropy (bits) of an arbitrary non-negative histogram. */
+double histogramEntropy(const std::vector<uint64_t> &histogram);
+
+} // namespace vepro::video
+
+#endif // VEPRO_VIDEO_METRICS_HPP

@@ -1,0 +1,128 @@
+#include "video/y4m.hpp"
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace vepro::video
+{
+
+namespace
+{
+
+void
+writePlane(std::ofstream &out, const Plane &plane)
+{
+    for (int y = 0; y < plane.height(); ++y) {
+        out.write(reinterpret_cast<const char *>(plane.row(y)),
+                  plane.width());
+    }
+}
+
+void
+readPlane(std::ifstream &in, Plane &plane)
+{
+    for (int y = 0; y < plane.height(); ++y) {
+        in.read(reinterpret_cast<char *>(plane.row(y)), plane.width());
+        if (!in) {
+            throw std::runtime_error("y4m: truncated frame payload");
+        }
+    }
+}
+
+} // namespace
+
+void
+writeY4m(const std::string &path, const Video &video)
+{
+    if (video.frameCount() == 0) {
+        throw std::runtime_error("y4m: cannot write an empty video");
+    }
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    if (!out) {
+        throw std::runtime_error("y4m: cannot open " + path);
+    }
+    // Frame rate as a rational; the suite uses integral-ish rates.
+    int fps_num = static_cast<int>(video.fps() * 1000.0 + 0.5);
+    out << "YUV4MPEG2 W" << video.width() << " H" << video.height() << " F"
+        << fps_num << ":1000 Ip A1:1 C420\n";
+    for (int f = 0; f < video.frameCount(); ++f) {
+        out << "FRAME\n";
+        writePlane(out, video.frame(f).y());
+        writePlane(out, video.frame(f).u());
+        writePlane(out, video.frame(f).v());
+    }
+    if (!out) {
+        throw std::runtime_error("y4m: write failed for " + path);
+    }
+}
+
+Video
+readY4m(const std::string &path, int max_frames)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+        throw std::runtime_error("y4m: cannot open " + path);
+    }
+    std::string header;
+    if (!std::getline(in, header) || header.rfind("YUV4MPEG2", 0) != 0) {
+        throw std::runtime_error("y4m: missing YUV4MPEG2 signature");
+    }
+
+    int width = 0, height = 0;
+    double fps = 30.0;
+    std::istringstream tokens(header);
+    std::string tok;
+    tokens >> tok;  // signature
+    while (tokens >> tok) {
+        switch (tok[0]) {
+          case 'W': width = std::stoi(tok.substr(1)); break;
+          case 'H': height = std::stoi(tok.substr(1)); break;
+          case 'F': {
+            auto colon = tok.find(':');
+            if (colon != std::string::npos) {
+                double num = std::stod(tok.substr(1, colon - 1));
+                double den = std::stod(tok.substr(colon + 1));
+                if (den > 0) {
+                    fps = num / den;
+                }
+            }
+            break;
+          }
+          case 'C':
+            if (tok.rfind("C420", 0) != 0) {
+                throw std::runtime_error("y4m: unsupported chroma " + tok);
+            }
+            break;
+          default:
+            break;  // interlacing/aspect parameters are ignored
+        }
+    }
+    if (width <= 0 || height <= 0 || (width % 2) || (height % 2)) {
+        throw std::runtime_error("y4m: bad geometry in header");
+    }
+
+    Video video(path, fps);
+    std::string frame_line;
+    while (std::getline(in, frame_line)) {
+        if (frame_line.rfind("FRAME", 0) != 0) {
+            throw std::runtime_error("y4m: expected FRAME marker");
+        }
+        Frame frame(width, height);
+        readPlane(in, frame.y());
+        readPlane(in, frame.u());
+        readPlane(in, frame.v());
+        video.addFrame(std::move(frame));
+        if (max_frames > 0 && video.frameCount() >= max_frames) {
+            break;
+        }
+    }
+    if (video.frameCount() == 0) {
+        throw std::runtime_error("y4m: no frames in " + path);
+    }
+    return video;
+}
+
+} // namespace vepro::video

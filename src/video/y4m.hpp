@@ -1,0 +1,36 @@
+#ifndef VEPRO_VIDEO_Y4M_HPP
+#define VEPRO_VIDEO_Y4M_HPP
+
+/**
+ * @file
+ * YUV4MPEG2 (.y4m) reader/writer so real clips can be fed to the
+ * encoder models and synthetic clips exported for inspection with
+ * standard tools (ffplay, mpv). Only the 4:2:0 chroma layout used by
+ * the rest of the library is supported.
+ */
+
+#include <string>
+
+#include "video/frame.hpp"
+
+namespace vepro::video
+{
+
+/**
+ * Write @p video as YUV4MPEG2 with C420 chroma.
+ * @throws std::runtime_error on I/O failure or an empty video.
+ */
+void writeY4m(const std::string &path, const Video &video);
+
+/**
+ * Read a YUV4MPEG2 file (C420 family chroma only).
+ *
+ * @param path       Input file.
+ * @param max_frames Stop after this many frames (0 = all).
+ * @throws std::runtime_error on malformed headers or unsupported chroma.
+ */
+Video readY4m(const std::string &path, int max_frames = 0);
+
+} // namespace vepro::video
+
+#endif // VEPRO_VIDEO_Y4M_HPP

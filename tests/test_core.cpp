@@ -1,0 +1,201 @@
+/**
+ * @file
+ * Unit tests for the experiment harness: report formatting, run scaling,
+ * sweep helpers, and the thread-study machinery.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/experiment.hpp"
+#include "core/report.hpp"
+#include "core/threadstudy.hpp"
+#include "encoders/registry.hpp"
+#include "video/generator.hpp"
+
+namespace vepro::core
+{
+namespace
+{
+
+TEST(Report, MarkdownShape)
+{
+    Table t({"a", "b"});
+    t.addRow({"1", "22"});
+    t.addRow({"333", "4"});
+    std::string md = t.toMarkdown();
+    EXPECT_NE(md.find("| a "), std::string::npos);
+    EXPECT_NE(md.find("| 333 |"), std::string::npos);
+    EXPECT_EQ(t.rowCount(), 2u);
+}
+
+TEST(Report, CsvShape)
+{
+    Table t({"x", "y"});
+    t.addRow({"1", "2"});
+    EXPECT_EQ(t.toCsv(), "x,y\n1,2\n");
+}
+
+TEST(Report, RowWidthValidated)
+{
+    Table t({"a", "b"});
+    EXPECT_THROW(t.addRow({"only-one"}), std::invalid_argument);
+    EXPECT_THROW(Table({}), std::invalid_argument);
+}
+
+TEST(Report, Formatters)
+{
+    EXPECT_EQ(fmt(3.14159, 2), "3.14");
+    EXPECT_EQ(fmt(2.0, 0), "2");
+    EXPECT_EQ(fmtCount(1234567), "1,234,567");
+    EXPECT_EQ(fmtCount(12), "12");
+    EXPECT_EQ(fmtSci(1.7e11), "1.7E+11");
+    EXPECT_EQ(fmtSci(9.5e10), "9.5E+10");
+    EXPECT_EQ(fmtSci(0.0), "0");
+}
+
+TEST(RunScale, ParsesFlags)
+{
+    const char *argv1[] = {"bench", "--quick"};
+    RunScale quick = RunScale::fromArgs(2, const_cast<char **>(argv1));
+    EXPECT_EQ(quick.suite.divisor, 8);
+
+    const char *argv2[] = {"bench", "--full"};
+    RunScale full = RunScale::fromArgs(2, const_cast<char **>(argv2));
+    EXPECT_EQ(full.suite.divisor, 4);
+    EXPECT_GT(full.maxTraceOps, quick.maxTraceOps);
+
+    const char *argv3[] = {"bench", "--videos=game1,cat"};
+    RunScale filt = RunScale::fromArgs(2, const_cast<char **>(argv3));
+    ASSERT_EQ(filt.videos.size(), 2u);
+    EXPECT_EQ(filt.videos[0], "game1");
+    EXPECT_EQ(filt.videos[1], "cat");
+    EXPECT_EQ(selectedVideos(filt).size(), 2u);
+
+    const char *argv4[] = {"bench", "--bogus"};
+    EXPECT_THROW(RunScale::fromArgs(2, const_cast<char **>(argv4)),
+                 std::invalid_argument);
+}
+
+TEST(RunScale, DefaultSelectsWholeSuite)
+{
+    RunScale scale;
+    EXPECT_EQ(selectedVideos(scale).size(), 15u);
+}
+
+TEST(Sweeps, CrfPointsAndMapping)
+{
+    EXPECT_EQ(crfSweepAv1().size(), 6u);
+    EXPECT_EQ(crfSweepAv1().front(), 10);
+    EXPECT_EQ(crfSweepAv1().back(), 60);
+    EXPECT_EQ(crfSweepX26x().size(), 6u);
+    EXPECT_EQ(mapCrfToX26x(63), 51);
+    EXPECT_EQ(mapCrfToX26x(0), 0);
+    for (size_t i = 0; i < crfSweepX26x().size(); ++i) {
+        EXPECT_LE(crfSweepX26x()[i], 51);
+    }
+}
+
+TEST(RunPoint, ProducesLinkedEncodeAndSimulation)
+{
+    video::GeneratorParams p;
+    p.width = 64;
+    p.height = 48;
+    p.frames = 2;
+    p.entropy = 4;
+    p.seed = 3;
+    video::Video clip = video::generate("rp", p);
+    RunScale scale;
+    scale.maxTraceOps = 200'000;
+    auto enc = encoders::encoderByName("Libvpx-vp9");
+    SweepPoint point = runPoint(*enc, clip, 45, 7, scale);
+    EXPECT_GT(point.encode.instructions, 0u);
+    EXPECT_GT(point.core.instructions, 0u);
+    EXPECT_GT(point.core.ipc(), 0.3);
+    EXPECT_LT(point.core.ipc(), 4.0);
+    EXPECT_EQ(point.core.slots.total(), point.core.cycles * 4);
+}
+
+encoders::EncodeResult
+taskedEncode(const char *name)
+{
+    video::GeneratorParams p;
+    p.width = 256;
+    p.height = 128;
+    p.frames = 6;
+    p.entropy = 4;
+    p.seed = 5;
+    video::Video clip = video::generate("ts", p);
+    auto enc = encoders::encoderByName(name);
+    encoders::EncodeParams ep;
+    ep.crf = enc->crfRange() * 5 / 8;
+    ep.preset = enc->presetInverted() ? 2 : 6;
+    trace::ProbeConfig pc;
+    pc.collectOps = true;
+    pc.maxOps = 300'000;
+    pc.opWindow = 300'000;
+    pc.opInterval = 300'000;
+    return enc->encode(clip, ep, pc, true);
+}
+
+TEST(ThreadStudy, CurveStartsAtOneAndNeverRegresses)
+{
+    auto r = taskedEncode("SVT-AV1");
+    auto curve = scalabilityCurve(r, 8);
+    ASSERT_EQ(curve.size(), 8u);
+    EXPECT_NEAR(curve[0].speedup, 1.0, 1e-9);
+    for (size_t i = 1; i < curve.size(); ++i) {
+        EXPECT_GE(curve[i].speedup, curve[i - 1].speedup - 1e-9);
+        EXPECT_LE(curve[i].speedup, static_cast<double>(i + 1) + 1e-9);
+    }
+}
+
+TEST(ThreadStudy, SerialSpineScalesWorstWavefrontBest)
+{
+    auto svt = scalabilityCurve(taskedEncode("SVT-AV1"), 8);
+    auto x265 = scalabilityCurve(taskedEncode("x265"), 8);
+    EXPECT_GT(svt.back().speedup, x265.back().speedup * 1.2);
+    EXPECT_LT(x265.back().speedup, 1.9);
+}
+
+TEST(ThreadStudy, RequiresTaskGraph)
+{
+    encoders::EncodeResult empty;
+    EXPECT_THROW(scalabilityCurve(empty, 4), std::invalid_argument);
+}
+
+TEST(SystemTrace, SingleThreadHasNoSpins)
+{
+    auto r = taskedEncode("x265");
+    auto trace = buildSystemTrace(r.opTrace, r.taskGraph, 1);
+    for (const auto &op : trace) {
+        EXPECT_FALSE(op.foreign);
+    }
+    EXPECT_FALSE(trace.empty());
+}
+
+TEST(SystemTrace, IdleCoresSpinOnTheQueueLine)
+{
+    auto r = taskedEncode("x265");
+    auto trace = buildSystemTrace(r.opTrace, r.taskGraph, 8);
+    size_t foreign = 0, spins = 0;
+    for (const auto &op : trace) {
+        foreign += op.foreign;
+        spins += !op.foreign && op.cls == trace::OpClass::Load &&
+                 op.addr == 0x7f000000ULL;
+    }
+    EXPECT_GT(foreign, 100u) << "x265's idle helpers must generate "
+                                "coherence traffic";
+    EXPECT_GT(spins, 100u);
+}
+
+TEST(SystemTrace, RespectsOpCap)
+{
+    auto r = taskedEncode("SVT-AV1");
+    SystemTraceConfig cfg;
+    cfg.maxOps = 5'000;
+    auto trace = buildSystemTrace(r.opTrace, r.taskGraph, 4, cfg);
+    EXPECT_LE(trace.size(), 5'000u);
+}
+
+} // namespace
+} // namespace vepro::core

@@ -1,0 +1,170 @@
+/**
+ * @file
+ * Decoder round-trip tests: the FrameDecoder must reproduce the
+ * encoder's reconstruction bit for bit from the bitstream alone, across
+ * codec configurations, qualities, and frame types.
+ */
+
+#include <gtest/gtest.h>
+
+#include "codec/decoder.hpp"
+#include "codec/rdo.hpp"
+#include "encoders/registry.hpp"
+#include "video/generator.hpp"
+#include "video/metrics.hpp"
+
+namespace vepro::codec
+{
+namespace
+{
+
+video::Video
+clip(int w = 64, int h = 48, int frames = 3, double entropy = 4.0)
+{
+    video::GeneratorParams p;
+    p.width = w;
+    p.height = h;
+    p.frames = frames;
+    p.entropy = entropy;
+    p.seed = 55;
+    return video::generate("dec", p);
+}
+
+/** Encode every frame, decode every payload, compare reconstructions. */
+void
+roundTrip(const ToolConfig &config, const video::Video &v)
+{
+    FrameCodec enc(config, v.width(), v.height(), nullptr);
+    FrameDecoder dec(config, v.width(), v.height());
+    uint64_t total_bits = 0;
+    for (int f = 0; f < v.frameCount(); ++f) {
+        EncodeStats stats = enc.encodeFrame(v.frame(f), f == 0);
+        total_bits += stats.bits;
+        dec.decodeFrame(enc.lastFrameBytes(), f == 0);
+        ASSERT_DOUBLE_EQ(video::mse(enc.recon().y(), dec.recon().y()), 0.0)
+            << "luma mismatch at frame " << f;
+        ASSERT_DOUBLE_EQ(video::mse(enc.recon().u(), dec.recon().u()), 0.0)
+            << "chroma-U mismatch at frame " << f;
+        ASSERT_DOUBLE_EQ(video::mse(enc.recon().v(), dec.recon().v()), 0.0)
+            << "chroma-V mismatch at frame " << f;
+    }
+    EXPECT_GT(total_bits, 0u);
+    EXPECT_EQ(dec.framesDecoded(), v.frameCount());
+}
+
+ToolConfig
+baseConfig(int crf)
+{
+    ToolConfig cfg;
+    cfg.superblockSize = 32;
+    cfg.minBlockSize = 8;
+    cfg.partitionMask = kPartitionsRect;
+    cfg.intraModes = 6;
+    cfg.intraModesRect = 2;
+    cfg.me.range = 6;
+    applyQuality(cfg, crf, 63);
+    return cfg;
+}
+
+TEST(Decoder, RoundTripAtMediumQuality)
+{
+    roundTrip(baseConfig(30), clip());
+}
+
+TEST(Decoder, RoundTripAtFineAndCoarseQuality)
+{
+    roundTrip(baseConfig(5), clip());
+    roundTrip(baseConfig(60), clip());
+}
+
+TEST(Decoder, RoundTripWithAv1Toolset)
+{
+    ToolConfig cfg = baseConfig(30);
+    cfg.partitionMask = kPartitionsAv1;
+    cfg.superblockSize = 64;
+    cfg.minBlockSize = 4;
+    cfg.txSizeCandidates = 2;
+    cfg.txTypeCandidates = 3;
+    cfg.refFramesSearched = 3;
+    cfg.interpFilterCands = 2;
+    cfg.me.sharpSubpel = true;
+    cfg.fullRd = true;
+    cfg.coeffContexts = 4;
+    cfg.filterPasses = 2;
+    roundTrip(cfg, clip(64, 64, 3, 5.5));
+}
+
+TEST(Decoder, RoundTripWithMacroblockCodec)
+{
+    ToolConfig cfg = baseConfig(26);
+    cfg.superblockSize = 16;
+    cfg.coeffContexts = 1;
+    roundTrip(cfg, clip(64, 48, 2, 3.0));
+}
+
+TEST(Decoder, RoundTripOnNonSquareClippedFrames)
+{
+    // 80x48 with 64-wide superblocks forces clipped edge superblocks.
+    ToolConfig cfg = baseConfig(35);
+    cfg.superblockSize = 64;
+    roundTrip(cfg, clip(80, 48, 2));
+}
+
+TEST(Decoder, RoundTripHighEntropyContent)
+{
+    roundTrip(baseConfig(20), clip(64, 48, 2, 7.5));
+}
+
+TEST(Decoder, RejectsTinyFrames)
+{
+    EXPECT_THROW(FrameDecoder(baseConfig(30), 8, 8),
+                 std::invalid_argument);
+}
+
+TEST(Decoder, GarbagePayloadThrowsOrStops)
+{
+    FrameDecoder dec(baseConfig(30), 64, 48);
+    std::vector<uint8_t> garbage(400);
+    for (size_t i = 0; i < garbage.size(); ++i) {
+        garbage[i] = static_cast<uint8_t>(i * 37 + 11);
+    }
+    // Corrupt data must never crash: either a clean exception or a
+    // (meaningless) decode that terminates.
+    try {
+        dec.decodeFrame(garbage, true);
+    } catch (const std::runtime_error &) {
+        SUCCEED();
+    }
+}
+
+/** Every encoder model's bitstream must round-trip through the decoder
+ *  configured from the same ToolConfig. */
+class ModelRoundTrip : public ::testing::TestWithParam<std::string>
+{
+};
+
+TEST_P(ModelRoundTrip, EncoderModelBitstreamsAreDecodable)
+{
+    auto enc_model = encoders::encoderByName(GetParam());
+    encoders::EncodeParams params;
+    params.crf = enc_model->crfRange() / 2;
+    params.preset = enc_model->presetInverted() ? 3 : 5;
+    ToolConfig cfg = enc_model->toolConfig(params);
+
+    video::Video v = clip(64, 48, 2);
+    FrameCodec enc(cfg, v.width(), v.height(), nullptr);
+    FrameDecoder dec(cfg, v.width(), v.height());
+    for (int f = 0; f < v.frameCount(); ++f) {
+        enc.encodeFrame(v.frame(f), f == 0);
+        dec.decodeFrame(enc.lastFrameBytes(), f == 0);
+        ASSERT_DOUBLE_EQ(video::mse(enc.recon().y(), dec.recon().y()), 0.0)
+            << GetParam() << " frame " << f;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllEncoders, ModelRoundTrip,
+                         ::testing::Values("SVT-AV1", "Libaom", "Libvpx-vp9",
+                                           "x264", "x265"));
+
+} // namespace
+} // namespace vepro::codec

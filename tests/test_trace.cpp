@@ -1,0 +1,396 @@
+/**
+ * @file
+ * Unit tests for the instrumentation layer: op classification, probes,
+ * sampling, site PCs, control emission, and trace (de)serialisation.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "trace/opclass.hpp"
+#include "trace/probe.hpp"
+#include "trace/profile.hpp"
+#include "trace/trace_io.hpp"
+
+namespace vepro::trace
+{
+namespace
+{
+
+TEST(OpClass, CategoryMapping)
+{
+    EXPECT_EQ(categoryOf(OpClass::BranchCond), MixCategory::Branch);
+    EXPECT_EQ(categoryOf(OpClass::BranchUncond), MixCategory::Branch);
+    EXPECT_EQ(categoryOf(OpClass::Load), MixCategory::Load);
+    EXPECT_EQ(categoryOf(OpClass::Store), MixCategory::Store);
+    EXPECT_EQ(categoryOf(OpClass::SimdAlu), MixCategory::Avx);
+    EXPECT_EQ(categoryOf(OpClass::SimdLoad), MixCategory::Avx);
+    EXPECT_EQ(categoryOf(OpClass::SseAlu), MixCategory::Sse);
+    EXPECT_EQ(categoryOf(OpClass::Alu), MixCategory::Other);
+    EXPECT_EQ(categoryOf(OpClass::Div), MixCategory::Other);
+}
+
+TEST(OpClass, Predicates)
+{
+    EXPECT_TRUE(isBranch(OpClass::BranchCond));
+    EXPECT_TRUE(isBranch(OpClass::BranchUncond));
+    EXPECT_FALSE(isBranch(OpClass::Alu));
+    EXPECT_TRUE(isMemory(OpClass::Load));
+    EXPECT_TRUE(isMemory(OpClass::SimdStore));
+    EXPECT_FALSE(isMemory(OpClass::Mul));
+    EXPECT_TRUE(isLoad(OpClass::SimdLoad));
+    EXPECT_FALSE(isLoad(OpClass::Store));
+    EXPECT_TRUE(isStore(OpClass::SimdStore));
+    EXPECT_FALSE(isStore(OpClass::Load));
+}
+
+TEST(OpClass, NamesAreDistinct)
+{
+    for (int i = 0; i < kNumOpClasses; ++i) {
+        EXPECT_NE(opClassName(static_cast<OpClass>(i)), "?");
+    }
+    EXPECT_EQ(mixCategoryName(MixCategory::Avx), "AVX");
+}
+
+TEST(SitePc, StableAndDistinct)
+{
+    EXPECT_EQ(sitePc("codec.sad"), sitePc("codec.sad"));
+    EXPECT_NE(sitePc("codec.sad"), sitePc("codec.sse"));
+    EXPECT_EQ(sitePc("anything") % 1024, 0u) << "1 KiB aligned";
+}
+
+TEST(MixCounters, TotalsAndPercents)
+{
+    MixCounters mix;
+    mix.byClass[static_cast<int>(OpClass::Load)] = 25;
+    mix.byClass[static_cast<int>(OpClass::SimdAlu)] = 50;
+    mix.byClass[static_cast<int>(OpClass::Alu)] = 25;
+    EXPECT_EQ(mix.total(), 100u);
+    EXPECT_DOUBLE_EQ(mix.categoryPercent(MixCategory::Load), 25.0);
+    EXPECT_DOUBLE_EQ(mix.categoryPercent(MixCategory::Avx), 50.0);
+    double sum = 0;
+    for (int c = 0; c < kNumMixCategories; ++c) {
+        sum += mix.categoryPercent(static_cast<MixCategory>(c));
+    }
+    EXPECT_NEAR(sum, 100.0, 1e-9);
+}
+
+TEST(MixCounters, EmptyIsZero)
+{
+    MixCounters mix;
+    EXPECT_EQ(mix.total(), 0u);
+    EXPECT_DOUBLE_EQ(mix.categoryPercent(MixCategory::Load), 0.0);
+}
+
+TEST(MixCounters, Accumulate)
+{
+    MixCounters a, b;
+    a.byClass[0] = 3;
+    b.byClass[0] = 4;
+    a += b;
+    EXPECT_EQ(a.byClass[0], 7u);
+}
+
+TEST(Probe, CountsAllEmissionKinds)
+{
+    Probe p;
+    p.enterKernel(sitePc("t"), 8);
+    p.ops(OpClass::SimdAlu, 10);
+    p.mem(OpClass::Load, 0x1000);
+    p.memRun(OpClass::SimdLoad, 0x2000, 4, 32);
+    p.decision(sitePc("t.d"), true);
+    p.loopBranches(5);
+    EXPECT_EQ(p.mix().byClass[static_cast<int>(OpClass::SimdAlu)], 10u);
+    EXPECT_EQ(p.mix().byClass[static_cast<int>(OpClass::Load)], 1u);
+    EXPECT_EQ(p.mix().byClass[static_cast<int>(OpClass::SimdLoad)], 4u);
+    EXPECT_EQ(p.mix().byClass[static_cast<int>(OpClass::BranchCond)], 6u);
+    EXPECT_EQ(p.totalOps(), p.mix().total());
+}
+
+TEST(Probe, BranchTraceCollection)
+{
+    ProbeConfig cfg;
+    cfg.collectBranches = true;
+    cfg.maxBranches = 4;
+    Probe p(cfg);
+    p.decision(sitePc("a"), true);
+    p.decision(sitePc("b"), false);
+    p.loopBranches(10);  // capped at 2 more
+    ASSERT_EQ(p.branchTrace().size(), 4u);
+    EXPECT_TRUE(p.branchTrace()[0].taken);
+    EXPECT_FALSE(p.branchTrace()[1].taken);
+    EXPECT_EQ(p.branchTrace()[0].pc, sitePc("a"));
+}
+
+TEST(Probe, BranchWarmupSkipsEarlyBranches)
+{
+    ProbeConfig cfg;
+    cfg.collectBranches = true;
+    cfg.branchWarmupOps = 100;
+    Probe p(cfg);
+    p.decision(sitePc("early"), true);
+    EXPECT_TRUE(p.branchTrace().empty());
+    p.ops(OpClass::Alu, 200);
+    p.decision(sitePc("late"), true);
+    ASSERT_EQ(p.branchTrace().size(), 1u);
+    EXPECT_EQ(p.branchTrace()[0].pc, sitePc("late"));
+}
+
+TEST(Probe, OpTraceSamplingWindows)
+{
+    ProbeConfig cfg;
+    cfg.collectOps = true;
+    cfg.opWindow = 10;
+    cfg.opInterval = 100;
+    cfg.maxOps = 1000;
+    Probe p(cfg);
+    for (int i = 0; i < 300; ++i) {
+        p.ops(OpClass::Alu, 1);
+    }
+    // Three windows of ~10 ops each should be captured.
+    EXPECT_GE(p.opTrace().size(), 20u);
+    EXPECT_LE(p.opTrace().size(), 40u);
+}
+
+TEST(Probe, OpTraceCap)
+{
+    ProbeConfig cfg;
+    cfg.collectOps = true;
+    cfg.opWindow = 1000;
+    cfg.opInterval = 1000;
+    cfg.maxOps = 50;
+    Probe p(cfg);
+    p.ops(OpClass::Alu, 500);
+    EXPECT_EQ(p.opTrace().size(), 50u);
+}
+
+TEST(Probe, DisabledCollectionIsFree)
+{
+    Probe p;
+    p.ops(OpClass::Alu, 100);
+    p.decision(sitePc("x"), true);
+    EXPECT_TRUE(p.opTrace().empty());
+    EXPECT_TRUE(p.branchTrace().empty());
+    EXPECT_EQ(p.totalOps(), 101u);
+}
+
+TEST(Probe, MemRecordsAddresses)
+{
+    ProbeConfig cfg;
+    cfg.collectOps = true;
+    Probe p(cfg);
+    p.mem(OpClass::Store, 0xdeadbeef);
+    ASSERT_EQ(p.opTrace().size(), 1u);
+    EXPECT_EQ(p.opTrace()[0].addr, 0xdeadbeefu);
+    EXPECT_EQ(p.opTrace()[0].cls, OpClass::Store);
+    EXPECT_FALSE(p.opTrace()[0].foreign);
+}
+
+TEST(Probe, MemRunStridesAddresses)
+{
+    ProbeConfig cfg;
+    cfg.collectOps = true;
+    Probe p(cfg);
+    p.memRun(OpClass::SimdLoad, 0x1000, 3, 64);
+    ASSERT_EQ(p.opTrace().size(), 3u);
+    EXPECT_EQ(p.opTrace()[1].addr, 0x1040u);
+    EXPECT_EQ(p.opTrace()[2].addr, 0x1080u);
+}
+
+TEST(Probe, LoopBranchesLastFallsThrough)
+{
+    ProbeConfig cfg;
+    cfg.collectBranches = true;
+    Probe p(cfg);
+    p.loopBranches(4);
+    ASSERT_EQ(p.branchTrace().size(), 4u);
+    EXPECT_TRUE(p.branchTrace()[0].taken);
+    EXPECT_TRUE(p.branchTrace()[2].taken);
+    EXPECT_FALSE(p.branchTrace()[3].taken);
+}
+
+TEST(Probe, AllocRegionsDisjointAndAligned)
+{
+    Probe p;
+    uint64_t a = p.allocRegion(1000);
+    uint64_t b = p.allocRegion(5000);
+    EXPECT_EQ(a % 4096, 0u);
+    EXPECT_EQ(b % 4096, 0u);
+    EXPECT_GE(b, a + 1000);
+}
+
+TEST(Probe, MergeFoldsCounters)
+{
+    Probe a, b;
+    a.ops(OpClass::Alu, 5);
+    b.ops(OpClass::Alu, 7);
+    a.mergeFrom(b);
+    EXPECT_EQ(a.mix().byClass[static_cast<int>(OpClass::Alu)], 12u);
+    EXPECT_EQ(a.totalOps(), 12u);
+}
+
+TEST(Probe, ResetClearsEverything)
+{
+    ProbeConfig cfg;
+    cfg.collectOps = true;
+    cfg.collectBranches = true;
+    Probe p(cfg);
+    p.ops(OpClass::Alu, 5);
+    p.decision(sitePc("x"), true);
+    p.reset();
+    EXPECT_EQ(p.totalOps(), 0u);
+    EXPECT_TRUE(p.opTrace().empty());
+    EXPECT_TRUE(p.branchTrace().empty());
+}
+
+TEST(Probe, TakeMovesTraces)
+{
+    ProbeConfig cfg;
+    cfg.collectOps = true;
+    Probe p(cfg);
+    p.ops(OpClass::Alu, 5);
+    auto trace = p.takeOpTrace();
+    EXPECT_EQ(trace.size(), 5u);
+    EXPECT_TRUE(p.opTrace().empty());
+}
+
+TEST(ProbeScope, InstallsAndRestores)
+{
+    EXPECT_EQ(currentProbe(), nullptr);
+    Probe outer;
+    {
+        ProbeScope s1(&outer);
+        EXPECT_EQ(currentProbe(), &outer);
+        Probe inner;
+        {
+            ProbeScope s2(&inner);
+            EXPECT_EQ(currentProbe(), &inner);
+        }
+        EXPECT_EQ(currentProbe(), &outer);
+    }
+    EXPECT_EQ(currentProbe(), nullptr);
+}
+
+TEST(EmitControl, EmitsScalarMixture)
+{
+    Probe p;
+    emitControl(p, sitePc("ctl"), 20, 0x1000, 0x2000, 16);
+    const MixCounters &mix = p.mix();
+    EXPECT_EQ(mix.byClass[static_cast<int>(OpClass::Load)], 80u);  // 4/unit
+    EXPECT_GE(mix.byClass[static_cast<int>(OpClass::Store)], 30u);
+    EXPECT_EQ(mix.byCategory(MixCategory::Avx), 0u);
+}
+
+TEST(Profile, AttributesOpsToSites)
+{
+    ProbeConfig cfg;
+    cfg.profileSites = true;
+    Probe p(cfg);
+    p.enterKernel(sitePc("profile.hot"), 8);
+    p.ops(OpClass::SimdAlu, 900);
+    p.enterKernel(sitePc("profile.cold"), 8);
+    p.ops(OpClass::Alu, 100);
+    auto report = profileReport(p, 0.0);
+    ASSERT_GE(report.size(), 2u);
+    EXPECT_EQ(report[0].name, "profile.hot");
+    EXPECT_GT(report[0].ops, 900u - 10u);
+    EXPECT_NEAR(report[0].percent + report[1].percent, 100.0, 2.0);
+    EXPECT_GT(report[0].percent, report[1].percent);
+}
+
+TEST(Profile, MinShareFiltersRows)
+{
+    ProbeConfig cfg;
+    cfg.profileSites = true;
+    Probe p(cfg);
+    p.enterKernel(sitePc("profile.big"), 8);
+    p.ops(OpClass::Alu, 9990);
+    p.enterKernel(sitePc("profile.tiny"), 8);
+    p.ops(OpClass::Alu, 4);
+    EXPECT_EQ(profileReport(p, 1.0).size(), 1u);
+    EXPECT_GE(profileReport(p, 0.0).size(), 2u);
+}
+
+TEST(Profile, DisabledCollectsNothing)
+{
+    Probe p;
+    p.enterKernel(sitePc("profile.off"), 8);
+    p.ops(OpClass::Alu, 100);
+    EXPECT_TRUE(p.siteOps().empty());
+    EXPECT_TRUE(profileReport(p).empty());
+}
+
+TEST(Profile, FormatContainsNames)
+{
+    ProbeConfig cfg;
+    cfg.profileSites = true;
+    Probe p(cfg);
+    p.enterKernel(sitePc("profile.fmt"), 8);
+    p.ops(OpClass::Alu, 10);
+    std::string text = formatProfile(profileReport(p, 0.0));
+    EXPECT_NE(text.find("profile.fmt"), std::string::npos);
+    EXPECT_NE(text.find("100.0"), std::string::npos);
+}
+
+TEST(Profile, SiteNameLookup)
+{
+    uint64_t pc = sitePc("profile.lookup");
+    EXPECT_EQ(siteName(pc), "profile.lookup");
+    EXPECT_EQ(siteName(0xdeadULL), "?");
+}
+
+TEST(TraceIo, BranchRoundTrip)
+{
+    std::string path = "/tmp/vepro_test_branch.bin";
+    std::vector<BranchRecord> trace = {
+        {0x1000, true}, {0x2000, false}, {0x1000, true}};
+    writeBranchTrace(path, trace);
+    auto back = readBranchTrace(path);
+    ASSERT_EQ(back.size(), 3u);
+    EXPECT_EQ(back[0].pc, 0x1000u);
+    EXPECT_TRUE(back[0].taken);
+    EXPECT_FALSE(back[1].taken);
+    std::filesystem::remove(path);
+}
+
+TEST(TraceIo, OpRoundTrip)
+{
+    std::string path = "/tmp/vepro_test_ops.bin";
+    std::vector<TraceOp> trace;
+    TraceOp a{0x400000, 0xfeed, OpClass::SimdLoad, false, 3, 7, false};
+    TraceOp b{0x400004, 0xbeef, OpClass::Store, false, 0, 0, true};
+    TraceOp c{0x400008, 0, OpClass::BranchCond, true, 1, 0, false};
+    trace = {a, b, c};
+    writeOpTrace(path, trace);
+    auto back = readOpTrace(path);
+    ASSERT_EQ(back.size(), 3u);
+    EXPECT_EQ(back[0].addr, 0xfeedu);
+    EXPECT_EQ(back[0].dep1, 3);
+    EXPECT_EQ(back[0].dep2, 7);
+    EXPECT_TRUE(back[1].foreign);
+    EXPECT_TRUE(back[2].taken);
+    EXPECT_EQ(back[2].cls, OpClass::BranchCond);
+    std::filesystem::remove(path);
+}
+
+TEST(TraceIo, RejectsBadMagic)
+{
+    std::string path = "/tmp/vepro_test_bad.bin";
+    FILE *f = std::fopen(path.c_str(), "wb");
+    std::fputs("NOPE....garbage", f);
+    std::fclose(f);
+    EXPECT_THROW(readBranchTrace(path), std::runtime_error);
+    EXPECT_THROW(readOpTrace(path), std::runtime_error);
+    std::filesystem::remove(path);
+}
+
+TEST(TraceIo, RejectsMissingFile)
+{
+    EXPECT_THROW(readBranchTrace("/tmp/does_not_exist_vepro.bin"),
+                 std::runtime_error);
+}
+
+} // namespace
+} // namespace vepro::trace

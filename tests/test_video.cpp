@@ -1,0 +1,463 @@
+/**
+ * @file
+ * Unit tests for the video substrate: planes, frames, the synthetic
+ * generator, quality/complexity metrics, and the vbench-mini suite.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <cmath>
+#include <set>
+
+#include "video/frame.hpp"
+#include "video/generator.hpp"
+#include "video/metrics.hpp"
+#include "video/suite.hpp"
+#include "video/y4m.hpp"
+
+namespace vepro::video
+{
+namespace
+{
+
+TEST(Plane, ConstructsZeroed)
+{
+    Plane p(16, 8);
+    EXPECT_EQ(p.width(), 16);
+    EXPECT_EQ(p.height(), 8);
+    EXPECT_EQ(p.stride(), 16);
+    for (int y = 0; y < 8; ++y) {
+        for (int x = 0; x < 16; ++x) {
+            EXPECT_EQ(p.at(x, y), 0);
+        }
+    }
+}
+
+TEST(Plane, PaddingWidensStride)
+{
+    Plane p(16, 8, 4);
+    EXPECT_EQ(p.stride(), 20);
+    EXPECT_EQ(p.sizeBytes(), 20u * 8u);
+}
+
+TEST(Plane, RejectsNegativeDimensions)
+{
+    EXPECT_THROW(Plane(-1, 4), std::invalid_argument);
+    EXPECT_THROW(Plane(4, -1), std::invalid_argument);
+    EXPECT_THROW(Plane(4, 4, -1), std::invalid_argument);
+}
+
+TEST(Plane, SetAndGet)
+{
+    Plane p(4, 4);
+    p.set(2, 3, 200);
+    EXPECT_EQ(p.at(2, 3), 200);
+    EXPECT_EQ(p.row(3)[2], 200);
+}
+
+TEST(Plane, ClampedAccess)
+{
+    Plane p(4, 4);
+    p.set(0, 0, 10);
+    p.set(3, 3, 20);
+    EXPECT_EQ(p.atClamped(-5, -5), 10);
+    EXPECT_EQ(p.atClamped(100, 100), 20);
+}
+
+TEST(Plane, FillSetsEveryPixel)
+{
+    Plane p(8, 8, 2);
+    p.fill(77);
+    EXPECT_EQ(p.at(7, 7), 77);
+    EXPECT_EQ(p.row(0)[0], 77);
+}
+
+TEST(Plane, PixelCountExcludesPadding)
+{
+    Plane p(10, 5, 6);
+    EXPECT_EQ(p.pixelCount(), 50);
+}
+
+TEST(Frame, ChromaIsHalfResolution)
+{
+    Frame f(32, 16);
+    EXPECT_EQ(f.y().width(), 32);
+    EXPECT_EQ(f.u().width(), 16);
+    EXPECT_EQ(f.u().height(), 8);
+    EXPECT_EQ(f.v().height(), 8);
+}
+
+TEST(Frame, RejectsOddDimensions)
+{
+    EXPECT_THROW(Frame(31, 16), std::invalid_argument);
+    EXPECT_THROW(Frame(32, 15), std::invalid_argument);
+    EXPECT_THROW(Frame(0, 16), std::invalid_argument);
+}
+
+TEST(Video, TracksFramesAndDuration)
+{
+    Video v("clip", 30.0);
+    EXPECT_EQ(v.frameCount(), 0);
+    v.addFrame(Frame(16, 16));
+    v.addFrame(Frame(16, 16));
+    EXPECT_EQ(v.frameCount(), 2);
+    EXPECT_EQ(v.width(), 16);
+    EXPECT_NEAR(v.durationSeconds(), 2.0 / 30.0, 1e-12);
+}
+
+TEST(Rng, DeterministicForSeed)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_EQ(a.next(), b.next());
+    }
+}
+
+TEST(Rng, DifferentSeedsDiffer)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 50; ++i) {
+        same += a.next() == b.next();
+    }
+    EXPECT_LT(same, 3);
+}
+
+TEST(Rng, BoundsRespected)
+{
+    Rng r(7);
+    for (int i = 0; i < 1000; ++i) {
+        EXPECT_LT(r.nextBelow(17), 17u);
+        double d = r.nextDouble();
+        EXPECT_GE(d, 0.0);
+        EXPECT_LT(d, 1.0);
+        double x = r.nextRange(-3.0, 5.0);
+        EXPECT_GE(x, -3.0);
+        EXPECT_LT(x, 5.0);
+    }
+}
+
+TEST(Generator, Deterministic)
+{
+    GeneratorParams p;
+    p.width = 64;
+    p.height = 48;
+    p.frames = 3;
+    p.seed = 99;
+    Video a = generate("a", p);
+    Video b = generate("b", p);
+    for (int f = 0; f < 3; ++f) {
+        for (int y = 0; y < 48; ++y) {
+            ASSERT_EQ(0, memcmp(a.frame(f).y().row(y), b.frame(f).y().row(y),
+                                64));
+        }
+    }
+}
+
+TEST(Generator, SeedChangesContent)
+{
+    GeneratorParams p;
+    p.width = 64;
+    p.height = 48;
+    p.frames = 1;
+    p.seed = 1;
+    Video a = generate("a", p);
+    p.seed = 2;
+    Video b = generate("b", p);
+    EXPECT_GT(mse(a.frame(0).y(), b.frame(0).y()), 1.0);
+}
+
+TEST(Generator, GeometryHonoured)
+{
+    GeneratorParams p;
+    p.width = 96;
+    p.height = 64;
+    p.frames = 4;
+    p.fps = 25;
+    Video v = generate("g", p);
+    EXPECT_EQ(v.width(), 96);
+    EXPECT_EQ(v.height(), 64);
+    EXPECT_EQ(v.frameCount(), 4);
+    EXPECT_EQ(v.fps(), 25);
+}
+
+TEST(Generator, EntropyKnobIsMonotonic)
+{
+    auto measured = [](double target) {
+        GeneratorParams p;
+        p.width = 128;
+        p.height = 96;
+        p.frames = 4;
+        p.entropy = target;
+        p.seed = 5;
+        return measureEntropy(generate("e", p));
+    };
+    double low = measured(0.3);
+    double mid = measured(4.0);
+    double high = measured(7.5);
+    EXPECT_LT(low, mid);
+    EXPECT_LT(mid, high);
+    EXPECT_LT(low, 2.5);
+    EXPECT_GT(high, 5.0);
+}
+
+TEST(Metrics, MseZeroForIdentical)
+{
+    Plane p(16, 16);
+    p.fill(128);
+    EXPECT_DOUBLE_EQ(mse(p, p), 0.0);
+    EXPECT_DOUBLE_EQ(psnr(p, p), 99.0);
+}
+
+TEST(Metrics, MseKnownValue)
+{
+    Plane a(4, 4), b(4, 4);
+    a.fill(10);
+    b.fill(14);
+    EXPECT_DOUBLE_EQ(mse(a, b), 16.0);
+    EXPECT_NEAR(psnr(a, b), 10.0 * std::log10(255.0 * 255.0 / 16.0), 1e-9);
+}
+
+TEST(Metrics, MseRejectsSizeMismatch)
+{
+    Plane a(4, 4), b(8, 4);
+    EXPECT_THROW(mse(a, b), std::invalid_argument);
+}
+
+TEST(Metrics, VideoPsnrAveragesFrames)
+{
+    Video a("a", 30), b("b", 30);
+    a.addFrame(Frame(16, 16));
+    b.addFrame(Frame(16, 16));
+    EXPECT_DOUBLE_EQ(videoPsnr(a, b), 99.0);
+    Video c("c", 30);
+    EXPECT_THROW(videoPsnr(a, c), std::invalid_argument);
+}
+
+TEST(Metrics, HistogramEntropyEdgeCases)
+{
+    EXPECT_DOUBLE_EQ(histogramEntropy({}), 0.0);
+    EXPECT_DOUBLE_EQ(histogramEntropy({100}), 0.0);
+    std::vector<uint64_t> uniform(256, 10);
+    EXPECT_NEAR(histogramEntropy(uniform), 8.0, 1e-9);
+    EXPECT_NEAR(histogramEntropy({1, 1}), 1.0, 1e-9);
+}
+
+TEST(Metrics, BdRateZeroForIdenticalCurves)
+{
+    std::vector<RdPoint> curve = {
+        {1000, 30}, {2000, 34}, {4000, 38}, {8000, 42}};
+    EXPECT_NEAR(bdRate(curve, curve), 0.0, 1e-6);
+}
+
+TEST(Metrics, BdRateSignMatchesBetterEncoder)
+{
+    std::vector<RdPoint> reference = {
+        {1000, 30}, {2000, 34}, {4000, 38}, {8000, 42}};
+    // Test encoder achieves the same quality at half the bitrate.
+    std::vector<RdPoint> better = {
+        {500, 30}, {1000, 34}, {2000, 38}, {4000, 42}};
+    double bd = bdRate(reference, better);
+    EXPECT_NEAR(bd, -50.0, 1.0);
+    double worse = bdRate(better, reference);
+    EXPECT_NEAR(worse, 100.0, 3.0);
+}
+
+TEST(Metrics, BdRateValidation)
+{
+    std::vector<RdPoint> three = {{1000, 30}, {2000, 34}, {4000, 38}};
+    std::vector<RdPoint> four = {
+        {1000, 30}, {2000, 34}, {4000, 38}, {8000, 42}};
+    EXPECT_THROW(bdRate(three, four), std::invalid_argument);
+    std::vector<RdPoint> negative = {
+        {-10, 30}, {2000, 34}, {4000, 38}, {8000, 42}};
+    EXPECT_THROW(bdRate(negative, four), std::invalid_argument);
+    // Disjoint PSNR ranges cannot be compared.
+    std::vector<RdPoint> high = {
+        {1000, 50}, {2000, 54}, {4000, 58}, {8000, 62}};
+    EXPECT_THROW(bdRate(four, high), std::invalid_argument);
+}
+
+TEST(Suite, HasFifteenClips)
+{
+    EXPECT_EQ(vbenchMini().size(), 15u);
+    std::set<std::string> names;
+    for (const SuiteEntry &e : vbenchMini()) {
+        names.insert(e.name);
+        EXPECT_GT(e.fps, 0);
+        EXPECT_GE(e.paperEntropy, 0.0);
+        EXPECT_LE(e.paperEntropy, 8.0);
+    }
+    EXPECT_EQ(names.size(), 15u) << "clip names must be unique";
+}
+
+TEST(Suite, LookupByName)
+{
+    EXPECT_EQ(suiteEntry("game1").nominalHeight, 1080);
+    EXPECT_EQ(suiteEntry("chicken").nominalHeight, 2160);
+    EXPECT_THROW(suiteEntry("nonexistent"), std::out_of_range);
+}
+
+TEST(Suite, ScaledSizeRules)
+{
+    SuiteScale scale;
+    scale.divisor = 8;
+    for (const SuiteEntry &e : vbenchMini()) {
+        auto [w, h] = scaledSize(e, scale);
+        EXPECT_EQ(w % 16, 0);
+        EXPECT_EQ(h % 16, 0);
+        EXPECT_GE(w, 32);
+        EXPECT_GE(h, 32);
+    }
+    SuiteScale bad;
+    bad.divisor = 0;
+    EXPECT_THROW(scaledSize(vbenchMini()[0], bad), std::invalid_argument);
+}
+
+TEST(Suite, LoadProducesMatchingGeometry)
+{
+    SuiteScale scale;
+    scale.divisor = 8;
+    scale.frames = 3;
+    Video v = loadSuiteVideo("cat", scale);
+    auto [w, h] = scaledSize(suiteEntry("cat"), scale);
+    EXPECT_EQ(v.width(), w);
+    EXPECT_EQ(v.height(), h);
+    EXPECT_EQ(v.frameCount(), 3);
+    EXPECT_EQ(v.name(), "cat");
+}
+
+TEST(Suite, LoadIsDeterministicPerClip)
+{
+    SuiteScale scale;
+    scale.divisor = 8;
+    scale.frames = 2;
+    Video a = loadSuiteVideo("girl", scale);
+    Video b = loadSuiteVideo("girl", scale);
+    EXPECT_DOUBLE_EQ(mse(a.frame(1).y(), b.frame(1).y()), 0.0);
+    Video c = loadSuiteVideo("hall", scale);
+    EXPECT_EQ(c.width(), a.width() == c.width() ? c.width() : c.width());
+}
+
+TEST(Suite, ResolutionClassString)
+{
+    EXPECT_EQ(resolutionClass(suiteEntry("game1")), "1080p");
+    EXPECT_EQ(resolutionClass(suiteEntry("cat")), "480p");
+}
+
+/** The suite must rank by measured entropy roughly as vbench ranks. */
+TEST(Suite, MeasuredEntropyTracksPaperEntropy)
+{
+    SuiteScale scale;
+    scale.divisor = 12;
+    scale.frames = 3;
+    std::vector<std::pair<double, double>> pairs;  // (paper, measured)
+    for (const SuiteEntry &e : vbenchMini()) {
+        pairs.push_back({e.paperEntropy,
+                         measureEntropy(loadSuiteVideo(e, scale))});
+    }
+    // Spearman-style check: count concordant pairs.
+    int concordant = 0, total = 0;
+    for (size_t i = 0; i < pairs.size(); ++i) {
+        for (size_t j = i + 1; j < pairs.size(); ++j) {
+            if (std::fabs(pairs[i].first - pairs[j].first) < 0.3) {
+                continue;  // paper ties
+            }
+            ++total;
+            concordant += (pairs[i].first < pairs[j].first) ==
+                          (pairs[i].second < pairs[j].second);
+        }
+    }
+    EXPECT_GT(total, 50);
+    EXPECT_GT(static_cast<double>(concordant) / total, 0.8)
+        << "generator entropy ordering should track vbench's";
+}
+
+TEST(Y4m, RoundTripLossless)
+{
+    GeneratorParams p;
+    p.width = 64;
+    p.height = 48;
+    p.frames = 3;
+    p.entropy = 5;
+    p.seed = 8;
+    Video v = generate("y4m", p);
+    const std::string path = "/tmp/vepro_test.y4m";
+    writeY4m(path, v);
+    Video back = readY4m(path);
+    ASSERT_EQ(back.frameCount(), 3);
+    EXPECT_EQ(back.width(), 64);
+    EXPECT_EQ(back.height(), 48);
+    EXPECT_NEAR(back.fps(), v.fps(), 0.01);
+    for (int f = 0; f < 3; ++f) {
+        EXPECT_DOUBLE_EQ(mse(v.frame(f).y(), back.frame(f).y()), 0.0);
+        EXPECT_DOUBLE_EQ(mse(v.frame(f).u(), back.frame(f).u()), 0.0);
+        EXPECT_DOUBLE_EQ(mse(v.frame(f).v(), back.frame(f).v()), 0.0);
+    }
+    std::remove(path.c_str());
+}
+
+TEST(Y4m, MaxFramesLimit)
+{
+    GeneratorParams p;
+    p.width = 32;
+    p.height = 32;
+    p.frames = 5;
+    Video v = generate("y4m2", p);
+    const std::string path = "/tmp/vepro_test2.y4m";
+    writeY4m(path, v);
+    EXPECT_EQ(readY4m(path, 2).frameCount(), 2);
+    std::remove(path.c_str());
+}
+
+TEST(Y4m, RejectsGarbage)
+{
+    const std::string path = "/tmp/vepro_test3.y4m";
+    {
+        std::ofstream out(path);
+        out << "NOT A Y4M FILE\n";
+    }
+    EXPECT_THROW(readY4m(path), std::runtime_error);
+    std::remove(path.c_str());
+    EXPECT_THROW(readY4m("/tmp/does_not_exist.y4m"), std::runtime_error);
+    Video empty("e", 30);
+    EXPECT_THROW(writeY4m(path, empty), std::runtime_error);
+}
+
+/** Parameterised: every suite clip materialises with sane pixel stats. */
+class SuiteClipTest : public ::testing::TestWithParam<std::string>
+{
+};
+
+TEST_P(SuiteClipTest, MaterialisesWithPlausiblePixels)
+{
+    SuiteScale scale;
+    scale.divisor = 16;
+    scale.frames = 2;
+    Video v = loadSuiteVideo(GetParam(), scale);
+    ASSERT_EQ(v.frameCount(), 2);
+    // Luma should use a reasonable dynamic range (not constant, not
+    // saturated everywhere).
+    const Plane &y = v.frame(0).y();
+    int min = 255, max = 0;
+    for (int r = 0; r < y.height(); ++r) {
+        for (int x = 0; x < y.width(); ++x) {
+            min = std::min<int>(min, y.at(x, r));
+            max = std::max<int>(max, y.at(x, r));
+        }
+    }
+    EXPECT_LT(min, 120);
+    EXPECT_GT(max, 135);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllClips, SuiteClipTest,
+    ::testing::Values("desktop", "presentation", "bike", "funny", "house",
+                      "cricket", "game1", "game2", "game3", "girl",
+                      "chicken", "cat", "holi", "landscape", "hall"));
+
+} // namespace
+} // namespace vepro::video
