@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_bpred_zoo.dir/bench_ablation_bpred_zoo.cpp.o"
+  "CMakeFiles/bench_ablation_bpred_zoo.dir/bench_ablation_bpred_zoo.cpp.o.d"
+  "bench_ablation_bpred_zoo"
+  "bench_ablation_bpred_zoo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_bpred_zoo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig01_runtime_vs_crf.dir/bench_fig01_runtime_vs_crf.cpp.o"
+  "CMakeFiles/bench_fig01_runtime_vs_crf.dir/bench_fig01_runtime_vs_crf.cpp.o.d"
+  "bench_fig01_runtime_vs_crf"
+  "bench_fig01_runtime_vs_crf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig01_runtime_vs_crf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

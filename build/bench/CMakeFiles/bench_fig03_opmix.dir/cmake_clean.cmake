@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig03_opmix.dir/bench_fig03_opmix.cpp.o"
+  "CMakeFiles/bench_fig03_opmix.dir/bench_fig03_opmix.cpp.o.d"
+  "bench_fig03_opmix"
+  "bench_fig03_opmix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig03_opmix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig04_crf_sweep.dir/bench_fig04_crf_sweep.cpp.o"
+  "CMakeFiles/bench_fig04_crf_sweep.dir/bench_fig04_crf_sweep.cpp.o.d"
+  "bench_fig04_crf_sweep"
+  "bench_fig04_crf_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig04_crf_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig06_uarch.cpp" "bench/CMakeFiles/bench_fig06_uarch.dir/bench_fig06_uarch.cpp.o" "gcc" "bench/CMakeFiles/bench_fig06_uarch.dir/bench_fig06_uarch.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/vepro_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/encoders/CMakeFiles/vepro_encoders.dir/DependInfo.cmake"
+  "/root/repo/build/src/codec/CMakeFiles/vepro_codec.dir/DependInfo.cmake"
+  "/root/repo/build/src/uarch/CMakeFiles/vepro_uarch.dir/DependInfo.cmake"
+  "/root/repo/build/src/bpred/CMakeFiles/vepro_bpred.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/vepro_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/video/CMakeFiles/vepro_video.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/vepro_trace.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

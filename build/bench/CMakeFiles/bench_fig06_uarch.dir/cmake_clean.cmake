@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig06_uarch.dir/bench_fig06_uarch.cpp.o"
+  "CMakeFiles/bench_fig06_uarch.dir/bench_fig06_uarch.cpp.o.d"
+  "bench_fig06_uarch"
+  "bench_fig06_uarch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig06_uarch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig07_missrate.dir/bench_fig07_missrate.cpp.o"
+  "CMakeFiles/bench_fig07_missrate.dir/bench_fig07_missrate.cpp.o.d"
+  "bench_fig07_missrate"
+  "bench_fig07_missrate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig07_missrate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

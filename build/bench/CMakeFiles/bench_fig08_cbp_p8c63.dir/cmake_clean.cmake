@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig08_cbp_p8c63.dir/bench_fig08_cbp_p8c63.cpp.o"
+  "CMakeFiles/bench_fig08_cbp_p8c63.dir/bench_fig08_cbp_p8c63.cpp.o.d"
+  "bench_fig08_cbp_p8c63"
+  "bench_fig08_cbp_p8c63.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig08_cbp_p8c63.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

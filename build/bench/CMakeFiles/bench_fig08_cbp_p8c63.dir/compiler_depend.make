@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_fig08_cbp_p8c63.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig08_cbp_p8c63.
+# This may be replaced when dependencies are built.

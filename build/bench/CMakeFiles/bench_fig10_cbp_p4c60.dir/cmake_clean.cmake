@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_cbp_p4c60.dir/bench_fig10_cbp_p4c60.cpp.o"
+  "CMakeFiles/bench_fig10_cbp_p4c60.dir/bench_fig10_cbp_p4c60.cpp.o.d"
+  "bench_fig10_cbp_p4c60"
+  "bench_fig10_cbp_p4c60.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_cbp_p4c60.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig10_cbp_p4c60.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bpred_explorer.dir/bpred_explorer.cpp.o"
+  "CMakeFiles/bpred_explorer.dir/bpred_explorer.cpp.o.d"
+  "bpred_explorer"
+  "bpred_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bpred_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bpred_explorer.
+# This may be replaced when dependencies are built.

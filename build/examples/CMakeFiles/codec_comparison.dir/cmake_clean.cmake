@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/codec_comparison.dir/codec_comparison.cpp.o"
+  "CMakeFiles/codec_comparison.dir/codec_comparison.cpp.o.d"
+  "codec_comparison"
+  "codec_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/codec_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

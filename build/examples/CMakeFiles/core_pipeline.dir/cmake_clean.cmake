@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_pipeline.dir/core_pipeline.cpp.o"
+  "CMakeFiles/core_pipeline.dir/core_pipeline.cpp.o.d"
+  "core_pipeline"
+  "core_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hot_functions.dir/hot_functions.cpp.o"
+  "CMakeFiles/hot_functions.dir/hot_functions.cpp.o.d"
+  "hot_functions"
+  "hot_functions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hot_functions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/transcode.dir/transcode.cpp.o"
+  "CMakeFiles/transcode.dir/transcode.cpp.o.d"
+  "transcode"
+  "transcode.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/transcode.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bpred/bimodal.cpp" "src/bpred/CMakeFiles/vepro_bpred.dir/bimodal.cpp.o" "gcc" "src/bpred/CMakeFiles/vepro_bpred.dir/bimodal.cpp.o.d"
+  "/root/repo/src/bpred/factory.cpp" "src/bpred/CMakeFiles/vepro_bpred.dir/factory.cpp.o" "gcc" "src/bpred/CMakeFiles/vepro_bpred.dir/factory.cpp.o.d"
+  "/root/repo/src/bpred/gshare.cpp" "src/bpred/CMakeFiles/vepro_bpred.dir/gshare.cpp.o" "gcc" "src/bpred/CMakeFiles/vepro_bpred.dir/gshare.cpp.o.d"
+  "/root/repo/src/bpred/perceptron.cpp" "src/bpred/CMakeFiles/vepro_bpred.dir/perceptron.cpp.o" "gcc" "src/bpred/CMakeFiles/vepro_bpred.dir/perceptron.cpp.o.d"
+  "/root/repo/src/bpred/runner.cpp" "src/bpred/CMakeFiles/vepro_bpred.dir/runner.cpp.o" "gcc" "src/bpred/CMakeFiles/vepro_bpred.dir/runner.cpp.o.d"
+  "/root/repo/src/bpred/tage.cpp" "src/bpred/CMakeFiles/vepro_bpred.dir/tage.cpp.o" "gcc" "src/bpred/CMakeFiles/vepro_bpred.dir/tage.cpp.o.d"
+  "/root/repo/src/bpred/tage_sc_l.cpp" "src/bpred/CMakeFiles/vepro_bpred.dir/tage_sc_l.cpp.o" "gcc" "src/bpred/CMakeFiles/vepro_bpred.dir/tage_sc_l.cpp.o.d"
+  "/root/repo/src/bpred/tournament.cpp" "src/bpred/CMakeFiles/vepro_bpred.dir/tournament.cpp.o" "gcc" "src/bpred/CMakeFiles/vepro_bpred.dir/tournament.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/trace/CMakeFiles/vepro_trace.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

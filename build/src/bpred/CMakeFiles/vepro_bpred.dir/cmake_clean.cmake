@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vepro_bpred.dir/bimodal.cpp.o"
+  "CMakeFiles/vepro_bpred.dir/bimodal.cpp.o.d"
+  "CMakeFiles/vepro_bpred.dir/factory.cpp.o"
+  "CMakeFiles/vepro_bpred.dir/factory.cpp.o.d"
+  "CMakeFiles/vepro_bpred.dir/gshare.cpp.o"
+  "CMakeFiles/vepro_bpred.dir/gshare.cpp.o.d"
+  "CMakeFiles/vepro_bpred.dir/perceptron.cpp.o"
+  "CMakeFiles/vepro_bpred.dir/perceptron.cpp.o.d"
+  "CMakeFiles/vepro_bpred.dir/runner.cpp.o"
+  "CMakeFiles/vepro_bpred.dir/runner.cpp.o.d"
+  "CMakeFiles/vepro_bpred.dir/tage.cpp.o"
+  "CMakeFiles/vepro_bpred.dir/tage.cpp.o.d"
+  "CMakeFiles/vepro_bpred.dir/tage_sc_l.cpp.o"
+  "CMakeFiles/vepro_bpred.dir/tage_sc_l.cpp.o.d"
+  "CMakeFiles/vepro_bpred.dir/tournament.cpp.o"
+  "CMakeFiles/vepro_bpred.dir/tournament.cpp.o.d"
+  "libvepro_bpred.a"
+  "libvepro_bpred.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vepro_bpred.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

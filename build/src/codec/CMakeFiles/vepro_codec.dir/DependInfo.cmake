@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/codec/bitstream.cpp" "src/codec/CMakeFiles/vepro_codec.dir/bitstream.cpp.o" "gcc" "src/codec/CMakeFiles/vepro_codec.dir/bitstream.cpp.o.d"
+  "/root/repo/src/codec/decoder.cpp" "src/codec/CMakeFiles/vepro_codec.dir/decoder.cpp.o" "gcc" "src/codec/CMakeFiles/vepro_codec.dir/decoder.cpp.o.d"
+  "/root/repo/src/codec/intra.cpp" "src/codec/CMakeFiles/vepro_codec.dir/intra.cpp.o" "gcc" "src/codec/CMakeFiles/vepro_codec.dir/intra.cpp.o.d"
+  "/root/repo/src/codec/loopfilter.cpp" "src/codec/CMakeFiles/vepro_codec.dir/loopfilter.cpp.o" "gcc" "src/codec/CMakeFiles/vepro_codec.dir/loopfilter.cpp.o.d"
+  "/root/repo/src/codec/mc.cpp" "src/codec/CMakeFiles/vepro_codec.dir/mc.cpp.o" "gcc" "src/codec/CMakeFiles/vepro_codec.dir/mc.cpp.o.d"
+  "/root/repo/src/codec/quant.cpp" "src/codec/CMakeFiles/vepro_codec.dir/quant.cpp.o" "gcc" "src/codec/CMakeFiles/vepro_codec.dir/quant.cpp.o.d"
+  "/root/repo/src/codec/rangecoder.cpp" "src/codec/CMakeFiles/vepro_codec.dir/rangecoder.cpp.o" "gcc" "src/codec/CMakeFiles/vepro_codec.dir/rangecoder.cpp.o.d"
+  "/root/repo/src/codec/rdo.cpp" "src/codec/CMakeFiles/vepro_codec.dir/rdo.cpp.o" "gcc" "src/codec/CMakeFiles/vepro_codec.dir/rdo.cpp.o.d"
+  "/root/repo/src/codec/sad.cpp" "src/codec/CMakeFiles/vepro_codec.dir/sad.cpp.o" "gcc" "src/codec/CMakeFiles/vepro_codec.dir/sad.cpp.o.d"
+  "/root/repo/src/codec/transform.cpp" "src/codec/CMakeFiles/vepro_codec.dir/transform.cpp.o" "gcc" "src/codec/CMakeFiles/vepro_codec.dir/transform.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/video/CMakeFiles/vepro_video.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/vepro_trace.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vepro_codec.dir/bitstream.cpp.o"
+  "CMakeFiles/vepro_codec.dir/bitstream.cpp.o.d"
+  "CMakeFiles/vepro_codec.dir/decoder.cpp.o"
+  "CMakeFiles/vepro_codec.dir/decoder.cpp.o.d"
+  "CMakeFiles/vepro_codec.dir/intra.cpp.o"
+  "CMakeFiles/vepro_codec.dir/intra.cpp.o.d"
+  "CMakeFiles/vepro_codec.dir/loopfilter.cpp.o"
+  "CMakeFiles/vepro_codec.dir/loopfilter.cpp.o.d"
+  "CMakeFiles/vepro_codec.dir/mc.cpp.o"
+  "CMakeFiles/vepro_codec.dir/mc.cpp.o.d"
+  "CMakeFiles/vepro_codec.dir/quant.cpp.o"
+  "CMakeFiles/vepro_codec.dir/quant.cpp.o.d"
+  "CMakeFiles/vepro_codec.dir/rangecoder.cpp.o"
+  "CMakeFiles/vepro_codec.dir/rangecoder.cpp.o.d"
+  "CMakeFiles/vepro_codec.dir/rdo.cpp.o"
+  "CMakeFiles/vepro_codec.dir/rdo.cpp.o.d"
+  "CMakeFiles/vepro_codec.dir/sad.cpp.o"
+  "CMakeFiles/vepro_codec.dir/sad.cpp.o.d"
+  "CMakeFiles/vepro_codec.dir/transform.cpp.o"
+  "CMakeFiles/vepro_codec.dir/transform.cpp.o.d"
+  "libvepro_codec.a"
+  "libvepro_codec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vepro_codec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vepro_core.dir/experiment.cpp.o"
+  "CMakeFiles/vepro_core.dir/experiment.cpp.o.d"
+  "CMakeFiles/vepro_core.dir/report.cpp.o"
+  "CMakeFiles/vepro_core.dir/report.cpp.o.d"
+  "CMakeFiles/vepro_core.dir/threadstudy.cpp.o"
+  "CMakeFiles/vepro_core.dir/threadstudy.cpp.o.d"
+  "libvepro_core.a"
+  "libvepro_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vepro_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/encoders/encoder_model.cpp" "src/encoders/CMakeFiles/vepro_encoders.dir/encoder_model.cpp.o" "gcc" "src/encoders/CMakeFiles/vepro_encoders.dir/encoder_model.cpp.o.d"
+  "/root/repo/src/encoders/libaom_model.cpp" "src/encoders/CMakeFiles/vepro_encoders.dir/libaom_model.cpp.o" "gcc" "src/encoders/CMakeFiles/vepro_encoders.dir/libaom_model.cpp.o.d"
+  "/root/repo/src/encoders/libvpx_vp9_model.cpp" "src/encoders/CMakeFiles/vepro_encoders.dir/libvpx_vp9_model.cpp.o" "gcc" "src/encoders/CMakeFiles/vepro_encoders.dir/libvpx_vp9_model.cpp.o.d"
+  "/root/repo/src/encoders/registry.cpp" "src/encoders/CMakeFiles/vepro_encoders.dir/registry.cpp.o" "gcc" "src/encoders/CMakeFiles/vepro_encoders.dir/registry.cpp.o.d"
+  "/root/repo/src/encoders/svt_av1_model.cpp" "src/encoders/CMakeFiles/vepro_encoders.dir/svt_av1_model.cpp.o" "gcc" "src/encoders/CMakeFiles/vepro_encoders.dir/svt_av1_model.cpp.o.d"
+  "/root/repo/src/encoders/x264_model.cpp" "src/encoders/CMakeFiles/vepro_encoders.dir/x264_model.cpp.o" "gcc" "src/encoders/CMakeFiles/vepro_encoders.dir/x264_model.cpp.o.d"
+  "/root/repo/src/encoders/x265_model.cpp" "src/encoders/CMakeFiles/vepro_encoders.dir/x265_model.cpp.o" "gcc" "src/encoders/CMakeFiles/vepro_encoders.dir/x265_model.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/codec/CMakeFiles/vepro_codec.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/vepro_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/video/CMakeFiles/vepro_video.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/vepro_trace.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

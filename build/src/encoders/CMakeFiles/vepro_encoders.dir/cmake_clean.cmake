@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vepro_encoders.dir/encoder_model.cpp.o"
+  "CMakeFiles/vepro_encoders.dir/encoder_model.cpp.o.d"
+  "CMakeFiles/vepro_encoders.dir/libaom_model.cpp.o"
+  "CMakeFiles/vepro_encoders.dir/libaom_model.cpp.o.d"
+  "CMakeFiles/vepro_encoders.dir/libvpx_vp9_model.cpp.o"
+  "CMakeFiles/vepro_encoders.dir/libvpx_vp9_model.cpp.o.d"
+  "CMakeFiles/vepro_encoders.dir/registry.cpp.o"
+  "CMakeFiles/vepro_encoders.dir/registry.cpp.o.d"
+  "CMakeFiles/vepro_encoders.dir/svt_av1_model.cpp.o"
+  "CMakeFiles/vepro_encoders.dir/svt_av1_model.cpp.o.d"
+  "CMakeFiles/vepro_encoders.dir/x264_model.cpp.o"
+  "CMakeFiles/vepro_encoders.dir/x264_model.cpp.o.d"
+  "CMakeFiles/vepro_encoders.dir/x265_model.cpp.o"
+  "CMakeFiles/vepro_encoders.dir/x265_model.cpp.o.d"
+  "libvepro_encoders.a"
+  "libvepro_encoders.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vepro_encoders.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

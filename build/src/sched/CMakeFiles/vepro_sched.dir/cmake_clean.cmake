@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vepro_sched.dir/scheduler.cpp.o"
+  "CMakeFiles/vepro_sched.dir/scheduler.cpp.o.d"
+  "CMakeFiles/vepro_sched.dir/taskgraph.cpp.o"
+  "CMakeFiles/vepro_sched.dir/taskgraph.cpp.o.d"
+  "libvepro_sched.a"
+  "libvepro_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vepro_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vepro_trace.dir/opclass.cpp.o"
+  "CMakeFiles/vepro_trace.dir/opclass.cpp.o.d"
+  "CMakeFiles/vepro_trace.dir/probe.cpp.o"
+  "CMakeFiles/vepro_trace.dir/probe.cpp.o.d"
+  "CMakeFiles/vepro_trace.dir/profile.cpp.o"
+  "CMakeFiles/vepro_trace.dir/profile.cpp.o.d"
+  "CMakeFiles/vepro_trace.dir/trace_io.cpp.o"
+  "CMakeFiles/vepro_trace.dir/trace_io.cpp.o.d"
+  "libvepro_trace.a"
+  "libvepro_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vepro_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

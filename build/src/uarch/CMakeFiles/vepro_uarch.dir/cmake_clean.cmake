@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vepro_uarch.dir/cache.cpp.o"
+  "CMakeFiles/vepro_uarch.dir/cache.cpp.o.d"
+  "CMakeFiles/vepro_uarch.dir/core.cpp.o"
+  "CMakeFiles/vepro_uarch.dir/core.cpp.o.d"
+  "libvepro_uarch.a"
+  "libvepro_uarch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vepro_uarch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

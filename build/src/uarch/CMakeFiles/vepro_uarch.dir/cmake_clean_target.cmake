@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libvepro_uarch.a"
+)

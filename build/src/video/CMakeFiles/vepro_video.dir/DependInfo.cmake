@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/video/frame.cpp" "src/video/CMakeFiles/vepro_video.dir/frame.cpp.o" "gcc" "src/video/CMakeFiles/vepro_video.dir/frame.cpp.o.d"
+  "/root/repo/src/video/generator.cpp" "src/video/CMakeFiles/vepro_video.dir/generator.cpp.o" "gcc" "src/video/CMakeFiles/vepro_video.dir/generator.cpp.o.d"
+  "/root/repo/src/video/metrics.cpp" "src/video/CMakeFiles/vepro_video.dir/metrics.cpp.o" "gcc" "src/video/CMakeFiles/vepro_video.dir/metrics.cpp.o.d"
+  "/root/repo/src/video/suite.cpp" "src/video/CMakeFiles/vepro_video.dir/suite.cpp.o" "gcc" "src/video/CMakeFiles/vepro_video.dir/suite.cpp.o.d"
+  "/root/repo/src/video/y4m.cpp" "src/video/CMakeFiles/vepro_video.dir/y4m.cpp.o" "gcc" "src/video/CMakeFiles/vepro_video.dir/y4m.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

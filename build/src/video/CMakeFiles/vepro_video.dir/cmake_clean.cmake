@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vepro_video.dir/frame.cpp.o"
+  "CMakeFiles/vepro_video.dir/frame.cpp.o.d"
+  "CMakeFiles/vepro_video.dir/generator.cpp.o"
+  "CMakeFiles/vepro_video.dir/generator.cpp.o.d"
+  "CMakeFiles/vepro_video.dir/metrics.cpp.o"
+  "CMakeFiles/vepro_video.dir/metrics.cpp.o.d"
+  "CMakeFiles/vepro_video.dir/suite.cpp.o"
+  "CMakeFiles/vepro_video.dir/suite.cpp.o.d"
+  "CMakeFiles/vepro_video.dir/y4m.cpp.o"
+  "CMakeFiles/vepro_video.dir/y4m.cpp.o.d"
+  "libvepro_video.a"
+  "libvepro_video.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vepro_video.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_encoders.dir/test_encoders.cpp.o"
+  "CMakeFiles/test_encoders.dir/test_encoders.cpp.o.d"
+  "test_encoders"
+  "test_encoders.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_encoders.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

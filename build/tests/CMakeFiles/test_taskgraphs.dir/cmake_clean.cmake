@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_taskgraphs.dir/test_taskgraphs.cpp.o"
+  "CMakeFiles/test_taskgraphs.dir/test_taskgraphs.cpp.o.d"
+  "test_taskgraphs"
+  "test_taskgraphs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_taskgraphs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_uarch.dir/test_uarch.cpp.o"
+  "CMakeFiles/test_uarch.dir/test_uarch.cpp.o.d"
+  "test_uarch"
+  "test_uarch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_uarch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(test_video "/root/repo/build/tests/test_video")
+set_tests_properties(test_video PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;8;add_test;/root/repo/tests/CMakeLists.txt;11;vepro_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_trace "/root/repo/build/tests/test_trace")
+set_tests_properties(test_trace PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;8;add_test;/root/repo/tests/CMakeLists.txt;12;vepro_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_codec "/root/repo/build/tests/test_codec")
+set_tests_properties(test_codec PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;8;add_test;/root/repo/tests/CMakeLists.txt;13;vepro_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_bpred "/root/repo/build/tests/test_bpred")
+set_tests_properties(test_bpred PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;8;add_test;/root/repo/tests/CMakeLists.txt;14;vepro_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_uarch "/root/repo/build/tests/test_uarch")
+set_tests_properties(test_uarch PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;8;add_test;/root/repo/tests/CMakeLists.txt;15;vepro_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_sched "/root/repo/build/tests/test_sched")
+set_tests_properties(test_sched PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;8;add_test;/root/repo/tests/CMakeLists.txt;16;vepro_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_encoders "/root/repo/build/tests/test_encoders")
+set_tests_properties(test_encoders PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;8;add_test;/root/repo/tests/CMakeLists.txt;17;vepro_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_core "/root/repo/build/tests/test_core")
+set_tests_properties(test_core PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;8;add_test;/root/repo/tests/CMakeLists.txt;18;vepro_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_integration "/root/repo/build/tests/test_integration")
+set_tests_properties(test_integration PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;8;add_test;/root/repo/tests/CMakeLists.txt;19;vepro_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_properties "/root/repo/build/tests/test_properties")
+set_tests_properties(test_properties PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;8;add_test;/root/repo/tests/CMakeLists.txt;20;vepro_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_decoder "/root/repo/build/tests/test_decoder")
+set_tests_properties(test_decoder PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;8;add_test;/root/repo/tests/CMakeLists.txt;21;vepro_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_taskgraphs "/root/repo/build/tests/test_taskgraphs")
+set_tests_properties(test_taskgraphs PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;8;add_test;/root/repo/tests/CMakeLists.txt;22;vepro_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_robustness "/root/repo/build/tests/test_robustness")
+set_tests_properties(test_robustness PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;8;add_test;/root/repo/tests/CMakeLists.txt;23;vepro_test;/root/repo/tests/CMakeLists.txt;0;")
