@@ -46,7 +46,7 @@ main(int argc, char **argv)
         std::vector<std::string> row = {e.name};
         for (const std::string &spec : zoo) {
             auto pred = bpred::makePredictor(spec);
-            auto rr = bpred::runTrace(*pred, r.branchTrace,
+            auto rr = bpred::runTrace(*pred, r.branchTrace(),
                                       r.branchTraceInstructions);
             row.push_back(core::fmt(rr.missRatePercent(), 2));
         }

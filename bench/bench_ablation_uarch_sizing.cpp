@@ -37,7 +37,7 @@ main(int argc, char **argv)
         uarch::CoreConfig cfg;
         cfg.robSize = rob;
         uarch::Core core(cfg);
-        auto s = core.run(r.opTrace);
+        auto s = core.run(r.opTrace());
         rob_table.addRow(
             {std::to_string(rob), core::fmt(s.ipc(), 2),
              core::fmt(s.slots.fraction(s.slots.backend), 3),
@@ -53,7 +53,7 @@ main(int argc, char **argv)
         uarch::CoreConfig cfg;
         cfg.rsSize = rs;
         uarch::Core core(cfg);
-        auto s = core.run(r.opTrace);
+        auto s = core.run(r.opTrace());
         rs_table.addRow(
             {std::to_string(rs), core::fmt(s.ipc(), 2),
              core::fmt(s.slots.fraction(s.slots.backend), 3),
@@ -71,7 +71,7 @@ main(int argc, char **argv)
         uarch::CoreConfig cfg;
         cfg.predictorSpec = spec;
         uarch::Core core(cfg);
-        auto s = core.run(r.opTrace);
+        auto s = core.run(r.opTrace());
         pred_table.addRow({spec, core::fmt(s.ipc(), 2),
                            core::fmt(s.branchMissRatePercent(), 2),
                            core::fmt(s.slots.fraction(s.slots.badSpec), 3)});
@@ -86,7 +86,7 @@ main(int argc, char **argv)
         cfg.mem.prefetch.enabled = mode > 0;
         cfg.mem.prefetch.degree = mode == 2 ? 4 : 2;
         uarch::Core core(cfg);
-        auto s = core.run(r.opTrace);
+        auto s = core.run(r.opTrace());
         pf_table.addRow(
             {mode == 0 ? "off" : mode == 1 ? "stride x2" : "stride x4",
              core::fmt(s.ipc(), 2), core::fmt(s.l1dMpki(), 2),

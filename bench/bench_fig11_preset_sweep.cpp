@@ -30,9 +30,18 @@ main(int argc, char **argv)
                      "Backend", "Br MPKI", "L1D MPKI", "L2 MPKI",
                      "RS stall%", "SB stall%"});
 
+    // Presets are independent points: run them on scale.jobs workers,
+    // then emit rows in preset order.
+    std::vector<core::SweepPoint> points(9);
+    core::parallelFor(points.size(), scale.jobs, [&](size_t preset) {
+        points[preset] = core::runPoint(*encoder, clip, crf,
+                                        static_cast<int>(preset), scale);
+        std::fprintf(stderr, "  [preset %zu done: %.2fs]\n", preset,
+                     points[preset].encode.wallSeconds);
+    });
+
     for (int preset = 0; preset <= 8; ++preset) {
-        core::SweepPoint p =
-            core::runPoint(*encoder, clip, crf, preset, scale);
+        const core::SweepPoint &p = points[static_cast<size_t>(preset)];
         const auto &c = p.core;
         const auto &s = c.slots;
         ab.addRow({std::to_string(preset),
@@ -54,8 +63,6 @@ main(int argc, char **argv)
                     core::fmt(c.branchMpki(), 2), core::fmt(c.l1dMpki(), 2),
                     core::fmt(c.l2Mpki(), 2), pct(c.stalls.rs),
                     pct(c.stalls.storeBuf)});
-        std::fprintf(stderr, "  [preset %d done: %.2fs]\n", preset,
-                     p.encode.wallSeconds);
     }
     ab.print("Fig 11a-b: preset sweep — time, bitrate, PSNR (game1, "
              "CRF 30)");

@@ -44,22 +44,45 @@ sweepVideos(const core::RunScale &scale)
     return subset;
 }
 
-/** Run the (video x CRF) sweep with encode + core simulation. */
+/**
+ * Run the (video x CRF) sweep, fused encode + core simulation per point.
+ * Points are independent (each owns its probe and streaming core), so
+ * they run on scale.jobs worker threads; rows come back in deterministic
+ * (video-major, CRF-minor) order regardless of completion order.
+ */
 inline std::vector<SweepRow>
 runCrfSweep(const core::RunScale &scale,
             const std::string &encoder_name = "SVT-AV1", int preset = 4)
 {
     auto encoder = encoders::encoderByName(encoder_name);
+    const std::vector<int> &crfs = core::crfSweepAv1();
+
+    std::vector<video::Video> clips;
     std::vector<SweepRow> rows;
     for (const video::SuiteEntry &e : sweepVideos(scale)) {
-        video::Video clip = video::loadSuiteVideo(e, scale.suite);
-        for (int crf : core::crfSweepAv1()) {
+        clips.push_back(video::loadSuiteVideo(e, scale.suite));
+        for (int crf : crfs) {
             SweepRow row;
             row.video = e.name;
             row.crf = crf;
-            row.point = core::runPoint(*encoder, clip, crf, preset, scale);
             rows.push_back(std::move(row));
-            std::fprintf(stderr, "  [%s crf=%d done]\n", e.name.c_str(), crf);
+        }
+    }
+    core::parallelFor(rows.size(), scale.jobs, [&](size_t i) {
+        SweepRow &row = rows[i];
+        row.point = core::runPoint(*encoder, clips[i / crfs.size()], row.crf,
+                                   preset, scale);
+        std::fprintf(stderr, "  [%s crf=%d done]\n", row.video.c_str(),
+                     row.crf);
+    });
+    for (const SweepRow &row : rows) {
+        if (row.point.encode.droppedOps > 0) {
+            std::fprintf(stderr,
+                         "  warning: %s crf=%d hit the op cap (%llu ops "
+                         "dropped) — pass --uncapped for full fidelity\n",
+                         row.video.c_str(), row.crf,
+                         static_cast<unsigned long long>(
+                             row.point.encode.droppedOps));
         }
     }
     return rows;

@@ -49,12 +49,12 @@ main(int argc, char **argv)
     pc.branchWarmupOps = 1'000'000;  // skip the keyframe warm-up
     encoders::EncodeResult r = encoder->encode(clip, params, pc);
     std::printf("captured %zu branches over %s instructions\n",
-                r.branchTrace.size(),
+                r.branchTrace().size(),
                 core::fmtCount(r.branchTraceInstructions).c_str());
 
     // 2. Round-trip the trace through the on-disk CBP format.
     const std::string path = "/tmp/vepro_girl_branches.vepb";
-    trace::writeBranchTrace(path, r.branchTrace);
+    trace::writeBranchTrace(path, r.branchTrace());
     auto reloaded = trace::readBranchTrace(path);
     std::printf("trace written to %s and reloaded (%zu records)\n\n",
                 path.c_str(), reloaded.size());

@@ -74,23 +74,27 @@ main(int argc, char **argv)
     pc.maxOps = 1'500'000;
     pc.opWindow = 150'000;
     pc.opInterval = 600'000;
-    encoders::EncodeResult r = encoder->encode(clip, params, pc);
-    std::printf("encoded game1 at CRF %d: %s instructions, %.2f dB, "
-                "%.0f kbps; sampled %zu-op trace\n",
-                crf, core::fmtCount(r.instructions).c_str(), r.psnrDb,
-                r.bitrateKbps, r.opTrace.size());
-
-    // Baseline: the paper's Xeon E5-2650 v4 configuration.
-    uarch::Core baseline;
-    printReport("Xeon E5-2650 v4 (paper machine)", baseline.run(r.opTrace));
+    // Fused pipeline: both machines consume the sampled op stream live
+    // through one MuxSink, so the encode runs once and no trace is
+    // materialised.
+    uarch::StreamCore baseline;
 
     // What-if: the paper suggests branch prediction is the component
     // with the most acceleration headroom.
     uarch::CoreConfig better;
     better.predictorSpec = "tage-256KB";
     better.rsSize = 120;
-    uarch::Core upgraded(better);
-    printReport("What-if: 256KB TAGE + 2x scheduler",
-                upgraded.run(r.opTrace));
+    uarch::StreamCore upgraded(better);
+
+    trace::MuxSink mux{&baseline, &upgraded};
+    encoders::EncodeResult r = encoder->encode(clip, params, pc, false, &mux);
+    std::printf("encoded game1 at CRF %d: %s instructions, %.2f dB, "
+                "%.0f kbps; simulated %s sampled ops in-stream\n",
+                crf, core::fmtCount(r.instructions).c_str(), r.psnrDb,
+                r.bitrateKbps,
+                core::fmtCount(baseline.stats().instructions).c_str());
+
+    printReport("Xeon E5-2650 v4 (paper machine)", baseline.stats());
+    printReport("What-if: 256KB TAGE + 2x scheduler", upgraded.stats());
     return 0;
 }

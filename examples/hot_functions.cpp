@@ -32,11 +32,12 @@ profileAt(int crf)
     params.crf = crf;
     params.preset = 4;
 
-    trace::Probe probe([] {
-        trace::ProbeConfig pc;
-        pc.profileSites = true;
-        return pc;
-    }());
+    // Streaming profile: the probe pushes every op into a
+    // SiteProfileSink as the encode runs — full fidelity (no sampling,
+    // no cap) with nothing materialised.
+    trace::SiteProfileSink profile;
+    trace::Probe probe(trace::ProbeConfig::streaming());
+    probe.setSink(&profile);
     {
         trace::ProbeScope scope(&probe);
         codec::FrameCodec fc(encoder->toolConfig(params), clip.width(),
@@ -45,10 +46,11 @@ profileAt(int crf)
             fc.encodeFrame(clip.frame(f), f == 0);
         }
     }
+    profile.flush();
     std::printf("\nFlat profile, SVT-AV1 model, game1, CRF %d, preset 4 "
                 "(%llu instructions):\n%s",
                 crf, static_cast<unsigned long long>(probe.totalOps()),
-                trace::formatProfile(trace::profileReport(probe, 0.5))
+                trace::formatProfile(trace::profileReport(profile, 0.5))
                     .c_str());
 }
 

@@ -16,6 +16,7 @@
 #include "codec/decoder.hpp"
 #include "core/report.hpp"
 #include "encoders/registry.hpp"
+#include "uarch/core.hpp"
 #include "video/metrics.hpp"
 #include "video/suite.hpp"
 #include "video/y4m.hpp"
@@ -64,12 +65,21 @@ main()
     // 3. Delivery re-encode of the decoded frames (x264 model ladder).
     auto x264 = encoders::encoderByName("x264");
     core::Table table({"Delivery CRF", "Bits", "PSNR vs mezzanine",
-                       "PSNR vs original", "Encode time (s)"});
+                       "PSNR vs original", "Encode time (s)", "IPC"});
     for (int crf : {18, 28, 38}) {
         encoders::EncodeParams p;
         p.crf = crf;
         p.preset = 5;
-        encoders::EncodeResult r = x264->encode(reloaded, p);
+        // Fused encode + core simulation: the sampled op trace streams
+        // straight into the paper machine's core model, so each rung
+        // also reports its simulated IPC without materialising a trace.
+        trace::ProbeConfig pc;
+        pc.collectOps = true;
+        pc.maxOps = 600'000;
+        pc.opWindow = 100'000;
+        pc.opInterval = 400'000;
+        uarch::StreamCore sim;
+        encoders::EncodeResult r = x264->encode(reloaded, p, pc, false, &sim);
         codec::ToolConfig cfg = x264->toolConfig(p);
         codec::FrameCodec enc(cfg, reloaded.width(), reloaded.height(),
                               nullptr);
@@ -82,7 +92,8 @@ main()
                       core::fmtCount(r.stats.bits),
                       core::fmt(video::videoPsnr(reloaded, delivered), 2),
                       core::fmt(video::videoPsnr(source, delivered), 2),
-                      core::fmt(r.wallSeconds, 3)});
+                      core::fmt(r.wallSeconds, 3),
+                      core::fmt(sim.stats().ipc(), 2)});
     }
     table.print("Delivery ladder (x264 model) from the decoded mezzanine");
     std::printf("\nNote the generation loss: PSNR vs the original is "

@@ -8,16 +8,12 @@ runTrace(BranchPredictor &predictor,
          const std::vector<trace::BranchRecord> &records,
          uint64_t instructions)
 {
-    RunResult result;
-    result.predictor = predictor.name();
-    result.instructions = instructions;
+    StreamRunner runner(predictor);
     for (const trace::BranchRecord &r : records) {
-        bool pred = predictor.predict(r.pc);
-        predictor.update(r.pc, r.taken, pred);
-        ++result.branches;
-        result.misses += pred != r.taken;
+        runner.onBranch(r);
     }
-    return result;
+    runner.setInstructions(instructions);
+    return runner.result();
 }
 
 } // namespace vepro::bpred

@@ -57,6 +57,50 @@ RunResult runTrace(BranchPredictor &predictor,
                    const std::vector<trace::BranchRecord> &records,
                    uint64_t instructions);
 
+/**
+ * Streaming predictor evaluation: a trace::TraceSink that scores each
+ * branch as the probe emits it (predict then update, CBP-2016 style),
+ * fused with the producing encode instead of replaying a materialised
+ * branch trace. Equivalent to runTrace on the same branch sequence.
+ *
+ * The MPKI denominator is not known until the encode finishes; set it
+ * with setInstructions() before reading result() (callers typically use
+ * Probe::branchTraceOpSpan()).
+ */
+class StreamRunner final : public trace::TraceSink
+{
+  public:
+    /** @param predictor Predictor under test (not owned, not reset). */
+    explicit StreamRunner(BranchPredictor &predictor)
+        : predictor_(&predictor)
+    {
+        result_.predictor = predictor.name();
+    }
+
+    void
+    onOp(const trace::TraceOp &) override
+    {
+    }
+
+    void
+    onBranch(const trace::BranchRecord &r) override
+    {
+        bool pred = predictor_->predict(r.pc);
+        predictor_->update(r.pc, r.taken, pred);
+        ++result_.branches;
+        result_.misses += pred != r.taken;
+    }
+
+    /** Instruction window the scored branches cover (MPKI denominator). */
+    void setInstructions(uint64_t n) { result_.instructions = n; }
+
+    const RunResult &result() const { return result_; }
+
+  private:
+    BranchPredictor *predictor_;
+    RunResult result_;
+};
+
 } // namespace vepro::bpred
 
 #endif // VEPRO_BPRED_RUNNER_HPP

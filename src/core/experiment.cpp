@@ -1,7 +1,11 @@
 #include "core/experiment.hpp"
 
+#include <atomic>
 #include <cstring>
+#include <limits>
+#include <mutex>
 #include <stdexcept>
+#include <thread>
 
 namespace vepro::core
 {
@@ -21,6 +25,17 @@ RunScale::fromArgs(int argc, char **argv)
             scale.suite.divisor = 4;
             scale.suite.frames = 12;
             scale.maxTraceOps = 4'000'000;
+        } else if (arg == "--uncapped") {
+            scale.maxTraceOps = 0;
+        } else if (arg.rfind("--jobs=", 0) == 0) {
+            try {
+                scale.jobs = std::stoi(arg.substr(7));
+            } catch (const std::exception &) {
+                throw std::invalid_argument("--jobs expects a number");
+            }
+            if (scale.jobs < 1) {
+                throw std::invalid_argument("--jobs must be >= 1");
+            }
         } else if (arg.rfind("--videos=", 0) == 0) {
             std::string list = arg.substr(9);
             size_t pos = 0;
@@ -67,6 +82,23 @@ mapCrfToX26x(int crf_av1)
     return crf_av1 * 51 / 63;
 }
 
+trace::ProbeConfig
+tracingConfig(const RunScale &scale)
+{
+    trace::ProbeConfig pc;
+    pc.collectOps = true;
+    if (scale.maxTraceOps == 0) {
+        pc.maxOps = std::numeric_limits<size_t>::max();
+        pc.opWindow = 1;
+        pc.opInterval = 1;  // opWindow >= opInterval: record everything.
+    } else {
+        pc.maxOps = scale.maxTraceOps;
+        pc.opWindow = 150'000;
+        pc.opInterval = 600'000;
+    }
+    return pc;
+}
+
 SweepPoint
 runPoint(const encoders::EncoderModel &encoder, const video::Video &clip,
          int crf, int preset, const RunScale &scale)
@@ -75,17 +107,56 @@ runPoint(const encoders::EncoderModel &encoder, const video::Video &clip,
     params.crf = crf;
     params.preset = preset;
 
-    trace::ProbeConfig pc;
-    pc.collectOps = true;
-    pc.maxOps = scale.maxTraceOps;
-    pc.opWindow = 150'000;
-    pc.opInterval = 600'000;
-
     SweepPoint point;
-    point.encode = encoder.encode(clip, params, pc);
-    uarch::Core core;
-    point.core = core.run(point.encode.opTrace);
+    uarch::StreamCore sim;
+    point.encode =
+        encoder.encode(clip, params, tracingConfig(scale), false, &sim);
+    point.core = sim.stats();
     return point;
+}
+
+void
+parallelFor(size_t n, int jobs, const std::function<void(size_t)> &fn)
+{
+    if (jobs <= 1 || n <= 1) {
+        for (size_t i = 0; i < n; ++i) {
+            fn(i);
+        }
+        return;
+    }
+    size_t workers = std::min(static_cast<size_t>(jobs), n);
+    std::atomic<size_t> next{0};
+    std::atomic<bool> failed{false};
+    std::exception_ptr error;
+    std::mutex error_mutex;
+    std::vector<std::thread> pool;
+    pool.reserve(workers);
+    for (size_t w = 0; w < workers; ++w) {
+        pool.emplace_back([&] {
+            while (!failed.load(std::memory_order_relaxed)) {
+                size_t i = next.fetch_add(1, std::memory_order_relaxed);
+                if (i >= n) {
+                    return;
+                }
+                try {
+                    fn(i);
+                } catch (...) {
+                    std::lock_guard<std::mutex> lock(error_mutex);
+                    if (!error) {
+                        error = std::current_exception();
+                    }
+                    failed.store(true, std::memory_order_relaxed);
+                    return;
+                }
+            }
+        });
+    }
+    for (std::thread &t : pool) {
+        t.join();
+    }
+    if (error) {
+        std::rethrow_exception(error);
+    }
 }
 
 std::vector<video::SuiteEntry>

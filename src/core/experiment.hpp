@@ -4,10 +4,13 @@
 /**
  * @file
  * Shared experiment plumbing for the bench binaries: standard sweep
- * points, quick/full scaling, and the encode+simulate pipeline used by
- * every microarchitectural figure.
+ * points, quick/full scaling, the fused encode+simulate pipeline used by
+ * every microarchitectural figure, and the thread-pool driver that runs
+ * independent sweep points concurrently.
  */
 
+#include <cstddef>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -24,10 +27,16 @@ struct RunScale {
     video::SuiteScale suite{};
     /** Videos to run; empty = the whole vbench-mini suite. */
     std::vector<std::string> videos;
-    /** Cap on retained ops for core-model traces. */
+    /**
+     * Cap on retained ops for core-model traces. 0 = uncapped and
+     * unsampled: the fused streaming pipeline simulates every dynamic
+     * op, which stays O(1) in memory but costs proportionally more time.
+     */
     size_t maxTraceOps = 1'200'000;
+    /** Worker threads for independent sweep points (--jobs=N). */
+    int jobs = 1;
 
-    /** Parse --quick / --full / --videos=a,b,c from argv. */
+    /** Parse --quick / --full / --videos=a,b,c / --jobs=N / --uncapped. */
     static RunScale fromArgs(int argc, char **argv);
 };
 
@@ -45,12 +54,31 @@ struct SweepPoint {
 };
 
 /**
- * Run one encode with op tracing and simulate the captured trace on the
- * paper machine's core model.
+ * The probe configuration runPoint uses for a given scale — the sampled
+ * capped window, or full fidelity when scale.maxTraceOps is 0.
+ */
+trace::ProbeConfig tracingConfig(const RunScale &scale);
+
+/**
+ * Run one encode with op tracing and simulate it on the paper machine's
+ * core model, fused: the encode streams its ops straight into a
+ * uarch::StreamCore, so no trace is materialised. Numerically identical
+ * to capturing the trace and replaying it through uarch::Core.
  */
 SweepPoint runPoint(const encoders::EncoderModel &encoder,
                     const video::Video &clip, int crf, int preset,
                     const RunScale &scale);
+
+/**
+ * Run fn(0..n-1) on a pool of @p jobs worker threads (inline when jobs
+ * <= 1 or n <= 1). Each index is claimed atomically, so items need not
+ * take uniform time. Exceptions propagate: the first one thrown is
+ * rethrown on the caller's thread after all workers join.
+ *
+ * Sweep points are independent — each worker's encode owns its probe
+ * and sinks — which makes this the driver for every bench sweep.
+ */
+void parallelFor(size_t n, int jobs, const std::function<void(size_t)> &fn);
 
 /** The suite entries selected by @p scale (all 15 when unfiltered). */
 std::vector<video::SuiteEntry> selectedVideos(const RunScale &scale);

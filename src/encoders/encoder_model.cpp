@@ -129,7 +129,7 @@ struct TaskBuild {
 EncodeResult
 EncoderModel::encode(const video::Video &video, const EncodeParams &params,
                      const trace::ProbeConfig &probe_config,
-                     bool build_tasks) const
+                     bool build_tasks, trace::TraceSink *sink) const
 {
     if (video.frameCount() == 0) {
         throw std::invalid_argument("encode: empty video");
@@ -139,6 +139,7 @@ EncoderModel::encode(const video::Video &video, const EncodeParams &params,
     result.params = params;
 
     Probe probe(probe_config);
+    probe.setSink(sink);
     trace::ProbeScope scope(&probe);
 
     ToolConfig tc = toolConfig(params);
@@ -169,7 +170,7 @@ EncoderModel::encode(const video::Video &video, const EncodeParams &params,
         if ((tm == ThreadModel::FrameParallel ||
              tm == ThreadModel::SerialSpine) && f > 0) {
             uint64_t ops_before = probe.totalOps();
-            size_t op_before = probe.opTrace().size();
+            size_t op_before = probe.recordedOps();
             lookaheadPass(frame, video.frame(f - 1), v_la_cur, v_la_prev,
                           tm == ThreadModel::SerialSpine);
             if (tb.enabled) {
@@ -178,7 +179,7 @@ EncoderModel::encode(const video::Video &video, const EncodeParams &params,
                 t.weight = std::max<uint64_t>(1, probe.totalOps() - ops_before);
                 t.frame = f;
                 t.opBegin = op_before;
-                t.opEnd = probe.opTrace().size();
+                t.opEnd = probe.recordedOps();
                 if (tb.prev_lookahead >= 0) {
                     t.deps.push_back(tb.prev_lookahead);
                 }
@@ -190,14 +191,14 @@ EncoderModel::encode(const video::Video &video, const EncodeParams &params,
         tb.last_raster = -1;
         std::fill(tb.tile_last, tb.tile_last + 4, -1);
         tb.spine_weight = 0;
-        tb.spine_op_begin = probe.opTrace().size();
+        tb.spine_op_begin = probe.recordedOps();
         uint64_t frame_sb_ops_begin = probe.totalOps();
         (void)frame_sb_ops_begin;
 
         for (int r = 0; r < rows; ++r) {
             for (int c = 0; c < cols; ++c) {
                 uint64_t ops_before = probe.totalOps();
-                size_t op_before = probe.opTrace().size();
+                size_t op_before = probe.recordedOps();
                 fc.encodeSuperblock(c * sb, r * sb);
                 uint64_t weight =
                     std::max<uint64_t>(1, probe.totalOps() - ops_before);
@@ -216,7 +217,7 @@ EncoderModel::encode(const video::Video &video, const EncodeParams &params,
                 t.row = r;
                 t.col = c;
                 t.opBegin = op_before;
-                t.opEnd = probe.opTrace().size();
+                t.opEnd = probe.recordedOps();
                 switch (tm) {
                   case ThreadModel::Wavefront: {
                     // SVT-style: wavefront within the frame, pipelined
@@ -285,7 +286,7 @@ EncoderModel::encode(const video::Video &video, const EncodeParams &params,
             t.weight = std::max<uint64_t>(1, tb.spine_weight);
             t.frame = f;
             t.opBegin = tb.spine_op_begin;
-            t.opEnd = probe.opTrace().size();
+            t.opEnd = probe.recordedOps();
             if (tb.prev_spine >= 0) {
                 t.deps.push_back(tb.prev_spine);
             }
@@ -297,11 +298,11 @@ EncoderModel::encode(const video::Video &video, const EncodeParams &params,
         }
 
         uint64_t filter_ops_begin = probe.totalOps();
-        size_t filter_op_begin = probe.opTrace().size();
+        size_t filter_op_begin = probe.recordedOps();
         codec::EncodeStats frame_stats = fc.endFrame();
         uint64_t filter_weight =
             std::max<uint64_t>(rows, probe.totalOps() - filter_ops_begin);
-        size_t filter_op_end = probe.opTrace().size();
+        size_t filter_op_end = probe.recordedOps();
 
         result.stats += frame_stats;
         total_bits += frame_stats.bits;
@@ -369,8 +370,13 @@ EncoderModel::encode(const video::Video &video, const EncodeParams &params,
                      : 0.0;
     result.stats.bits = total_bits;
     result.branchTraceInstructions = probe.branchTraceOpSpan();
-    result.opTrace = probe.takeOpTrace();
-    result.branchTrace = probe.takeBranchTrace();
+    result.droppedOps = probe.droppedOps();
+    result.droppedBranches = probe.droppedBranches();
+    if (sink != nullptr) {
+        sink->flush();
+    } else {
+        result.capture = probe.takeCapture();
+    }
     if (tb.enabled) {
         result.taskGraph = std::move(tb.graph);
     }

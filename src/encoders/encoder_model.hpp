@@ -54,10 +54,29 @@ struct EncodeResult {
     double psnrDb = 0.0;            ///< Sequence luma PSNR.
     double bitrateKbps = 0.0;       ///< Real entropy-coded bitrate.
 
-    std::vector<trace::TraceOp> opTrace;          ///< For the core model.
-    std::vector<trace::BranchRecord> branchTrace; ///< For CBP.
+    /**
+     * The probe's captured traces. Only populated when the encode ran
+     * without an external sink — fused pipelines consume ops as they
+     * are produced and materialise nothing here.
+     */
+    trace::VectorSink capture;
+    /** Captured op trace, for batch replay through the core model. */
+    const std::vector<trace::TraceOp> &opTrace() const { return capture.ops(); }
+    /** Captured branch trace, for batch CBP replay. */
+    const std::vector<trace::BranchRecord> &
+    branchTrace() const
+    {
+        return capture.branches();
+    }
     /** Instruction span the branch trace covers (CBP MPKI denominator). */
     uint64_t branchTraceInstructions = 0;
+    /**
+     * In-window records cut by the probe's maxOps/maxBranches caps.
+     * Non-zero means the recorded streams under-represent the run;
+     * benches warn rather than report silently clipped denominators.
+     */
+    uint64_t droppedOps = 0;
+    uint64_t droppedBranches = 0;
 
     sched::TaskGraph taskGraph;     ///< For the scalability study.
 };
@@ -96,10 +115,15 @@ class EncoderModel
      * @param params       CRF / preset point.
      * @param probe_config What to collect (mix counters are always on).
      * @param build_tasks  Also emit the scalability task graph.
+     * @param sink         When non-null, stream trace events there
+     *                     instead of materialising them in the result's
+     *                     capture — the fused encode->simulate path.
+     *                     flush() is called before encode() returns.
      */
     EncodeResult encode(const video::Video &video, const EncodeParams &params,
                         const trace::ProbeConfig &probe_config = {},
-                        bool build_tasks = false) const;
+                        bool build_tasks = false,
+                        trace::TraceSink *sink = nullptr) const;
 
   protected:
     /**

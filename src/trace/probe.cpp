@@ -1,6 +1,7 @@
 #include "trace/probe.hpp"
 
 #include <algorithm>
+#include <limits>
 #include <mutex>
 
 namespace vepro::trace
@@ -10,6 +11,9 @@ namespace
 {
 
 thread_local Probe *tls_probe = nullptr;
+
+/** Ops staged on the stack before a batched TraceSink::onOps delivery. */
+constexpr size_t kEmitChunk = 64;
 
 std::mutex &
 siteRegistryMutex()
@@ -50,6 +54,19 @@ siteName(uint64_t pc)
     std::lock_guard<std::mutex> lock(siteRegistryMutex());
     auto it = siteRegistry().find(pc);
     return it != siteRegistry().end() ? it->second : "?";
+}
+
+ProbeConfig
+ProbeConfig::streaming(bool branches)
+{
+    ProbeConfig pc;
+    pc.collectOps = true;
+    pc.maxOps = std::numeric_limits<size_t>::max();
+    // opWindow >= opInterval disables sampling: every op is recorded.
+    pc.opWindow = pc.opInterval;
+    pc.collectBranches = branches;
+    pc.maxBranches = std::numeric_limits<size_t>::max();
+    return pc;
 }
 
 uint64_t
@@ -102,12 +119,47 @@ Probe::advance(uint64_t n)
     }
     uint64_t pos = opSeq_ % config_.opInterval;
     opSeq_ += n;
-    if (!config_.collectOps || opTrace_.size() >= config_.maxOps ||
-        pos >= config_.opWindow) {
+    if (!config_.collectOps) {
         return 0;
     }
-    uint64_t in_window = std::min(n, config_.opWindow - pos);
-    return std::min(in_window, config_.maxOps - opTrace_.size());
+    // opWindow >= opInterval means "record everything" (streaming mode);
+    // otherwise only the window-prefix of each interval is recorded.
+    uint64_t in_window =
+        config_.opWindow >= config_.opInterval
+            ? n
+            : (pos < config_.opWindow ? std::min(n, config_.opWindow - pos)
+                                      : 0);
+    uint64_t room = config_.maxOps > ops_recorded_
+                        ? config_.maxOps - ops_recorded_
+                        : 0;
+    uint64_t take = std::min(in_window, room);
+    dropped_ops_ += in_window - take;
+    return take;
+}
+
+void
+Probe::emitOp(const TraceOp &op)
+{
+    ++ops_recorded_;
+    dest()->onOp(op);
+}
+
+void
+Probe::emitOps(const TraceOp *ops, size_t n)
+{
+    ops_recorded_ += n;
+    dest()->onOps(ops, n);
+}
+
+void
+Probe::emitBranch(uint64_t pc, bool taken)
+{
+    if (branches_recorded_ == 0) {
+        branch_first_op_ = opSeq_;
+    }
+    branch_last_op_ = opSeq_;
+    ++branches_recorded_;
+    dest()->onBranch({pc, taken});
 }
 
 uint64_t
@@ -124,6 +176,9 @@ Probe::enterKernel(uint64_t site, int body_len)
     if (config_.profileSites) {
         site_slot_ = &site_ops_[site];
     }
+    if (sink_ != nullptr) {
+        sink_->onKernel(site);
+    }
     // Real encoders specialise each kernel by block size / unroll factor;
     // spread invocations over eight code variants so the instruction
     // footprint matches a few hundred KB of hot code, not a toy loop.
@@ -135,8 +190,10 @@ Probe::enterKernel(uint64_t site, int body_len)
     mix_.byClass[static_cast<int>(OpClass::BranchUncond)] += 2;
     mix_.byClass[static_cast<int>(OpClass::Other)] += 2;
     if (advance(4) >= 2) {
-        opTrace_.push_back({siteBase_, 0, OpClass::BranchUncond, true, 0, 0});
-        opTrace_.push_back({siteBase_ + 4, 0, OpClass::Other, false, 0, 0});
+        const TraceOp pair[2] = {
+            {siteBase_, 0, OpClass::BranchUncond, true, 0, 0, false},
+            {siteBase_ + 4, 0, OpClass::Other, false, 0, 0, false}};
+        emitOps(pair, 2);
     }
 }
 
@@ -145,8 +202,17 @@ Probe::ops(OpClass cls, uint64_t n, uint8_t dep1, uint8_t dep2)
 {
     mix_.byClass[static_cast<int>(cls)] += n;
     uint64_t take = advance(n);
+    TraceOp chunk[kEmitChunk];
+    size_t fill = 0;
     for (uint64_t i = 0; i < take; ++i) {
-        opTrace_.push_back({nextPc(), 0, cls, false, dep1, dep2});
+        chunk[fill++] = {nextPc(), 0, cls, false, dep1, dep2, false};
+        if (fill == kEmitChunk) {
+            emitOps(chunk, fill);
+            fill = 0;
+        }
+    }
+    if (fill > 0) {
+        emitOps(chunk, fill);
     }
 }
 
@@ -155,7 +221,7 @@ Probe::mem(OpClass cls, uint64_t addr, uint8_t dep1)
 {
     mix_.byClass[static_cast<int>(cls)] += 1;
     if (advance(1) > 0) {
-        opTrace_.push_back({nextPc(), addr, cls, false, dep1, 0});
+        emitOp({nextPc(), addr, cls, false, dep1, 0, false});
     }
 }
 
@@ -164,10 +230,18 @@ Probe::memRun(OpClass cls, uint64_t addr, int n, int stride, uint8_t dep1)
 {
     mix_.byClass[static_cast<int>(cls)] += static_cast<uint64_t>(n);
     uint64_t take = advance(static_cast<uint64_t>(n));
+    TraceOp chunk[kEmitChunk];
+    size_t fill = 0;
     for (uint64_t i = 0; i < take; ++i) {
-        opTrace_.push_back({nextPc(),
-                            addr + static_cast<uint64_t>(i) * stride, cls,
-                            false, dep1, 0});
+        chunk[fill++] = {nextPc(), addr + static_cast<uint64_t>(i) * stride,
+                         cls, false, dep1, 0, false};
+        if (fill == kEmitChunk) {
+            emitOps(chunk, fill);
+            fill = 0;
+        }
+    }
+    if (fill > 0) {
+        emitOps(chunk, fill);
     }
 }
 
@@ -176,15 +250,14 @@ Probe::decision(uint64_t site, bool taken)
 {
     mix_.byClass[static_cast<int>(OpClass::BranchCond)] += 1;
     if (advance(1) > 0) {
-        opTrace_.push_back({site, 0, OpClass::BranchCond, taken, 1, 0});
+        emitOp({site, 0, OpClass::BranchCond, taken, 1, 0, false});
     }
-    if (config_.collectBranches && opSeq_ > config_.branchWarmupOps &&
-        branchTrace_.size() < config_.maxBranches) {
-        if (branchTrace_.empty()) {
-            branch_first_op_ = opSeq_;
+    if (config_.collectBranches && opSeq_ > config_.branchWarmupOps) {
+        if (branches_recorded_ < config_.maxBranches) {
+            emitBranch(site, taken);
+        } else {
+            ++dropped_branches_;
         }
-        branch_last_op_ = opSeq_;
-        branchTrace_.push_back({site, taken});
     }
 }
 
@@ -197,23 +270,27 @@ Probe::loopBranches(uint64_t iterations)
     uint64_t loop_pc = siteBase_ + 4ULL * siteBodyLen_;
     mix_.byClass[static_cast<int>(OpClass::BranchCond)] += iterations;
     uint64_t take = advance(iterations);
+    TraceOp chunk[kEmitChunk];
+    size_t fill = 0;
     for (uint64_t i = 0; i < take; ++i) {
-        opTrace_.push_back(
-            {loop_pc, 0, OpClass::BranchCond, i + 1 < iterations, 1, 0});
+        chunk[fill++] = {loop_pc, 0, OpClass::BranchCond,
+                         i + 1 < iterations, 1, 0, false};
+        if (fill == kEmitChunk) {
+            emitOps(chunk, fill);
+            fill = 0;
+        }
+    }
+    if (fill > 0) {
+        emitOps(chunk, fill);
     }
     if (config_.collectBranches && opSeq_ > config_.branchWarmupOps) {
-        uint64_t room = config_.maxBranches > branchTrace_.size()
-                            ? config_.maxBranches - branchTrace_.size()
+        uint64_t room = config_.maxBranches > branches_recorded_
+                            ? config_.maxBranches - branches_recorded_
                             : 0;
-        uint64_t take = std::min(iterations, room);
-        if (take > 0) {
-            if (branchTrace_.empty()) {
-                branch_first_op_ = opSeq_;
-            }
-            branch_last_op_ = opSeq_;
-        }
-        for (uint64_t i = 0; i < take; ++i) {
-            branchTrace_.push_back({loop_pc, i + 1 < iterations});
+        uint64_t recorded = std::min(iterations, room);
+        dropped_branches_ += iterations - recorded;
+        for (uint64_t i = 0; i < recorded; ++i) {
+            emitBranch(loop_pc, i + 1 < iterations);
         }
     }
 }
@@ -232,18 +309,24 @@ Probe::mergeFrom(const Probe &other)
 {
     mix_ += other.mix_;
     opSeq_ += other.opSeq_;
-    for (const TraceOp &op : other.opTrace_) {
-        if (opTrace_.size() >= config_.maxOps) {
-            break;
+    for (const TraceOp &op : other.opTrace()) {
+        if (ops_recorded_ >= config_.maxOps) {
+            ++dropped_ops_;
+            continue;
         }
-        opTrace_.push_back(op);
+        emitOp(op);
     }
-    for (const BranchRecord &br : other.branchTrace_) {
-        if (branchTrace_.size() >= config_.maxBranches) {
-            break;
+    for (const BranchRecord &br : other.branchTrace()) {
+        if (branches_recorded_ >= config_.maxBranches) {
+            ++dropped_branches_;
+            continue;
         }
-        branchTrace_.push_back(br);
+        ++branches_recorded_;
+        dest()->onBranch(br);
     }
+    // Losses the other probe already took are losses of the merged trace.
+    dropped_ops_ += other.dropped_ops_;
+    dropped_branches_ += other.dropped_branches_;
 }
 
 void
@@ -254,8 +337,11 @@ Probe::reset()
     sitePos_ = 0;
     branch_first_op_ = 0;
     branch_last_op_ = 0;
-    opTrace_.clear();
-    branchTrace_.clear();
+    capture_.clear();
+    ops_recorded_ = 0;
+    branches_recorded_ = 0;
+    dropped_ops_ = 0;
+    dropped_branches_ = 0;
     site_ops_.clear();
     site_slot_ = nullptr;
     nextRegion_ = 0x10000000ULL;

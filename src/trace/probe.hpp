@@ -29,6 +29,7 @@
 #include <vector>
 
 #include "trace/opclass.hpp"
+#include "trace/sink.hpp"
 
 namespace vepro::trace
 {
@@ -48,34 +49,6 @@ uint64_t sitePc(std::string_view name);
  * was never registered through sitePc().
  */
 std::string siteName(uint64_t pc);
-
-/** One record of the branch trace consumed by the CBP framework. */
-struct BranchRecord {
-    uint64_t pc;   ///< Synthetic PC of the branch instruction.
-    bool taken;    ///< Resolved direction.
-};
-
-/** One record of the full-op trace consumed by the core model. */
-struct TraceOp {
-    uint64_t pc = 0;     ///< Synthetic PC.
-    uint64_t addr = 0;   ///< Data address for memory ops, else 0.
-    OpClass cls = OpClass::Alu;
-    bool taken = false;  ///< Direction, for conditional branches.
-    /**
-     * Distance (in dynamic ops) back to the producers of this op's
-     * sources; 0 means no in-window register dependence. Kernels choose
-     * values that match their dataflow (e.g. 1 for an accumulator chain).
-     */
-    uint8_t dep1 = 0;
-    uint8_t dep2 = 0;
-    /**
-     * True for a store performed by *another* core (thread-study traces
-     * only): the core model treats it as a coherence invalidation rather
-     * than an executed instruction. Deliberately last so the common
-     * aggregate initialisers can omit it.
-     */
-    bool foreign = false;
-};
 
 /** Instruction-mix totals, by op class and by reporting category. */
 struct MixCounters {
@@ -115,6 +88,14 @@ struct ProbeConfig {
      * run", i.e. past the warm-up of the first frames.
      */
     uint64_t branchWarmupOps = 0;
+
+    /**
+     * Full-fidelity streaming configuration: every op (and optionally
+     * every branch) is recorded, uncapped and unsampled. Only sensible
+     * with an external sink (Probe::setSink) consuming the stream as it
+     * is produced — materialising it would be O(trace length) again.
+     */
+    static ProbeConfig streaming(bool branches = false);
 };
 
 /**
@@ -130,6 +111,18 @@ class Probe
     explicit Probe(const ProbeConfig &config) : config_(config) {}
 
     const ProbeConfig &config() const { return config_; }
+
+    /**
+     * Stream recorded ops/branches to @p sink instead of the internal
+     * capture vectors. The sampling window and caps of the ProbeConfig
+     * still gate what is recorded, so a sink-fed consumer sees exactly
+     * the stream a capturing probe would have materialised; configure
+     * with ProbeConfig::streaming() for the uncapped full trace. The
+     * sink is not owned and must outlive the probe's emission. Pass
+     * nullptr to restore internal capture.
+     */
+    void setSink(TraceSink *sink) { sink_ = sink; }
+    TraceSink *sink() const { return sink_; }
 
     // -- Kernel-facing emission API --------------------------------------
 
@@ -183,18 +176,39 @@ class Probe
     const MixCounters &mix() const { return mix_; }
     uint64_t totalOps() const { return opSeq_; }
 
-    const std::vector<TraceOp> &opTrace() const { return opTrace_; }
+    /** Ops recorded so far (delivered to the sink or captured). */
+    uint64_t recordedOps() const { return ops_recorded_; }
+    /** Branches recorded so far. */
+    uint64_t recordedBranches() const { return branches_recorded_; }
+    /**
+     * Ops that fell inside the sampling window but were cut by the
+     * maxOps cap (including merge truncation). Non-zero means the op
+     * trace under-represents the run; benches should warn rather than
+     * report denominators computed from a silently clipped trace.
+     */
+    uint64_t droppedOps() const { return dropped_ops_; }
+    /** Branches lost to the maxBranches cap (see droppedOps()). */
+    uint64_t droppedBranches() const { return dropped_branches_; }
+
+    const std::vector<TraceOp> &opTrace() const { return capture_.ops(); }
     const std::vector<BranchRecord> &branchTrace() const
     {
-        return branchTrace_;
+        return capture_.branches();
     }
 
     /** Move the collected op trace out (leaves the probe's trace empty). */
-    std::vector<TraceOp> takeOpTrace() { return std::move(opTrace_); }
+    std::vector<TraceOp> takeOpTrace() { return capture_.takeOps(); }
     /** Move the collected branch trace out. */
     std::vector<BranchRecord> takeBranchTrace()
     {
-        return std::move(branchTrace_);
+        return capture_.takeBranches();
+    }
+    /** Move the whole capture sink out (ops + branches together). */
+    VectorSink takeCapture()
+    {
+        VectorSink out = std::move(capture_);
+        capture_ = VectorSink{};
+        return out;
     }
 
     /** Dynamic conditional-branch count (for miss-rate denominators). */
@@ -216,8 +230,11 @@ class Probe
     }
 
     /**
-     * Fold another probe's counters into this one (traces are appended up
-     * to this probe's caps). Used to merge per-worker probes.
+     * Fold another probe's counters into this one. Captured traces are
+     * appended up to this probe's caps; records cut by a cap are counted
+     * in droppedOps()/droppedBranches() (along with drops the other
+     * probe had already accumulated) instead of vanishing silently.
+     * Used to merge per-worker probes.
      */
     void mergeFrom(const Probe &other);
 
@@ -232,10 +249,21 @@ class Probe
 
   private:
     /** Advance the op counter; returns how many of the @p n ops fall in
-     *  the current sampling window (0 when op tracing is off). */
+     *  the current sampling window and under the cap (0 when op tracing
+     *  is off). Cap-truncated in-window ops are counted as dropped. */
     uint64_t advance(uint64_t n);
 
     uint64_t nextPc();
+
+    /** Destination of recorded records: external sink or capture. */
+    TraceSink *dest() { return sink_ != nullptr ? sink_ : &capture_; }
+
+    /** Record one op (updates the recorded counter). */
+    void emitOp(const TraceOp &op);
+    /** Record a batch of ops. */
+    void emitOps(const TraceOp *ops, size_t n);
+    /** Record one branch (caller already applied warmup/cap gating). */
+    void emitBranch(uint64_t pc, bool taken);
 
     ProbeConfig config_{};
     MixCounters mix_{};
@@ -252,8 +280,12 @@ class Probe
     std::unordered_map<uint64_t, uint64_t> site_ops_;
     uint64_t *site_slot_ = nullptr;  ///< Current site's counter (hot path).
 
-    std::vector<TraceOp> opTrace_;
-    std::vector<BranchRecord> branchTrace_;
+    TraceSink *sink_ = nullptr;  ///< External consumer, overrides capture.
+    VectorSink capture_;         ///< Internal batch capture (legacy API).
+    uint64_t ops_recorded_ = 0;
+    uint64_t branches_recorded_ = 0;
+    uint64_t dropped_ops_ = 0;
+    uint64_t dropped_branches_ = 0;
 };
 
 /**

@@ -7,17 +7,18 @@ namespace vepro::trace
 {
 
 std::vector<SiteProfile>
-profileReport(const Probe &probe, double min_share)
+profileReport(const std::unordered_map<uint64_t, uint64_t> &site_ops,
+              double min_share)
 {
     uint64_t total = 0;
-    for (const auto &[pc, ops] : probe.siteOps()) {
+    for (const auto &[pc, ops] : site_ops) {
         total += ops;
     }
     std::vector<SiteProfile> rows;
     if (total == 0) {
         return rows;
     }
-    for (const auto &[pc, ops] : probe.siteOps()) {
+    for (const auto &[pc, ops] : site_ops) {
         double share = 100.0 * static_cast<double>(ops) /
                        static_cast<double>(total);
         if (share < min_share) {
@@ -30,6 +31,18 @@ profileReport(const Probe &probe, double min_share)
                   return a.ops != b.ops ? a.ops > b.ops : a.name < b.name;
               });
     return rows;
+}
+
+std::vector<SiteProfile>
+profileReport(const Probe &probe, double min_share)
+{
+    return profileReport(probe.siteOps(), min_share);
+}
+
+std::vector<SiteProfile>
+profileReport(const SiteProfileSink &sink, double min_share)
+{
+    return profileReport(sink.siteOps(), min_share);
 }
 
 std::string

@@ -28,12 +28,26 @@ struct SiteProfile {
 };
 
 /**
+ * Flat profile of a per-site counter map (keys are site PCs from
+ * sitePc()), hottest first.
+ *
+ * @param min_share Drop sites below this share (percent) of the total.
+ */
+std::vector<SiteProfile>
+profileReport(const std::unordered_map<uint64_t, uint64_t> &site_ops,
+              double min_share = 0.1);
+
+/**
  * Flat profile of a probe's per-site counters, hottest first.
  *
  * @param probe     A probe run with profileSites enabled.
  * @param min_share Drop sites below this share (percent) of the total.
  */
 std::vector<SiteProfile> profileReport(const Probe &probe,
+                                       double min_share = 0.1);
+
+/** Flat profile of a streaming SiteProfileSink's counters. */
+std::vector<SiteProfile> profileReport(const SiteProfileSink &sink,
                                        double min_share = 0.1);
 
 /** Render the profile as a gprof-style text table. */

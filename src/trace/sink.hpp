@@ -1,0 +1,273 @@
+#ifndef VEPRO_TRACE_SINK_HPP
+#define VEPRO_TRACE_SINK_HPP
+
+/**
+ * @file
+ * Streaming trace records and the TraceSink consumer interface.
+ *
+ * The instrumentation probe (probe.hpp) produces two record streams: the
+ * full dynamic-op trace consumed by the core model and a branch trace
+ * consumed by the CBP predictor framework. Historically both were
+ * materialised into vectors and replayed afterwards, which caps fidelity
+ * (traces are truncated at a few million records) and makes peak memory
+ * proportional to trace length.
+ *
+ * TraceSink inverts that: consumers subscribe to the probe and receive
+ * records as the encode emits them, so encode and simulation run fused
+ * in one pass with O(1) trace memory. The out-of-order core model
+ * (uarch::StreamCore), the cache hierarchy (uarch::CacheSink), the CBP
+ * runner (bpred::StreamRunner), and the site profiler (SiteProfileSink)
+ * all implement this interface; MuxSink fans one probe out to several of
+ * them, and VectorSink preserves the old materialise-then-replay batch
+ * API for tests and trace serialisation.
+ */
+
+#include <cstddef>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "trace/opclass.hpp"
+
+namespace vepro::trace
+{
+
+/** One record of the branch trace consumed by the CBP framework. */
+struct BranchRecord {
+    uint64_t pc;   ///< Synthetic PC of the branch instruction.
+    bool taken;    ///< Resolved direction.
+};
+
+/** One record of the full-op trace consumed by the core model. */
+struct TraceOp {
+    uint64_t pc = 0;     ///< Synthetic PC.
+    uint64_t addr = 0;   ///< Data address for memory ops, else 0.
+    OpClass cls = OpClass::Alu;
+    bool taken = false;  ///< Direction, for conditional branches.
+    /**
+     * Distance (in dynamic ops) back to the producers of this op's
+     * sources; 0 means no in-window register dependence. Kernels choose
+     * values that match their dataflow (e.g. 1 for an accumulator chain).
+     */
+    uint8_t dep1 = 0;
+    uint8_t dep2 = 0;
+    /**
+     * True for a store performed by *another* core (thread-study traces
+     * only): the core model treats it as a coherence invalidation rather
+     * than an executed instruction. Deliberately last so the common
+     * aggregate initialisers can omit it.
+     */
+    bool foreign = false;
+};
+
+/**
+ * Consumer of a live trace stream.
+ *
+ * The probe delivers records in program order. onOps is the batched
+ * variant used for runs of ops emitted by one instrumentation call;
+ * sinks that only need counts can override it to avoid per-op virtual
+ * dispatch. flush() marks end-of-stream: sinks that simulate ahead of a
+ * window (the core model) complete their pending work there, and
+ * results read before flush() are undefined.
+ */
+class TraceSink
+{
+  public:
+    virtual ~TraceSink() = default;
+
+    /** One dynamic op, in program order. */
+    virtual void onOp(const TraceOp &op) = 0;
+
+    /** A batch of @p n consecutive ops (default: onOp per record). */
+    virtual void
+    onOps(const TraceOp *ops, size_t n)
+    {
+        for (size_t i = 0; i < n; ++i) {
+            onOp(ops[i]);
+        }
+    }
+
+    /** One conditional branch of the CBP branch trace. */
+    virtual void onBranch(const BranchRecord &branch) { (void)branch; }
+
+    /**
+     * The probe entered the instrumented kernel registered at @p site
+     * (see sitePc()); subsequent ops belong to it. Lets profiling sinks
+     * attribute ops without reverse-mapping PCs.
+     */
+    virtual void onKernel(uint64_t site) { (void)site; }
+
+    /** End of stream: complete pending work, finalise results. */
+    virtual void flush() {}
+};
+
+/** Fans one trace stream out to several sinks, in registration order. */
+class MuxSink final : public TraceSink
+{
+  public:
+    MuxSink() = default;
+    MuxSink(std::initializer_list<TraceSink *> sinks) : sinks_(sinks) {}
+
+    /** Register @p sink (not owned; must outlive the stream). */
+    void
+    add(TraceSink *sink)
+    {
+        if (sink != nullptr) {
+            sinks_.push_back(sink);
+        }
+    }
+
+    void
+    onOp(const TraceOp &op) override
+    {
+        for (TraceSink *s : sinks_) {
+            s->onOp(op);
+        }
+    }
+
+    void
+    onOps(const TraceOp *ops, size_t n) override
+    {
+        for (TraceSink *s : sinks_) {
+            s->onOps(ops, n);
+        }
+    }
+
+    void
+    onBranch(const BranchRecord &branch) override
+    {
+        for (TraceSink *s : sinks_) {
+            s->onBranch(branch);
+        }
+    }
+
+    void
+    onKernel(uint64_t site) override
+    {
+        for (TraceSink *s : sinks_) {
+            s->onKernel(site);
+        }
+    }
+
+    void
+    flush() override
+    {
+        for (TraceSink *s : sinks_) {
+            s->flush();
+        }
+    }
+
+  private:
+    std::vector<TraceSink *> sinks_;
+};
+
+/**
+ * Materialising sink: collects the streams into vectors, preserving the
+ * old batch API (Core::run, bpred::runTrace, trace_io) for tests and
+ * offline replay.
+ *
+ * Optionally bounded: with a cap, KeepFirst drops records past the cap
+ * (the legacy truncation behaviour) while KeepLast keeps the most recent
+ * records in a ring buffer. Dropped records are counted either way, so
+ * callers can warn instead of silently reporting truncated denominators.
+ * In KeepLast mode, call flush() before reading: it rotates the ring
+ * into chronological order.
+ */
+class VectorSink final : public TraceSink
+{
+  public:
+    enum class Overflow { KeepFirst, KeepLast };
+
+    VectorSink() = default;
+    /** @param max_ops / @param max_branches 0 = unbounded. */
+    VectorSink(size_t max_ops, size_t max_branches,
+               Overflow mode = Overflow::KeepFirst)
+        : max_ops_(max_ops), max_branches_(max_branches), mode_(mode)
+    {
+    }
+
+    void onOp(const TraceOp &op) override;
+    void onOps(const TraceOp *ops, size_t n) override;
+    void onBranch(const BranchRecord &branch) override;
+    void flush() override;
+
+    const std::vector<TraceOp> &ops() const { return ops_; }
+    const std::vector<BranchRecord> &branches() const { return branches_; }
+
+    /** Move the ops out (ring rotated first; leaves the sink empty). */
+    std::vector<TraceOp> takeOps();
+    /** Move the branches out. */
+    std::vector<BranchRecord> takeBranches();
+
+    uint64_t droppedOps() const { return dropped_ops_; }
+    uint64_t droppedBranches() const { return dropped_branches_; }
+
+    void clear();
+
+  private:
+    size_t max_ops_ = 0;
+    size_t max_branches_ = 0;
+    Overflow mode_ = Overflow::KeepFirst;
+    size_t op_head_ = 0;  ///< Ring write position (KeepLast only).
+    size_t br_head_ = 0;
+    uint64_t dropped_ops_ = 0;
+    uint64_t dropped_branches_ = 0;
+    std::vector<TraceOp> ops_;
+    std::vector<BranchRecord> branches_;
+};
+
+/**
+ * Streaming flat profiler: attributes every op to the most recently
+ * entered instrumentation site (the gprof substitute, as a sink). Pair
+ * with a full-fidelity stream (ProbeConfig::streaming()) for exact
+ * counts; under sampling it profiles the sampled stream.
+ */
+class SiteProfileSink final : public TraceSink
+{
+  public:
+    void
+    onKernel(uint64_t site) override
+    {
+        slot_ = &counts_[site];
+    }
+
+    void
+    onOp(const TraceOp &op) override
+    {
+        (void)op;
+        if (slot_ != nullptr) {
+            ++*slot_;
+        }
+    }
+
+    void
+    onOps(const TraceOp *ops, size_t n) override
+    {
+        (void)ops;
+        if (slot_ != nullptr) {
+            *slot_ += n;
+        }
+    }
+
+    /** Per-site op counts, keyed by site PC (see profileReport()). */
+    const std::unordered_map<uint64_t, uint64_t> &
+    siteOps() const
+    {
+        return counts_;
+    }
+
+    void
+    clear()
+    {
+        counts_.clear();
+        slot_ = nullptr;
+    }
+
+  private:
+    std::unordered_map<uint64_t, uint64_t> counts_;
+    uint64_t *slot_ = nullptr;
+};
+
+} // namespace vepro::trace
+
+#endif // VEPRO_TRACE_SINK_HPP

@@ -19,6 +19,14 @@ namespace
 constexpr uint64_t kPending = std::numeric_limits<uint64_t>::max();
 constexpr size_t kCompleteRing = 4096;
 
+/**
+ * Streaming high-water mark: once this many ops are queued ahead of the
+ * fetch stage, the engine simulates until the backlog drains. Bounds
+ * peak trace memory of a fused encode at ~kBacklog * sizeof(TraceOp)
+ * regardless of trace length.
+ */
+constexpr size_t kBacklog = 32768;
+
 /** Execution port classes. */
 enum class Port : uint8_t { Alu, Mul, Simd, Load, Store, Branch };
 
@@ -59,14 +67,423 @@ execLatency(OpClass cls)
 }
 
 struct Uop {
-    size_t idx = 0;
+    uint64_t idx = 0;  ///< Global dynamic-op index (foreign ops included).
     OpClass cls = OpClass::Alu;
     uint64_t pc = 0;
     uint64_t addr = 0;
+    uint8_t dep1 = 0;
+    uint8_t dep2 = 0;
     bool mispred = false;
 };
 
 } // namespace
+
+/**
+ * The simulation engine. One stepCycle() is the cycle loop body of the
+ * old batch replay, verbatim, with the trace vector replaced by a
+ * sliding window deque: consumed ops are popped once the fetch index
+ * passes them. A cycle is only stepped when the fetch stage is
+ * guaranteed not to under-run mid-cycle — at least `width` non-foreign
+ * ops queued — or when flushing, where end-of-buffer genuinely is
+ * end-of-trace. That guarantee makes the streamed simulation
+ * cycle-for-cycle identical to batch replay.
+ */
+struct StreamCore::Impl {
+    explicit Impl(const CoreConfig &cfg)
+        : config(cfg), predictor(bpred::makePredictor(cfg.predictorSpec)),
+          mem(cfg.mem), complete(kCompleteRing, 0),
+          fetchq_cap(static_cast<size_t>(cfg.width) * 4)
+    {
+        if (cfg.width < 1 || cfg.robSize < cfg.width) {
+            throw std::invalid_argument("Core: bad geometry");
+        }
+        rs.reserve(static_cast<size_t>(cfg.rsSize));
+    }
+
+    CoreConfig config;
+    std::unique_ptr<bpred::BranchPredictor> predictor;
+    Hierarchy mem;
+    CoreStats stats;
+
+    std::vector<uint64_t> complete;
+
+    // Input window: ops [base, base + buf.size()); fetch index pos.
+    std::deque<TraceOp> buf;
+    uint64_t base = 0;
+    uint64_t pos = 0;
+    uint64_t nf_avail = 0;  ///< Non-foreign ops in [pos, end).
+    uint64_t n_instr = 0;   ///< Non-foreign ops received in total.
+
+    // Front end.
+    std::deque<Uop> fetchq;
+    size_t fetchq_cap;
+    uint64_t redirect_until = 0;
+    uint64_t icache_until = 0;
+    uint64_t last_line = ~0ull;
+    bool pending_redirect = false;
+
+    // Back end.
+    struct RobEntry {
+        uint64_t idx;
+        OpClass cls;
+        uint64_t addr;
+    };
+    std::deque<RobEntry> rob;
+    struct RsEntry {
+        Uop uop;
+        uint64_t alloc_cycle;
+    };
+    std::vector<RsEntry> rs;
+    std::deque<uint64_t> load_completes;  // completion times, in-flight loads
+    std::deque<uint64_t> store_drains;    // drain times of post-retire stores
+    int lb_count = 0;
+    int sb_count = 0;  // stores allocated but not drained
+    uint64_t sb_drain_time = 0;
+
+    uint64_t cycle = 0;
+    uint64_t retired = 0;
+    bool finished = false;
+
+    uint64_t end() const { return base + buf.size(); }
+    const TraceOp &at(uint64_t idx) const
+    {
+        return buf[static_cast<size_t>(idx - base)];
+    }
+
+    void push(const TraceOp &op);
+    void stepCycle();
+    void finish();
+};
+
+void
+StreamCore::Impl::push(const TraceOp &op)
+{
+    buf.push_back(op);
+    if (!op.foreign) {
+        ++nf_avail;
+        ++n_instr;
+    }
+    // Drain the backlog, keeping the fetch-feed guarantee: each cycle
+    // consumes at most `width` non-foreign ops plus the foreign runs
+    // between them, so `width` queued non-foreign ops ensure the fetch
+    // loop never sees a buffer end the batch replay would not have seen.
+    while (buf.size() >= kBacklog &&
+           nf_avail >= static_cast<uint64_t>(config.width)) {
+        stepCycle();
+        while (base < pos) {
+            buf.pop_front();
+            ++base;
+        }
+    }
+}
+
+void
+StreamCore::Impl::stepCycle()
+{
+    ++cycle;
+
+    // Release load-buffer entries whose loads completed, and
+    // store-buffer entries that drained.
+    while (!load_completes.empty() && load_completes.front() <= cycle) {
+        load_completes.pop_front();
+        --lb_count;
+    }
+    while (!store_drains.empty() && store_drains.front() <= cycle) {
+        store_drains.pop_front();
+        --sb_count;
+    }
+
+    // ---- Retire (in order, up to width) --------------------------
+    int retired_now = 0;
+    while (!rob.empty() && retired_now < config.width) {
+        const RobEntry &head = rob.front();
+        if (complete[head.idx % kCompleteRing] == kPending ||
+            complete[head.idx % kCompleteRing] > cycle) {
+            break;
+        }
+        if (isStore(head.cls)) {
+            // Senior store: drains to the cache after retirement.
+            sb_drain_time = std::max(sb_drain_time + 1, cycle);
+            mem.dataAccess(head.addr, true);
+            store_drains.push_back(sb_drain_time);
+        }
+        rob.pop_front();
+        ++retired;
+        ++retired_now;
+    }
+
+    // ---- Issue / execute ----------------------------------------
+    int alu_free = config.aluPorts;
+    int simd_free = config.simdPorts;
+    int mul_free = config.mulPorts;
+    int load_free = config.loadPorts;
+    int store_free = config.storePorts;
+    int branch_free = config.branchPorts;
+    for (size_t i = 0; i < rs.size();) {
+        RsEntry &e = rs[i];
+        if (e.alloc_cycle >= cycle) {
+            ++i;
+            continue;
+        }
+        const Uop &u = e.uop;
+        // Dependency check via the completion ring.
+        bool ready = true;
+        for (uint8_t dep : {u.dep1, u.dep2}) {
+            if (dep == 0) {
+                continue;
+            }
+            if (u.idx < dep) {
+                continue;  // producer precedes the trace window
+            }
+            uint64_t c = complete[(u.idx - dep) % kCompleteRing];
+            if (c == kPending || c > cycle) {
+                ready = false;
+                break;
+            }
+        }
+        if (!ready) {
+            ++i;
+            continue;
+        }
+        int *port = nullptr;
+        switch (portOf(u.cls)) {
+          case Port::Alu: port = &alu_free; break;
+          case Port::Mul: port = &mul_free; break;
+          case Port::Simd: port = &simd_free; break;
+          case Port::Load: port = &load_free; break;
+          case Port::Store: port = &store_free; break;
+          case Port::Branch: port = &branch_free; break;
+        }
+        if (*port <= 0) {
+            ++i;
+            continue;
+        }
+        --*port;
+        uint64_t done;
+        if (isLoad(u.cls)) {
+            int lat = mem.dataAccess(u.addr, false);
+            done = cycle + static_cast<uint64_t>(lat);
+            load_completes.push_back(done);
+            std::sort(load_completes.begin(), load_completes.end());
+        } else {
+            done = cycle + static_cast<uint64_t>(execLatency(u.cls));
+        }
+        complete[u.idx % kCompleteRing] = done;
+        if (u.mispred) {
+            redirect_until =
+                done + static_cast<uint64_t>(config.mispredictPenalty);
+            pending_redirect = false;
+        }
+        rs[i] = rs.back();
+        rs.pop_back();
+    }
+
+    // ---- Allocate (width slots; classify every lost slot) -------
+    int allocated = 0;
+    bool counted_stall = false;
+    while (allocated < config.width && !fetchq.empty()) {
+        const Uop &u = fetchq.front();
+        bool need_lb = isLoad(u.cls);
+        bool need_sb = isStore(u.cls);
+        bool rob_full = rob.size() >= static_cast<size_t>(config.robSize);
+        bool rs_full = rs.size() >= static_cast<size_t>(config.rsSize);
+        bool lb_full = need_lb && lb_count >= config.loadBufSize;
+        bool sb_full = need_sb && sb_count >= config.storeBufSize;
+        if (rob_full || rs_full || lb_full || sb_full) {
+            if (!counted_stall) {
+                counted_stall = true;
+                if (rs_full) {
+                    ++stats.stalls.rs;
+                } else if (rob_full) {
+                    ++stats.stalls.rob;
+                } else if (lb_full) {
+                    ++stats.stalls.loadBuf;
+                } else {
+                    ++stats.stalls.storeBuf;
+                }
+            }
+            break;
+        }
+        complete[u.idx % kCompleteRing] = kPending;
+        rob.push_back({u.idx, u.cls, u.addr});
+        rs.push_back({u, cycle});
+        if (need_lb) {
+            ++lb_count;
+        }
+        if (need_sb) {
+            ++sb_count;
+        }
+        fetchq.pop_front();
+        ++allocated;
+    }
+    // Classify the lost allocation slots of this cycle.
+    uint64_t lost = static_cast<uint64_t>(config.width - allocated);
+    stats.slots.retiring += static_cast<uint64_t>(allocated);
+    if (lost > 0) {
+        if (counted_stall) {
+            stats.slots.backend += lost;
+            // Memory-bound if a load is outstanding past this cycle.
+            bool memory_bound =
+                !load_completes.empty() && load_completes.back() > cycle;
+            if (memory_bound) {
+                stats.slots.backendMemory += lost;
+            } else {
+                stats.slots.backendCore += lost;
+            }
+        } else if (fetchq.empty() &&
+                   (pending_redirect || cycle < redirect_until)) {
+            stats.slots.badSpec += lost;
+        } else if (fetchq.empty()) {
+            stats.slots.frontend += lost;
+        } else {
+            // Queue non-empty but nothing allocated: treat as backend
+            // (structural), already counted above when counted_stall.
+            stats.slots.backend += lost;
+            stats.slots.backendCore += lost;
+        }
+    }
+
+    // ---- Fetch ---------------------------------------------------
+    if (!pending_redirect && cycle >= redirect_until &&
+        cycle >= icache_until) {
+        int fetched = 0;
+        while (fetched < config.width && fetchq.size() < fetchq_cap &&
+               pos < end()) {
+            // Foreign stores: coherence traffic, no pipeline slots.
+            while (pos < end() && at(pos).foreign) {
+                mem.remoteStore(at(pos).addr);
+                ++pos;
+            }
+            if (pos >= end()) {
+                break;
+            }
+            const TraceOp &top = at(pos);
+            uint64_t line = top.pc >> 6;
+            if (line != last_line) {
+                last_line = line;
+                int extra = mem.instrAccess(top.pc);
+                if (extra > 0) {
+                    icache_until = cycle + static_cast<uint64_t>(extra);
+                    break;
+                }
+            }
+            Uop u;
+            u.idx = pos;
+            u.cls = top.cls;
+            u.pc = top.pc;
+            u.addr = top.addr;
+            u.dep1 = top.dep1;
+            u.dep2 = top.dep2;
+            bool stop_fetch = false;
+            if (top.cls == OpClass::BranchCond) {
+                bool pred = predictor->predict(top.pc);
+                predictor->update(top.pc, top.taken, pred);
+                ++stats.condBranches;
+                if (pred != top.taken) {
+                    ++stats.mispredicts;
+                    u.mispred = true;
+                    pending_redirect = true;
+                    stop_fetch = true;
+                } else if (top.taken) {
+                    stop_fetch = true;  // taken-branch fetch bubble
+                }
+            } else if (top.cls == OpClass::BranchUncond) {
+                stop_fetch = true;
+            }
+            fetchq.push_back(u);
+            ++pos;
+            --nf_avail;
+            ++fetched;
+            if (stop_fetch) {
+                if (config.takenBranchBubble > 0 && !u.mispred) {
+                    icache_until = std::max(
+                        icache_until,
+                        cycle +
+                            static_cast<uint64_t>(config.takenBranchBubble));
+                }
+                break;
+            }
+        }
+    }
+
+    // Consume trailing foreign ops so the run terminates even when
+    // the trace ends with them.
+    while (pos < end() && at(pos).foreign && fetchq.empty() &&
+           rob.empty()) {
+        mem.remoteStore(at(pos).addr);
+        ++pos;
+    }
+}
+
+void
+StreamCore::Impl::finish()
+{
+    if (finished) {
+        return;
+    }
+    while (retired < n_instr) {
+        stepCycle();
+    }
+    buf.clear();
+    base = pos;
+    stats.cycles = cycle;
+    stats.instructions = n_instr;
+    stats.l1iMisses = mem.l1i().misses();
+    stats.l1dAccesses = mem.l1d().accesses();
+    stats.l1dMisses = mem.l1d().misses();
+    stats.l2Misses = mem.l2().misses();
+    stats.llcMisses = mem.llc().misses();
+    stats.invalidations =
+        mem.l1d().invalidations() + mem.l2().invalidations();
+    finished = true;
+}
+
+StreamCore::StreamCore(const CoreConfig &config)
+    : impl_(std::make_unique<Impl>(config))
+{
+}
+
+StreamCore::~StreamCore() = default;
+StreamCore::StreamCore(StreamCore &&) noexcept = default;
+StreamCore &StreamCore::operator=(StreamCore &&) noexcept = default;
+
+void
+StreamCore::onOp(const trace::TraceOp &op)
+{
+    if (impl_->finished) {
+        throw std::logic_error("StreamCore: onOp after flush");
+    }
+    impl_->push(op);
+}
+
+void
+StreamCore::onOps(const trace::TraceOp *ops, size_t n)
+{
+    if (impl_->finished) {
+        throw std::logic_error("StreamCore: onOps after flush");
+    }
+    for (size_t i = 0; i < n; ++i) {
+        impl_->push(ops[i]);
+    }
+}
+
+void
+StreamCore::flush()
+{
+    impl_->finish();
+}
+
+bool
+StreamCore::finished() const
+{
+    return impl_->finished;
+}
+
+const CoreStats &
+StreamCore::stats() const
+{
+    return impl_->stats;
+}
 
 Core::Core(const CoreConfig &config) : config_(config)
 {
@@ -78,295 +495,30 @@ Core::Core(const CoreConfig &config) : config_(config)
 CoreStats
 Core::run(const std::vector<TraceOp> &trace)
 {
-    CoreStats stats;
-    auto predictor = bpred::makePredictor(config_.predictorSpec);
-    Hierarchy mem(config_.mem);
+    StreamCore sim(config_);
+    sim.onOps(trace.data(), trace.size());
+    sim.flush();
+    return sim.stats();
+}
 
-    std::vector<uint64_t> complete(kCompleteRing, 0);
-
-    // Front end.
-    size_t pos = 0;
-    std::deque<Uop> fetchq;
-    const size_t fetchq_cap = static_cast<size_t>(config_.width) * 4;
-    uint64_t redirect_until = 0;
-    uint64_t icache_until = 0;
-    uint64_t last_line = ~0ull;
-    bool pending_redirect = false;
-
-    // Back end.
-    struct RobEntry {
-        size_t idx;
-        OpClass cls;
-        uint64_t addr;
-    };
-    std::deque<RobEntry> rob;
-    struct RsEntry {
-        Uop uop;
-        uint64_t alloc_cycle;
-    };
-    std::vector<RsEntry> rs;
-    rs.reserve(static_cast<size_t>(config_.rsSize));
-    std::deque<uint64_t> load_completes;   // completion times of in-flight loads
-    std::deque<uint64_t> store_drains;     // drain times of post-retire stores
-    int lb_count = 0;
-    int sb_count = 0;                      // stores allocated but not drained
-    uint64_t sb_drain_time = 0;
-
-    size_t n_instr = 0;
-    for (const TraceOp &op : trace) {
-        n_instr += op.foreign ? 0 : 1;
+void
+CacheSink::onOp(const trace::TraceOp &op)
+{
+    if (op.foreign) {
+        mem_.remoteStore(op.addr);
+        return;
     }
-    if (n_instr == 0) {
-        return stats;
+    ++instructions_;
+    uint64_t line = op.pc >> 6;
+    if (line != last_line_) {
+        last_line_ = line;
+        mem_.instrAccess(op.pc);
     }
-
-    uint64_t cycle = 0;
-    size_t retired = 0;
-
-    while (retired < n_instr) {
-        ++cycle;
-
-        // Release load-buffer entries whose loads completed, and
-        // store-buffer entries that drained.
-        while (!load_completes.empty() && load_completes.front() <= cycle) {
-            load_completes.pop_front();
-            --lb_count;
-        }
-        while (!store_drains.empty() && store_drains.front() <= cycle) {
-            store_drains.pop_front();
-            --sb_count;
-        }
-
-        // ---- Retire (in order, up to width) --------------------------
-        int retired_now = 0;
-        while (!rob.empty() && retired_now < config_.width) {
-            const RobEntry &head = rob.front();
-            if (complete[head.idx % kCompleteRing] == kPending ||
-                complete[head.idx % kCompleteRing] > cycle) {
-                break;
-            }
-            if (isStore(head.cls)) {
-                // Senior store: drains to the cache after retirement.
-                sb_drain_time = std::max(sb_drain_time + 1, cycle);
-                mem.dataAccess(head.addr, true);
-                store_drains.push_back(sb_drain_time);
-            }
-            rob.pop_front();
-            ++retired;
-            ++retired_now;
-        }
-
-        // ---- Issue / execute ----------------------------------------
-        int alu_free = config_.aluPorts;
-        int simd_free = config_.simdPorts;
-        int mul_free = config_.mulPorts;
-        int load_free = config_.loadPorts;
-        int store_free = config_.storePorts;
-        int branch_free = config_.branchPorts;
-        for (size_t i = 0; i < rs.size();) {
-            RsEntry &e = rs[i];
-            if (e.alloc_cycle >= cycle) {
-                ++i;
-                continue;
-            }
-            const Uop &u = e.uop;
-            // Dependency check via the completion ring.
-            bool ready = true;
-            const TraceOp &top = trace[u.idx];
-            for (uint8_t dep : {top.dep1, top.dep2}) {
-                if (dep == 0) {
-                    continue;
-                }
-                if (u.idx < dep) {
-                    continue;  // producer precedes the trace window
-                }
-                uint64_t c = complete[(u.idx - dep) % kCompleteRing];
-                if (c == kPending || c > cycle) {
-                    ready = false;
-                    break;
-                }
-            }
-            if (!ready) {
-                ++i;
-                continue;
-            }
-            int *port = nullptr;
-            switch (portOf(u.cls)) {
-              case Port::Alu: port = &alu_free; break;
-              case Port::Mul: port = &mul_free; break;
-              case Port::Simd: port = &simd_free; break;
-              case Port::Load: port = &load_free; break;
-              case Port::Store: port = &store_free; break;
-              case Port::Branch: port = &branch_free; break;
-            }
-            if (*port <= 0) {
-                ++i;
-                continue;
-            }
-            --*port;
-            uint64_t done;
-            if (isLoad(u.cls)) {
-                int lat = mem.dataAccess(u.addr, false);
-                done = cycle + static_cast<uint64_t>(lat);
-                load_completes.push_back(done);
-                std::sort(load_completes.begin(), load_completes.end());
-            } else {
-                done = cycle + static_cast<uint64_t>(execLatency(u.cls));
-            }
-            complete[u.idx % kCompleteRing] = done;
-            if (u.mispred) {
-                redirect_until =
-                    done + static_cast<uint64_t>(config_.mispredictPenalty);
-                pending_redirect = false;
-            }
-            rs[i] = rs.back();
-            rs.pop_back();
-        }
-
-        // ---- Allocate (width slots; classify every lost slot) -------
-        int allocated = 0;
-        bool counted_stall = false;
-        while (allocated < config_.width && !fetchq.empty()) {
-            const Uop &u = fetchq.front();
-            bool need_lb = isLoad(u.cls);
-            bool need_sb = isStore(u.cls);
-            bool rob_full = rob.size() >= static_cast<size_t>(config_.robSize);
-            bool rs_full = rs.size() >= static_cast<size_t>(config_.rsSize);
-            bool lb_full = need_lb && lb_count >= config_.loadBufSize;
-            bool sb_full = need_sb && sb_count >= config_.storeBufSize;
-            if (rob_full || rs_full || lb_full || sb_full) {
-                if (!counted_stall) {
-                    counted_stall = true;
-                    if (rs_full) {
-                        ++stats.stalls.rs;
-                    } else if (rob_full) {
-                        ++stats.stalls.rob;
-                    } else if (lb_full) {
-                        ++stats.stalls.loadBuf;
-                    } else {
-                        ++stats.stalls.storeBuf;
-                    }
-                }
-                break;
-            }
-            complete[u.idx % kCompleteRing] = kPending;
-            rob.push_back({u.idx, u.cls, u.addr});
-            rs.push_back({u, cycle});
-            if (need_lb) {
-                ++lb_count;
-            }
-            if (need_sb) {
-                ++sb_count;
-            }
-            fetchq.pop_front();
-            ++allocated;
-        }
-        // Classify the lost allocation slots of this cycle.
-        uint64_t lost = static_cast<uint64_t>(config_.width - allocated);
-        stats.slots.retiring += static_cast<uint64_t>(allocated);
-        if (lost > 0) {
-            if (counted_stall) {
-                stats.slots.backend += lost;
-                // Memory-bound if a load is outstanding past this cycle.
-                bool memory_bound =
-                    !load_completes.empty() && load_completes.back() > cycle;
-                if (memory_bound) {
-                    stats.slots.backendMemory += lost;
-                } else {
-                    stats.slots.backendCore += lost;
-                }
-            } else if (fetchq.empty() &&
-                       (pending_redirect || cycle < redirect_until)) {
-                stats.slots.badSpec += lost;
-            } else if (fetchq.empty()) {
-                stats.slots.frontend += lost;
-            } else {
-                // Queue non-empty but nothing allocated: treat as backend
-                // (structural), already counted above when counted_stall.
-                stats.slots.backend += lost;
-                stats.slots.backendCore += lost;
-            }
-        }
-
-        // ---- Fetch ---------------------------------------------------
-        if (!pending_redirect && cycle >= redirect_until &&
-            cycle >= icache_until) {
-            int fetched = 0;
-            while (fetched < config_.width && fetchq.size() < fetchq_cap &&
-                   pos < trace.size()) {
-                // Foreign stores: coherence traffic, no pipeline slots.
-                while (pos < trace.size() && trace[pos].foreign) {
-                    mem.remoteStore(trace[pos].addr);
-                    ++pos;
-                }
-                if (pos >= trace.size()) {
-                    break;
-                }
-                const TraceOp &top = trace[pos];
-                uint64_t line = top.pc >> 6;
-                if (line != last_line) {
-                    last_line = line;
-                    int extra = mem.instrAccess(top.pc);
-                    if (extra > 0) {
-                        icache_until = cycle + static_cast<uint64_t>(extra);
-                        break;
-                    }
-                }
-                Uop u;
-                u.idx = pos;
-                u.cls = top.cls;
-                u.pc = top.pc;
-                u.addr = top.addr;
-                bool stop_fetch = false;
-                if (top.cls == OpClass::BranchCond) {
-                    bool pred = predictor->predict(top.pc);
-                    predictor->update(top.pc, top.taken, pred);
-                    ++stats.condBranches;
-                    if (pred != top.taken) {
-                        ++stats.mispredicts;
-                        u.mispred = true;
-                        pending_redirect = true;
-                        stop_fetch = true;
-                    } else if (top.taken) {
-                        stop_fetch = true;  // taken-branch fetch bubble
-                    }
-                } else if (top.cls == OpClass::BranchUncond) {
-                    stop_fetch = true;
-                }
-                fetchq.push_back(u);
-                ++pos;
-                ++fetched;
-                if (stop_fetch) {
-                    if (config_.takenBranchBubble > 0 && !u.mispred) {
-                        icache_until = std::max(
-                            icache_until,
-                            cycle +
-                                static_cast<uint64_t>(config_.takenBranchBubble));
-                    }
-                    break;
-                }
-            }
-        }
-
-        // Consume trailing foreign ops so the run terminates even when
-        // the trace ends with them.
-        while (pos < trace.size() && trace[pos].foreign && fetchq.empty() &&
-               rob.empty()) {
-            mem.remoteStore(trace[pos].addr);
-            ++pos;
-        }
+    if (isLoad(op.cls)) {
+        mem_.dataAccess(op.addr, false);
+    } else if (isStore(op.cls)) {
+        mem_.dataAccess(op.addr, true);
     }
-
-    stats.cycles = cycle;
-    stats.instructions = n_instr;
-    stats.l1iMisses = mem.l1i().misses();
-    stats.l1dAccesses = mem.l1d().accesses();
-    stats.l1dMisses = mem.l1d().misses();
-    stats.l2Misses = mem.l2().misses();
-    stats.llcMisses = mem.llc().misses();
-    stats.invalidations =
-        mem.l1d().invalidations() + mem.l2().invalidations();
-    return stats;
 }
 
 } // namespace vepro::uarch

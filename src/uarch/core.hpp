@@ -132,6 +132,49 @@ struct CoreStats {
     double l1iMpki() const { return mpkiOf(l1iMisses); }
 };
 
+/**
+ * Streaming core model: a trace::TraceSink that simulates the op stream
+ * as it arrives, fused with the producing encode.
+ *
+ * Ops are buffered in a small ring and simulated as soon as enough are
+ * queued to keep the fetch stage fed; flush() drains the pipeline and
+ * finalises the statistics. Cycle-for-cycle identical to replaying the
+ * materialised trace through Core::run (which delegates here), but with
+ * O(ring) memory instead of O(trace length), so uncapped full-fidelity
+ * traces need no truncation or sampling.
+ */
+class StreamCore final : public trace::TraceSink
+{
+  public:
+    explicit StreamCore(const CoreConfig &config = {});
+    ~StreamCore() override;
+
+    StreamCore(const StreamCore &) = delete;
+    StreamCore &operator=(const StreamCore &) = delete;
+    StreamCore(StreamCore &&) noexcept;
+    StreamCore &operator=(StreamCore &&) noexcept;
+
+    /**
+     * Consume the next dynamic op. Foreign ops are applied as coherence
+     * invalidations, not instructions. Throws std::logic_error after
+     * flush().
+     */
+    void onOp(const trace::TraceOp &op) override;
+    void onOps(const trace::TraceOp *ops, size_t n) override;
+
+    /** End of trace: drain the pipeline and finalise stats(). */
+    void flush() override;
+
+    bool finished() const;
+
+    /** The simulation results; valid once flush() has run. */
+    const CoreStats &stats() const;
+
+  private:
+    struct Impl;
+    std::unique_ptr<Impl> impl_;
+};
+
 /** The core model. One instance simulates one trace start-to-finish. */
 class Core
 {
@@ -139,13 +182,49 @@ class Core
     explicit Core(const CoreConfig &config = {});
 
     /**
-     * Simulate the trace and return the statistics. Foreign ops in the
-     * trace are applied as coherence invalidations, not instructions.
+     * Simulate the trace and return the statistics: the batch-replay
+     * entry point, equivalent to streaming the trace through a
+     * StreamCore. Foreign ops in the trace are applied as coherence
+     * invalidations, not instructions.
      */
     CoreStats run(const std::vector<trace::TraceOp> &trace);
 
   private:
     CoreConfig config_;
+};
+
+/**
+ * Cache-hierarchy-only sink: runs the memory side of the op stream (data
+ * accesses, instruction-line fetches, coherence invalidations) through a
+ * Hierarchy without the out-of-order core on top. Orders of magnitude
+ * cheaper than StreamCore when only miss counts are needed.
+ */
+class CacheSink final : public trace::TraceSink
+{
+  public:
+    explicit CacheSink(const Hierarchy::Config &config = Hierarchy::Config{})
+        : mem_(config)
+    {
+    }
+
+    void onOp(const trace::TraceOp &op) override;
+
+    const Hierarchy &hierarchy() const { return mem_; }
+    uint64_t instructions() const { return instructions_; }
+
+    /** Misses per kilo-instruction of one level's counter. */
+    double
+    mpkiOf(uint64_t misses) const
+    {
+        return instructions_ ? 1000.0 * static_cast<double>(misses) /
+                                   static_cast<double>(instructions_)
+                             : 0.0;
+    }
+
+  private:
+    Hierarchy mem_;
+    uint64_t last_line_ = ~0ull;
+    uint64_t instructions_ = 0;
 };
 
 } // namespace vepro::uarch

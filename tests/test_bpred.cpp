@@ -313,5 +313,28 @@ TEST_P(PredictorOrdering, PaperOrderingHolds)
 INSTANTIATE_TEST_SUITE_P(Seeds, PredictorOrdering,
                          ::testing::Values(11u, 22u, 33u, 44u));
 
+/** The streaming runner must score a branch stream exactly like the
+ *  batch replay of the same records. */
+TEST(StreamRunner, MatchesBatchReplay)
+{
+    auto trace = encoderLike(100000, 7u);
+
+    auto batch_pred = makePredictor("tage-8KB");
+    RunResult batch = runTrace(*batch_pred, trace, 1'000'000);
+
+    auto stream_pred = makePredictor("tage-8KB");
+    StreamRunner runner(*stream_pred);
+    for (const BranchRecord &r : trace) {
+        runner.onBranch(r);
+    }
+    runner.setInstructions(1'000'000);
+
+    EXPECT_EQ(runner.result().predictor, batch.predictor);
+    EXPECT_EQ(runner.result().branches, batch.branches);
+    EXPECT_EQ(runner.result().misses, batch.misses);
+    EXPECT_EQ(runner.result().instructions, batch.instructions);
+    EXPECT_DOUBLE_EQ(runner.result().mpki(), batch.mpki());
+}
+
 } // namespace
 } // namespace vepro::bpred

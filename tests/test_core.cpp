@@ -166,7 +166,7 @@ TEST(ThreadStudy, RequiresTaskGraph)
 TEST(SystemTrace, SingleThreadHasNoSpins)
 {
     auto r = taskedEncode("x265");
-    auto trace = buildSystemTrace(r.opTrace, r.taskGraph, 1);
+    auto trace = buildSystemTrace(r.opTrace(), r.taskGraph, 1);
     for (const auto &op : trace) {
         EXPECT_FALSE(op.foreign);
     }
@@ -176,7 +176,7 @@ TEST(SystemTrace, SingleThreadHasNoSpins)
 TEST(SystemTrace, IdleCoresSpinOnTheQueueLine)
 {
     auto r = taskedEncode("x265");
-    auto trace = buildSystemTrace(r.opTrace, r.taskGraph, 8);
+    auto trace = buildSystemTrace(r.opTrace(), r.taskGraph, 8);
     size_t foreign = 0, spins = 0;
     for (const auto &op : trace) {
         foreign += op.foreign;
@@ -193,7 +193,7 @@ TEST(SystemTrace, RespectsOpCap)
     auto r = taskedEncode("SVT-AV1");
     SystemTraceConfig cfg;
     cfg.maxOps = 5'000;
-    auto trace = buildSystemTrace(r.opTrace, r.taskGraph, 4, cfg);
+    auto trace = buildSystemTrace(r.opTrace(), r.taskGraph, 4, cfg);
     EXPECT_LE(trace.size(), 5'000u);
 }
 

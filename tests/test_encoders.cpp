@@ -220,11 +220,11 @@ TEST(Encode, BranchTraceCollection)
     pc.collectBranches = true;
     pc.maxBranches = 50'000;
     EncodeResult r = enc->encode(tinyClip(), p, pc);
-    EXPECT_FALSE(r.branchTrace.empty());
-    EXPECT_LE(r.branchTrace.size(), 50'000u);
+    EXPECT_FALSE(r.branchTrace().empty());
+    EXPECT_LE(r.branchTrace().size(), 50'000u);
     // Both directions must appear.
     bool taken = false, not_taken = false;
-    for (const auto &b : r.branchTrace) {
+    for (const auto &b : r.branchTrace()) {
         taken |= b.taken;
         not_taken |= !b.taken;
     }
@@ -244,8 +244,8 @@ TEST(Encode, OpTraceRespectsCaps)
     pc.opWindow = 1'000;
     pc.opInterval = 5'000;
     EncodeResult r = enc->encode(tinyClip(), p, pc);
-    EXPECT_FALSE(r.opTrace.empty());
-    EXPECT_LE(r.opTrace.size(), 10'000u);
+    EXPECT_FALSE(r.opTrace().empty());
+    EXPECT_LE(r.opTrace().size(), 10'000u);
 }
 
 class TaskGraphShape : public ::testing::TestWithParam<std::string>
@@ -273,7 +273,7 @@ TEST_P(TaskGraphShape, GraphIsValidAndLinked)
     EXPECT_LE(weight, r.instructions);
     for (const sched::Task &t : r.taskGraph.tasks()) {
         EXPECT_LE(t.opBegin, t.opEnd);
-        EXPECT_LE(t.opEnd, r.opTrace.size());
+        EXPECT_LE(t.opEnd, r.opTrace().size());
         EXPECT_GE(t.weight, 1u);
     }
 }

@@ -52,10 +52,10 @@ TEST(Integration, EncodeSimulatePipeline)
     pc.opWindow = 100'000;
     pc.opInterval = 300'000;
     auto r = enc->encode(clip(), p, pc);
-    ASSERT_FALSE(r.opTrace.empty());
+    ASSERT_FALSE(r.opTrace().empty());
 
     uarch::Core core;
-    uarch::CoreStats s = core.run(r.opTrace);
+    uarch::CoreStats s = core.run(r.opTrace());
     EXPECT_GT(s.ipc(), 1.0);
     EXPECT_LT(s.ipc(), 3.5);
     double retiring = s.slots.fraction(s.slots.retiring);
@@ -65,6 +65,107 @@ TEST(Integration, EncodeSimulatePipeline)
                  s.slots.fraction(s.slots.frontend) +
                  s.slots.fraction(s.slots.backend);
     EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+/** The fused streaming pipeline (encode -> StreamCore + StreamRunner
+ *  live) must be bit-identical to capturing the traces and replaying
+ *  them batch-style — the paper numbers cannot depend on which path a
+ *  bench uses. */
+TEST(Integration, FusedPipelineMatchesBatchReplay)
+{
+    auto enc = encoders::encoderByName("SVT-AV1");
+    encoders::EncodeParams p;
+    p.crf = 40;
+    p.preset = 6;
+    trace::ProbeConfig pc;
+    pc.collectOps = true;
+    pc.maxOps = 400'000;
+    pc.opWindow = 100'000;
+    pc.opInterval = 300'000;
+    pc.collectBranches = true;
+    pc.maxBranches = 200'000;
+    pc.branchWarmupOps = 100'000;
+
+    // Batch: capture, then replay.
+    auto captured = enc->encode(clip(), p, pc);
+    uarch::Core core;
+    uarch::CoreStats batch_core = core.run(captured.opTrace());
+    auto batch_pred = bpred::makePredictor("tage-8KB");
+    bpred::RunResult batch_bp =
+        bpred::runTrace(*batch_pred, captured.branchTrace(),
+                        captured.branchTraceInstructions);
+
+    // Fused: the same encode streams into the core model and the
+    // predictor runner; nothing is materialised.
+    uarch::StreamCore sim;
+    auto stream_pred = bpred::makePredictor("tage-8KB");
+    bpred::StreamRunner runner(*stream_pred);
+    trace::MuxSink mux{&sim, &runner};
+    auto fused = enc->encode(clip(), p, pc, false, &mux);
+    runner.setInstructions(fused.branchTraceInstructions);
+
+    EXPECT_TRUE(fused.opTrace().empty()) << "fused path materialises nothing";
+    EXPECT_EQ(fused.instructions, captured.instructions);
+    EXPECT_EQ(fused.branchTraceInstructions,
+              captured.branchTraceInstructions);
+
+    const uarch::CoreStats &s = sim.stats();
+    EXPECT_EQ(s.cycles, batch_core.cycles);
+    EXPECT_EQ(s.instructions, batch_core.instructions);
+    EXPECT_EQ(s.slots.retiring, batch_core.slots.retiring);
+    EXPECT_EQ(s.slots.badSpec, batch_core.slots.badSpec);
+    EXPECT_EQ(s.slots.frontend, batch_core.slots.frontend);
+    EXPECT_EQ(s.slots.backend, batch_core.slots.backend);
+    EXPECT_EQ(s.mispredicts, batch_core.mispredicts);
+    EXPECT_EQ(s.l1dMisses, batch_core.l1dMisses);
+    EXPECT_EQ(s.l2Misses, batch_core.l2Misses);
+    EXPECT_EQ(s.llcMisses, batch_core.llcMisses);
+
+    EXPECT_EQ(runner.result().branches, batch_bp.branches);
+    EXPECT_EQ(runner.result().misses, batch_bp.misses);
+    EXPECT_DOUBLE_EQ(runner.result().mpki(), batch_bp.mpki());
+}
+
+/** runPoint is fused end to end and must agree with the batch path; the
+ *  parallel driver must produce the same results as the serial one. */
+TEST(Integration, ParallelSweepMatchesSerial)
+{
+    auto enc = encoders::encoderByName("SVT-AV1");
+    core::RunScale scale;
+    scale.maxTraceOps = 300'000;
+    video::Video c = clip();
+
+    const std::vector<int> crfs = {20, 40, 60};
+    std::vector<core::SweepPoint> serial(crfs.size());
+    for (size_t i = 0; i < crfs.size(); ++i) {
+        serial[i] = core::runPoint(*enc, c, crfs[i], 6, scale);
+    }
+
+    std::vector<core::SweepPoint> parallel(crfs.size());
+    core::parallelFor(crfs.size(), 3, [&](size_t i) {
+        parallel[i] = core::runPoint(*enc, c, crfs[i], 6, scale);
+    });
+
+    for (size_t i = 0; i < crfs.size(); ++i) {
+        EXPECT_EQ(parallel[i].core.cycles, serial[i].core.cycles);
+        EXPECT_EQ(parallel[i].core.instructions,
+                  serial[i].core.instructions);
+        EXPECT_EQ(parallel[i].core.mispredicts, serial[i].core.mispredicts);
+        EXPECT_EQ(parallel[i].encode.instructions,
+                  serial[i].encode.instructions);
+        EXPECT_DOUBLE_EQ(parallel[i].encode.psnrDb, serial[i].encode.psnrDb);
+    }
+}
+
+TEST(Integration, ParallelForPropagatesExceptions)
+{
+    EXPECT_THROW(core::parallelFor(8, 4,
+                                   [](size_t i) {
+                                       if (i == 5) {
+                                           throw std::runtime_error("boom");
+                                       }
+                                   }),
+                 std::runtime_error);
 }
 
 TEST(Integration, InstructionCountFallsWithCrf)
@@ -107,11 +208,11 @@ TEST(Integration, CbpPredictorOrderingOnRealTraces)
     pc.collectBranches = true;
     pc.maxBranches = 500'000;
     auto r = enc->encode(clip(), p, pc);
-    ASSERT_GT(r.branchTrace.size(), 50'000u);
+    ASSERT_GT(r.branchTrace().size(), 50'000u);
 
     auto miss = [&](const char *spec) {
         auto pred = bpred::makePredictor(spec);
-        return bpred::runTrace(*pred, r.branchTrace, r.instructions)
+        return bpred::runTrace(*pred, r.branchTrace(), r.instructions)
             .missRatePercent();
     };
     double g2 = miss("gshare-2KB");
@@ -159,8 +260,8 @@ TEST(Integration, ThreadStudyEndToEnd)
     pc.opInterval = 200'000;
     auto r = enc->encode(clip("game1", 4), p, pc, true);
 
-    auto trace1 = core::buildSystemTrace(r.opTrace, r.taskGraph, 1);
-    auto trace8 = core::buildSystemTrace(r.opTrace, r.taskGraph, 8);
+    auto trace1 = core::buildSystemTrace(r.opTrace(), r.taskGraph, 1);
+    auto trace8 = core::buildSystemTrace(r.opTrace(), r.taskGraph, 8);
     uarch::Core core;
     auto s1 = core.run(trace1);
     uarch::Core core8;

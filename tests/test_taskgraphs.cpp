@@ -198,7 +198,7 @@ TEST(SystemTrace, BlockingWaitsEmitNoSpins)
     auto r = taskedEncode("SVT-AV1");
     core::SystemTraceConfig cfg;
     cfg.pollingWaits = false;
-    auto trace = core::buildSystemTrace(r.opTrace, r.taskGraph, 8, cfg);
+    auto trace = core::buildSystemTrace(r.opTrace(), r.taskGraph, 8, cfg);
     for (const auto &op : trace) {
         EXPECT_FALSE(op.foreign);
         EXPECT_NE(op.addr, 0x7f000000ULL);
@@ -230,7 +230,7 @@ TEST(SystemTrace, SpinVolumeGrowsWithIdleness)
     auto spins_at = [&](int threads) {
         core::SystemTraceConfig cfg;
         cfg.spinDuty = 0.05;
-        auto trace = core::buildSystemTrace(rr.opTrace, rr.taskGraph,
+        auto trace = core::buildSystemTrace(rr.opTrace(), rr.taskGraph,
                                             threads, cfg);
         size_t spins = 0;
         for (const auto &op : trace) {

@@ -392,5 +392,209 @@ TEST(TraceIo, RejectsMissingFile)
                  std::runtime_error);
 }
 
+// ---- Streaming sink architecture -----------------------------------
+
+/** A deterministic emission workload exercising every probe API. */
+void
+emitWorkload(Probe &p)
+{
+    for (int round = 0; round < 40; ++round) {
+        p.enterKernel(sitePc("sink.kernel.a"), 16);
+        p.ops(OpClass::Alu, 30, 1);
+        p.mem(OpClass::Load, 0x20000 + static_cast<uint64_t>(round) * 64);
+        p.memRun(OpClass::SimdLoad, 0x40000, 8, 32, 2);
+        p.decision(sitePc("sink.dec"), round % 3 != 0);
+        p.loopBranches(9);
+        p.enterKernel(sitePc("sink.kernel.b"), 8);
+        p.ops(OpClass::SimdAlu, 50, 0, 3);
+        p.mem(OpClass::Store, 0x60000 + static_cast<uint64_t>(round) * 8);
+        p.decision(sitePc("sink.dec2"), round % 7 < 3);
+    }
+}
+
+void
+expectSameStreams(const std::vector<TraceOp> &a,
+                  const std::vector<TraceOp> &b)
+{
+    ASSERT_EQ(a.size(), b.size());
+    for (size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i].pc, b[i].pc) << "op " << i;
+        EXPECT_EQ(a[i].addr, b[i].addr) << "op " << i;
+        EXPECT_EQ(a[i].cls, b[i].cls) << "op " << i;
+        EXPECT_EQ(a[i].taken, b[i].taken) << "op " << i;
+        EXPECT_EQ(a[i].dep1, b[i].dep1) << "op " << i;
+        EXPECT_EQ(a[i].dep2, b[i].dep2) << "op " << i;
+        EXPECT_EQ(a[i].foreign, b[i].foreign) << "op " << i;
+    }
+}
+
+/** A sink-fed probe must deliver exactly the stream a capturing probe
+ *  materialises — same sampling windows, same caps, same records. */
+TEST(Sink, StreamEqualsCapture)
+{
+    ProbeConfig pc;
+    pc.collectOps = true;
+    pc.maxOps = 3000;
+    pc.opWindow = 700;
+    pc.opInterval = 1500;
+    pc.collectBranches = true;
+    pc.maxBranches = 100;
+    pc.branchWarmupOps = 500;
+
+    Probe capture(pc);
+    emitWorkload(capture);
+
+    VectorSink streamed;
+    Probe fed(pc);
+    fed.setSink(&streamed);
+    emitWorkload(fed);
+
+    expectSameStreams(capture.opTrace(), streamed.ops());
+    ASSERT_EQ(capture.branchTrace().size(), streamed.branches().size());
+    for (size_t i = 0; i < streamed.branches().size(); ++i) {
+        EXPECT_EQ(capture.branchTrace()[i].pc, streamed.branches()[i].pc);
+        EXPECT_EQ(capture.branchTrace()[i].taken,
+                  streamed.branches()[i].taken);
+    }
+    // Counters, mix, and MPKI denominators are sink-independent.
+    EXPECT_EQ(capture.recordedOps(), fed.recordedOps());
+    EXPECT_EQ(capture.recordedBranches(), fed.recordedBranches());
+    EXPECT_EQ(capture.droppedOps(), fed.droppedOps());
+    EXPECT_EQ(capture.droppedBranches(), fed.droppedBranches());
+    EXPECT_EQ(capture.branchTraceOpSpan(), fed.branchTraceOpSpan());
+    EXPECT_EQ(capture.mix().total(), fed.mix().total());
+    for (int i = 0; i < kNumOpClasses; ++i) {
+        EXPECT_EQ(capture.mix().byClass[static_cast<size_t>(i)],
+                  fed.mix().byClass[static_cast<size_t>(i)]);
+    }
+    EXPECT_EQ(streamed.ops().size(), capture.recordedOps());
+}
+
+TEST(Sink, DropCountersAccountForCaps)
+{
+    ProbeConfig pc;
+    pc.collectOps = true;
+    pc.maxOps = 100;
+    pc.opWindow = 1000;
+    pc.opInterval = 1000;
+    pc.collectBranches = true;
+    pc.maxBranches = 5;
+    Probe p(pc);
+    emitWorkload(p);
+    EXPECT_EQ(p.recordedOps(), 100u);
+    EXPECT_EQ(p.opTrace().size(), 100u);
+    EXPECT_GT(p.droppedOps(), 0u);
+    EXPECT_EQ(p.recordedBranches(), 5u);
+    EXPECT_GT(p.droppedBranches(), 0u);
+}
+
+TEST(Sink, MergeFromCountsTruncation)
+{
+    ProbeConfig pc;
+    pc.collectOps = true;
+    pc.maxOps = 150;
+    pc.opWindow = 1000;
+    pc.opInterval = 1000;
+    pc.collectBranches = true;
+    pc.maxBranches = 8;
+
+    Probe a(pc), b(pc), merged(pc);
+    emitWorkload(a);
+    emitWorkload(b);
+    merged.mergeFrom(a);
+    ASSERT_EQ(merged.opTrace().size(), 150u);
+    uint64_t drops_before = merged.droppedOps();
+    merged.mergeFrom(b);  // capture already full: all of b's ops drop
+    EXPECT_EQ(merged.opTrace().size(), 150u);
+    EXPECT_EQ(merged.droppedOps(),
+              drops_before + b.recordedOps() + b.droppedOps());
+    EXPECT_EQ(merged.branchTrace().size(), 8u);
+    EXPECT_GT(merged.droppedBranches(), 0u);
+}
+
+TEST(Sink, MuxFansOutToAllSinks)
+{
+    VectorSink first, second;
+    SiteProfileSink profile;
+    MuxSink mux{&first, &second};
+    mux.add(&profile);
+
+    Probe p(ProbeConfig::streaming(true));
+    p.setSink(&mux);
+    emitWorkload(p);
+    mux.flush();
+
+    expectSameStreams(first.ops(), second.ops());
+    EXPECT_EQ(first.ops().size(), p.recordedOps());
+    EXPECT_EQ(first.branches().size(), second.branches().size());
+    uint64_t attributed = 0;
+    for (const auto &[site, n] : profile.siteOps()) {
+        attributed += n;
+    }
+    EXPECT_EQ(attributed, p.recordedOps());
+}
+
+TEST(Sink, KeepLastRingRetainsMostRecent)
+{
+    VectorSink ring(4, 2, VectorSink::Overflow::KeepLast);
+    for (uint64_t i = 0; i < 10; ++i) {
+        ring.onOp({0x1000 + i, 0, OpClass::Alu, false, 0, 0, false});
+        ring.onBranch({0x2000 + i, i % 2 == 0});
+    }
+    ring.flush();  // rotate into chronological order
+    ASSERT_EQ(ring.ops().size(), 4u);
+    EXPECT_EQ(ring.droppedOps(), 6u);
+    for (uint64_t i = 0; i < 4; ++i) {
+        EXPECT_EQ(ring.ops()[i].pc, 0x1000 + 6 + i);
+    }
+    ASSERT_EQ(ring.branches().size(), 2u);
+    EXPECT_EQ(ring.droppedBranches(), 8u);
+    EXPECT_EQ(ring.branches()[0].pc, 0x2000 + 8u);
+    EXPECT_EQ(ring.branches()[1].pc, 0x2000 + 9u);
+}
+
+TEST(Sink, StreamingConfigRecordsEverything)
+{
+    Probe p(ProbeConfig::streaming(true));
+    VectorSink all;
+    p.setSink(&all);
+    emitWorkload(p);
+    EXPECT_EQ(all.ops().size(), p.recordedOps());
+    EXPECT_EQ(p.droppedOps(), 0u);
+    EXPECT_EQ(p.droppedBranches(), 0u);
+    // Only the un-emitted half of each kernel-entry call pair (2 of the
+    // 4 booked call-overhead ops) separates the stream from totalOps:
+    // 80 enterKernel calls in the workload.
+    EXPECT_EQ(p.recordedOps() + 80 * 2, p.totalOps());
+}
+
+/** The streaming profiler must agree with the probe's own site map up
+ *  to the un-emitted half of each kernel-entry call pair (the probe
+ *  books 4 call-overhead ops per enterKernel but streams 2). */
+TEST(Sink, SiteProfileMatchesProbeProfiling)
+{
+    ProbeConfig pc = ProbeConfig::streaming();
+    pc.profileSites = true;
+    SiteProfileSink sink;
+    Probe p(pc);
+    p.setSink(&sink);
+    emitWorkload(p);
+    EXPECT_EQ(sink.siteOps().size(), p.siteOps().size());
+    for (const auto &[site, n] : p.siteOps()) {
+        auto it = sink.siteOps().find(site);
+        ASSERT_NE(it, sink.siteOps().end());
+        // 40 entries per kernel site in the workload, 2 un-streamed
+        // bookkeeping ops each.
+        EXPECT_EQ(it->second + 40 * 2, n) << siteName(site);
+    }
+    // Both orderings of the flat profile must agree on the hot set.
+    auto a = profileReport(p, 0.0);
+    auto b = profileReport(sink, 0.0);
+    ASSERT_EQ(a.size(), b.size());
+    for (size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i].name, b[i].name);
+    }
+}
+
 } // namespace
 } // namespace vepro::trace

@@ -7,6 +7,10 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <stdexcept>
+#include <vector>
+
 #include "trace/probe.hpp"
 #include "uarch/cache.hpp"
 #include "uarch/core.hpp"
@@ -402,6 +406,182 @@ TEST(Core, LongLatencySimdMulChainsStallRs)
     EXPECT_LT(s.ipc(), 0.35) << "5-cycle serial multiply chain";
     EXPECT_GT(s.stalls.rs + s.stalls.rob, 1000u);
     EXPECT_GT(s.slots.backendCore, s.slots.backendMemory);
+}
+
+// ---- Streaming core (TraceSink) ------------------------------------
+
+void
+expectSameStats(const CoreStats &a, const CoreStats &b)
+{
+    EXPECT_EQ(a.cycles, b.cycles);
+    EXPECT_EQ(a.instructions, b.instructions);
+    EXPECT_EQ(a.slots.retiring, b.slots.retiring);
+    EXPECT_EQ(a.slots.badSpec, b.slots.badSpec);
+    EXPECT_EQ(a.slots.frontend, b.slots.frontend);
+    EXPECT_EQ(a.slots.backend, b.slots.backend);
+    EXPECT_EQ(a.slots.backendMemory, b.slots.backendMemory);
+    EXPECT_EQ(a.slots.backendCore, b.slots.backendCore);
+    EXPECT_EQ(a.stalls.rs, b.stalls.rs);
+    EXPECT_EQ(a.stalls.rob, b.stalls.rob);
+    EXPECT_EQ(a.stalls.loadBuf, b.stalls.loadBuf);
+    EXPECT_EQ(a.stalls.storeBuf, b.stalls.storeBuf);
+    EXPECT_EQ(a.condBranches, b.condBranches);
+    EXPECT_EQ(a.mispredicts, b.mispredicts);
+    EXPECT_EQ(a.l1iMisses, b.l1iMisses);
+    EXPECT_EQ(a.l1dAccesses, b.l1dAccesses);
+    EXPECT_EQ(a.l1dMisses, b.l1dMisses);
+    EXPECT_EQ(a.l2Misses, b.l2Misses);
+    EXPECT_EQ(a.llcMisses, b.llcMisses);
+    EXPECT_EQ(a.invalidations, b.invalidations);
+}
+
+/** A mixed workload trace: dependent ALU work, strided and random
+ *  loads, stores, biased + noisy branches, and foreign invalidations —
+ *  long enough to wrap the streaming backlog several times. */
+std::vector<TraceOp>
+mixedTrace(int n)
+{
+    std::vector<TraceOp> t;
+    t.reserve(static_cast<size_t>(n));
+    uint64_t rng = 0x9e3779b97f4a7c15ull;
+    for (int i = 0; i < n; ++i) {
+        rng ^= rng << 13;
+        rng ^= rng >> 7;
+        rng ^= rng << 17;
+        uint64_t pc = 0x400000 + (static_cast<uint64_t>(i) % 300) * 4;
+        switch (i % 11) {
+          case 0:
+            t.push_back({pc, 0x100000 + (rng % 4096) * 64, OpClass::Load,
+                         false, 0, 0, false});
+            break;
+          case 1:
+            t.push_back({pc, 0x800000 + (static_cast<uint64_t>(i) % 512) * 8,
+                         OpClass::Store, false, 1, 0, false});
+            break;
+          case 2:
+            t.push_back({pc, 0, OpClass::BranchCond, rng % 16 != 0, 1, 0,
+                         false});
+            break;
+          case 3:
+            t.push_back({pc, 0, OpClass::SimdMul, false, 2, 3, false});
+            break;
+          case 4:
+            // Occasional foreign store: coherence traffic from another
+            // core, interleaved mid-stream.
+            if (rng % 5 == 0) {
+                t.push_back({0, 0x100000 + (rng % 4096) * 64, OpClass::Store,
+                             false, 0, 0, true});
+            } else {
+                t.push_back({pc, 0, OpClass::Alu, false, 1, 2, false});
+            }
+            break;
+          case 5:
+            t.push_back({pc, 0, OpClass::BranchUncond, true, 0, 0, false});
+            break;
+          case 6:
+            t.push_back({pc, 0, OpClass::Div, false, 1, 0, false});
+            break;
+          default:
+            t.push_back({pc, 0, OpClass::SimdAlu, false, 1, 4, false});
+            break;
+        }
+    }
+    return t;
+}
+
+/** Streaming must be invariant to delivery granularity: one op at a
+ *  time, odd-sized batches, and one whole-trace batch (what Core::run
+ *  does) all produce bit-identical statistics. */
+TEST(StreamCore, DeliveryGranularityInvariant)
+{
+    std::vector<TraceOp> trace = mixedTrace(100000);
+
+    Core batch;
+    CoreStats expected = batch.run(trace);
+
+    StreamCore per_op;
+    for (const TraceOp &op : trace) {
+        per_op.onOp(op);
+    }
+    per_op.flush();
+    expectSameStats(expected, per_op.stats());
+
+    StreamCore chunked;
+    size_t pos = 0;
+    size_t chunk = 1;
+    while (pos < trace.size()) {
+        size_t n = std::min(chunk, trace.size() - pos);
+        chunked.onOps(trace.data() + pos, n);
+        pos += n;
+        chunk = chunk % 977 + 13;  // odd, varying batch sizes
+    }
+    chunked.flush();
+    expectSameStats(expected, chunked.stats());
+}
+
+TEST(StreamCore, MatchesBatchOnEdgeTraces)
+{
+    // Trailing foreign ops and an all-foreign prefix.
+    std::vector<TraceOp> trace;
+    for (int i = 0; i < 40; ++i) {
+        trace.push_back({0, 0x200000 + static_cast<uint64_t>(i) * 64,
+                         OpClass::Store, false, 0, 0, true});
+    }
+    for (const TraceOp &op : mixedTrace(5000)) {
+        trace.push_back(op);
+    }
+    for (int i = 0; i < 40; ++i) {
+        trace.push_back({0, 0x100000 + static_cast<uint64_t>(i) * 64,
+                         OpClass::Store, false, 0, 0, true});
+    }
+    Core batch;
+    CoreStats expected = batch.run(trace);
+    StreamCore stream;
+    for (const TraceOp &op : trace) {
+        stream.onOp(op);
+    }
+    stream.flush();
+    expectSameStats(expected, stream.stats());
+}
+
+TEST(StreamCore, EmptyStreamIsZero)
+{
+    StreamCore sim;
+    sim.flush();
+    EXPECT_TRUE(sim.finished());
+    EXPECT_EQ(sim.stats().cycles, 0u);
+    EXPECT_EQ(sim.stats().instructions, 0u);
+}
+
+TEST(StreamCore, RejectsOpsAfterFlush)
+{
+    StreamCore sim;
+    TraceOp op{0x400000, 0, OpClass::Alu, false, 0, 0, false};
+    sim.onOp(op);
+    sim.flush();
+    EXPECT_THROW(sim.onOp(op), std::logic_error);
+    EXPECT_THROW(sim.onOps(&op, 1), std::logic_error);
+}
+
+TEST(CacheSink, CountsMemorySideOnly)
+{
+    CacheSink sink;
+    // 100 loads of the same line: one demand miss.
+    for (int i = 0; i < 100; ++i) {
+        sink.onOp({0x400000, 0x100000, OpClass::Load, false, 0, 0, false});
+    }
+    EXPECT_EQ(sink.instructions(), 100u);
+    EXPECT_EQ(sink.hierarchy().l1d().accesses(), 100u);
+    EXPECT_EQ(sink.hierarchy().l1d().misses(), 1u);
+
+    // A foreign store to that line invalidates it without counting as
+    // an instruction; the next load misses again.
+    sink.onOp({0, 0x100000, OpClass::Store, false, 0, 0, true});
+    EXPECT_EQ(sink.instructions(), 100u);
+    sink.onOp({0x400000, 0x100000, OpClass::Load, false, 0, 0, false});
+    EXPECT_EQ(sink.hierarchy().l1d().misses(), 2u);
+    EXPECT_GT(sink.hierarchy().l1d().invalidations(), 0u);
+    EXPECT_DOUBLE_EQ(sink.mpkiOf(101), 1000.0);
 }
 
 } // namespace
