@@ -5,11 +5,20 @@
  * prediction) with and without an installed probe, quantifying the
  * instrumentation overhead that separates wall time from modeled
  * instruction counts.
+ *
+ * The BM_Table* group benches the scalar reference table against the
+ * runtime-dispatched table side by side (same buffers, same geometry),
+ * so a single run reports the SIMD speedup per kernel. The report
+ * context line `kernel_isa` records what the dispatcher resolved to.
  */
 
 #include <benchmark/benchmark.h>
 
+#include <string>
+#include <vector>
+
 #include "codec/intra.hpp"
+#include "codec/kernels.hpp"
 #include "codec/quant.hpp"
 #include "codec/rangecoder.hpp"
 #include "codec/sad.hpp"
@@ -142,6 +151,174 @@ BENCHMARK(BM_IntraPredict)
     ->Arg(static_cast<int>(codec::IntraMode::D135))
     ->Arg(static_cast<int>(codec::IntraMode::Smooth));
 
+/**
+ * Register the per-table kernel benches for @p t under @p tag, e.g.
+ * BM_TableSad/scalar/64 vs BM_TableSad/avx2/64.
+ */
+void
+registerKernelSuite(const codec::KernelTable &t, const std::string &tag)
+{
+    using benchmark::RegisterBenchmark;
+    for (int n : {16, 64}) {
+        std::string sz = "/" + std::to_string(n);
+        RegisterBenchmark(
+            ("BM_TableSad/" + tag + sz).c_str(),
+            [&t, n](benchmark::State &state) {
+                video::Plane a = randomPlane(64, 64, 1);
+                video::Plane b = randomPlane(64, 64, 2);
+                for (auto _ : state) {
+                    benchmark::DoNotOptimize(t.sad(a.data(), a.stride(),
+                                                   b.data(), b.stride(), n,
+                                                   n));
+                }
+                state.SetItemsProcessed(state.iterations() * n * n);
+            });
+        RegisterBenchmark(
+            ("BM_TableSse/" + tag + sz).c_str(),
+            [&t, n](benchmark::State &state) {
+                video::Plane a = randomPlane(64, 64, 3);
+                video::Plane b = randomPlane(64, 64, 4);
+                for (auto _ : state) {
+                    benchmark::DoNotOptimize(t.sse(a.data(), a.stride(),
+                                                   b.data(), b.stride(), n,
+                                                   n));
+                }
+                state.SetItemsProcessed(state.iterations() * n * n);
+            });
+        RegisterBenchmark(
+            ("BM_TableSatd8/" + tag + sz).c_str(),
+            [&t, n](benchmark::State &state) {
+                video::Plane a = randomPlane(64, 64, 5);
+                video::Plane b = randomPlane(64, 64, 6);
+                for (auto _ : state) {
+                    uint64_t sum = 0;
+                    for (int ty = 0; ty < n; ty += 8) {
+                        for (int tx = 0; tx < n; tx += 8) {
+                            sum += t.satd8(a.data() + ty * a.stride() + tx,
+                                           a.stride(),
+                                           b.data() + ty * b.stride() + tx,
+                                           b.stride());
+                        }
+                    }
+                    benchmark::DoNotOptimize(sum);
+                }
+                state.SetItemsProcessed(state.iterations() * n * n);
+            });
+        RegisterBenchmark(
+            ("BM_TableResidual/" + tag + sz).c_str(),
+            [&t, n](benchmark::State &state) {
+                video::Plane a = randomPlane(64, 64, 7);
+                video::Plane b = randomPlane(64, 64, 8);
+                std::vector<int16_t> res(static_cast<size_t>(n) * n);
+                for (auto _ : state) {
+                    t.residual(a.data(), a.stride(), b.data(), b.stride(), n,
+                               n, res.data());
+                    benchmark::DoNotOptimize(res.data());
+                }
+                state.SetItemsProcessed(state.iterations() * n * n);
+            });
+        RegisterBenchmark(
+            ("BM_TableReconstruct/" + tag + sz).c_str(),
+            [&t, n](benchmark::State &state) {
+                video::Plane pred = randomPlane(64, 64, 9);
+                video::Plane dst(64, 64);
+                std::vector<int16_t> res(static_cast<size_t>(n) * n);
+                video::Rng rng(10);
+                for (int16_t &x : res) {
+                    x = static_cast<int16_t>(
+                        static_cast<int>(rng.nextBelow(512)) - 256);
+                }
+                for (auto _ : state) {
+                    t.reconstruct(pred.data(), pred.stride(), res.data(), n,
+                                  n, dst.data(), dst.stride());
+                    benchmark::DoNotOptimize(dst.data());
+                }
+                state.SetItemsProcessed(state.iterations() * n * n);
+            });
+    }
+    for (int n : {8, 32}) {
+        std::string sz = "/" + std::to_string(n);
+        RegisterBenchmark(
+            ("BM_TableFdct/" + tag + sz).c_str(),
+            [&t, n](benchmark::State &state) {
+                const int32_t *basis = codec::dctBasis(n);
+                std::vector<int16_t> src(static_cast<size_t>(n) * n);
+                video::Rng rng(11);
+                for (int16_t &x : src) {
+                    x = static_cast<int16_t>(
+                        static_cast<int>(rng.nextBelow(512)) - 256);
+                }
+                std::vector<int32_t> dst(src.size());
+                for (auto _ : state) {
+                    t.fdct(src.data(), dst.data(), n, basis);
+                    benchmark::DoNotOptimize(dst.data());
+                }
+                state.SetItemsProcessed(state.iterations() * n * n);
+            });
+        RegisterBenchmark(
+            ("BM_TableIdct/" + tag + sz).c_str(),
+            [&t, n](benchmark::State &state) {
+                const int32_t *basis = codec::dctBasis(n);
+                std::vector<int32_t> src(static_cast<size_t>(n) * n);
+                video::Rng rng(12);
+                for (int32_t &x : src) {
+                    x = static_cast<int32_t>(rng.nextBelow(2048)) - 1024;
+                }
+                std::vector<int16_t> dst(src.size());
+                for (auto _ : state) {
+                    t.idct(src.data(), dst.data(), n, basis);
+                    benchmark::DoNotOptimize(dst.data());
+                }
+                state.SetItemsProcessed(state.iterations() * n * n);
+            });
+    }
+    RegisterBenchmark(
+        ("BM_TableQuant/" + tag).c_str(),
+        [&t](benchmark::State &state) {
+            constexpr int kCount = 32 * 32;
+            std::vector<int32_t> coeff(kCount), levels(kCount);
+            video::Rng rng(13);
+            for (int32_t &x : coeff) {
+                x = static_cast<int32_t>(rng.nextBelow(4096)) - 2048;
+            }
+            for (auto _ : state) {
+                benchmark::DoNotOptimize(
+                    t.quant(coeff.data(), levels.data(), kCount, 5.0, 0.08));
+            }
+            state.SetItemsProcessed(state.iterations() * kCount);
+        });
+    RegisterBenchmark(
+        ("BM_TableDequant/" + tag).c_str(),
+        [&t](benchmark::State &state) {
+            constexpr int kCount = 32 * 32;
+            std::vector<int32_t> levels(kCount), coeff(kCount);
+            video::Rng rng(14);
+            for (int32_t &x : levels) {
+                x = static_cast<int32_t>(rng.nextBelow(256)) - 128;
+            }
+            for (auto _ : state) {
+                t.dequant(levels.data(), coeff.data(), kCount, 12.5);
+                benchmark::DoNotOptimize(coeff.data());
+            }
+            state.SetItemsProcessed(state.iterations() * kCount);
+        });
+}
+
 } // namespace
 
-BENCHMARK_MAIN();
+int
+main(int argc, char **argv)
+{
+    registerKernelSuite(codec::scalarKernels(), "scalar");
+    if (std::string(codec::kernelIsaName()) != "scalar") {
+        registerKernelSuite(codec::kernels(), codec::kernelIsaName());
+    }
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv)) {
+        return 1;
+    }
+    benchmark::AddCustomContext("kernel_isa", codec::kernelIsaName());
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}

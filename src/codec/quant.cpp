@@ -4,6 +4,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "codec/kernels.hpp"
 #include "trace/probe.hpp"
 
 namespace vepro::codec
@@ -34,11 +35,7 @@ int
 Quantizer::quantizeBlock(const int32_t *coeff, int32_t *levels, int n,
                          uint64_t coeff_vaddr, uint64_t levels_vaddr) const
 {
-    int nonzero = 0;
-    for (int i = 0; i < n * n; ++i) {
-        levels[i] = quantize(coeff[i]);
-        nonzero += levels[i] != 0;
-    }
+    int nonzero = kernels().quant(coeff, levels, n * n, dead_zone_, inv_step_);
     if (Probe *p = currentProbe()) {
         static const uint64_t site = sitePc("codec.quant");
         p->enterKernel(site, 12);
@@ -59,9 +56,7 @@ void
 Quantizer::dequantizeBlock(const int32_t *levels, int32_t *coeff, int n,
                            uint64_t levels_vaddr, uint64_t coeff_vaddr) const
 {
-    for (int i = 0; i < n * n; ++i) {
-        coeff[i] = dequantize(levels[i]);
-    }
+    kernels().dequant(levels, coeff, n * n, step_);
     if (Probe *p = currentProbe()) {
         static const uint64_t site = sitePc("codec.dequant");
         p->enterKernel(site, 8);

@@ -40,7 +40,12 @@ class Quantizer
      */
     double lambda() const { return lambda_; }
 
-    /** Quantise one coefficient (round-to-nearest with dead zone). */
+    /**
+     * Quantise one coefficient (round-to-nearest with dead zone).
+     * The kernel-table quant entries (codec/kernels.cpp) replicate this
+     * exact expression; any change here must be mirrored there to keep
+     * the SIMD paths bit-identical (enforced by tests/test_kernels.cpp).
+     */
     int32_t
     quantize(int32_t coeff) const
     {

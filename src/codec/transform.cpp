@@ -6,6 +6,7 @@
 #include <stdexcept>
 #include <vector>
 
+#include "codec/kernels.hpp"
 #include "trace/probe.hpp"
 
 namespace vepro::codec
@@ -113,33 +114,7 @@ forwardDct(const int16_t *src, int32_t *dst, int n, uint64_t src_vaddr,
            uint64_t dst_vaddr)
 {
     const Basis &b = basisFor(n);
-    std::array<int64_t, kMaxTxSize * kMaxTxSize> tmp;
-
-    // Rows: tmp = src * T^t  (tmp[r][k] = sum_i src[r][i] * T[k][i])
-    for (int r = 0; r < n; ++r) {
-        for (int k = 0; k < n; ++k) {
-            int64_t acc = 0;
-            const int32_t *basis_row = &b.fwd[static_cast<size_t>(k) * n];
-            const int16_t *src_row = src + static_cast<ptrdiff_t>(r) * n;
-            for (int i = 0; i < n; ++i) {
-                acc += static_cast<int64_t>(src_row[i]) * basis_row[i];
-            }
-            tmp[static_cast<size_t>(r) * n + k] = acc;
-        }
-    }
-    // Columns: dst[k][c] = sum_r T[k][r] * tmp[r][c], with scale removal.
-    const int64_t round = 1LL << (2 * kFracBits - 1);
-    for (int k = 0; k < n; ++k) {
-        const int32_t *basis_row = &b.fwd[static_cast<size_t>(k) * n];
-        for (int c = 0; c < n; ++c) {
-            int64_t acc = 0;
-            for (int r = 0; r < n; ++r) {
-                acc += basis_row[r] * tmp[static_cast<size_t>(r) * n + c];
-            }
-            dst[static_cast<size_t>(k) * n + c] =
-                static_cast<int32_t>((acc + round) >> (2 * kFracBits));
-        }
-    }
+    kernels().fdct(src, dst, n, b.fwd.data());
 
     if (Probe *p = currentProbe()) {
         static const uint64_t site = sitePc("codec.fdct");
@@ -152,43 +127,18 @@ inverseDct(const int32_t *src, int16_t *dst, int n, uint64_t src_vaddr,
            uint64_t dst_vaddr)
 {
     const Basis &b = basisFor(n);
-    std::array<int64_t, kMaxTxSize * kMaxTxSize> tmp;
-
-    // Columns: tmp[r][c] = sum_k T[k][r] * src[k][c]
-    for (int r = 0; r < n; ++r) {
-        for (int c = 0; c < n; ++c) {
-            int64_t acc = 0;
-            for (int k = 0; k < n; ++k) {
-                acc += static_cast<int64_t>(
-                           b.fwd[static_cast<size_t>(k) * n + r]) *
-                       src[static_cast<size_t>(k) * n + c];
-            }
-            tmp[static_cast<size_t>(r) * n + c] = acc;
-        }
-    }
-    // Rows: dst[r][i] = sum_k tmp[r][k] * T[k][i]
-    const int64_t round = 1LL << (2 * kFracBits - 1);
-    for (int r = 0; r < n; ++r) {
-        for (int i = 0; i < n; ++i) {
-            int64_t acc = 0;
-            for (int k = 0; k < n; ++k) {
-                acc += tmp[static_cast<size_t>(r) * n + k] *
-                       b.fwd[static_cast<size_t>(k) * n + i];
-            }
-            int64_t v = (acc + round) >> (2 * kFracBits);
-            if (v > 32767) {
-                v = 32767;
-            } else if (v < -32768) {
-                v = -32768;
-            }
-            dst[static_cast<size_t>(r) * n + i] = static_cast<int16_t>(v);
-        }
-    }
+    kernels().idct(src, dst, n, b.fwd.data());
 
     if (Probe *p = currentProbe()) {
         static const uint64_t site = sitePc("codec.idct");
         probeTransform(p, site, n, src_vaddr, dst_vaddr, 4, 2);
     }
+}
+
+const int32_t *
+dctBasis(int n)
+{
+    return basisFor(n).fwd.data();
 }
 
 } // namespace vepro::codec

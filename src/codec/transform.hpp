@@ -42,6 +42,12 @@ void forwardDct(const int16_t *src, int32_t *dst, int n, uint64_t src_vaddr,
 void inverseDct(const int32_t *src, int16_t *dst, int n, uint64_t src_vaddr,
                 uint64_t dst_vaddr);
 
+/**
+ * The fixed-point DCT basis for size @p n, row-major [k][i] (the layout
+ * the kernel-table fdct/idct entries take). Exposed for tests/benches.
+ */
+const int32_t *dctBasis(int n);
+
 } // namespace vepro::codec
 
 #endif // VEPRO_CODEC_TRANSFORM_HPP

@@ -54,20 +54,42 @@ namespace
 {
 
 /**
- * Least-squares cubic fit y = c0 + c1 x + c2 x^2 + c3 x^3 solved via the
- * normal equations with Gaussian elimination (tiny 4x4 system).
+ * Cubic fit in a centred/scaled abscissa u = (x - mean) / scale.
+ *
+ * The normal equations accumulate powers up to x^6; on raw PSNR values
+ * (~45 dB) that reaches ~8e9 and the 4x4 system is nearly singular, so
+ * the fit (and thus BD-Rate) loses shift invariance to rounding. With
+ * u in roughly [-1, 1] the system is well conditioned.
  */
-std::array<double, 4>
+struct CubicFit {
+    std::array<double, 4> c{};  ///< coefficients in the u domain
+    double mean = 0.0;
+    double scale = 1.0;
+};
+
+CubicFit
 fitCubic(const std::vector<double> &xs, const std::vector<double> &ys)
 {
+    CubicFit fit;
+    for (double x : xs) {
+        fit.mean += x;
+    }
+    fit.mean /= static_cast<double>(xs.size());
+    double max_dev = 0.0;
+    for (double x : xs) {
+        max_dev = std::max(max_dev, std::fabs(x - fit.mean));
+    }
+    fit.scale = max_dev > 1e-9 ? max_dev : 1.0;
+
     constexpr int n = 4;
     double a[n][n] = {};
     double rhs[n] = {};
     for (size_t k = 0; k < xs.size(); ++k) {
+        double u = (xs[k] - fit.mean) / fit.scale;
         double powx[2 * n - 1];
         powx[0] = 1.0;
         for (int i = 1; i < 2 * n - 1; ++i) {
-            powx[i] = powx[i - 1] * xs[k];
+            powx[i] = powx[i - 1] * u;
         }
         for (int i = 0; i < n; ++i) {
             for (int j = 0; j < n; ++j) {
@@ -98,26 +120,28 @@ fitCubic(const std::vector<double> &xs, const std::vector<double> &ys)
             rhs[perm[r]] -= f * rhs[perm[col]];
         }
     }
-    std::array<double, 4> coef{};
     for (int row = n - 1; row >= 0; --row) {
         double acc = rhs[perm[row]];
         for (int c = row + 1; c < n; ++c) {
-            acc -= a[perm[row]][c] * coef[c];
+            acc -= a[perm[row]][c] * fit.c[c];
         }
-        coef[row] = acc / a[perm[row]][row];
+        fit.c[row] = acc / a[perm[row]][row];
     }
-    return coef;
+    return fit;
 }
 
-/** Definite integral of the cubic over [lo, hi]. */
+/** Definite integral of the fitted cubic over [lo, hi] in the x domain. */
 double
-integrateCubic(const std::array<double, 4> &c, double lo, double hi)
+integrateCubic(const CubicFit &f, double lo, double hi)
 {
-    auto eval = [&](double x) {
-        return c[0] * x + c[1] * x * x / 2.0 + c[2] * x * x * x / 3.0 +
-               c[3] * x * x * x * x / 4.0;
+    auto eval = [&](double u) {
+        return f.c[0] * u + f.c[1] * u * u / 2.0 + f.c[2] * u * u * u / 3.0 +
+               f.c[3] * u * u * u * u / 4.0;
     };
-    return eval(hi) - eval(lo);
+    double ulo = (lo - f.mean) / f.scale;
+    double uhi = (hi - f.mean) / f.scale;
+    // dx = scale * du
+    return f.scale * (eval(uhi) - eval(ulo));
 }
 
 } // namespace

@@ -77,27 +77,41 @@ readY4m(const std::string &path, int max_frames)
     std::string tok;
     tokens >> tok;  // signature
     while (tokens >> tok) {
-        switch (tok[0]) {
-          case 'W': width = std::stoi(tok.substr(1)); break;
-          case 'H': height = std::stoi(tok.substr(1)); break;
-          case 'F': {
-            auto colon = tok.find(':');
-            if (colon != std::string::npos) {
-                double num = std::stod(tok.substr(1, colon - 1));
-                double den = std::stod(tok.substr(colon + 1));
-                if (den > 0) {
-                    fps = num / den;
+        try {
+            switch (tok[0]) {
+              case 'W': width = std::stoi(tok.substr(1)); break;
+              case 'H': height = std::stoi(tok.substr(1)); break;
+              case 'F': {
+                auto colon = tok.find(':');
+                if (colon != std::string::npos) {
+                    double num = std::stod(tok.substr(1, colon - 1));
+                    double den = std::stod(tok.substr(colon + 1));
+                    if (den > 0) {
+                        fps = num / den;
+                    }
                 }
+                break;
+              }
+              case 'C':
+                // Only 8-bit 4:2:0 layouts decode into our frame type;
+                // a prefix match would let C420p10/C420p12 (16-bit) parse
+                // into garbage, so whitelist the exact variants.
+                if (tok != "C420" && tok != "C420jpeg" &&
+                    tok != "C420mpeg2" && tok != "C420paldv") {
+                    throw std::runtime_error("y4m: unsupported chroma " +
+                                             tok + " in " + path);
+                }
+                break;
+              default:
+                break;  // interlacing/aspect parameters are ignored
             }
-            break;
-          }
-          case 'C':
-            if (tok.rfind("C420", 0) != 0) {
-                throw std::runtime_error("y4m: unsupported chroma " + tok);
-            }
-            break;
-          default:
-            break;  // interlacing/aspect parameters are ignored
+        } catch (const std::runtime_error &) {
+            throw;  // already a descriptive y4m error
+        } catch (const std::exception &) {
+            // std::stoi/std::stod failures surface as bare
+            // invalid_argument/out_of_range with no file context.
+            throw std::runtime_error("y4m: bad header token '" + tok +
+                                     "' in " + path);
         }
     }
     if (width <= 0 || height <= 0 || (width % 2) || (height % 2)) {

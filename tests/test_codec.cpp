@@ -11,6 +11,8 @@
 #include <cmath>
 #include <numeric>
 #include <random>
+#include <set>
+#include <vector>
 
 #include "codec/intra.hpp"
 #include "codec/mc.hpp"
@@ -19,6 +21,8 @@
 #include "codec/rdo.hpp"
 #include "codec/sad.hpp"
 #include "codec/transform.hpp"
+#include "trace/probe.hpp"
+#include "uarch/cache.hpp"
 #include "video/generator.hpp"
 #include "video/metrics.hpp"
 
@@ -91,6 +95,86 @@ TEST(Satd, DetectsStructuredDifferenceCheaply)
     EXPECT_EQ(sad_dc, sad_noise);
     EXPECT_LT(satd(vb, viewOf(dc, 0), 8, 8),
               satd(vb, viewOf(noise, 0), 8, 8));
+}
+
+TEST(Satd, ProbeEmitsTiledAddresses)
+{
+    // Regression: the satd probe used to emit dense linear addresses
+    // (vaddr + t*64) instead of each tile's real 2-D base, so a tall
+    // block looked like a short sequential stream to the cache model.
+    // An 8x64 block of a stride-64 plane touches 64 distinct rows (= 64
+    // distinct 64-byte lines) per operand; a cold L1D must therefore
+    // miss on all 128 lines. The buggy dense stream collapses to ~15
+    // lines per operand, i.e. a far lower MPKI.
+    std::vector<uint8_t> abuf(64 * 64), bbuf(64 * 64);
+    std::mt19937 rng(9);
+    for (auto &x : abuf) {
+        x = static_cast<uint8_t>(rng() & 255);
+    }
+    for (auto &x : bbuf) {
+        x = static_cast<uint8_t>(rng() & 255);
+    }
+    PelView a{abuf.data(), 64, 0};
+    PelView b{bbuf.data(), 64, 1ull << 20};
+
+    trace::ProbeConfig cfg;
+    cfg.collectOps = true;
+    cfg.opWindow = cfg.opInterval;  // record everything
+    trace::Probe probe(cfg);
+    {
+        trace::ProbeScope scope(&probe);
+        satd(a, b, 8, 64);
+    }
+
+    uarch::Cache l1d({});
+    uint64_t loads = 0;
+    std::set<uint64_t> lines;
+    for (const trace::TraceOp &op : probe.opTrace()) {
+        if (op.cls == trace::OpClass::SimdLoad) {
+            l1d.access(op.addr, false);
+            lines.insert(op.addr >> 6);
+            ++loads;
+        }
+    }
+    // 8 row-tiles x 1 column-tile, 8 probe loads per tile per operand.
+    EXPECT_EQ(loads, 128u);
+    EXPECT_EQ(lines.size(), 128u);
+    EXPECT_EQ(l1d.misses(), 128u);
+    // Expressed as MPKI over the kernel's op stream, the tall strided
+    // walk must sit far above the buggy dense stream (~30 misses).
+    EXPECT_GT(l1d.mpki(probe.opTrace().size()), 100.0);
+}
+
+TEST(Satd, DegenerateBlockFallsBackToSad)
+{
+    // Regression: satd on blocks narrower/shorter than the smallest tile
+    // used to return 0 (no tile fits) while still charging the probe a
+    // full tile of SIMD work. It now falls back to sad, so the cost and
+    // the charged work agree.
+    std::vector<uint8_t> abuf(16 * 16), bbuf(16 * 16);
+    std::mt19937 rng(11);
+    for (auto &x : abuf) {
+        x = static_cast<uint8_t>(rng() & 255);
+    }
+    for (auto &x : bbuf) {
+        x = static_cast<uint8_t>(rng() & 255);
+    }
+    PelView a{abuf.data(), 16, 0};
+    PelView b{bbuf.data(), 16, 1ull << 20};
+
+    trace::ProbeConfig cfg;
+    cfg.profileSites = true;
+    trace::Probe probe(cfg);
+    uint64_t cost = 0;
+    {
+        trace::ProbeScope scope(&probe);
+        cost = satd(a, b, 2, 8);
+    }
+    EXPECT_EQ(cost, sad(a, b, 2, 8));
+    EXPECT_NE(cost, 0u);
+    // All work was charged to the sad site; no phantom satd tiles.
+    EXPECT_EQ(probe.siteOps().count(trace::sitePc("codec.satd")), 0u);
+    EXPECT_NE(probe.siteOps().count(trace::sitePc("codec.sad")), 0u);
 }
 
 TEST(Residual, ReconstructRoundTrip)

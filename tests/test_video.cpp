@@ -281,6 +281,32 @@ TEST(Metrics, BdRateValidation)
     EXPECT_THROW(bdRate(four, high), std::invalid_argument);
 }
 
+TEST(Metrics, BdRateShiftInvariant)
+{
+    // Regression: the cubic fit used to build normal equations on raw
+    // PSNR (powers to x^6 ~ 8e9, nearly singular), so translating both
+    // RD curves by a constant dB offset changed the reported BD-Rate.
+    // With the centred/scaled abscissa the metric is shift invariant.
+    std::vector<RdPoint> reference = {
+        {1000, 32.1}, {2000, 35.4}, {4000, 38.2}, {8000, 41.0},
+        {16000, 43.1}};
+    std::vector<RdPoint> test = {
+        {900, 32.0}, {1800, 35.6}, {3600, 38.5}, {7200, 41.2},
+        {14400, 43.4}};
+    double base = bdRate(reference, test);
+
+    auto shifted = [](std::vector<RdPoint> pts, double db) {
+        for (RdPoint &p : pts) {
+            p.psnrDb += db;
+        }
+        return pts;
+    };
+    EXPECT_NEAR(bdRate(shifted(reference, 30.0), shifted(test, 30.0)), base,
+                1e-9);
+    EXPECT_NEAR(bdRate(shifted(reference, -20.0), shifted(test, -20.0)), base,
+                1e-9);
+}
+
 TEST(Suite, HasFifteenClips)
 {
     EXPECT_EQ(vbenchMini().size(), 15u);
@@ -425,6 +451,72 @@ TEST(Y4m, RejectsGarbage)
     EXPECT_THROW(readY4m("/tmp/does_not_exist.y4m"), std::runtime_error);
     Video empty("e", 30);
     EXPECT_THROW(writeY4m(path, empty), std::runtime_error);
+}
+
+namespace
+{
+
+/** Write a minimal 4x4 single-frame y4m with the given header line. */
+std::string
+writeTinyY4m(const std::string &header)
+{
+    const std::string path = "/tmp/vepro_test_hdr.y4m";
+    std::ofstream out(path, std::ios::binary);
+    out << header << "\n" << "FRAME\n";
+    // 4x4 luma + two 2x2 chroma planes.
+    for (int i = 0; i < 16 + 4 + 4; ++i) {
+        out.put(static_cast<char>(128));
+    }
+    return path;
+}
+
+} // namespace
+
+TEST(Y4m, RejectsHighBitDepthChroma)
+{
+    // Regression: any token starting with "C420" used to be accepted, so
+    // 16-bit C420p10/C420p12 files parsed "successfully" into garbage
+    // 8-bit frames.
+    for (const char *chroma : {"C420p10", "C420p12", "C422", "C444"}) {
+        const std::string path =
+            writeTinyY4m(std::string("YUV4MPEG2 W4 H4 F30:1 ") + chroma);
+        try {
+            readY4m(path);
+            FAIL() << chroma << " was accepted";
+        } catch (const std::runtime_error &e) {
+            EXPECT_NE(std::string(e.what()).find("unsupported chroma"),
+                      std::string::npos)
+                << e.what();
+        }
+        std::remove(path.c_str());
+    }
+    // The real 8-bit 4:2:0 variants still parse.
+    for (const char *chroma : {"C420", "C420jpeg", "C420mpeg2", "C420paldv"}) {
+        const std::string path =
+            writeTinyY4m(std::string("YUV4MPEG2 W4 H4 F30:1 ") + chroma);
+        EXPECT_EQ(readY4m(path).frameCount(), 1) << chroma;
+        std::remove(path.c_str());
+    }
+}
+
+TEST(Y4m, MalformedHeaderTokensGetY4mError)
+{
+    // Regression: bad W/H/F tokens used to escape as bare std::stoi /
+    // std::stod exceptions (std::invalid_argument) with no file context.
+    for (const char *header :
+         {"YUV4MPEG2 Wabc H4 F30:1", "YUV4MPEG2 W4 Hxy F30:1",
+          "YUV4MPEG2 W4 H4 Fa:b"}) {
+        const std::string path = writeTinyY4m(header);
+        try {
+            readY4m(path);
+            FAIL() << "'" << header << "' was accepted";
+        } catch (const std::runtime_error &e) {
+            EXPECT_EQ(std::string(e.what()).rfind("y4m:", 0), 0u) << e.what();
+            EXPECT_NE(std::string(e.what()).find(path), std::string::npos)
+                << e.what();
+        }
+        std::remove(path.c_str());
+    }
 }
 
 /** Parameterised: every suite clip materialises with sane pixel stats. */
