@@ -4,30 +4,26 @@
  * (b) execution time, (c) IPC, per video. The paper's observations:
  * runtime is proportional to instruction count, and IPC hovers around 2
  * rising at most ~10% across the sweep.
+ *
+ * Points resolve through the lab orchestrator: a repeat run is pure
+ * cache hits from the `.vepro-lab/` store (see `vepro-lab --figures=4`).
  */
 
 #include <cstdio>
 
-#include "core/report.hpp"
-#include "sweep_common.hpp"
+#include "core/experiment.hpp"
+#include "lab/figures.hpp"
 
 int
 main(int argc, char **argv)
 {
     using namespace vepro;
     core::RunScale scale = core::RunScale::fromArgs(argc, argv);
-    auto rows = bench::runCrfSweep(scale);
-
-    core::Table table({"Video", "CRF", "Instructions", "Time (s)", "IPC"});
-    for (const bench::SweepRow &r : rows) {
-        table.addRow({r.video, std::to_string(r.crf),
-                      core::fmtCount(r.point.encode.instructions),
-                      core::fmt(r.point.encode.wallSeconds, 3),
-                      core::fmt(r.point.core.ipc(), 2)});
+    for (const lab::FigureResult &fig : lab::runFigures({4}, scale)) {
+        for (const lab::NamedTable &t : fig.tables) {
+            t.table.print(t.caption);
+        }
+        std::printf("\n%s\n", fig.expectedShape.c_str());
     }
-    table.print("Fig 4: CRF sweep — instruction count (4a), execution time "
-                "(4b), IPC (4c); SVT-AV1 preset 4");
-    std::printf("\nExpected shape: instructions and time fall together as "
-                "CRF rises; IPC stays near 2 and rises <= ~10%%.\n");
     return 0;
 }

@@ -5,33 +5,26 @@
  * The paper's observations: backend > frontend > bad-speculation for
  * almost all videos; raising CRF raises the backend share, lowers the
  * frontend and bad-speculation shares; retiring stays in 0.4-0.6.
+ *
+ * Points resolve through the lab orchestrator: a repeat run is pure
+ * cache hits from the `.vepro-lab/` store (see `vepro-lab --figures=5`).
  */
 
 #include <cstdio>
 
-#include "core/report.hpp"
-#include "sweep_common.hpp"
+#include "core/experiment.hpp"
+#include "lab/figures.hpp"
 
 int
 main(int argc, char **argv)
 {
     using namespace vepro;
     core::RunScale scale = core::RunScale::fromArgs(argc, argv);
-    auto rows = bench::runCrfSweep(scale);
-
-    core::Table table({"Video", "CRF", "Retiring", "Bad-spec", "Frontend",
-                       "Backend"});
-    for (const bench::SweepRow &r : rows) {
-        const auto &s = r.point.core.slots;
-        table.addRow({r.video, std::to_string(r.crf),
-                      core::fmt(s.fraction(s.retiring), 3),
-                      core::fmt(s.fraction(s.badSpec), 3),
-                      core::fmt(s.fraction(s.frontend), 3),
-                      core::fmt(s.fraction(s.backend), 3)});
+    for (const lab::FigureResult &fig : lab::runFigures({5}, scale)) {
+        for (const lab::NamedTable &t : fig.tables) {
+            t.table.print(t.caption);
+        }
+        std::printf("\n%s\n", fig.expectedShape.c_str());
     }
-    table.print("Fig 5: top-down analysis per video; CRF rises within each "
-                "cluster (SVT-AV1 preset 4)");
-    std::printf("\nExpected shape: bad-speculation falls with CRF; backend "
-                "rises; retiring ~0.4-0.6 throughout.\n");
     return 0;
 }

@@ -6,44 +6,26 @@
  * buffer. The paper's observations: branch MPKI falls with CRF; L1D and
  * L2 MPKI rise (roofline: less compute per byte moved); LLC MPKI stays
  * far below L1D/L2; stall cycles mostly grow with CRF except the ROB.
+ *
+ * Points resolve through the lab orchestrator: a repeat run is pure
+ * cache hits from the `.vepro-lab/` store (see `vepro-lab --figures=6`).
  */
 
 #include <cstdio>
 
-#include "core/report.hpp"
-#include "sweep_common.hpp"
+#include "core/experiment.hpp"
+#include "lab/figures.hpp"
 
 int
 main(int argc, char **argv)
 {
     using namespace vepro;
     core::RunScale scale = core::RunScale::fromArgs(argc, argv);
-    auto rows = bench::runCrfSweep(scale);
-
-    core::Table mpki({"Video", "CRF", "Branch MPKI", "L1D MPKI", "L2 MPKI",
-                      "LLC MPKI"});
-    core::Table stalls({"Video", "CRF", "RS stall%", "ROB stall%",
-                        "LB stall%", "SB stall%"});
-    for (const bench::SweepRow &r : rows) {
-        const auto &c = r.point.core;
-        mpki.addRow({r.video, std::to_string(r.crf),
-                     core::fmt(c.branchMpki(), 2), core::fmt(c.l1dMpki(), 2),
-                     core::fmt(c.l2Mpki(), 2), core::fmt(c.llcMpki(), 3)});
-        auto pct = [&](uint64_t v) {
-            return core::fmt(c.cycles ? 100.0 * static_cast<double>(v) /
-                                            static_cast<double>(c.cycles)
-                                      : 0.0,
-                             2);
-        };
-        stalls.addRow({r.video, std::to_string(r.crf), pct(c.stalls.rs),
-                       pct(c.stalls.rob), pct(c.stalls.loadBuf),
-                       pct(c.stalls.storeBuf)});
+    for (const lab::FigureResult &fig : lab::runFigures({6}, scale)) {
+        for (const lab::NamedTable &t : fig.tables) {
+            t.table.print(t.caption);
+        }
+        std::printf("\n%s\n", fig.expectedShape.c_str());
     }
-    mpki.print("Fig 6a-d: branch / L1D / L2 / LLC misses per kilo-"
-               "instruction vs CRF (SVT-AV1 preset 4)");
-    stalls.print("Fig 6e-h: allocation-stall cycles by blocking resource "
-                 "(percent of cycles) vs CRF");
-    std::printf("\nExpected shape: branch MPKI falls with CRF; L1D/L2 MPKI "
-                "rise; LLC MPKI far below both; ROB stalls small.\n");
     return 0;
 }

@@ -4,31 +4,26 @@
  * branches as a share of all conditional branches, from the core model's
  * front-end predictor. The paper observes rates up to a few percent,
  * falling as CRF rises.
+ *
+ * Points resolve through the lab orchestrator: a repeat run is pure
+ * cache hits from the `.vepro-lab/` store (see `vepro-lab --figures=7`).
  */
 
 #include <cstdio>
 
-#include "core/report.hpp"
-#include "sweep_common.hpp"
+#include "core/experiment.hpp"
+#include "lab/figures.hpp"
 
 int
 main(int argc, char **argv)
 {
     using namespace vepro;
     core::RunScale scale = core::RunScale::fromArgs(argc, argv);
-    auto rows = bench::runCrfSweep(scale);
-
-    core::Table table({"Video", "CRF", "Cond branches", "Mispredicts",
-                       "Miss rate %"});
-    for (const bench::SweepRow &r : rows) {
-        const auto &c = r.point.core;
-        table.addRow({r.video, std::to_string(r.crf),
-                      core::fmtCount(c.condBranches),
-                      core::fmtCount(c.mispredicts),
-                      core::fmt(c.branchMissRatePercent(), 2)});
+    for (const lab::FigureResult &fig : lab::runFigures({7}, scale)) {
+        for (const lab::NamedTable &t : fig.tables) {
+            t.table.print(t.caption);
+        }
+        std::printf("\n%s\n", fig.expectedShape.c_str());
     }
-    table.print("Fig 7: branch miss rate vs CRF (SVT-AV1 preset 4)");
-    std::printf("\nExpected shape: the miss rate falls as CRF rises "
-                "(looser RD thresholds make decision branches biased).\n");
     return 0;
 }

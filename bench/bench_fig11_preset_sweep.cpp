@@ -7,68 +7,27 @@
  *      PSNR falls under a dB across the whole sweep),
  *  (c) top-down shares, (d) branch/cache MPKI, (e) resource stalls —
  *      where the paper finds *no noticeable trend* with preset.
+ *
+ * Presets resolve through the lab orchestrator: independent points run
+ * on scale.jobs workers, repeat runs are pure cache hits from the
+ * `.vepro-lab/` store (see `vepro-lab --figures=11`).
  */
 
 #include <cstdio>
 
 #include "core/experiment.hpp"
-#include "core/report.hpp"
-#include "encoders/registry.hpp"
+#include "lab/figures.hpp"
 
 int
 main(int argc, char **argv)
 {
     using namespace vepro;
     core::RunScale scale = core::RunScale::fromArgs(argc, argv);
-    video::Video clip = video::loadSuiteVideo("game1", scale.suite);
-    auto encoder = encoders::encoderByName("SVT-AV1");
-    const int crf = 30;
-
-    core::Table ab({"Preset", "Time (s)", "Instructions", "Bitrate (kbps)",
-                    "PSNR (dB)"});
-    core::Table cde({"Preset", "Retiring", "Bad-spec", "Frontend",
-                     "Backend", "Br MPKI", "L1D MPKI", "L2 MPKI",
-                     "RS stall%", "SB stall%"});
-
-    // Presets are independent points: run them on scale.jobs workers,
-    // then emit rows in preset order.
-    std::vector<core::SweepPoint> points(9);
-    core::parallelFor(points.size(), scale.jobs, [&](size_t preset) {
-        points[preset] = core::runPoint(*encoder, clip, crf,
-                                        static_cast<int>(preset), scale);
-        std::fprintf(stderr, "  [preset %zu done: %.2fs]\n", preset,
-                     points[preset].encode.wallSeconds);
-    });
-
-    for (int preset = 0; preset <= 8; ++preset) {
-        const core::SweepPoint &p = points[static_cast<size_t>(preset)];
-        const auto &c = p.core;
-        const auto &s = c.slots;
-        ab.addRow({std::to_string(preset),
-                   core::fmt(p.encode.wallSeconds, 3),
-                   core::fmtCount(p.encode.instructions),
-                   core::fmt(p.encode.bitrateKbps, 0),
-                   core::fmt(p.encode.psnrDb, 2)});
-        auto pct = [&](uint64_t v) {
-            return core::fmt(c.cycles ? 100.0 * static_cast<double>(v) /
-                                            static_cast<double>(c.cycles)
-                                      : 0.0,
-                             2);
-        };
-        cde.addRow({std::to_string(preset),
-                    core::fmt(s.fraction(s.retiring), 3),
-                    core::fmt(s.fraction(s.badSpec), 3),
-                    core::fmt(s.fraction(s.frontend), 3),
-                    core::fmt(s.fraction(s.backend), 3),
-                    core::fmt(c.branchMpki(), 2), core::fmt(c.l1dMpki(), 2),
-                    core::fmt(c.l2Mpki(), 2), pct(c.stalls.rs),
-                    pct(c.stalls.storeBuf)});
+    for (const lab::FigureResult &fig : lab::runFigures({11}, scale)) {
+        for (const lab::NamedTable &t : fig.tables) {
+            t.table.print(t.caption);
+        }
+        std::printf("\n%s\n", fig.expectedShape.c_str());
     }
-    ab.print("Fig 11a-b: preset sweep — time, bitrate, PSNR (game1, "
-             "CRF 30)");
-    cde.print("Fig 11c-e: preset sweep — top-down, MPKI, resource stalls");
-    std::printf("\nExpected shape: time falls ~3 orders of magnitude from "
-                "preset 0 to 8; bitrate rises, PSNR dips modestly; the "
-                "microarchitectural rows show no clear preset trend.\n");
     return 0;
 }

@@ -7,17 +7,23 @@
  * instrumented encode plus one core-model simulation per (video, CRF)
  * point, at the paper's preset 4.
  *
+ * Points are requested through the lab orchestrator, so results persist
+ * in the `.vepro-lab/` store: a second run of any figure is pure cache
+ * hits (pass --no-cache to force recomputation). Clips are loaded
+ * lazily and released as soon as their last pending point completes —
+ * a --full sweep never holds the whole decoded suite resident.
+ *
  * Quick mode trims the suite to five entropy-representative clips so
  * each figure regenerates in about a minute; --full or --videos=...
  * restores the full Table 1 suite.
  */
 
-#include <cstdio>
 #include <string>
 #include <vector>
 
 #include "core/experiment.hpp"
-#include "encoders/registry.hpp"
+#include "lab/figures.hpp"
+#include "lab/orchestrator.hpp"
 
 namespace vepro::bench
 {
@@ -26,64 +32,45 @@ namespace vepro::bench
 struct SweepRow {
     std::string video;
     int crf;
-    core::SweepPoint point;
+    lab::JobResult point;
 };
 
 /** The clips a sweep covers: explicit > full suite > 5-clip quick set. */
 inline std::vector<video::SuiteEntry>
 sweepVideos(const core::RunScale &scale)
 {
-    if (!scale.videos.empty() || scale.suite.divisor <= 4) {
-        return core::selectedVideos(scale);
-    }
-    // Quick default: span the entropy axis with five clips.
-    std::vector<video::SuiteEntry> subset;
-    for (const char *name : {"desktop", "funny", "game1", "cat", "hall"}) {
-        subset.push_back(video::suiteEntry(name));
-    }
-    return subset;
+    return lab::sweepClips(scale);
 }
 
 /**
- * Run the (video x CRF) sweep, fused encode + core simulation per point.
- * Points are independent (each owns its probe and streaming core), so
- * they run on scale.jobs worker threads; rows come back in deterministic
- * (video-major, CRF-minor) order regardless of completion order.
+ * Run the (video x CRF) sweep through the lab orchestrator: cached
+ * points come from the store, the rest run fused (encode + streaming
+ * core simulation) on scale.jobs worker threads with serialized
+ * progress output. Rows come back in deterministic (video-major,
+ * CRF-minor) order regardless of completion order.
  */
 inline std::vector<SweepRow>
 runCrfSweep(const core::RunScale &scale,
             const std::string &encoder_name = "SVT-AV1", int preset = 4)
 {
-    auto encoder = encoders::encoderByName(encoder_name);
-    const std::vector<int> &crfs = core::crfSweepAv1();
+    lab::Orchestrator orch(lab::OrchestratorOptions::fromRunScale(scale));
 
-    std::vector<video::Video> clips;
     std::vector<SweepRow> rows;
+    std::vector<size_t> handles;
     for (const video::SuiteEntry &e : sweepVideos(scale)) {
-        clips.push_back(video::loadSuiteVideo(e, scale.suite));
-        for (int crf : crfs) {
-            SweepRow row;
-            row.video = e.name;
-            row.crf = crf;
-            rows.push_back(std::move(row));
+        for (int crf : core::crfSweepAv1()) {
+            lab::JobSpec spec = lab::JobSpec::withScale(scale);
+            spec.encoder = encoder_name;
+            spec.video = e.name;
+            spec.crf = crf;
+            spec.preset = preset;
+            handles.push_back(orch.request(spec));
+            rows.push_back({e.name, crf, {}});
         }
     }
-    core::parallelFor(rows.size(), scale.jobs, [&](size_t i) {
-        SweepRow &row = rows[i];
-        row.point = core::runPoint(*encoder, clips[i / crfs.size()], row.crf,
-                                   preset, scale);
-        std::fprintf(stderr, "  [%s crf=%d done]\n", row.video.c_str(),
-                     row.crf);
-    });
-    for (const SweepRow &row : rows) {
-        if (row.point.encode.droppedOps > 0) {
-            std::fprintf(stderr,
-                         "  warning: %s crf=%d hit the op cap (%llu ops "
-                         "dropped) — pass --uncapped for full fidelity\n",
-                         row.video.c_str(), row.crf,
-                         static_cast<unsigned long long>(
-                             row.point.encode.droppedOps));
-        }
+    orch.run();
+    for (size_t i = 0; i < rows.size(); ++i) {
+        rows[i].point = orch.result(handles[i]);
     }
     return rows;
 }

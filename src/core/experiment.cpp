@@ -1,6 +1,7 @@
 #include "core/experiment.hpp"
 
 #include <atomic>
+#include <charconv>
 #include <cstring>
 #include <limits>
 #include <mutex>
@@ -28,13 +29,16 @@ RunScale::fromArgs(int argc, char **argv)
         } else if (arg == "--uncapped") {
             scale.maxTraceOps = 0;
         } else if (arg.rfind("--jobs=", 0) == 0) {
-            try {
-                scale.jobs = std::stoi(arg.substr(7));
-            } catch (const std::exception &) {
-                throw std::invalid_argument("--jobs expects a number");
-            }
+            scale.jobs = parseIntStrict(arg.substr(7), "--jobs");
             if (scale.jobs < 1) {
                 throw std::invalid_argument("--jobs must be >= 1");
+            }
+        } else if (arg == "--no-cache") {
+            scale.noCache = true;
+        } else if (arg.rfind("--store=", 0) == 0) {
+            scale.storeDir = arg.substr(8);
+            if (scale.storeDir.empty()) {
+                throw std::invalid_argument("--store expects a directory");
             }
         } else if (arg.rfind("--videos=", 0) == 0) {
             std::string list = arg.substr(9);
@@ -54,6 +58,22 @@ RunScale::fromArgs(int argc, char **argv)
         }
     }
     return scale;
+}
+
+int
+parseIntStrict(const std::string &text, const std::string &flag)
+{
+    int value = 0;
+    const char *first = text.data();
+    const char *last = first + text.size();
+    auto [ptr, ec] = std::from_chars(first, last, value);
+    // Partial consumption ("4abc") is as wrong as no digits at all:
+    // std::stoi would silently accept it.
+    if (ec != std::errc() || ptr != last || text.empty()) {
+        throw std::invalid_argument(flag + " expects an integer, got '" +
+                                    text + "'");
+    }
+    return value;
 }
 
 const std::vector<int> &

@@ -35,10 +35,25 @@ struct RunScale {
     size_t maxTraceOps = 1'200'000;
     /** Worker threads for independent sweep points (--jobs=N). */
     int jobs = 1;
+    /** Bypass the lab result cache: recompute (and refresh) every point. */
+    bool noCache = false;
+    /** Directory of the persistent lab result store. */
+    std::string storeDir = ".vepro-lab";
 
-    /** Parse --quick / --full / --videos=a,b,c / --jobs=N / --uncapped. */
+    /**
+     * Parse --quick / --full / --videos=a,b,c / --jobs=N / --uncapped /
+     * --no-cache / --store=DIR. Numeric flags are strict: trailing
+     * garbage ("--jobs=4abc") is rejected, not silently truncated.
+     */
     static RunScale fromArgs(int argc, char **argv);
 };
+
+/**
+ * Strict decimal parse of an entire string: the value must consume all
+ * of @p text and fit in an int. @throws std::invalid_argument otherwise
+ * (with @p flag naming the offender).
+ */
+int parseIntStrict(const std::string &text, const std::string &flag);
 
 /** The CRF sweep points used throughout the paper's Section 4. */
 const std::vector<int> &crfSweepAv1();   ///< {10, 20, 30, 40, 50, 60}

@@ -58,6 +58,59 @@ Table::toMarkdown() const
     return out.str();
 }
 
+namespace
+{
+
+/** RFC-4180: quote cells holding separators; double embedded quotes. */
+std::string
+csvCell(const std::string &cell)
+{
+    if (cell.find_first_of(",\"\n\r") == std::string::npos) {
+        return cell;
+    }
+    std::string out = "\"";
+    for (char c : cell) {
+        if (c == '"') {
+            out += "\"\"";
+        } else {
+            out.push_back(c);
+        }
+    }
+    out.push_back('"');
+    return out;
+}
+
+/** Minimal JSON string escape for table cells and header names. */
+std::string
+jsonCell(const std::string &cell)
+{
+    std::string out;
+    out.reserve(cell.size() + 2);
+    out.push_back('"');
+    for (char c : cell) {
+        switch (c) {
+        case '"': out += "\\\""; break;
+        case '\\': out += "\\\\"; break;
+        case '\n': out += "\\n"; break;
+        case '\r': out += "\\r"; break;
+        case '\t': out += "\\t"; break;
+        default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof buf, "\\u%04x",
+                              static_cast<unsigned char>(c));
+                out += buf;
+            } else {
+                out.push_back(c);
+            }
+        }
+    }
+    out.push_back('"');
+    return out;
+}
+
+} // namespace
+
 std::string
 Table::toCsv() const
 {
@@ -67,7 +120,7 @@ Table::toCsv() const
             if (c) {
                 out << ",";
             }
-            out << cells[c];
+            out << csvCell(cells[c]);
         }
         out << "\n";
     };
@@ -75,6 +128,25 @@ Table::toCsv() const
     for (const auto &row : rows_) {
         emit(row);
     }
+    return out.str();
+}
+
+std::string
+Table::toJson() const
+{
+    std::ostringstream out;
+    out << "[";
+    for (size_t r = 0; r < rows_.size(); ++r) {
+        out << (r ? ",\n  " : "\n  ") << "{";
+        for (size_t c = 0; c < header_.size(); ++c) {
+            if (c) {
+                out << ", ";
+            }
+            out << jsonCell(header_[c]) << ": " << jsonCell(rows_[r][c]);
+        }
+        out << "}";
+    }
+    out << (rows_.empty() ? "]" : "\n]");
     return out.str();
 }
 

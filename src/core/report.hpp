@@ -28,8 +28,20 @@ class Table
     /** Render as github-style markdown. */
     std::string toMarkdown() const;
 
-    /** Render as CSV. */
+    /**
+     * Render as RFC-4180 CSV: cells containing commas, quotes, or
+     * newlines are quoted (quotes doubled), so fmtCount's
+     * thousands-separated values survive the round trip.
+     */
     std::string toCsv() const;
+
+    /**
+     * Render as a JSON array of row objects keyed by the header, with
+     * the preformatted cell text as string values. Deterministic: the
+     * same table always serialises to the same bytes (the vepro-lab
+     * artifact contract).
+     */
+    std::string toJson() const;
 
     /** Print the markdown form to stdout with a caption line. */
     void print(const std::string &caption) const;

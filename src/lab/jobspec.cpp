@@ -1,0 +1,94 @@
+#include "lab/jobspec.hpp"
+
+#include <cstdio>
+
+namespace vepro::lab
+{
+
+std::string
+JobSpec::canonicalKey() const
+{
+    // Fixed field order; append-only. Changing the order, renaming a
+    // field, or changing a default's meaning requires a kSchemaVersion
+    // bump so old cache entries are orphaned, not misread.
+    std::string key;
+    key.reserve(128);
+    key += "encoder=";
+    key += encoder;
+    key += ";video=";
+    key += video;
+    key += ";crf=";
+    key += std::to_string(crf);
+    key += ";preset=";
+    key += std::to_string(preset);
+    key += ";threads=";
+    key += std::to_string(threads);
+    key += ";divisor=";
+    key += std::to_string(divisor);
+    key += ";frames=";
+    key += std::to_string(frames);
+    key += ";maxTraceOps=";
+    key += std::to_string(maxTraceOps);
+    return key;
+}
+
+uint64_t
+fnv1a64(const std::string &bytes)
+{
+    uint64_t hash = 14695981039346656037ull;
+    for (char c : bytes) {
+        hash ^= static_cast<unsigned char>(c);
+        hash *= 1099511628211ull;
+    }
+    return hash;
+}
+
+uint64_t
+JobSpec::hashForSchema(int schema_version) const
+{
+    return fnv1a64("vepro-lab/v" + std::to_string(schema_version) + "|" +
+                   canonicalKey());
+}
+
+std::string
+JobSpec::hashHex() const
+{
+    char buf[17];
+    std::snprintf(buf, sizeof buf, "%016llx",
+                  static_cast<unsigned long long>(hash()));
+    return buf;
+}
+
+std::string
+JobSpec::label() const
+{
+    std::string out = encoder + " " + video + " crf=" + std::to_string(crf) +
+                      " preset=" + std::to_string(preset);
+    if (threads != 1) {
+        out += " threads=" + std::to_string(threads);
+    }
+    return out;
+}
+
+core::RunScale
+JobSpec::toRunScale() const
+{
+    core::RunScale scale;
+    scale.suite.divisor = divisor;
+    scale.suite.frames = frames;
+    scale.maxTraceOps = maxTraceOps;
+    scale.jobs = 1;  // The orchestrator owns the worker pool.
+    return scale;
+}
+
+JobSpec
+JobSpec::withScale(const core::RunScale &scale)
+{
+    JobSpec spec;
+    spec.divisor = scale.suite.divisor;
+    spec.frames = scale.suite.frames;
+    spec.maxTraceOps = scale.maxTraceOps;
+    return spec;
+}
+
+} // namespace vepro::lab

@@ -1,0 +1,82 @@
+#ifndef VEPRO_LAB_JOBSPEC_HPP
+#define VEPRO_LAB_JOBSPEC_HPP
+
+/**
+ * @file
+ * The canonical description of one experiment point and its stable
+ * content hash — the key of the persistent result store.
+ *
+ * A JobSpec captures everything that determines a sweep point's
+ * numbers: encoder, clip, CRF, preset, thread count, and the run-scale
+ * knobs (suite geometry + trace cap) that change the synthesised input
+ * or the sampled window. Anything that merely changes *how* a point is
+ * executed — worker count, cache directory, progress verbosity — is
+ * deliberately excluded, so the same point computed by any driver lands
+ * on the same cache entry.
+ */
+
+#include <cstdint>
+#include <string>
+
+#include "core/experiment.hpp"
+
+namespace vepro::lab
+{
+
+/**
+ * Store schema version. Salted into every content hash: bumping it
+ * (whenever the record layout or the meaning of any spec field changes)
+ * orphans old entries instead of misreading them.
+ */
+constexpr int kSchemaVersion = 1;
+
+/** One experiment point. Field order never affects the hash. */
+struct JobSpec {
+    std::string encoder = "SVT-AV1";  ///< Registry name.
+    std::string video;                ///< Suite clip name.
+    int crf = 32;
+    int preset = 4;
+    int threads = 1;      ///< Simulated thread count (1 = single-core).
+
+    // Run-scale knobs that alter the measured numbers.
+    int divisor = 8;      ///< SuiteScale::divisor.
+    int frames = 6;       ///< SuiteScale::frames.
+    uint64_t maxTraceOps = 1'200'000;  ///< 0 = uncapped full fidelity.
+
+    /**
+     * Canonical key: every identity field, fixed order, 'k=v'
+     * ';'-joined. Two specs are the same experiment iff their keys are
+     * byte-equal.
+     */
+    std::string canonicalKey() const;
+
+    /** FNV-1a 64 of the canonical key salted with @p schema_version. */
+    uint64_t hashForSchema(int schema_version) const;
+
+    /** The store key: hashForSchema(kSchemaVersion). */
+    uint64_t hash() const { return hashForSchema(kSchemaVersion); }
+
+    /** hash() as 16 lowercase hex digits (the store file stem). */
+    std::string hashHex() const;
+
+    /** Short human label for progress lines. */
+    std::string label() const;
+
+    /** The RunScale a runner needs to execute this spec. */
+    core::RunScale toRunScale() const;
+
+    /** Copy the scale-identity fields out of a bench RunScale. */
+    static JobSpec withScale(const core::RunScale &scale);
+
+    bool operator==(const JobSpec &other) const
+    {
+        return canonicalKey() == other.canonicalKey();
+    }
+};
+
+/** FNV-1a 64-bit hash of a byte string. */
+uint64_t fnv1a64(const std::string &bytes);
+
+} // namespace vepro::lab
+
+#endif // VEPRO_LAB_JOBSPEC_HPP

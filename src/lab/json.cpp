@@ -1,0 +1,545 @@
+#include "lab/json.hpp"
+
+#include <cctype>
+#include <cerrno>
+#include <climits>
+#include <cstdio>
+#include <cstdlib>
+
+namespace vepro::lab
+{
+
+namespace
+{
+
+constexpr int kMaxDepth = 64;
+
+struct Parser {
+    const std::string &text;
+    size_t pos = 0;
+
+    [[noreturn]] void fail(const std::string &what) const
+    {
+        throw JsonError("json: " + what + " at offset " +
+                        std::to_string(pos));
+    }
+
+    void skipWs()
+    {
+        while (pos < text.size() &&
+               (text[pos] == ' ' || text[pos] == '\t' || text[pos] == '\n' ||
+                text[pos] == '\r')) {
+            ++pos;
+        }
+    }
+
+    char peek()
+    {
+        if (pos >= text.size()) {
+            fail("unexpected end of input");
+        }
+        return text[pos];
+    }
+
+    void expect(char c)
+    {
+        if (peek() != c) {
+            fail(std::string("expected '") + c + "'");
+        }
+        ++pos;
+    }
+
+    bool consumeLiteral(const char *lit)
+    {
+        size_t n = std::char_traits<char>::length(lit);
+        if (text.compare(pos, n, lit) == 0) {
+            pos += n;
+            return true;
+        }
+        return false;
+    }
+
+    std::string parseString()
+    {
+        expect('"');
+        std::string out;
+        while (true) {
+            if (pos >= text.size()) {
+                fail("unterminated string");
+            }
+            char c = text[pos++];
+            if (c == '"') {
+                return out;
+            }
+            if (static_cast<unsigned char>(c) < 0x20) {
+                fail("raw control character in string");
+            }
+            if (c != '\\') {
+                out.push_back(c);
+                continue;
+            }
+            if (pos >= text.size()) {
+                fail("unterminated escape");
+            }
+            char e = text[pos++];
+            switch (e) {
+            case '"': out.push_back('"'); break;
+            case '\\': out.push_back('\\'); break;
+            case '/': out.push_back('/'); break;
+            case 'b': out.push_back('\b'); break;
+            case 'f': out.push_back('\f'); break;
+            case 'n': out.push_back('\n'); break;
+            case 'r': out.push_back('\r'); break;
+            case 't': out.push_back('\t'); break;
+            case 'u': {
+                if (pos + 4 > text.size()) {
+                    fail("truncated \\u escape");
+                }
+                unsigned code = 0;
+                for (int i = 0; i < 4; ++i) {
+                    char h = text[pos++];
+                    code <<= 4;
+                    if (h >= '0' && h <= '9') {
+                        code |= static_cast<unsigned>(h - '0');
+                    } else if (h >= 'a' && h <= 'f') {
+                        code |= static_cast<unsigned>(h - 'a' + 10);
+                    } else if (h >= 'A' && h <= 'F') {
+                        code |= static_cast<unsigned>(h - 'A' + 10);
+                    } else {
+                        fail("bad \\u escape digit");
+                    }
+                }
+                // The store only ever emits \u00XX for control chars;
+                // encode the general case as UTF-8 anyway.
+                if (code < 0x80) {
+                    out.push_back(static_cast<char>(code));
+                } else if (code < 0x800) {
+                    out.push_back(static_cast<char>(0xC0 | (code >> 6)));
+                    out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+                } else {
+                    out.push_back(static_cast<char>(0xE0 | (code >> 12)));
+                    out.push_back(
+                        static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+                    out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+                }
+                break;
+            }
+            default: fail("unknown escape");
+            }
+        }
+    }
+
+    JsonValue parseNumberToken()
+    {
+        size_t start = pos;
+        if (pos < text.size() && text[pos] == '-') {
+            ++pos;
+        }
+        auto digits = [&] {
+            size_t before = pos;
+            while (pos < text.size() &&
+                   std::isdigit(static_cast<unsigned char>(text[pos]))) {
+                ++pos;
+            }
+            return pos > before;
+        };
+        if (!digits()) {
+            fail("bad number");
+        }
+        if (pos < text.size() && text[pos] == '.') {
+            ++pos;
+            if (!digits()) {
+                fail("bad fraction");
+            }
+        }
+        if (pos < text.size() && (text[pos] == 'e' || text[pos] == 'E')) {
+            ++pos;
+            if (pos < text.size() &&
+                (text[pos] == '+' || text[pos] == '-')) {
+                ++pos;
+            }
+            if (!digits()) {
+                fail("bad exponent");
+            }
+        }
+        // Keep the raw token: integers stay exact through round-trips.
+        return JsonValue::numberToken(text.substr(start, pos - start));
+    }
+
+    JsonValue parseValue(int depth)
+    {
+        if (depth > kMaxDepth) {
+            fail("nesting too deep");
+        }
+        skipWs();
+        char c = peek();
+        if (c == '{') {
+            ++pos;
+            JsonValue obj = JsonValue::object();
+            skipWs();
+            if (peek() == '}') {
+                ++pos;
+                return obj;
+            }
+            while (true) {
+                skipWs();
+                std::string key = parseString();
+                skipWs();
+                expect(':');
+                obj.set(key, parseValue(depth + 1));
+                skipWs();
+                char d = peek();
+                if (d == ',') {
+                    ++pos;
+                    continue;
+                }
+                expect('}');
+                return obj;
+            }
+        }
+        if (c == '[') {
+            ++pos;
+            JsonValue arr = JsonValue::array();
+            skipWs();
+            if (peek() == ']') {
+                ++pos;
+                return arr;
+            }
+            while (true) {
+                arr.push(parseValue(depth + 1));
+                skipWs();
+                char d = peek();
+                if (d == ',') {
+                    ++pos;
+                    continue;
+                }
+                expect(']');
+                return arr;
+            }
+        }
+        if (c == '"') {
+            return JsonValue::str(parseString());
+        }
+        if (consumeLiteral("true")) {
+            return JsonValue::boolean(true);
+        }
+        if (consumeLiteral("false")) {
+            return JsonValue::boolean(false);
+        }
+        if (consumeLiteral("null")) {
+            return JsonValue();
+        }
+        if (c == '-' || std::isdigit(static_cast<unsigned char>(c))) {
+            return parseNumberToken();
+        }
+        fail("unexpected character");
+    }
+};
+
+} // namespace
+
+JsonValue
+JsonValue::boolean(bool b)
+{
+    JsonValue v;
+    v.kind_ = Kind::Bool;
+    v.bool_ = b;
+    return v;
+}
+
+JsonValue
+JsonValue::number(uint64_t value)
+{
+    JsonValue v;
+    v.kind_ = Kind::Number;
+    v.scalar_ = std::to_string(value);
+    return v;
+}
+
+JsonValue
+JsonValue::number(int value)
+{
+    JsonValue v;
+    v.kind_ = Kind::Number;
+    v.scalar_ = std::to_string(value);
+    return v;
+}
+
+JsonValue
+JsonValue::number(double value)
+{
+    JsonValue v;
+    v.kind_ = Kind::Number;
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.17g", value);
+    v.scalar_ = buf;
+    // %.17g can produce "inf"/"nan", which JSON cannot carry; store
+    // records never contain them, but never emit invalid JSON either.
+    if (v.scalar_.find_first_not_of("0123456789+-.eE") !=
+        std::string::npos) {
+        throw JsonError("json: non-finite number");
+    }
+    return v;
+}
+
+JsonValue
+JsonValue::numberToken(std::string token)
+{
+    JsonValue v;
+    v.kind_ = Kind::Number;
+    v.scalar_ = std::move(token);
+    return v;
+}
+
+JsonValue
+JsonValue::str(std::string s)
+{
+    JsonValue v;
+    v.kind_ = Kind::String;
+    v.scalar_ = std::move(s);
+    return v;
+}
+
+JsonValue
+JsonValue::array()
+{
+    JsonValue v;
+    v.kind_ = Kind::Array;
+    return v;
+}
+
+JsonValue
+JsonValue::object()
+{
+    JsonValue v;
+    v.kind_ = Kind::Object;
+    return v;
+}
+
+JsonValue
+JsonValue::parse(const std::string &text)
+{
+    Parser p{text};
+    JsonValue v = p.parseValue(0);
+    p.skipWs();
+    if (p.pos != text.size()) {
+        p.fail("trailing garbage");
+    }
+    return v;
+}
+
+JsonValue &
+JsonValue::set(const std::string &key, JsonValue v)
+{
+    if (kind_ != Kind::Object) {
+        throw JsonError("json: set() on non-object");
+    }
+    for (auto &member : members_) {
+        if (member.first == key) {
+            member.second = std::move(v);
+            return *this;
+        }
+    }
+    members_.emplace_back(key, std::move(v));
+    return *this;
+}
+
+const JsonValue *
+JsonValue::find(const std::string &key) const
+{
+    if (kind_ != Kind::Object) {
+        return nullptr;
+    }
+    for (const auto &member : members_) {
+        if (member.first == key) {
+            return &member.second;
+        }
+    }
+    return nullptr;
+}
+
+const JsonValue &
+JsonValue::at(const std::string &key) const
+{
+    const JsonValue *v = find(key);
+    if (!v) {
+        throw JsonError("json: missing member '" + key + "'");
+    }
+    return *v;
+}
+
+JsonValue &
+JsonValue::push(JsonValue v)
+{
+    if (kind_ != Kind::Array) {
+        throw JsonError("json: push() on non-array");
+    }
+    items_.push_back(std::move(v));
+    return *this;
+}
+
+const std::vector<JsonValue> &
+JsonValue::items() const
+{
+    if (kind_ != Kind::Array) {
+        throw JsonError("json: items() on non-array");
+    }
+    return items_;
+}
+
+bool
+JsonValue::asBool() const
+{
+    if (kind_ != Kind::Bool) {
+        throw JsonError("json: not a bool");
+    }
+    return bool_;
+}
+
+double
+JsonValue::asDouble() const
+{
+    if (kind_ != Kind::Number) {
+        throw JsonError("json: not a number");
+    }
+    errno = 0;
+    char *end = nullptr;
+    double v = std::strtod(scalar_.c_str(), &end);
+    if (end != scalar_.c_str() + scalar_.size() || errno == ERANGE) {
+        throw JsonError("json: bad double '" + scalar_ + "'");
+    }
+    return v;
+}
+
+uint64_t
+JsonValue::asU64() const
+{
+    if (kind_ != Kind::Number) {
+        throw JsonError("json: not a number");
+    }
+    if (scalar_.find_first_not_of("0123456789") != std::string::npos) {
+        throw JsonError("json: not an unsigned integer '" + scalar_ + "'");
+    }
+    errno = 0;
+    char *end = nullptr;
+    unsigned long long v = std::strtoull(scalar_.c_str(), &end, 10);
+    if (end != scalar_.c_str() + scalar_.size() || errno == ERANGE) {
+        throw JsonError("json: u64 out of range '" + scalar_ + "'");
+    }
+    return static_cast<uint64_t>(v);
+}
+
+int
+JsonValue::asInt() const
+{
+    if (kind_ != Kind::Number) {
+        throw JsonError("json: not a number");
+    }
+    errno = 0;
+    char *end = nullptr;
+    long v = std::strtol(scalar_.c_str(), &end, 10);
+    if (end != scalar_.c_str() + scalar_.size() || errno == ERANGE ||
+        v < INT_MIN || v > INT_MAX) {
+        throw JsonError("json: bad int '" + scalar_ + "'");
+    }
+    return static_cast<int>(v);
+}
+
+const std::string &
+JsonValue::asString() const
+{
+    if (kind_ != Kind::String) {
+        throw JsonError("json: not a string");
+    }
+    return scalar_;
+}
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        switch (c) {
+        case '"': out += "\\\""; break;
+        case '\\': out += "\\\\"; break;
+        case '\b': out += "\\b"; break;
+        case '\f': out += "\\f"; break;
+        case '\n': out += "\\n"; break;
+        case '\r': out += "\\r"; break;
+        case '\t': out += "\\t"; break;
+        default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof buf, "\\u%04x",
+                              static_cast<unsigned char>(c));
+                out += buf;
+            } else {
+                out.push_back(c);
+            }
+        }
+    }
+    return out;
+}
+
+void
+JsonValue::dumpTo(std::string &out, int indent, int depth) const
+{
+    auto newline = [&](int d) {
+        if (indent > 0) {
+            out.push_back('\n');
+            out.append(static_cast<size_t>(indent * d), ' ');
+        }
+    };
+    switch (kind_) {
+    case Kind::Null: out += "null"; break;
+    case Kind::Bool: out += bool_ ? "true" : "false"; break;
+    case Kind::Number: out += scalar_; break;
+    case Kind::String:
+        out.push_back('"');
+        out += jsonEscape(scalar_);
+        out.push_back('"');
+        break;
+    case Kind::Array:
+        out.push_back('[');
+        for (size_t i = 0; i < items_.size(); ++i) {
+            if (i) {
+                out.push_back(',');
+            }
+            newline(depth + 1);
+            items_[i].dumpTo(out, indent, depth + 1);
+        }
+        if (!items_.empty()) {
+            newline(depth);
+        }
+        out.push_back(']');
+        break;
+    case Kind::Object:
+        out.push_back('{');
+        for (size_t i = 0; i < members_.size(); ++i) {
+            if (i) {
+                out.push_back(',');
+            }
+            newline(depth + 1);
+            out.push_back('"');
+            out += jsonEscape(members_[i].first);
+            out += indent > 0 ? "\": " : "\":";
+            members_[i].second.dumpTo(out, indent, depth + 1);
+        }
+        if (!members_.empty()) {
+            newline(depth);
+        }
+        out.push_back('}');
+        break;
+    }
+}
+
+std::string
+JsonValue::dump(int indent) const
+{
+    std::string out;
+    dumpTo(out, indent, 0);
+    return out;
+}
+
+} // namespace vepro::lab

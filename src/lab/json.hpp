@@ -1,0 +1,95 @@
+#ifndef VEPRO_LAB_JSON_HPP
+#define VEPRO_LAB_JSON_HPP
+
+/**
+ * @file
+ * Minimal JSON tree used by the lab result store and artifact writers.
+ *
+ * Deliberately tiny: objects preserve insertion order (so serialisation
+ * is deterministic and cache records are byte-stable), and numbers keep
+ * their raw source token, so a u64 cycle count or a %.17g double
+ * round-trips through save -> load -> save without drifting a bit. The
+ * parser throws JsonError on any malformed input — the store treats
+ * that as "corrupt entry, recompute", never as a crash.
+ */
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace vepro::lab
+{
+
+/** Thrown on malformed JSON text or wrong-kind access. */
+struct JsonError : std::runtime_error {
+    explicit JsonError(const std::string &what) : std::runtime_error(what) {}
+};
+
+class JsonValue
+{
+  public:
+    enum class Kind { Null, Bool, Number, String, Array, Object };
+
+    JsonValue() = default;  ///< Null.
+
+    static JsonValue boolean(bool b);
+    static JsonValue number(uint64_t v);
+    static JsonValue number(int v);
+    static JsonValue number(double v);  ///< %.17g — round-trip exact.
+    /** Number from a raw already-validated token (parser internal). */
+    static JsonValue numberToken(std::string token);
+    static JsonValue str(std::string s);
+    static JsonValue array();
+    static JsonValue object();
+
+    /** Parse a complete JSON document. @throws JsonError. */
+    static JsonValue parse(const std::string &text);
+
+    Kind kind() const { return kind_; }
+    bool isObject() const { return kind_ == Kind::Object; }
+    bool isArray() const { return kind_ == Kind::Array; }
+
+    // -- Object access -----------------------------------------------
+    /** Insert or replace a member; keeps insertion order. */
+    JsonValue &set(const std::string &key, JsonValue v);
+    /** Member lookup; nullptr when absent (or not an object). */
+    const JsonValue *find(const std::string &key) const;
+    /** Member lookup. @throws JsonError when absent. */
+    const JsonValue &at(const std::string &key) const;
+
+    // -- Array access ------------------------------------------------
+    JsonValue &push(JsonValue v);
+    const std::vector<JsonValue> &items() const;
+
+    // -- Scalar access (throws JsonError on kind/format mismatch) ----
+    bool asBool() const;
+    double asDouble() const;
+    uint64_t asU64() const;  ///< Rejects fractions, exponents, signs.
+    int asInt() const;
+    const std::string &asString() const;
+
+    /**
+     * Serialise. indent == 0 emits the compact single-line form;
+     * indent > 0 pretty-prints with that many spaces per level.
+     * Deterministic: same tree -> same bytes.
+     */
+    std::string dump(int indent = 0) const;
+
+  private:
+    void dumpTo(std::string &out, int indent, int depth) const;
+
+    Kind kind_ = Kind::Null;
+    bool bool_ = false;
+    std::string scalar_;  ///< Raw number token, or string payload.
+    std::vector<JsonValue> items_;
+    std::vector<std::pair<std::string, JsonValue>> members_;
+};
+
+/** Escape a string for embedding in JSON (no surrounding quotes). */
+std::string jsonEscape(const std::string &s);
+
+} // namespace vepro::lab
+
+#endif // VEPRO_LAB_JSON_HPP

@@ -1,0 +1,227 @@
+#include "lab/orchestrator.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <stdexcept>
+
+#include "encoders/registry.hpp"
+#include "video/suite.hpp"
+
+namespace vepro::lab
+{
+
+OrchestratorOptions
+OrchestratorOptions::fromRunScale(const core::RunScale &scale)
+{
+    OrchestratorOptions opts;
+    opts.jobs = scale.jobs;
+    opts.useCache = !scale.noCache;
+    opts.storeDir = scale.storeDir;
+    return opts;
+}
+
+Orchestrator::Orchestrator(OrchestratorOptions opts)
+    : opts_(std::move(opts)), store_(opts_.storeDir, opts_.progress)
+{
+}
+
+size_t
+Orchestrator::request(const JobSpec &spec)
+{
+    if (spec.threads < 1) {
+        throw std::invalid_argument("lab: threads must be >= 1");
+    }
+    std::string key = spec.canonicalKey();
+    auto it = byKey_.find(key);
+    if (it != byKey_.end()) {
+        return it->second;
+    }
+    size_t handle = jobs_.size();
+    jobs_.push_back(spec);
+    results_.push_back(nullptr);
+    byKey_.emplace(std::move(key), handle);
+    return handle;
+}
+
+std::string
+Orchestrator::clipKey(const JobSpec &spec)
+{
+    return spec.video + "/" + std::to_string(spec.divisor) + "x" +
+           std::to_string(spec.frames);
+}
+
+std::shared_ptr<const video::Video>
+Orchestrator::acquireClip(const JobSpec &spec)
+{
+    ClipSlot &slot = *clips_.at(clipKey(spec));
+    std::lock_guard<std::mutex> lock(slot.mutex);
+    if (!slot.clip) {
+        core::RunScale scale = spec.toRunScale();
+        slot.clip = std::make_shared<const video::Video>(
+            video::loadSuiteVideo(spec.video, scale.suite));
+    }
+    return slot.clip;
+}
+
+void
+Orchestrator::releaseClip(const JobSpec &spec)
+{
+    ClipSlot &slot = *clips_.at(clipKey(spec));
+    std::lock_guard<std::mutex> lock(slot.mutex);
+    if (slot.remaining > 0 && --slot.remaining == 0) {
+        // Last pending point for this clip: free the frames now
+        // instead of at end of sweep (outstanding shared_ptr copies
+        // keep it alive until their jobs finish).
+        slot.clip.reset();
+    }
+}
+
+JobResult
+Orchestrator::execute(const JobSpec &spec)
+{
+    if (opts_.runner) {
+        return opts_.runner(spec);
+    }
+    if (spec.threads != 1) {
+        throw std::invalid_argument(
+            "lab: multi-threaded points are not orchestrated yet "
+            "(threads=" + std::to_string(spec.threads) + ")");
+    }
+    auto encoder = encoders_.at(spec.encoder);
+    std::shared_ptr<const video::Video> clip = acquireClip(spec);
+    core::SweepPoint point = core::runPoint(*encoder, *clip, spec.crf,
+                                            spec.preset, spec.toRunScale());
+    clip.reset();
+    releaseClip(spec);
+
+    JobResult result;
+    result.encode.wallSeconds = point.encode.wallSeconds;
+    result.encode.instructions = point.encode.instructions;
+    result.encode.bitrateKbps = point.encode.bitrateKbps;
+    result.encode.psnrDb = point.encode.psnrDb;
+    result.encode.droppedOps = point.encode.droppedOps;
+    result.core = point.core;
+    return result;
+}
+
+void
+Orchestrator::run()
+{
+    // Phase 1 — resolve from the store (serial: cheap file reads).
+    std::vector<size_t> pending;
+    std::vector<size_t> resolved;  ///< Everything this call settles.
+    for (size_t i = 0; i < jobs_.size(); ++i) {
+        if (results_[i]) {
+            continue;
+        }
+        resolved.push_back(i);
+        if (opts_.useCache) {
+            if (std::optional<JobResult> hit = store_.load(jobs_[i])) {
+                results_[i] = std::make_unique<JobResult>(*hit);
+                ++cacheHits_;
+                continue;
+            }
+        }
+        pending.push_back(i);
+    }
+
+    // Phase 2 — prepare shared state for the misses: encoder models
+    // and per-clip refcount slots (only misses pin a clip; a fully
+    // cached run never decodes anything).
+    if (!opts_.runner) {
+        for (size_t i : pending) {
+            const JobSpec &spec = jobs_[i];
+            if (!encoders_.count(spec.encoder)) {
+                encoders_.emplace(spec.encoder,
+                                  encoders::encoderByName(spec.encoder));
+            }
+            auto &slot = clips_[clipKey(spec)];
+            if (!slot) {
+                slot = std::make_unique<ClipSlot>();
+            }
+            ++slot->remaining;
+        }
+    }
+
+    // Phase 3 — run the unique misses on the worker pool.
+    std::atomic<size_t> done{0};
+    std::atomic<size_t> retried{0};
+    const size_t total = pending.size();
+    core::parallelFor(total, opts_.jobs, [&](size_t p) {
+        const JobSpec &spec = jobs_[pending[p]];
+        JobResult result;
+        auto attempt = [&] {
+            auto t0 = std::chrono::steady_clock::now();
+            result = execute(spec);
+            result.jobSeconds =
+                std::chrono::duration<double>(
+                    std::chrono::steady_clock::now() - t0)
+                    .count();
+        };
+        try {
+            attempt();
+        } catch (const std::exception &e) {
+            retried.fetch_add(1, std::memory_order_relaxed);
+            if (opts_.progress) {
+                opts_.progress->linef(
+                    "  warning: %s failed (%s) — retrying once",
+                    spec.label().c_str(), e.what());
+            }
+            attempt();  // A second throw aborts the run via parallelFor.
+        }
+        result.fromCache = false;
+        store_.save(spec, result);
+        size_t k = done.fetch_add(1, std::memory_order_relaxed) + 1;
+        if (opts_.verbose && opts_.progress) {
+            opts_.progress->linef("  [%zu/%zu] %s — %.2fs", k, total,
+                                  spec.label().c_str(), result.jobSeconds);
+        }
+        results_[pending[p]] = std::make_unique<JobResult>(result);
+    });
+    computed_ += total;
+    retries_ += retried.load();
+
+    // Probe-cap warnings for everything resolved in this run, cached
+    // or fresh — capped data under-represents the run either way.
+    if (opts_.progress) {
+        for (size_t i : resolved) {
+            const JobResult &r = *results_[i];
+            if (r.encode.droppedOps > 0) {
+                opts_.progress->linef(
+                    "  warning: %s hit the op cap (%llu ops dropped) — "
+                    "pass --uncapped for full fidelity",
+                    jobs_[i].label().c_str(),
+                    static_cast<unsigned long long>(r.encode.droppedOps));
+            }
+        }
+    }
+}
+
+const JobResult &
+Orchestrator::result(size_t handle) const
+{
+    if (handle >= results_.size()) {
+        throw std::out_of_range("lab: bad job handle");
+    }
+    if (!results_[handle]) {
+        throw std::logic_error("lab: result() before run()");
+    }
+    return *results_[handle];
+}
+
+std::string
+Orchestrator::summaryLine() const
+{
+    const size_t n = jobs_.size();
+    const double pct =
+        n ? 100.0 * static_cast<double>(cacheHits_) / static_cast<double>(n)
+          : 100.0;
+    char buf[160];
+    std::snprintf(buf, sizeof buf,
+                  "%zu unique jobs, %zu cache hits, %zu computed "
+                  "(cache hits: %.1f%%)",
+                  n, cacheHits_, computed_, pct);
+    return buf;
+}
+
+} // namespace vepro::lab

@@ -1,0 +1,117 @@
+#ifndef VEPRO_LAB_ORCHESTRATOR_HPP
+#define VEPRO_LAB_ORCHESTRATOR_HPP
+
+/**
+ * @file
+ * Sweep orchestrator: figures declare the JobSpecs they need, the
+ * orchestrator dedupes the union, satisfies what it can from the
+ * persistent store, runs the rest on the core::parallelFor pool — with
+ * per-job wall-clock timing, one retry on a thrown attempt, and
+ * serialized progress lines — and fans results back out per figure.
+ *
+ * Decoded clips are reference-counted: a clip is loaded lazily when its
+ * first cache-missing point starts and released as soon as its last
+ * point completes, so a --full sweep never holds the whole suite
+ * resident (and an all-cache-hit run decodes nothing at all).
+ */
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/experiment.hpp"
+#include "lab/jobspec.hpp"
+#include "lab/progress.hpp"
+#include "lab/store.hpp"
+#include "video/frame.hpp"
+
+namespace vepro::lab
+{
+
+struct OrchestratorOptions {
+    int jobs = 1;                      ///< Worker threads.
+    bool useCache = true;              ///< false = recompute everything.
+    std::string storeDir = ".vepro-lab";
+    Progress *progress = &Progress::standard();
+    bool verbose = true;               ///< Per-job progress lines.
+    /**
+     * Test seam: replaces the default encode+simulate runner (and the
+     * clip ref-counting that feeds it). Production code leaves this
+     * empty.
+     */
+    std::function<JobResult(const JobSpec &)> runner;
+
+    /** The options a bench derives from its parsed RunScale. */
+    static OrchestratorOptions fromRunScale(const core::RunScale &scale);
+};
+
+class Orchestrator
+{
+  public:
+    explicit Orchestrator(OrchestratorOptions opts = {});
+
+    /**
+     * Register one point and get its handle. Requests dedupe: the same
+     * spec (by canonical key) from any number of figures returns the
+     * same handle and runs at most once.
+     */
+    size_t request(const JobSpec &spec);
+
+    /**
+     * Resolve every outstanding request: cache lookups first, then the
+     * unique misses on the worker pool. Each miss is retried once if
+     * its first attempt throws; a job that fails twice aborts the run
+     * with that exception (results computed before it are already
+     * persisted). May be called again after further request()s.
+     */
+    void run();
+
+    /** The result for a handle. @throws std::logic_error before run(). */
+    const JobResult &result(size_t handle) const;
+
+    size_t requested() const { return jobs_.size(); }  ///< Unique jobs.
+    size_t cacheHits() const { return cacheHits_; }
+    size_t computed() const { return computed_; }
+    size_t retries() const { return retries_; }
+
+    const ResultStore &store() const { return store_; }
+
+    /** "N unique jobs, H cache hits, C computed (cache hits: P%)" */
+    std::string summaryLine() const;
+
+  private:
+    struct ClipSlot {
+        std::mutex mutex;
+        std::shared_ptr<const video::Video> clip;
+        size_t remaining = 0;  ///< Pending points still needing it.
+    };
+
+    JobResult execute(const JobSpec &spec);
+    std::shared_ptr<const video::Video> acquireClip(const JobSpec &spec);
+    void releaseClip(const JobSpec &spec);
+    static std::string clipKey(const JobSpec &spec);
+
+    OrchestratorOptions opts_;
+    ResultStore store_;
+
+    std::vector<JobSpec> jobs_;
+    std::vector<std::unique_ptr<JobResult>> results_;
+    std::unordered_map<std::string, size_t> byKey_;
+
+    std::unordered_map<std::string,
+                       std::shared_ptr<const encoders::EncoderModel>>
+        encoders_;
+    std::unordered_map<std::string, std::unique_ptr<ClipSlot>> clips_;
+
+    size_t cacheHits_ = 0;
+    size_t computed_ = 0;
+    size_t retries_ = 0;
+};
+
+} // namespace vepro::lab
+
+#endif // VEPRO_LAB_ORCHESTRATOR_HPP

@@ -1,0 +1,43 @@
+#include "lab/progress.hpp"
+
+#include <vector>
+
+namespace vepro::lab
+{
+
+void
+Progress::line(const std::string &text)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::fputs(text.c_str(), out_);
+    std::fputc('\n', out_);
+    std::fflush(out_);
+}
+
+void
+Progress::linef(const char *fmt, ...)
+{
+    va_list args;
+    va_start(args, fmt);
+    va_list measure;
+    va_copy(measure, args);
+    int n = std::vsnprintf(nullptr, 0, fmt, measure);
+    va_end(measure);
+    std::string text;
+    if (n > 0) {
+        std::vector<char> buf(static_cast<size_t>(n) + 1);
+        std::vsnprintf(buf.data(), buf.size(), fmt, args);
+        text.assign(buf.data(), static_cast<size_t>(n));
+    }
+    va_end(args);
+    line(text);
+}
+
+Progress &
+Progress::standard()
+{
+    static Progress instance(stderr);
+    return instance;
+}
+
+} // namespace vepro::lab

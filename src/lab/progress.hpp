@@ -1,0 +1,45 @@
+#ifndef VEPRO_LAB_PROGRESS_HPP
+#define VEPRO_LAB_PROGRESS_HPP
+
+/**
+ * @file
+ * Mutex-serialised progress reporter shared by the orchestrator and the
+ * bench sweeps. Worker threads used to fprintf(stderr, ...) directly,
+ * interleaving characters under --jobs>1; every line now goes through
+ * one lock so output stays whole-line atomic.
+ */
+
+#include <cstdarg>
+#include <cstdio>
+#include <mutex>
+#include <string>
+
+namespace vepro::lab
+{
+
+class Progress
+{
+  public:
+    /** Report to @p out (tests pass a tmpfile; benches use stderr). */
+    explicit Progress(std::FILE *out = stderr) : out_(out) {}
+
+    Progress(const Progress &) = delete;
+    Progress &operator=(const Progress &) = delete;
+
+    /** Emit one whole line (a trailing newline is added). */
+    void line(const std::string &text);
+
+    /** printf-style convenience; the formatted text is one line. */
+    void linef(const char *fmt, ...) __attribute__((format(printf, 2, 3)));
+
+    /** The process-wide stderr reporter the benches share. */
+    static Progress &standard();
+
+  private:
+    std::FILE *out_;
+    std::mutex mutex_;
+};
+
+} // namespace vepro::lab
+
+#endif // VEPRO_LAB_PROGRESS_HPP

@@ -1,0 +1,180 @@
+#include "lab/store.hpp"
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "lab/json.hpp"
+
+namespace vepro::lab
+{
+
+namespace fs = std::filesystem;
+
+namespace
+{
+
+JsonValue
+specToJson(const JobSpec &spec)
+{
+    JsonValue obj = JsonValue::object();
+    obj.set("encoder", JsonValue::str(spec.encoder))
+        .set("video", JsonValue::str(spec.video))
+        .set("crf", JsonValue::number(spec.crf))
+        .set("preset", JsonValue::number(spec.preset))
+        .set("threads", JsonValue::number(spec.threads))
+        .set("divisor", JsonValue::number(spec.divisor))
+        .set("frames", JsonValue::number(spec.frames))
+        .set("maxTraceOps", JsonValue::number(spec.maxTraceOps));
+    return obj;
+}
+
+JsonValue
+coreToJson(const uarch::CoreStats &c)
+{
+    JsonValue obj = JsonValue::object();
+    obj.set("cycles", JsonValue::number(c.cycles))
+        .set("instructions", JsonValue::number(c.instructions))
+        .set("retiring", JsonValue::number(c.slots.retiring))
+        .set("badSpec", JsonValue::number(c.slots.badSpec))
+        .set("frontend", JsonValue::number(c.slots.frontend))
+        .set("backend", JsonValue::number(c.slots.backend))
+        .set("backendMemory", JsonValue::number(c.slots.backendMemory))
+        .set("backendCore", JsonValue::number(c.slots.backendCore))
+        .set("rsStalls", JsonValue::number(c.stalls.rs))
+        .set("robStalls", JsonValue::number(c.stalls.rob))
+        .set("loadBufStalls", JsonValue::number(c.stalls.loadBuf))
+        .set("storeBufStalls", JsonValue::number(c.stalls.storeBuf))
+        .set("condBranches", JsonValue::number(c.condBranches))
+        .set("mispredicts", JsonValue::number(c.mispredicts))
+        .set("l1iMisses", JsonValue::number(c.l1iMisses))
+        .set("l1dAccesses", JsonValue::number(c.l1dAccesses))
+        .set("l1dMisses", JsonValue::number(c.l1dMisses))
+        .set("l2Misses", JsonValue::number(c.l2Misses))
+        .set("llcMisses", JsonValue::number(c.llcMisses))
+        .set("invalidations", JsonValue::number(c.invalidations));
+    return obj;
+}
+
+uarch::CoreStats
+coreFromJson(const JsonValue &obj)
+{
+    uarch::CoreStats c;
+    c.cycles = obj.at("cycles").asU64();
+    c.instructions = obj.at("instructions").asU64();
+    c.slots.retiring = obj.at("retiring").asU64();
+    c.slots.badSpec = obj.at("badSpec").asU64();
+    c.slots.frontend = obj.at("frontend").asU64();
+    c.slots.backend = obj.at("backend").asU64();
+    c.slots.backendMemory = obj.at("backendMemory").asU64();
+    c.slots.backendCore = obj.at("backendCore").asU64();
+    c.stalls.rs = obj.at("rsStalls").asU64();
+    c.stalls.rob = obj.at("robStalls").asU64();
+    c.stalls.loadBuf = obj.at("loadBufStalls").asU64();
+    c.stalls.storeBuf = obj.at("storeBufStalls").asU64();
+    c.condBranches = obj.at("condBranches").asU64();
+    c.mispredicts = obj.at("mispredicts").asU64();
+    c.l1iMisses = obj.at("l1iMisses").asU64();
+    c.l1dAccesses = obj.at("l1dAccesses").asU64();
+    c.l1dMisses = obj.at("l1dMisses").asU64();
+    c.l2Misses = obj.at("l2Misses").asU64();
+    c.llcMisses = obj.at("llcMisses").asU64();
+    c.invalidations = obj.at("invalidations").asU64();
+    return c;
+}
+
+} // namespace
+
+ResultStore::ResultStore(std::string dir, Progress *progress)
+    : dir_(std::move(dir)), progress_(progress)
+{
+}
+
+std::string
+ResultStore::pathFor(const JobSpec &spec) const
+{
+    return (fs::path(dir_) / (spec.hashHex() + ".json")).string();
+}
+
+std::optional<JobResult>
+ResultStore::load(const JobSpec &spec) const
+{
+    const std::string path = pathFor(spec);
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+        return std::nullopt;  // Plain miss: nothing cached yet.
+    }
+    std::ostringstream text;
+    text << in.rdbuf();
+
+    try {
+        JsonValue root = JsonValue::parse(text.str());
+        if (root.at("schema").asInt() != kSchemaVersion) {
+            throw JsonError("schema version mismatch");
+        }
+        if (root.at("key").asString() != spec.canonicalKey()) {
+            // 64-bit hash collision or a renamed field without a
+            // schema bump — either way this record is someone else's.
+            throw JsonError("canonical key mismatch");
+        }
+        const JsonValue &res = root.at("result");
+        JobResult result;
+        result.encode.wallSeconds = res.at("wallSeconds").asDouble();
+        result.encode.instructions = res.at("instructions").asU64();
+        result.encode.bitrateKbps = res.at("bitrateKbps").asDouble();
+        result.encode.psnrDb = res.at("psnrDb").asDouble();
+        result.encode.droppedOps = res.at("droppedOps").asU64();
+        result.core = coreFromJson(res.at("core"));
+        result.jobSeconds = res.at("jobSeconds").asDouble();
+        result.fromCache = true;
+        return result;
+    } catch (const std::exception &e) {
+        if (progress_) {
+            progress_->linef(
+                "  warning: corrupt or stale cache entry %s (%s) — "
+                "recomputing",
+                path.c_str(), e.what());
+        }
+        return std::nullopt;
+    }
+}
+
+void
+ResultStore::save(const JobSpec &spec, const JobResult &result) const
+{
+    fs::create_directories(dir_);
+
+    JsonValue res = JsonValue::object();
+    res.set("wallSeconds", JsonValue::number(result.encode.wallSeconds))
+        .set("instructions", JsonValue::number(result.encode.instructions))
+        .set("bitrateKbps", JsonValue::number(result.encode.bitrateKbps))
+        .set("psnrDb", JsonValue::number(result.encode.psnrDb))
+        .set("droppedOps", JsonValue::number(result.encode.droppedOps))
+        .set("core", coreToJson(result.core))
+        .set("jobSeconds", JsonValue::number(result.jobSeconds));
+
+    JsonValue root = JsonValue::object();
+    root.set("schema", JsonValue::number(kSchemaVersion))
+        .set("key", JsonValue::str(spec.canonicalKey()))
+        .set("spec", specToJson(spec))
+        .set("result", std::move(res));
+
+    const std::string path = pathFor(spec);
+    const std::string tmp = path + ".tmp";
+    {
+        std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+        if (!out) {
+            throw std::runtime_error("lab: cannot write " + tmp);
+        }
+        out << root.dump(2) << "\n";
+        out.flush();
+        if (!out) {
+            throw std::runtime_error("lab: short write to " + tmp);
+        }
+    }
+    // Atomic publish: readers see the old record or the new one, never
+    // a partial file.
+    fs::rename(tmp, path);
+}
+
+} // namespace vepro::lab

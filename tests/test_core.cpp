@@ -35,6 +35,31 @@ TEST(Report, CsvShape)
     EXPECT_EQ(t.toCsv(), "x,y\n1,2\n");
 }
 
+TEST(Report, CsvQuotesCellsPerRfc4180)
+{
+    Table t({"Video", "Instructions", "Note"});
+    t.addRow({"game1", fmtCount(12345678), "plain"});
+    t.addRow({"say \"hi\"", "1", "two\nlines"});
+    EXPECT_EQ(t.toCsv(), "Video,Instructions,Note\n"
+                         "game1,\"12,345,678\",plain\n"
+                         "\"say \"\"hi\"\"\",1,\"two\nlines\"\n");
+}
+
+TEST(Report, JsonRowsKeyedByHeader)
+{
+    Table t({"Video", "IPC"});
+    t.addRow({"game1", "1.98"});
+    t.addRow({"cat \"pet\"", "2.01"});
+    EXPECT_EQ(t.toJson(), "[\n"
+                          "  {\"Video\": \"game1\", \"IPC\": \"1.98\"},\n"
+                          "  {\"Video\": \"cat \\\"pet\\\"\", "
+                          "\"IPC\": \"2.01\"}\n"
+                          "]");
+    // Deterministic: the artifact byte-compare in CI depends on it.
+    EXPECT_EQ(t.toJson(), t.toJson());
+    EXPECT_EQ(Table({"a"}).toJson(), "[]");
+}
+
 TEST(Report, RowWidthValidated)
 {
     Table t({"a", "b"});
@@ -74,6 +99,48 @@ TEST(RunScale, ParsesFlags)
     const char *argv4[] = {"bench", "--bogus"};
     EXPECT_THROW(RunScale::fromArgs(2, const_cast<char **>(argv4)),
                  std::invalid_argument);
+}
+
+TEST(RunScale, JobsParsingIsStrict)
+{
+    const char *ok[] = {"bench", "--jobs=4"};
+    EXPECT_EQ(RunScale::fromArgs(2, const_cast<char **>(ok)).jobs, 4);
+
+    // std::stoi would have accepted all of these silently.
+    for (const char *bad :
+         {"--jobs=4abc", "--jobs=", "--jobs=1e3", "--jobs= 2", "--jobs=0",
+          "--jobs=-1", "--jobs=4.5"}) {
+        const char *argv[] = {"bench", bad};
+        EXPECT_THROW(RunScale::fromArgs(2, const_cast<char **>(argv)),
+                     std::invalid_argument)
+            << bad;
+    }
+}
+
+TEST(RunScale, CacheFlags)
+{
+    const char *argv1[] = {"bench", "--no-cache", "--store=/tmp/altstore"};
+    RunScale scale = RunScale::fromArgs(3, const_cast<char **>(argv1));
+    EXPECT_TRUE(scale.noCache);
+    EXPECT_EQ(scale.storeDir, "/tmp/altstore");
+
+    RunScale defaults;
+    EXPECT_FALSE(defaults.noCache);
+    EXPECT_EQ(defaults.storeDir, ".vepro-lab");
+
+    const char *argv2[] = {"bench", "--store="};
+    EXPECT_THROW(RunScale::fromArgs(2, const_cast<char **>(argv2)),
+                 std::invalid_argument);
+}
+
+TEST(ParseIntStrict, AcceptsWholeIntegersOnly)
+{
+    EXPECT_EQ(parseIntStrict("17", "--n"), 17);
+    EXPECT_EQ(parseIntStrict("-3", "--n"), -3);
+    for (const char *bad : {"", "abc", "4abc", "1.5", "1e3", " 2", "2 "}) {
+        EXPECT_THROW(parseIntStrict(bad, "--n"), std::invalid_argument)
+            << "'" << bad << "'";
+    }
 }
 
 TEST(RunScale, DefaultSelectsWholeSuite)

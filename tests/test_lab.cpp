@@ -1,0 +1,636 @@
+/**
+ * @file
+ * Unit tests for the vepro::lab subsystem: JobSpec hashing, the JSON
+ * round-trip, the persistent result store's durability contract
+ * (atomic writes, corrupt-entry recovery, schema staleness), and the
+ * orchestrator's dedupe / cache / retry / parallel behaviour.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <thread>
+
+#include "lab/figures.hpp"
+#include "lab/json.hpp"
+#include "lab/orchestrator.hpp"
+#include "lab/store.hpp"
+
+namespace vepro::lab
+{
+namespace
+{
+
+namespace fs = std::filesystem;
+
+/** Fresh per-test store directory under the test tmp root. */
+std::string
+freshDir(const std::string &name)
+{
+    fs::path dir = fs::path(::testing::TempDir()) / ("vepro_lab_" + name);
+    fs::remove_all(dir);
+    fs::create_directories(dir);
+    return dir.string();
+}
+
+JobSpec
+makeSpec(int crf = 30)
+{
+    JobSpec spec;
+    spec.encoder = "SVT-AV1";
+    spec.video = "game1";
+    spec.crf = crf;
+    spec.preset = 4;
+    spec.threads = 1;
+    spec.divisor = 8;
+    spec.frames = 6;
+    spec.maxTraceOps = 1'200'000;
+    return spec;
+}
+
+JobResult
+makeResult(int crf)
+{
+    JobResult r;
+    r.encode.wallSeconds = 1.25 + crf;
+    r.encode.instructions = 1'000'000ull + static_cast<uint64_t>(crf);
+    r.encode.bitrateKbps = 431.0625;
+    r.encode.psnrDb = 38.875;
+    r.encode.droppedOps = 7;
+    r.core.cycles = 500'000ull + static_cast<uint64_t>(crf);
+    r.core.instructions = r.encode.instructions;
+    r.core.slots.retiring = 11;
+    r.core.slots.badSpec = 22;
+    r.core.slots.frontend = 33;
+    r.core.slots.backend = 44;
+    r.core.slots.backendMemory = 30;
+    r.core.slots.backendCore = 14;
+    r.core.stalls.rs = 1;
+    r.core.stalls.rob = 2;
+    r.core.stalls.loadBuf = 3;
+    r.core.stalls.storeBuf = 4;
+    r.core.condBranches = 123'456;
+    r.core.mispredicts = 789;
+    r.core.l1iMisses = 10;
+    r.core.l1dAccesses = 20;
+    r.core.l1dMisses = 30;
+    r.core.l2Misses = 40;
+    r.core.llcMisses = 50;
+    r.core.invalidations = 60;
+    r.jobSeconds = 2.5;
+    return r;
+}
+
+TEST(JobSpecHash, CanonicalKeyIsStableAndComplete)
+{
+    EXPECT_EQ(makeSpec().canonicalKey(),
+              "encoder=SVT-AV1;video=game1;crf=30;preset=4;threads=1;"
+              "divisor=8;frames=6;maxTraceOps=1200000");
+}
+
+TEST(JobSpecHash, IndependentOfFieldAssignmentOrder)
+{
+    // Populate the same spec in two different field orders.
+    JobSpec a;
+    a.maxTraceOps = 99;
+    a.frames = 3;
+    a.divisor = 16;
+    a.threads = 2;
+    a.preset = 6;
+    a.crf = 45;
+    a.video = "cat";
+    a.encoder = "x264";
+
+    JobSpec b;
+    b.encoder = "x264";
+    b.video = "cat";
+    b.crf = 45;
+    b.preset = 6;
+    b.threads = 2;
+    b.divisor = 16;
+    b.frames = 3;
+    b.maxTraceOps = 99;
+
+    EXPECT_EQ(a.canonicalKey(), b.canonicalKey());
+    EXPECT_EQ(a.hash(), b.hash());
+    EXPECT_TRUE(a == b);
+}
+
+TEST(JobSpecHash, SaltedWithSchemaVersion)
+{
+    JobSpec spec = makeSpec();
+    EXPECT_EQ(spec.hash(),
+              fnv1a64("vepro-lab/v" + std::to_string(kSchemaVersion) + "|" +
+                      spec.canonicalKey()));
+    EXPECT_NE(spec.hashForSchema(kSchemaVersion),
+              spec.hashForSchema(kSchemaVersion + 1));
+}
+
+TEST(JobSpecHash, EveryFieldChangesTheHash)
+{
+    const JobSpec base = makeSpec();
+    JobSpec v = base;
+    v.encoder = "x265";
+    EXPECT_NE(v.hash(), base.hash());
+    v = base;
+    v.video = "hall";
+    EXPECT_NE(v.hash(), base.hash());
+    v = base;
+    v.crf = 31;
+    EXPECT_NE(v.hash(), base.hash());
+    v = base;
+    v.preset = 5;
+    EXPECT_NE(v.hash(), base.hash());
+    v = base;
+    v.threads = 2;
+    EXPECT_NE(v.hash(), base.hash());
+    v = base;
+    v.divisor = 4;
+    EXPECT_NE(v.hash(), base.hash());
+    v = base;
+    v.frames = 12;
+    EXPECT_NE(v.hash(), base.hash());
+    v = base;
+    v.maxTraceOps = 0;
+    EXPECT_NE(v.hash(), base.hash());
+}
+
+TEST(JobSpecHash, HexFormIsSixteenLowercaseDigits)
+{
+    std::string hex = makeSpec().hashHex();
+    ASSERT_EQ(hex.size(), 16u);
+    EXPECT_EQ(hex.find_first_not_of("0123456789abcdef"), std::string::npos);
+}
+
+TEST(Json, U64RoundTripsExactly)
+{
+    uint64_t big = 18'446'744'073'709'551'615ull;  // UINT64_MAX.
+    JsonValue v = JsonValue::object();
+    v.set("n", JsonValue::number(big));
+    JsonValue back = JsonValue::parse(v.dump());
+    EXPECT_EQ(back.at("n").asU64(), big);
+}
+
+TEST(Json, DoubleRoundTripsExactly)
+{
+    double values[] = {0.1, 1.0 / 3.0, 12345.6789, -2.5e-17};
+    for (double d : values) {
+        JsonValue v = JsonValue::object();
+        v.set("d", JsonValue::number(d));
+        EXPECT_EQ(JsonValue::parse(v.dump()).at("d").asDouble(), d);
+    }
+}
+
+TEST(Json, StringsEscapeAndParseBack)
+{
+    std::string nasty = "a\"b\\c\nd\te\x01f";
+    JsonValue v = JsonValue::object();
+    v.set("s", JsonValue::str(nasty));
+    EXPECT_EQ(JsonValue::parse(v.dump()).at("s").asString(), nasty);
+}
+
+TEST(Json, MalformedInputThrowsNeverCrashes)
+{
+    const char *bad[] = {"",       "{",        "{\"a\":}", "[1,",
+                         "nul",    "{\"a\" 1}", "1x",       "\"unterm",
+                         "{\"a\":1}}"};
+    for (const char *text : bad) {
+        EXPECT_THROW(JsonValue::parse(text), JsonError) << text;
+    }
+}
+
+TEST(Json, WrongKindAccessThrows)
+{
+    JsonValue v = JsonValue::parse("{\"s\":\"x\",\"f\":1.5}");
+    EXPECT_THROW(v.at("s").asU64(), JsonError);
+    EXPECT_THROW(v.at("f").asU64(), JsonError);   // Fraction is not u64.
+    EXPECT_THROW(v.at("missing"), JsonError);
+    EXPECT_EQ(v.at("f").asDouble(), 1.5);
+}
+
+TEST(Store, SaveLoadRoundTripsEveryField)
+{
+    ResultStore store(freshDir("roundtrip"), nullptr);
+    JobSpec spec = makeSpec();
+    JobResult saved = makeResult(spec.crf);
+    store.save(spec, saved);
+
+    auto loaded = store.load(spec);
+    ASSERT_TRUE(loaded.has_value());
+    EXPECT_TRUE(loaded->fromCache);
+    EXPECT_EQ(loaded->encode.wallSeconds, saved.encode.wallSeconds);
+    EXPECT_EQ(loaded->encode.instructions, saved.encode.instructions);
+    EXPECT_EQ(loaded->encode.bitrateKbps, saved.encode.bitrateKbps);
+    EXPECT_EQ(loaded->encode.psnrDb, saved.encode.psnrDb);
+    EXPECT_EQ(loaded->encode.droppedOps, saved.encode.droppedOps);
+    EXPECT_EQ(loaded->core.cycles, saved.core.cycles);
+    EXPECT_EQ(loaded->core.instructions, saved.core.instructions);
+    EXPECT_EQ(loaded->core.slots.retiring, saved.core.slots.retiring);
+    EXPECT_EQ(loaded->core.slots.badSpec, saved.core.slots.badSpec);
+    EXPECT_EQ(loaded->core.slots.frontend, saved.core.slots.frontend);
+    EXPECT_EQ(loaded->core.slots.backend, saved.core.slots.backend);
+    EXPECT_EQ(loaded->core.slots.backendMemory,
+              saved.core.slots.backendMemory);
+    EXPECT_EQ(loaded->core.slots.backendCore, saved.core.slots.backendCore);
+    EXPECT_EQ(loaded->core.stalls.rs, saved.core.stalls.rs);
+    EXPECT_EQ(loaded->core.stalls.rob, saved.core.stalls.rob);
+    EXPECT_EQ(loaded->core.stalls.loadBuf, saved.core.stalls.loadBuf);
+    EXPECT_EQ(loaded->core.stalls.storeBuf, saved.core.stalls.storeBuf);
+    EXPECT_EQ(loaded->core.condBranches, saved.core.condBranches);
+    EXPECT_EQ(loaded->core.mispredicts, saved.core.mispredicts);
+    EXPECT_EQ(loaded->core.l1iMisses, saved.core.l1iMisses);
+    EXPECT_EQ(loaded->core.l1dAccesses, saved.core.l1dAccesses);
+    EXPECT_EQ(loaded->core.l1dMisses, saved.core.l1dMisses);
+    EXPECT_EQ(loaded->core.l2Misses, saved.core.l2Misses);
+    EXPECT_EQ(loaded->core.llcMisses, saved.core.llcMisses);
+    EXPECT_EQ(loaded->core.invalidations, saved.core.invalidations);
+    EXPECT_EQ(loaded->jobSeconds, saved.jobSeconds);
+}
+
+TEST(Store, MissingEntryIsAQuietMiss)
+{
+    ResultStore store(freshDir("miss"), nullptr);
+    EXPECT_FALSE(store.load(makeSpec()).has_value());
+}
+
+TEST(Store, AtomicWriteLeavesOnlyTheFinalFile)
+{
+    std::string dir = freshDir("atomic");
+    ResultStore store(dir, nullptr);
+    JobSpec spec = makeSpec();
+    store.save(spec, makeResult(spec.crf));
+
+    size_t files = 0;
+    for (const auto &entry : fs::directory_iterator(dir)) {
+        ++files;
+        EXPECT_EQ(entry.path().string(), store.pathFor(spec));
+        EXPECT_EQ(entry.path().extension(), ".json");
+    }
+    EXPECT_EQ(files, 1u);  // No *.tmp droppings left visible.
+}
+
+TEST(Store, TruncatedEntryIsWarnedAndRecomputable)
+{
+    std::string dir = freshDir("truncated");
+    ResultStore store(dir, nullptr);
+    JobSpec spec = makeSpec();
+    store.save(spec, makeResult(spec.crf));
+
+    // Chop the record mid-file, as a crash mid-copy or disk-full would.
+    fs::resize_file(store.pathFor(spec), 40);
+    EXPECT_FALSE(store.load(spec).has_value());
+
+    // A fresh save overwrites the corpse and heals the entry.
+    store.save(spec, makeResult(spec.crf));
+    EXPECT_TRUE(store.load(spec).has_value());
+}
+
+TEST(Store, CorruptEntryWarnsThroughProgress)
+{
+    std::string dir = freshDir("warns");
+    std::FILE *sink = std::tmpfile();
+    ASSERT_NE(sink, nullptr);
+    Progress progress(sink);
+    ResultStore store(dir, &progress);
+    JobSpec spec = makeSpec();
+    store.save(spec, makeResult(spec.crf));
+    {
+        std::ofstream smash(store.pathFor(spec), std::ios::trunc);
+        smash << "{ definitely not a record";
+    }
+    EXPECT_FALSE(store.load(spec).has_value());
+
+    std::rewind(sink);
+    char buf[512] = {};
+    size_t n = std::fread(buf, 1, sizeof buf - 1, sink);
+    std::string text(buf, n);
+    EXPECT_NE(text.find("corrupt or stale cache entry"), std::string::npos);
+    std::fclose(sink);
+}
+
+TEST(Store, StaleSchemaVersionIsAMiss)
+{
+    ResultStore store(freshDir("stale"), nullptr);
+    JobSpec spec = makeSpec();
+    store.save(spec, makeResult(spec.crf));
+
+    // Rewrite the record claiming a future schema version.
+    std::ifstream in(store.pathFor(spec));
+    std::stringstream text;
+    text << in.rdbuf();
+    std::string record = text.str();
+    std::string needle = "\"schema\": " + std::to_string(kSchemaVersion);
+    size_t pos = record.find(needle);
+    ASSERT_NE(pos, std::string::npos);
+    record.replace(pos, needle.size(),
+                   "\"schema\": " + std::to_string(kSchemaVersion + 1));
+    std::ofstream(store.pathFor(spec), std::ios::trunc) << record;
+
+    EXPECT_FALSE(store.load(spec).has_value());
+}
+
+TEST(Store, ForeignKeyInCollidedSlotIsAMiss)
+{
+    std::string dir = freshDir("collision");
+    ResultStore store(dir, nullptr);
+    JobSpec a = makeSpec(30);
+    JobSpec b = makeSpec(40);
+    store.save(a, makeResult(a.crf));
+    // Simulate a 64-bit hash collision: b's slot holds a's record.
+    fs::copy_file(store.pathFor(a), store.pathFor(b));
+    EXPECT_FALSE(store.load(b).has_value());
+    EXPECT_TRUE(store.load(a).has_value());
+}
+
+/** Orchestrator options with a counting fake runner. */
+OrchestratorOptions
+fakeRunnerOptions(const std::string &dir, std::atomic<size_t> &calls,
+                  int jobs = 1)
+{
+    OrchestratorOptions opts;
+    opts.jobs = jobs;
+    opts.storeDir = dir;
+    opts.progress = nullptr;
+    opts.verbose = false;
+    opts.runner = [&calls](const JobSpec &spec) {
+        calls.fetch_add(1);
+        return makeResult(spec.crf);
+    };
+    return opts;
+}
+
+TEST(Orchestrator, DedupesIdenticalRequests)
+{
+    std::atomic<size_t> calls{0};
+    Orchestrator orch(fakeRunnerOptions(freshDir("dedupe"), calls));
+    size_t h1 = orch.request(makeSpec(30));
+    size_t h2 = orch.request(makeSpec(30));
+    size_t h3 = orch.request(makeSpec(40));
+    EXPECT_EQ(h1, h2);
+    EXPECT_NE(h1, h3);
+    EXPECT_EQ(orch.requested(), 2u);
+    orch.run();
+    EXPECT_EQ(calls.load(), 2u);
+    EXPECT_EQ(orch.computed(), 2u);
+    EXPECT_EQ(orch.result(h1).encode.instructions, 1'000'030u);
+    EXPECT_EQ(orch.result(h3).encode.instructions, 1'000'040u);
+}
+
+TEST(Orchestrator, SecondRunIsAllCacheHits)
+{
+    std::string dir = freshDir("cachehits");
+    std::atomic<size_t> calls{0};
+    {
+        Orchestrator first(fakeRunnerOptions(dir, calls));
+        first.request(makeSpec(30));
+        first.request(makeSpec(40));
+        first.run();
+        EXPECT_EQ(first.computed(), 2u);
+        EXPECT_EQ(first.cacheHits(), 0u);
+    }
+    Orchestrator second(fakeRunnerOptions(dir, calls));
+    size_t h = second.request(makeSpec(30));
+    second.request(makeSpec(40));
+    second.run();
+    EXPECT_EQ(calls.load(), 2u);  // Nothing recomputed.
+    EXPECT_EQ(second.cacheHits(), 2u);
+    EXPECT_EQ(second.computed(), 0u);
+    EXPECT_TRUE(second.result(h).fromCache);
+    EXPECT_EQ(second.result(h).encode.instructions, 1'000'030u);
+    EXPECT_NE(second.summaryLine().find("cache hits: 100.0%"),
+              std::string::npos);
+}
+
+TEST(Orchestrator, NoCacheBypassesLookupsButRefreshesTheStore)
+{
+    std::string dir = freshDir("nocache");
+    std::atomic<size_t> calls{0};
+    {
+        Orchestrator warm(fakeRunnerOptions(dir, calls));
+        warm.request(makeSpec(30));
+        warm.run();
+    }
+    OrchestratorOptions opts = fakeRunnerOptions(dir, calls);
+    opts.useCache = false;
+    Orchestrator bypass(opts);
+    size_t h = bypass.request(makeSpec(30));
+    bypass.run();
+    EXPECT_EQ(calls.load(), 2u);  // Recomputed despite the cached entry.
+    EXPECT_EQ(bypass.cacheHits(), 0u);
+    EXPECT_EQ(bypass.computed(), 1u);
+    EXPECT_FALSE(bypass.result(h).fromCache);
+}
+
+TEST(Orchestrator, CorruptEntryOnlyRecomputesThatPoint)
+{
+    std::string dir = freshDir("heal");
+    std::atomic<size_t> calls{0};
+    {
+        Orchestrator warm(fakeRunnerOptions(dir, calls));
+        for (int crf : {10, 20, 30}) {
+            warm.request(makeSpec(crf));
+        }
+        warm.run();
+    }
+    ResultStore store(dir, nullptr);
+    fs::resize_file(store.pathFor(makeSpec(20)), 10);
+
+    Orchestrator heal(fakeRunnerOptions(dir, calls));
+    std::vector<size_t> handles;
+    for (int crf : {10, 20, 30}) {
+        handles.push_back(heal.request(makeSpec(crf)));
+    }
+    heal.run();
+    EXPECT_EQ(heal.cacheHits(), 2u);
+    EXPECT_EQ(heal.computed(), 1u);
+    EXPECT_EQ(calls.load(), 4u);  // 3 warm + 1 healed.
+    EXPECT_EQ(heal.result(handles[1]).encode.instructions, 1'000'020u);
+    // And the healed record persists.
+    EXPECT_TRUE(store.load(makeSpec(20)).has_value());
+}
+
+TEST(Orchestrator, RetriesOnceThenSucceeds)
+{
+    std::string dir = freshDir("retry");
+    std::atomic<size_t> calls{0};
+    OrchestratorOptions opts;
+    opts.storeDir = dir;
+    opts.progress = nullptr;
+    opts.runner = [&calls](const JobSpec &spec) {
+        if (calls.fetch_add(1) == 0) {
+            throw std::runtime_error("transient failure");
+        }
+        return makeResult(spec.crf);
+    };
+    Orchestrator orch(opts);
+    size_t h = orch.request(makeSpec(30));
+    orch.run();
+    EXPECT_EQ(calls.load(), 2u);
+    EXPECT_EQ(orch.retries(), 1u);
+    EXPECT_EQ(orch.result(h).encode.instructions, 1'000'030u);
+}
+
+TEST(Orchestrator, SecondFailureAbortsTheRun)
+{
+    OrchestratorOptions opts;
+    opts.storeDir = freshDir("abort");
+    opts.progress = nullptr;
+    opts.runner = [](const JobSpec &) -> JobResult {
+        throw std::runtime_error("persistent failure");
+    };
+    Orchestrator orch(opts);
+    orch.request(makeSpec(30));
+    EXPECT_THROW(orch.run(), std::runtime_error);
+}
+
+TEST(Orchestrator, ParallelRunResolvesEveryPoint)
+{
+    std::string dir = freshDir("parallel");
+    std::atomic<size_t> calls{0};
+    Orchestrator orch(fakeRunnerOptions(dir, calls, 4));
+    std::vector<size_t> handles;
+    for (int crf = 1; crf <= 24; ++crf) {
+        handles.push_back(orch.request(makeSpec(crf)));
+    }
+    orch.run();
+    EXPECT_EQ(calls.load(), 24u);
+    for (int crf = 1; crf <= 24; ++crf) {
+        EXPECT_EQ(orch.result(handles[static_cast<size_t>(crf - 1)])
+                      .encode.instructions,
+                  1'000'000ull + static_cast<uint64_t>(crf));
+    }
+    // Every point landed in the store.
+    size_t files = 0;
+    for (const auto &entry : fs::directory_iterator(dir)) {
+        (void)entry;
+        ++files;
+    }
+    EXPECT_EQ(files, 24u);
+}
+
+TEST(Orchestrator, ResultBeforeRunThrows)
+{
+    std::atomic<size_t> calls{0};
+    Orchestrator orch(fakeRunnerOptions(freshDir("early"), calls));
+    size_t h = orch.request(makeSpec(30));
+    EXPECT_THROW(orch.result(h), std::logic_error);
+    EXPECT_THROW(orch.result(h + 1), std::out_of_range);
+}
+
+TEST(Orchestrator, RealRunnerComputesAndCachesAPoint)
+{
+    std::string dir = freshDir("real");
+    OrchestratorOptions opts;
+    opts.storeDir = dir;
+    opts.progress = nullptr;
+    opts.verbose = false;
+
+    JobSpec spec;
+    spec.encoder = "Libvpx-vp9";
+    spec.video = "cat";
+    spec.crf = 45;
+    spec.preset = 7;
+    spec.divisor = 16;  // Tiny clip: keep the test fast.
+    spec.frames = 2;
+    spec.maxTraceOps = 100'000;
+
+    uint64_t instructions = 0;
+    {
+        Orchestrator orch(opts);
+        size_t h = orch.request(spec);
+        orch.run();
+        const JobResult &r = orch.result(h);
+        EXPECT_GT(r.encode.instructions, 0u);
+        EXPECT_GT(r.core.ipc(), 0.3);
+        EXPECT_LT(r.core.ipc(), 4.0);
+        EXPECT_GT(r.jobSeconds, 0.0);
+        EXPECT_FALSE(r.fromCache);
+        instructions = r.encode.instructions;
+    }
+    Orchestrator again(opts);
+    size_t h = again.request(spec);
+    again.run();
+    EXPECT_EQ(again.cacheHits(), 1u);
+    EXPECT_TRUE(again.result(h).fromCache);
+    // The modeled numbers replay exactly from the store.
+    EXPECT_EQ(again.result(h).encode.instructions, instructions);
+}
+
+TEST(Progress, ConcurrentLinesNeverInterleave)
+{
+    std::FILE *sink = std::tmpfile();
+    ASSERT_NE(sink, nullptr);
+    Progress progress(sink);
+
+    constexpr int kThreads = 4;
+    constexpr int kLines = 50;
+    std::vector<std::thread> pool;
+    for (int t = 0; t < kThreads; ++t) {
+        pool.emplace_back([&progress, t] {
+            for (int i = 0; i < kLines; ++i) {
+                progress.linef("thread-%d says line %d with a long tail "
+                               "of text to tempt partial writes",
+                               t, i);
+            }
+        });
+    }
+    for (std::thread &t : pool) {
+        t.join();
+    }
+
+    std::rewind(sink);
+    std::string all;
+    char buf[4096];
+    size_t n;
+    while ((n = std::fread(buf, 1, sizeof buf, sink)) > 0) {
+        all.append(buf, n);
+    }
+    std::fclose(sink);
+
+    size_t count = 0;
+    std::stringstream lines(all);
+    std::string line;
+    while (std::getline(lines, line)) {
+        ++count;
+        // Every emitted line must be whole: prefix and suffix intact.
+        EXPECT_EQ(line.rfind("thread-", 0), 0u) << line;
+        EXPECT_NE(line.find("to tempt partial writes"), std::string::npos)
+            << line;
+    }
+    EXPECT_EQ(count, static_cast<size_t>(kThreads * kLines));
+}
+
+TEST(Figures, UnsupportedIdRejected)
+{
+    core::RunScale scale;
+    EXPECT_THROW(runFigures({99}, scale), std::invalid_argument);
+}
+
+TEST(Figures, SharedSweepPointsDedupeAcrossFigures)
+{
+    // Figures 4-7 all consume the same 5-clip x 6-CRF sweep, fig 11
+    // adds 9 presets of which (preset 4, crf 30, game1) overlaps the
+    // sweep: 30 + 9 - 1 unique jobs.
+    std::atomic<size_t> calls{0};
+    core::RunScale scale;
+    scale.suite.divisor = 8;
+    scale.suite.frames = 6;
+    Orchestrator orch(fakeRunnerOptions(freshDir("figdedupe"), calls));
+    auto figures = runFigures({4, 5, 6, 7, 11}, scale, orch);
+    EXPECT_EQ(orch.requested(), 38u);
+    EXPECT_EQ(calls.load(), 38u);
+    ASSERT_EQ(figures.size(), 5u);
+    EXPECT_EQ(figures[0].id, 4);
+    EXPECT_EQ(figures[4].id, 11);
+    EXPECT_EQ(figures[0].tables.size(), 1u);
+    EXPECT_EQ(figures[2].tables.size(), 2u);  // Fig 6: MPKI + stalls.
+    EXPECT_EQ(figures[0].tables[0].table.rowCount(), 30u);
+    EXPECT_EQ(figures[4].tables[0].table.rowCount(), 9u);
+}
+
+} // namespace
+} // namespace vepro::lab
