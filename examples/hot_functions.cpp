@@ -46,6 +46,7 @@ profileAt(int crf)
             fc.encodeFrame(clip.frame(f), f == 0);
         }
     }
+    probe.flushToSink();
     profile.flush();
     std::printf("\nFlat profile, SVT-AV1 model, game1, CRF %d, preset 4 "
                 "(%llu instructions):\n%s",

@@ -82,6 +82,12 @@ class StreamRunner final : public trace::TraceSink
     {
     }
 
+    /** Ops are irrelevant here; skip the base class's per-op loop. */
+    void
+    onOps(const trace::TraceOp *, size_t) override
+    {
+    }
+
     void
     onBranch(const trace::BranchRecord &r) override
     {

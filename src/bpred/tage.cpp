@@ -43,23 +43,30 @@ TagePredictor::TagePredictor(TageConfig config, size_t budget_bytes)
     : config_(std::move(config)), budget_bytes_(budget_bytes)
 {
     const int ntab = static_cast<int>(config_.histLengths.size());
+    if (ntab > kMaxTables) {
+        throw std::invalid_argument("TagePredictor: too many tables");
+    }
     base_.assign(size_t{1} << config_.baseBits, 2);
     tables_.assign(static_cast<size_t>(ntab),
                    std::vector<Entry>(size_t{1} << config_.tableBits));
     int max_hist = *std::max_element(config_.histLengths.begin(),
                                      config_.histLengths.end());
-    ghr_.assign(static_cast<size_t>(max_hist) + 8, 0);
+    // Power-of-two ring so age lookups are a mask, not a wrap branch.
+    // Only the newest max_hist bits are ever read, so the extra slack
+    // is invisible to the prediction stream.
+    size_t ghr_len = 1;
+    while (ghr_len < static_cast<size_t>(max_hist) + 8) {
+        ghr_len *= 2;
+    }
+    ghr_.assign(ghr_len, 0);
+    ghr_mask_ = static_cast<uint32_t>(ghr_len - 1);
 
-    fold_idx_.resize(static_cast<size_t>(ntab));
-    fold_tag0_.resize(static_cast<size_t>(ntab));
-    fold_tag1_.resize(static_cast<size_t>(ntab));
+    folds_.resize(static_cast<size_t>(ntab));
     for (int t = 0; t < ntab; ++t) {
-        fold_idx_[t].compLength = config_.tableBits;
-        fold_idx_[t].origLength = config_.histLengths[t];
-        fold_tag0_[t].compLength = config_.tagBits;
-        fold_tag0_[t].origLength = config_.histLengths[t];
-        fold_tag1_[t].compLength = config_.tagBits - 1;
-        fold_tag1_[t].origLength = config_.histLengths[t];
+        folds_[t].idx.init(config_.tableBits, config_.histLengths[t]);
+        folds_[t].tag0.init(config_.tagBits, config_.histLengths[t]);
+        folds_[t].tag1.init(config_.tagBits - 1, config_.histLengths[t]);
+        idx_shift_[t] = config_.tableBits - (t % config_.tableBits);
     }
 }
 
@@ -85,8 +92,7 @@ TagePredictor::tableIndex(uint64_t pc, int t) const
     uint32_t mask = (1u << config_.tableBits) - 1;
     uint64_t p = pc >> 2;
     return static_cast<uint32_t>(
-               (p ^ (p >> (config_.tableBits - (t % config_.tableBits))) ^
-                fold_idx_[t].comp)) & mask;
+               (p ^ (p >> idx_shift_[t]) ^ folds_[t].idx.comp)) & mask;
 }
 
 uint16_t
@@ -95,17 +101,27 @@ TagePredictor::tableTag(uint64_t pc, int t) const
     uint32_t mask = (1u << config_.tagBits) - 1;
     uint64_t p = pc >> 2;
     return static_cast<uint16_t>(
-        (p ^ fold_tag0_[t].comp ^ (fold_tag1_[t].comp << 1)) & mask);
+        (p ^ folds_[t].tag0.comp ^ (folds_[t].tag1.comp << 1)) & mask);
 }
 
 bool
 TagePredictor::predict(uint64_t pc)
 {
     const int ntab = static_cast<int>(tables_.size());
+    // Hash every table once up front; the results stay valid through
+    // update() because the folded histories only advance there. The
+    // prefetch overlaps the six scattered table-entry loads (the tables
+    // span ~96 KB, so the provider scan below otherwise serialises
+    // cache misses).
+    for (int t = 0; t < ntab; ++t) {
+        idx_cache_[t] = tableIndex(pc, t);
+        tag_cache_[t] = tableTag(pc, t);
+        __builtin_prefetch(&tables_[t][idx_cache_[t]]);
+    }
     provider_ = -1;
     int alt = -1;
     for (int t = ntab - 1; t >= 0; --t) {
-        if (tables_[t][tableIndex(pc, t)].tag == tableTag(pc, t)) {
+        if (tables_[t][idx_cache_[t]].tag == tag_cache_[t]) {
             if (provider_ < 0) {
                 provider_ = t;
             } else {
@@ -116,10 +132,10 @@ TagePredictor::predict(uint64_t pc)
     }
     bool base_pred = base_[(pc >> 2) & ((1u << config_.baseBits) - 1)] >= 2;
     alt_pred_ = alt >= 0
-                    ? tables_[alt][tableIndex(pc, alt)].ctr >= 0
+                    ? tables_[alt][idx_cache_[alt]].ctr >= 0
                     : base_pred;
     if (provider_ >= 0) {
-        provider_pred_ = tables_[provider_][tableIndex(pc, provider_)].ctr >= 0;
+        provider_pred_ = tables_[provider_][idx_cache_[provider_]].ctr >= 0;
         return provider_pred_;
     }
     provider_pred_ = base_pred;
@@ -129,25 +145,21 @@ TagePredictor::predict(uint64_t pc)
 void
 TagePredictor::updateHistories(bool taken)
 {
-    const int max_hist = static_cast<int>(ghr_.size()) - 8;
-    // ghr_pos_ points at the slot for the newest bit.
-    ghr_[static_cast<size_t>(ghr_pos_)] = taken ? 1 : 0;
-    auto bit_at = [&](int age) {
-        int idx = ghr_pos_ - age;
-        if (idx < 0) {
-            idx += static_cast<int>(ghr_.size());
-        }
-        return static_cast<uint32_t>(ghr_[static_cast<size_t>(idx)]);
-    };
-    for (size_t t = 0; t < tables_.size(); ++t) {
-        uint32_t oldest = bit_at(config_.histLengths[t]);
-        uint32_t newest = taken ? 1 : 0;
-        fold_idx_[t].update(newest, oldest);
-        fold_tag0_[t].update(newest, oldest);
-        fold_tag1_[t].update(newest, oldest);
+    // ghr_pos_ points at the slot for the newest bit; the ring is a
+    // power of two, so ages resolve with a mask even when they wrap.
+    const uint32_t newest = taken ? 1u : 0u;
+    ghr_[static_cast<size_t>(ghr_pos_)] = static_cast<uint8_t>(newest);
+    const int ntab = static_cast<int>(tables_.size());
+    for (int t = 0; t < ntab; ++t) {
+        const uint32_t oldest = ghr_[static_cast<uint32_t>(
+            ghr_pos_ - config_.histLengths[t]) & ghr_mask_];
+        FoldSet &f = folds_[t];
+        f.idx.update(newest, oldest);
+        f.tag0.update(newest, oldest);
+        f.tag1.update(newest, oldest);
     }
-    ghr_pos_ = (ghr_pos_ + 1) % static_cast<int>(ghr_.size());
-    (void)max_hist;
+    ghr_pos_ = static_cast<int>(
+        static_cast<uint32_t>(ghr_pos_ + 1) & ghr_mask_);
 }
 
 void
@@ -166,9 +178,9 @@ TagePredictor::update(uint64_t pc, bool taken, bool predicted)
         }
         bool allocated = false;
         for (int t = start; t < ntab; ++t) {
-            Entry &e = tables_[t][tableIndex(pc, t)];
+            Entry &e = tables_[t][idx_cache_[t]];
             if (e.u == 0) {
-                e.tag = tableTag(pc, t);
+                e.tag = tag_cache_[t];
                 e.ctr = taken ? 0 : -1;
                 allocated = true;
                 break;
@@ -176,7 +188,7 @@ TagePredictor::update(uint64_t pc, bool taken, bool predicted)
         }
         if (!allocated) {
             for (int t = start; t < ntab; ++t) {
-                Entry &e = tables_[t][tableIndex(pc, t)];
+                Entry &e = tables_[t][idx_cache_[t]];
                 if (e.u > 0) {
                     --e.u;
                 }
@@ -186,7 +198,7 @@ TagePredictor::update(uint64_t pc, bool taken, bool predicted)
 
     // Update the provider counter (or the base table).
     if (provider_ >= 0) {
-        Entry &e = tables_[provider_][tableIndex(pc, provider_)];
+        Entry &e = tables_[provider_][idx_cache_[provider_]];
         if (taken && e.ctr < 3) {
             ++e.ctr;
         } else if (!taken && e.ctr > -4) {
@@ -239,14 +251,10 @@ TagePredictor::reset()
     }
     std::fill(ghr_.begin(), ghr_.end(), 0);
     ghr_pos_ = 0;
-    for (auto &f : fold_idx_) {
-        f.comp = 0;
-    }
-    for (auto &f : fold_tag0_) {
-        f.comp = 0;
-    }
-    for (auto &f : fold_tag1_) {
-        f.comp = 0;
+    for (auto &f : folds_) {
+        f.idx.comp = 0;
+        f.tag0.comp = 0;
+        f.tag1.comp = 0;
     }
     lfsr_ = 0xace1u;
     update_count_ = 0;

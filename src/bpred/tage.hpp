@@ -45,19 +45,34 @@ class TagePredictor : public BranchPredictor
     const TageConfig &config() const { return config_; }
 
   private:
-    /** Incrementally folded history register (CBP idiom). */
+    /** Incrementally folded history register (CBP idiom). The shift of
+     *  the outgoing bit (origLength % compLength) and the width mask
+     *  are fixed per register, so they are precomputed in init() — the
+     *  update itself must stay division-free (it runs for every fold of
+     *  every table on every branch). */
     struct FoldedHistory {
         uint32_t comp = 0;
+        uint32_t mask = 0;
         int compLength = 0;
         int origLength = 0;
+        int oldShift = 0;
+
+        void
+        init(int comp_len, int orig_len)
+        {
+            compLength = comp_len;
+            origLength = orig_len;
+            oldShift = orig_len % comp_len;
+            mask = (1u << comp_len) - 1;
+        }
 
         void
         update(uint32_t newest, uint32_t oldest)
         {
             comp = (comp << 1) | newest;
-            comp ^= oldest << (origLength % compLength);
+            comp ^= oldest << oldShift;
             comp ^= comp >> compLength;
-            comp &= (1u << compLength) - 1;
+            comp &= mask;
         }
     };
 
@@ -71,26 +86,45 @@ class TagePredictor : public BranchPredictor
     uint16_t tableTag(uint64_t pc, int t) const;
     void updateHistories(bool taken);
 
+    /** Upper bound on tagged tables across all geometries. */
+    static constexpr int kMaxTables = 8;
+
     TageConfig config_;
     size_t budget_bytes_;
 
     std::vector<uint8_t> base_;                  ///< 2-bit counters.
     std::vector<std::vector<Entry>> tables_;
 
-    std::vector<uint8_t> ghr_;                   ///< Circular history bits.
+    std::vector<uint8_t> ghr_;   ///< Circular history bits (pow-2 sized).
+    uint32_t ghr_mask_ = 0;      ///< ghr_.size() - 1.
     int ghr_pos_ = 0;
 
-    std::vector<FoldedHistory> fold_idx_;
-    std::vector<FoldedHistory> fold_tag0_;
-    std::vector<FoldedHistory> fold_tag1_;
+    /** The three folded registers of one tagged table, kept adjacent so
+     *  a history update touches one run of cache lines. */
+    struct FoldSet {
+        FoldedHistory idx;
+        FoldedHistory tag0;
+        FoldedHistory tag1;
+    };
+    std::vector<FoldSet> folds_;
+
+    /** Precomputed pc-hash shift per table (tableBits - t % tableBits):
+     *  the modulo is hoisted out of the per-branch index hash. */
+    int idx_shift_[kMaxTables] = {};
 
     uint32_t lfsr_ = 0xace1u;
     uint64_t update_count_ = 0;
 
-    // Prediction state carried from predict() to update().
+    // Prediction state carried from predict() to update(). The folded
+    // histories only advance in update() (after all table reads), so the
+    // per-table indices and tags computed once in predict() are exactly
+    // what update()'s allocation scan and provider access would
+    // recompute — caching them halves the per-branch hashing work.
     int provider_ = -1;
     bool provider_pred_ = false;
     bool alt_pred_ = false;
+    uint32_t idx_cache_[kMaxTables] = {};
+    uint16_t tag_cache_[kMaxTables] = {};
 };
 
 } // namespace vepro::bpred

@@ -373,6 +373,7 @@ EncoderModel::encode(const video::Video &video, const EncodeParams &params,
     result.droppedOps = probe.droppedOps();
     result.droppedBranches = probe.droppedBranches();
     if (sink != nullptr) {
+        probe.flushToSink();
         sink->flush();
     } else {
         result.capture = probe.takeCapture();

@@ -62,14 +62,14 @@ std::string_view opClassName(OpClass cls);
 std::string_view mixCategoryName(MixCategory cat);
 
 /** True for both conditional and unconditional branches. */
-inline bool
+inline constexpr bool
 isBranch(OpClass cls)
 {
     return cls == OpClass::BranchCond || cls == OpClass::BranchUncond;
 }
 
 /** True for any op that accesses data memory. */
-inline bool
+inline constexpr bool
 isMemory(OpClass cls)
 {
     return cls == OpClass::Load || cls == OpClass::Store ||
@@ -77,14 +77,14 @@ isMemory(OpClass cls)
 }
 
 /** True for loads (scalar or vector). */
-inline bool
+inline constexpr bool
 isLoad(OpClass cls)
 {
     return cls == OpClass::Load || cls == OpClass::SimdLoad;
 }
 
 /** True for stores (scalar or vector). */
-inline bool
+inline constexpr bool
 isStore(OpClass cls)
 {
     return cls == OpClass::Store || cls == OpClass::SimdStore;

@@ -12,9 +12,6 @@ namespace
 
 thread_local Probe *tls_probe = nullptr;
 
-/** Ops staged on the stack before a batched TraceSink::onOps delivery. */
-constexpr size_t kEmitChunk = 64;
-
 std::mutex &
 siteRegistryMutex()
 {
@@ -117,8 +114,14 @@ Probe::advance(uint64_t n)
     if (site_slot_ != nullptr) {
         *site_slot_ += n;
     }
-    uint64_t pos = opSeq_ % config_.opInterval;
+    // interval_pos_ mirrors opSeq_ % opInterval; the conditional modulo
+    // only fires once per interval instead of dividing per emission call.
+    uint64_t pos = interval_pos_;
     opSeq_ += n;
+    interval_pos_ += n;
+    if (interval_pos_ >= config_.opInterval) {
+        interval_pos_ %= config_.opInterval;
+    }
     if (!config_.collectOps) {
         return 0;
     }
@@ -138,22 +141,46 @@ Probe::advance(uint64_t n)
 }
 
 void
+Probe::flushBlock() const
+{
+    if (block_fill_ > 0) {
+        dest()->onOps(block_.data(), block_fill_);
+        block_fill_ = 0;
+    }
+}
+
+void
 Probe::emitOp(const TraceOp &op)
 {
     ++ops_recorded_;
-    dest()->onOp(op);
+    if (block_fill_ == kBlockOps) {
+        flushBlock();
+    }
+    block_[block_fill_++] = op;
 }
 
 void
 Probe::emitOps(const TraceOp *ops, size_t n)
 {
     ops_recorded_ += n;
-    dest()->onOps(ops, n);
+    while (n > 0) {
+        if (block_fill_ == kBlockOps) {
+            flushBlock();
+        }
+        size_t take = std::min(n, kBlockOps - block_fill_);
+        std::copy(ops, ops + take, block_.begin() + block_fill_);
+        block_fill_ += take;
+        ops += take;
+        n -= take;
+    }
 }
 
 void
 Probe::emitBranch(uint64_t pc, bool taken)
 {
+    // Preceding staged ops must reach the sink before the branch record
+    // so consumers see strict program order.
+    flushBlock();
     if (branches_recorded_ == 0) {
         branch_first_op_ = opSeq_;
     }
@@ -165,8 +192,10 @@ Probe::emitBranch(uint64_t pc, bool taken)
 uint64_t
 Probe::nextPc()
 {
-    uint64_t pc = siteBase_ + 4ULL * (sitePos_ % siteBodyLen_);
-    ++sitePos_;
+    uint64_t pc = siteBase_ + 4ULL * sitePos_;
+    if (++sitePos_ == static_cast<uint32_t>(siteBodyLen_)) {
+        sitePos_ = 0;
+    }
     return pc;
 }
 
@@ -177,6 +206,9 @@ Probe::enterKernel(uint64_t site, int body_len)
         site_slot_ = &site_ops_[site];
     }
     if (sink_ != nullptr) {
+        // Ops staged before the kernel boundary belong to the previous
+        // site; deliver them before announcing the new one.
+        flushBlock();
         sink_->onKernel(site);
     }
     // Real encoders specialise each kernel by block size / unroll factor;
@@ -202,17 +234,12 @@ Probe::ops(OpClass cls, uint64_t n, uint8_t dep1, uint8_t dep2)
 {
     mix_.byClass[static_cast<int>(cls)] += n;
     uint64_t take = advance(n);
-    TraceOp chunk[kEmitChunk];
-    size_t fill = 0;
+    ops_recorded_ += take;
     for (uint64_t i = 0; i < take; ++i) {
-        chunk[fill++] = {nextPc(), 0, cls, false, dep1, dep2, false};
-        if (fill == kEmitChunk) {
-            emitOps(chunk, fill);
-            fill = 0;
+        if (block_fill_ == kBlockOps) {
+            flushBlock();
         }
-    }
-    if (fill > 0) {
-        emitOps(chunk, fill);
+        block_[block_fill_++] = {nextPc(), 0, cls, false, dep1, dep2, false};
     }
 }
 
@@ -230,18 +257,14 @@ Probe::memRun(OpClass cls, uint64_t addr, int n, int stride, uint8_t dep1)
 {
     mix_.byClass[static_cast<int>(cls)] += static_cast<uint64_t>(n);
     uint64_t take = advance(static_cast<uint64_t>(n));
-    TraceOp chunk[kEmitChunk];
-    size_t fill = 0;
+    ops_recorded_ += take;
     for (uint64_t i = 0; i < take; ++i) {
-        chunk[fill++] = {nextPc(), addr + static_cast<uint64_t>(i) * stride,
-                         cls, false, dep1, 0, false};
-        if (fill == kEmitChunk) {
-            emitOps(chunk, fill);
-            fill = 0;
+        if (block_fill_ == kBlockOps) {
+            flushBlock();
         }
-    }
-    if (fill > 0) {
-        emitOps(chunk, fill);
+        block_[block_fill_++] = {nextPc(),
+                                 addr + static_cast<uint64_t>(i) * stride,
+                                 cls, false, dep1, 0, false};
     }
 }
 
@@ -270,18 +293,13 @@ Probe::loopBranches(uint64_t iterations)
     uint64_t loop_pc = siteBase_ + 4ULL * siteBodyLen_;
     mix_.byClass[static_cast<int>(OpClass::BranchCond)] += iterations;
     uint64_t take = advance(iterations);
-    TraceOp chunk[kEmitChunk];
-    size_t fill = 0;
+    ops_recorded_ += take;
     for (uint64_t i = 0; i < take; ++i) {
-        chunk[fill++] = {loop_pc, 0, OpClass::BranchCond,
-                         i + 1 < iterations, 1, 0, false};
-        if (fill == kEmitChunk) {
-            emitOps(chunk, fill);
-            fill = 0;
+        if (block_fill_ == kBlockOps) {
+            flushBlock();
         }
-    }
-    if (fill > 0) {
-        emitOps(chunk, fill);
+        block_[block_fill_++] = {loop_pc, 0, OpClass::BranchCond,
+                                 i + 1 < iterations, 1, 0, false};
     }
     if (config_.collectBranches && opSeq_ > config_.branchWarmupOps) {
         uint64_t room = config_.maxBranches > branches_recorded_
@@ -309,6 +327,7 @@ Probe::mergeFrom(const Probe &other)
 {
     mix_ += other.mix_;
     opSeq_ += other.opSeq_;
+    interval_pos_ = opSeq_ % config_.opInterval;
     for (const TraceOp &op : other.opTrace()) {
         if (ops_recorded_ >= config_.maxOps) {
             ++dropped_ops_;
@@ -316,6 +335,7 @@ Probe::mergeFrom(const Probe &other)
         }
         emitOp(op);
     }
+    flushBlock();  // appended ops precede the appended branches
     for (const BranchRecord &br : other.branchTrace()) {
         if (branches_recorded_ >= config_.maxBranches) {
             ++dropped_branches_;
@@ -334,10 +354,12 @@ Probe::reset()
 {
     mix_ = MixCounters{};
     opSeq_ = 0;
+    interval_pos_ = 0;
     sitePos_ = 0;
     branch_first_op_ = 0;
     branch_last_op_ = 0;
     capture_.clear();
+    block_fill_ = 0;
     ops_recorded_ = 0;
     branches_recorded_ = 0;
     dropped_ops_ = 0;

@@ -124,6 +124,16 @@ class Probe
     void setSink(TraceSink *sink) { sink_ = sink; }
     TraceSink *sink() const { return sink_; }
 
+    /**
+     * Deliver any ops still staged in the probe's emission block to the
+     * sink (or internal capture). Recorded ops are staged in a fixed
+     * block and delivered in batches of up to a few thousand, so sink
+     * consumers must call this once emission ends — before the sink's
+     * own flush() — to receive the tail of the stream. The trace
+     * accessors (opTrace(), takeCapture(), ...) flush implicitly.
+     */
+    void flushToSink() { flushBlock(); }
+
     // -- Kernel-facing emission API --------------------------------------
 
     /**
@@ -190,22 +200,33 @@ class Probe
     /** Branches lost to the maxBranches cap (see droppedOps()). */
     uint64_t droppedBranches() const { return dropped_branches_; }
 
-    const std::vector<TraceOp> &opTrace() const { return capture_.ops(); }
+    const std::vector<TraceOp> &opTrace() const
+    {
+        flushBlock();
+        return capture_.ops();
+    }
     const std::vector<BranchRecord> &branchTrace() const
     {
+        flushBlock();
         return capture_.branches();
     }
 
     /** Move the collected op trace out (leaves the probe's trace empty). */
-    std::vector<TraceOp> takeOpTrace() { return capture_.takeOps(); }
+    std::vector<TraceOp> takeOpTrace()
+    {
+        flushBlock();
+        return capture_.takeOps();
+    }
     /** Move the collected branch trace out. */
     std::vector<BranchRecord> takeBranchTrace()
     {
+        flushBlock();
         return capture_.takeBranches();
     }
     /** Move the whole capture sink out (ops + branches together). */
     VectorSink takeCapture()
     {
+        flushBlock();
         VectorSink out = std::move(capture_);
         capture_ = VectorSink{};
         return out;
@@ -248,6 +269,10 @@ class Probe
     void reset();
 
   private:
+    /** Ops staged per batched delivery; sized so one block amortises the
+     *  virtual onOps dispatch across thousands of records. */
+    static constexpr size_t kBlockOps = 4096;
+
     /** Advance the op counter; returns how many of the @p n ops fall in
      *  the current sampling window and under the cap (0 when op tracing
      *  is off). Cap-truncated in-window ops are counted as dropped. */
@@ -256,22 +281,30 @@ class Probe
     uint64_t nextPc();
 
     /** Destination of recorded records: external sink or capture. */
-    TraceSink *dest() { return sink_ != nullptr ? sink_ : &capture_; }
+    TraceSink *dest() const { return sink_ != nullptr ? sink_ : &capture_; }
+
+    /** Deliver the staged block (mutable state: callable from const
+     *  accessors, which must observe a fully delivered trace). */
+    void flushBlock() const;
 
     /** Record one op (updates the recorded counter). */
     void emitOp(const TraceOp &op);
     /** Record a batch of ops. */
     void emitOps(const TraceOp *ops, size_t n);
-    /** Record one branch (caller already applied warmup/cap gating). */
+    /** Record one branch (caller already applied warmup/cap gating).
+     *  Flushes staged ops first so the sink sees program order. */
     void emitBranch(uint64_t pc, bool taken);
 
     ProbeConfig config_{};
     MixCounters mix_{};
     uint64_t opSeq_ = 0;
+    /** opSeq_ % config_.opInterval, maintained by wrap-on-compare so the
+     *  emission hot path never divides. */
+    uint64_t interval_pos_ = 0;
 
     uint64_t siteBase_ = sitePc("vepro.default");
     int siteBodyLen_ = 32;
-    uint32_t sitePos_ = 0;
+    uint32_t sitePos_ = 0;  ///< Position in [0, siteBodyLen_), wrapped.
 
     uint64_t nextRegion_ = 0x10000000ULL;
 
@@ -281,7 +314,13 @@ class Probe
     uint64_t *site_slot_ = nullptr;  ///< Current site's counter (hot path).
 
     TraceSink *sink_ = nullptr;  ///< External consumer, overrides capture.
-    VectorSink capture_;         ///< Internal batch capture (legacy API).
+    mutable VectorSink capture_; ///< Internal batch capture (legacy API).
+    /** Emission staging block: recorded ops accumulate here and are
+     *  delivered through dest()->onOps in kBlockOps batches (flushed
+     *  early at kernel entry and before every branch record to keep the
+     *  sink's program-order contract). */
+    mutable std::vector<TraceOp> block_ = std::vector<TraceOp>(kBlockOps);
+    mutable size_t block_fill_ = 0;
     uint64_t ops_recorded_ = 0;
     uint64_t branches_recorded_ = 0;
     uint64_t dropped_ops_ = 0;

@@ -26,8 +26,31 @@ VectorSink::onOps(const TraceOp *ops, size_t n)
         ops_.insert(ops_.end(), ops, ops + n);
         return;
     }
-    for (size_t i = 0; i < n; ++i) {
-        onOp(ops[i]);
+    // Bulk-append the prefix that fits under the cap.
+    size_t room = max_ops_ > ops_.size() ? max_ops_ - ops_.size() : 0;
+    size_t head = std::min(n, room);
+    ops_.insert(ops_.end(), ops, ops + head);
+    size_t rest = n - head;
+    if (rest == 0) {
+        return;
+    }
+    dropped_ops_ += rest;
+    if (mode_ != Overflow::KeepLast) {
+        return;
+    }
+    const TraceOp *src = ops + head;
+    if (rest >= max_ops_) {
+        // Only the newest max_ops_ records survive; lay them out
+        // chronologically with the write head back at zero.
+        std::copy(src + (rest - max_ops_), src + rest, ops_.begin());
+        op_head_ = 0;
+    } else {
+        // Write into the ring in at most two contiguous spans.
+        size_t first = std::min(rest, max_ops_ - op_head_);
+        std::copy(src, src + first,
+                  ops_.begin() + static_cast<ptrdiff_t>(op_head_));
+        std::copy(src + first, src + rest, ops_.begin());
+        op_head_ = (op_head_ + rest) % max_ops_;
     }
 }
 

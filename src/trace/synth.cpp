@@ -1,0 +1,170 @@
+#include "trace/synth.hpp"
+
+#include "trace/probe.hpp"
+
+namespace vepro::trace
+{
+
+namespace
+{
+
+/** xorshift64: deterministic, seed-stable across platforms. */
+inline uint64_t
+next(uint64_t &s)
+{
+    s ^= s << 13;
+    s ^= s >> 7;
+    s ^= s << 17;
+    return s;
+}
+
+} // namespace
+
+std::vector<TraceOp>
+synthTrace(const SynthConfig &config)
+{
+    std::vector<TraceOp> t;
+    t.reserve(config.ops + 128);
+    uint64_t rng = config.seed | 1;
+
+    // Synthetic address space, mirroring the regions an encode touches:
+    // a 32 MiB frame walked with spatial locality, a 4 MiB metadata
+    // region hit at random block granularity, and a hot 2 KiB cost LUT.
+    constexpr uint64_t kFrame = 0x10000000ull;
+    constexpr uint64_t kMeta = 0x30000000ull;
+    constexpr uint64_t kLut = 0x50000000ull;
+
+    // Eight kernel code windows spread over ~256 KiB: enough I-footprint
+    // to exercise the L1I without thrashing it.
+    constexpr uint64_t kSite[8] = {
+        0x400000, 0x408000, 0x410000, 0x418000,
+        0x420000, 0x428000, 0x430000, 0x438000,
+    };
+
+    uint64_t fpos = 0;
+    unsigned site = 0;
+    while (t.size() < config.ops) {
+        const uint64_t base = kSite[site];
+        site = (site + 1) & 7;
+        unsigned pci = 0;
+        auto pc = [&]() { return base + 4ull * (pci++ & 63); };
+
+        // Call edge into the kernel.
+        t.push_back({base, 0, OpClass::BranchUncond, true, 0, 0, false});
+
+        // Eight SIMD "rows": two streamed vector loads (current block +
+        // reference at a vertical offset), dependent vector arithmetic,
+        // a hot LUT load feeding scalar cost accumulation, a metadata
+        // store, and a strongly biased row-loop branch.
+        for (int row = 0; row < 8; ++row) {
+            next(rng);
+            t.push_back({pc(), kFrame + (fpos & 0x1ffffff),
+                         OpClass::SimdLoad, false, 0, 0, false});
+            t.push_back({pc(), kFrame + ((fpos + 32768) & 0x1ffffff),
+                         OpClass::SimdLoad, false, 0, 0, false});
+            fpos += 64;
+            t.push_back({pc(), 0, OpClass::SimdAlu, false, 1, 2, false});
+            t.push_back({pc(), 0, OpClass::SimdAlu, false, 1, 0, false});
+            if ((rng & 7) == 0) {
+                t.push_back({pc(), 0, OpClass::SimdMul, false, 1, 0, false});
+            }
+            t.push_back({pc(), kLut + (rng % 256) * 8, OpClass::Load, false,
+                         0, 0, false});
+            t.push_back({pc(), 0, OpClass::Alu, false, 1, 3, false});
+            t.push_back({pc(), kMeta + (rng % 65536) * 64, OpClass::Store,
+                         false, 1, 0, false});
+            t.push_back({base + 0x1f0, 0, OpClass::BranchCond, row < 7, 1, 0,
+                         false});
+        }
+
+        // Noisy RDO decision, occasional divide (rate-cost normalisation)
+        // and coherence traffic from a neighbouring worker.
+        next(rng);
+        t.push_back({base + 0x200, 0, OpClass::BranchCond, (rng & 1) != 0, 1,
+                     0, false});
+        if (rng % 31 == 0) {
+            t.push_back({base + 0x210, 0, OpClass::Div, false, 1, 0, false});
+        }
+        if (config.foreign && rng % 23 == 0) {
+            t.push_back({0, kMeta + ((rng >> 8) % 65536) * 64, OpClass::Store,
+                         false, 0, 0, true});
+        }
+        // Return.
+        t.push_back({base + 0x220, 0, OpClass::BranchUncond, true, 0, 0,
+                     false});
+    }
+    t.resize(config.ops);
+    return t;
+}
+
+std::vector<BranchRecord>
+synthBranches(uint64_t n, uint64_t seed)
+{
+    std::vector<BranchRecord> b;
+    b.reserve(n);
+    uint64_t rng = seed | 1;
+    for (uint64_t i = 0; i < n; ++i) {
+        next(rng);
+        const uint64_t slot = rng % 64;
+        const uint64_t pc = 0x400000ull + slot * 0x40;
+        bool taken;
+        if (slot < 32) {
+            taken = true;  // strongly biased (loop back-edges)
+        } else if (slot < 48) {
+            taken = (i % 7) != 6;  // periodic pattern TAGE can learn
+        } else if (slot < 56) {
+            taken = rng % 16 != 0;  // biased with noise
+        } else {
+            taken = (rng >> 32 & 1) != 0;  // data-dependent noise
+        }
+        b.push_back({pc, taken});
+    }
+    return b;
+}
+
+void
+synthProbeWorkload(Probe &probe, uint64_t target_ops)
+{
+    static const uint64_t kSad = sitePc("synth.sad");
+    static const uint64_t kSatd = sitePc("synth.satd");
+    static const uint64_t kQuant = sitePc("synth.quant");
+    static const uint64_t kRdo = sitePc("synth.rdo.decide");
+
+    const uint64_t cur = probe.allocRegion(1 << 20);
+    const uint64_t ref = probe.allocRegion(1 << 20);
+    const uint64_t coeff = probe.allocRegion(1 << 16);
+    const uint64_t lut = probe.allocRegion(1 << 11);
+
+    uint64_t rng = 0x2545f4914f6cdd1dull;
+    uint64_t block = 0;
+    while (probe.totalOps() < target_ops) {
+        next(rng);
+        const uint64_t off = (block % 4096) * 256;
+        ++block;
+
+        probe.enterKernel(kSad, 24);
+        probe.memRun(OpClass::SimdLoad, cur + off, 8, 32);
+        probe.memRun(OpClass::SimdLoad, ref + off, 8, 32);
+        probe.ops(OpClass::SimdAlu, 16, 1, 2);
+        probe.ops(OpClass::Alu, 4, 1, 0);
+        probe.loopBranches(8);
+
+        probe.enterKernel(kSatd, 40);
+        probe.memRun(OpClass::SimdLoad, cur + off, 4, 64);
+        probe.ops(OpClass::SimdAlu, 24, 1, 2);
+        probe.ops(OpClass::SimdMul, 4, 1, 0);
+        probe.loopBranches(4);
+
+        probe.enterKernel(kQuant, 28);
+        probe.memRun(OpClass::SimdLoad, coeff + (off & 0xffff), 4, 32);
+        probe.mem(OpClass::Load, lut + rng % 2048);
+        probe.ops(OpClass::SimdMul, 8, 1, 0);
+        probe.memRun(OpClass::SimdStore, coeff + (off & 0xffff), 4, 32, 1);
+        probe.loopBranches(4);
+
+        probe.decision(kRdo, rng % 16 != 0);
+        probe.decision(kRdo + 0x40, (rng >> 17 & 1) != 0);
+    }
+}
+
+} // namespace vepro::trace

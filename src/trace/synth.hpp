@@ -1,0 +1,61 @@
+#ifndef VEPRO_TRACE_SYNTH_HPP
+#define VEPRO_TRACE_SYNTH_HPP
+
+/**
+ * @file
+ * Deterministic synthetic workload traces for simulator benchmarking and
+ * golden-stats regression tests.
+ *
+ * The generators below are pure functions of their parameters: same
+ * config, same stream, on every platform and in every build mode. They
+ * model an encoder-shaped workload (SIMD row kernels over a strided
+ * frame walk, hot cost-LUT lookups, scattered per-block metadata
+ * stores, biased loop branches plus noisy RDO decisions, occasional
+ * divides and coherence traffic) without running an encode, so the
+ * simulator hot path can be measured and regression-pinned in
+ * isolation.
+ *
+ * CONTRACT: tests/test_core.cpp pins exact CoreStats / cache / predictor
+ * counters produced from these streams. Any change to the emitted
+ * sequences invalidates those golden numbers — regenerate them with
+ * `bench_simspeed --golden` and say so in the commit.
+ */
+
+#include <cstdint>
+#include <vector>
+
+#include "trace/sink.hpp"
+
+namespace vepro::trace
+{
+
+class Probe;
+
+/** Parameters of the synthetic op-trace generator. */
+struct SynthConfig {
+    uint64_t ops = 4'000'000;  ///< Exact length of the returned trace.
+    uint64_t seed = 0x9e3779b97f4a7c15ull;
+    bool foreign = true;  ///< Include remote-core coherence stores.
+};
+
+/** Generate the synthetic op trace described in the file comment. */
+std::vector<TraceOp> synthTrace(const SynthConfig &config);
+
+/**
+ * Generate @p n branch records: a mix of strongly biased, loop-pattern,
+ * and data-dependent (noisy) branch sites, CBP-trace shaped.
+ */
+std::vector<BranchRecord> synthBranches(uint64_t n, uint64_t seed = 0xace1);
+
+/**
+ * Drive @p probe through the kernel-facing emission API
+ * (enterKernel / ops / mem / memRun / decision / loopBranches) until at
+ * least @p target_ops dynamic ops have been emitted. Measures the
+ * delivery layer itself: PC synthesis, sampling-window accounting, and
+ * block flushing into the probe's sink.
+ */
+void synthProbeWorkload(Probe &probe, uint64_t target_ops);
+
+} // namespace vepro::trace
+
+#endif // VEPRO_TRACE_SYNTH_HPP

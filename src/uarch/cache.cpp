@@ -6,6 +6,25 @@
 namespace vepro::uarch
 {
 
+namespace
+{
+
+/** log2 of a power of two, or -1 if @p v is not one. */
+int
+exactLog2(uint64_t v)
+{
+    if (v == 0 || (v & (v - 1)) != 0) {
+        return -1;
+    }
+    int s = 0;
+    while ((v >> s) != 1) {
+        ++s;
+    }
+    return s;
+}
+
+} // namespace
+
 Cache::Cache(const CacheConfig &config) : config_(config)
 {
     if (config.sizeBytes == 0 || config.ways <= 0 || config.lineBytes <= 0) {
@@ -24,82 +43,54 @@ Cache::Cache(const CacheConfig &config) : config_(config)
         }
         num_sets_ = p;
     }
-    lines_.assign(static_cast<size_t>(num_sets_) * config.ways, Line{});
-}
-
-uint64_t
-Cache::setOf(uint64_t addr) const
-{
-    return (addr / config_.lineBytes) & (static_cast<uint64_t>(num_sets_) - 1);
-}
-
-uint64_t
-Cache::tagOf(uint64_t addr) const
-{
-    return (addr / config_.lineBytes) / static_cast<uint64_t>(num_sets_);
-}
-
-bool
-Cache::access(uint64_t addr, bool is_write)
-{
-    ++accesses_;
-    ++tick_;
-    Line *set = &lines_[setOf(addr) * config_.ways];
-    uint64_t tag = tagOf(addr);
-    Line *victim = &set[0];
-    for (int w = 0; w < config_.ways; ++w) {
-        Line &line = set[w];
-        if (line.valid && line.tag == tag) {
-            line.lastUse = tick_;
-            line.dirty |= is_write;
-            return true;
-        }
-        if (!line.valid) {
-            victim = &line;
-        } else if (victim->valid && line.lastUse < victim->lastUse) {
-            victim = &line;
-        }
-    }
-    ++misses_;
-    victim->valid = true;
-    victim->tag = tag;
-    victim->lastUse = tick_;
-    victim->dirty = is_write;
-    return false;
+    line_shift_ = exactLog2(static_cast<uint64_t>(config.lineBytes));
+    set_shift_ = exactLog2(static_cast<uint64_t>(num_sets_));
+    set_mask_ = static_cast<uint64_t>(num_sets_) - 1;
+    size_t total = static_cast<size_t>(num_sets_) * config.ways;
+    tags_.assign(total, 0);
+    last_use_.assign(total, 0);
+    meta_.assign(total, 0);
+    mru_.assign(static_cast<size_t>(num_sets_), 0);
 }
 
 void
 Cache::fill(uint64_t addr)
 {
     ++tick_;
-    Line *set = &lines_[setOf(addr) * config_.ways];
-    uint64_t tag = tagOf(addr);
-    Line *victim = &set[0];
+    const uint64_t set = setOf(addr);
+    const uint64_t tag = tagOf(addr);
+    const size_t base = static_cast<size_t>(set) * config_.ways;
+    uint64_t *tags = &tags_[base];
+    uint8_t *meta = &meta_[base];
     for (int w = 0; w < config_.ways; ++w) {
-        Line &line = set[w];
-        if (line.valid && line.tag == tag) {
+        if ((meta[w] & kValid) != 0 && tags[w] == tag) {
             return;  // already resident; leave recency untouched
         }
-        if (!line.valid) {
-            victim = &line;
-        } else if (victim->valid && line.lastUse < victim->lastUse) {
-            victim = &line;
+    }
+    int victim = 0;
+    for (int w = 0; w < config_.ways; ++w) {
+        if ((meta[w] & kValid) == 0) {
+            victim = w;
+        } else if ((meta[victim] & kValid) != 0 &&
+                   last_use_[base + w] < last_use_[base + victim]) {
+            victim = w;
         }
     }
-    victim->valid = true;
-    victim->tag = tag;
-    victim->lastUse = tick_;
-    victim->dirty = false;
+    tags[victim] = tag;
+    last_use_[base + victim] = tick_;
+    meta[victim] = kValid;
+    mru_[set] = static_cast<uint8_t>(victim);
 }
 
 void
 Cache::invalidate(uint64_t addr)
 {
-    Line *set = &lines_[setOf(addr) * config_.ways];
-    uint64_t tag = tagOf(addr);
+    const uint64_t set = setOf(addr);
+    const uint64_t tag = tagOf(addr);
+    const size_t base = static_cast<size_t>(set) * config_.ways;
     for (int w = 0; w < config_.ways; ++w) {
-        if (set[w].valid && set[w].tag == tag) {
-            set[w].valid = false;
+        if ((meta_[base + w] & kValid) != 0 && tags_[base + w] == tag) {
+            meta_[base + w] = 0;
             ++invalidations_;
             return;
         }
@@ -154,40 +145,6 @@ Hierarchy::trainPrefetcher(uint64_t addr)
             ++prefetches_;
         }
     }
-}
-
-int
-Hierarchy::dataAccess(uint64_t addr, bool is_write)
-{
-    if (l1d_.access(addr, is_write)) {
-        return config_.l1d.hitLatency;
-    }
-    if (config_.prefetch.enabled) {
-        trainPrefetcher(addr);
-    }
-    if (l2_.access(addr, is_write)) {
-        return config_.l2.hitLatency;
-    }
-    if (llc_.access(addr, is_write)) {
-        return config_.llc.hitLatency;
-    }
-    return config_.memoryLatency;
-}
-
-int
-Hierarchy::instrAccess(uint64_t addr)
-{
-    if (l1i_.access(addr, false)) {
-        return 0;
-    }
-    // Instruction misses fill from L2 (shared with data).
-    if (l2_.access(addr, false)) {
-        return config_.l2.hitLatency;
-    }
-    if (llc_.access(addr, false)) {
-        return config_.llc.hitLatency;
-    }
-    return config_.memoryLatency;
 }
 
 void

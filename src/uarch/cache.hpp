@@ -32,6 +32,9 @@ class Cache
 
     /**
      * Look up @p addr; on miss the line is filled (write-allocate).
+     * Defined inline below: this is the hottest call in the simulator
+     * (every load/store/fetch of every modelled level) and must inline
+     * into the core and sink loops rather than pay a cross-TU call.
      * @param is_write Marks the line dirty on hit/fill.
      * @return true on hit.
      */
@@ -63,19 +66,36 @@ class Cache
     void resetStats();
 
   private:
-    struct Line {
-        uint64_t tag = 0;
-        uint64_t lastUse = 0;
-        bool valid = false;
-        bool dirty = false;
-    };
+    /** meta_ bits. */
+    static constexpr uint8_t kValid = 1;
+    static constexpr uint8_t kDirty = 2;
 
-    uint64_t setOf(uint64_t addr) const;
-    uint64_t tagOf(uint64_t addr) const;
+    uint64_t lineOf(uint64_t addr) const
+    {
+        return line_shift_ >= 0
+                   ? addr >> line_shift_
+                   : addr / static_cast<uint64_t>(config_.lineBytes);
+    }
+    uint64_t setOf(uint64_t addr) const { return lineOf(addr) & set_mask_; }
+    uint64_t tagOf(uint64_t addr) const { return lineOf(addr) >> set_shift_; }
 
     CacheConfig config_;
     int num_sets_;
-    std::vector<Line> lines_;  ///< num_sets_ x ways, row-major.
+    int line_shift_;     ///< log2(lineBytes), or -1 if not a power of two.
+    int set_shift_;      ///< log2(num_sets_); sets are forced to pow2.
+    uint64_t set_mask_;  ///< num_sets_ - 1.
+
+    /**
+     * Line state, structure-of-arrays (num_sets_ x ways, row-major).
+     * The hot lookup touches one tag row plus the per-set MRU hint;
+     * recency and dirty bits live in separate arrays so a hit on the
+     * hinted way never scans the set.
+     */
+    std::vector<uint64_t> tags_;
+    std::vector<uint64_t> last_use_;
+    std::vector<uint8_t> meta_;  ///< kValid | kDirty per line.
+    std::vector<uint8_t> mru_;   ///< Most-recently-hit way per set (hint).
+
     uint64_t tick_ = 0;
     uint64_t accesses_ = 0;
     uint64_t misses_ = 0;
@@ -111,10 +131,11 @@ class Hierarchy
     Hierarchy() : Hierarchy(Config{}) {}
     explicit Hierarchy(const Config &config);
 
-    /** Data access; returns total latency in cycles. */
+    /** Data access; returns total latency in cycles (inline below). */
     int dataAccess(uint64_t addr, bool is_write);
 
-    /** Instruction fetch; returns extra cycles beyond a pipelined hit. */
+    /** Instruction fetch; returns extra cycles beyond a pipelined hit
+     *  (inline below). */
     int instrAccess(uint64_t addr);
 
     /** Coherence invalidation from a remote core's store. */
@@ -149,6 +170,101 @@ class Hierarchy
     std::vector<Stream> streams_;
     uint64_t prefetches_ = 0;
 };
+
+// ---------------------------------------------------------------------
+// Hot-path definitions. Kept in the header so the per-op simulator
+// loops (core load/store issue, CacheSink, StreamRunner) inline the
+// whole lookup; the cold paths (fill, invalidate, prefetcher training)
+// stay in cache.cpp.
+
+inline bool
+Cache::access(uint64_t addr, bool is_write)
+{
+    ++accesses_;
+    ++tick_;
+    const uint64_t set = setOf(addr);
+    const uint64_t tag = tagOf(addr);
+    const size_t base = static_cast<size_t>(set) * config_.ways;
+    uint64_t *tags = &tags_[base];
+    uint8_t *meta = &meta_[base];
+
+    // Fast path: re-hitting the most recently hit way of the set, the
+    // common case on streaming workloads. Hit bookkeeping (recency,
+    // dirty bit) is what the full scan would have done, so the stats
+    // are unaffected by the probe order.
+    const uint8_t hint = mru_[set];
+    if ((meta[hint] & kValid) != 0 && tags[hint] == tag) {
+        last_use_[base + hint] = tick_;
+        meta[hint] |= is_write ? kDirty : 0;
+        return true;
+    }
+
+    // Hit scan: touches only the set's tag row (one cache line for
+    // 8 ways) and the meta bytes; recency is written for the hit way
+    // alone, so the no-allocate probe never strides the LRU array.
+    for (int w = 0; w < config_.ways; ++w) {
+        if ((meta[w] & kValid) != 0 && tags[w] == tag) {
+            last_use_[base + w] = tick_;
+            meta[w] |= is_write ? kDirty : 0;
+            mru_[set] = static_cast<uint8_t>(w);
+            return true;
+        }
+    }
+
+    // Miss: LRU victim selection. The rule replicates the AoS model
+    // exactly — the last invalid way in scan order wins; otherwise the
+    // first way with the strictly smallest lastUse. Valid ways never
+    // tie (tick_ is unique per touch).
+    int victim = 0;
+    for (int w = 0; w < config_.ways; ++w) {
+        if ((meta[w] & kValid) == 0) {
+            victim = w;
+        } else if ((meta[victim] & kValid) != 0 &&
+                   last_use_[base + w] < last_use_[base + victim]) {
+            victim = w;
+        }
+    }
+    ++misses_;
+    tags[victim] = tag;
+    last_use_[base + victim] = tick_;
+    meta[victim] = static_cast<uint8_t>(kValid | (is_write ? kDirty : 0));
+    mru_[set] = static_cast<uint8_t>(victim);
+    return false;
+}
+
+inline int
+Hierarchy::dataAccess(uint64_t addr, bool is_write)
+{
+    if (l1d_.access(addr, is_write)) {
+        return config_.l1d.hitLatency;
+    }
+    if (config_.prefetch.enabled) {
+        trainPrefetcher(addr);
+    }
+    if (l2_.access(addr, is_write)) {
+        return config_.l2.hitLatency;
+    }
+    if (llc_.access(addr, is_write)) {
+        return config_.llc.hitLatency;
+    }
+    return config_.memoryLatency;
+}
+
+inline int
+Hierarchy::instrAccess(uint64_t addr)
+{
+    if (l1i_.access(addr, false)) {
+        return 0;
+    }
+    // Instruction misses fill from L2 (shared with data).
+    if (l2_.access(addr, false)) {
+        return config_.l2.hitLatency;
+    }
+    if (llc_.access(addr, false)) {
+        return config_.llc.hitLatency;
+    }
+    return config_.memoryLatency;
+}
 
 } // namespace vepro::uarch
 

@@ -1,9 +1,11 @@
 #include "uarch/core.hpp"
 
 #include <algorithm>
-#include <deque>
+#include <array>
 #include <limits>
 #include <stdexcept>
+
+#include "uarch/ring.hpp"
 
 namespace vepro::uarch
 {
@@ -12,6 +14,7 @@ using trace::OpClass;
 using trace::TraceOp;
 using trace::isLoad;
 using trace::isStore;
+using trace::kNumOpClasses;
 
 namespace
 {
@@ -29,42 +32,68 @@ constexpr size_t kBacklog = 32768;
 
 /** Execution port classes. */
 enum class Port : uint8_t { Alu, Mul, Simd, Load, Store, Branch };
+constexpr int kNumPorts = 6;
 
-Port
-portOf(OpClass cls)
+/**
+ * Static issue properties of an op class, precomputed so the per-cycle
+ * reservation-station rescan does no switch dispatch: execution port,
+ * execution latency (loads get theirs from the cache model), and the
+ * load/store buffer flags.
+ */
+struct OpInfo {
+    uint8_t port;
+    uint8_t latency;
+    bool load;
+    bool store;
+};
+
+constexpr OpInfo
+opInfoOf(OpClass cls)
 {
+    Port port = Port::Alu;
+    uint8_t lat = 1;
     switch (cls) {
       case OpClass::Mul:
+        port = Port::Mul;
+        lat = 3;
+        break;
       case OpClass::Div:
-        return Port::Mul;
+        port = Port::Mul;
+        lat = 20;
+        break;
       case OpClass::Load:
       case OpClass::SimdLoad:
-        return Port::Load;
+        port = Port::Load;
+        break;
       case OpClass::Store:
       case OpClass::SimdStore:
-        return Port::Store;
+        port = Port::Store;
+        break;
       case OpClass::BranchCond:
       case OpClass::BranchUncond:
-        return Port::Branch;
-      case OpClass::SimdAlu:
+        port = Port::Branch;
+        break;
       case OpClass::SimdMul:
+        port = Port::Simd;
+        lat = 5;
+        break;
+      case OpClass::SimdAlu:
       case OpClass::SseAlu:
-        return Port::Simd;
+        port = Port::Simd;
+        break;
       default:
-        return Port::Alu;
+        break;
     }
+    return {static_cast<uint8_t>(port), lat, isLoad(cls), isStore(cls)};
 }
 
-int
-execLatency(OpClass cls)
-{
-    switch (cls) {
-      case OpClass::Mul: return 3;
-      case OpClass::Div: return 20;
-      case OpClass::SimdMul: return 5;
-      default: return 1;
+constexpr std::array<OpInfo, kNumOpClasses> kOpInfo = [] {
+    std::array<OpInfo, kNumOpClasses> t{};
+    for (int i = 0; i < kNumOpClasses; ++i) {
+        t[static_cast<size_t>(i)] = opInfoOf(static_cast<OpClass>(i));
     }
-}
+    return t;
+}();
 
 struct Uop {
     uint64_t idx = 0;  ///< Global dynamic-op index (foreign ops included).
@@ -81,23 +110,59 @@ struct Uop {
 /**
  * The simulation engine. One stepCycle() is the cycle loop body of the
  * old batch replay, verbatim, with the trace vector replaced by a
- * sliding window deque: consumed ops are popped once the fetch index
- * passes them. A cycle is only stepped when the fetch stage is
+ * sliding ring-buffer window: consumed ops are released once the fetch
+ * index passes them. A cycle is only stepped when the fetch stage is
  * guaranteed not to under-run mid-cycle — at least `width` non-foreign
  * ops queued — or when flushing, where end-of-buffer genuinely is
  * end-of-trace. That guarantee makes the streamed simulation
- * cycle-for-cycle identical to batch replay.
+ * cycle-for-cycle identical to batch replay, at any delivery
+ * granularity.
+ *
+ * Scheduling structures (see DESIGN.md §11): the trace window, fetch
+ * queue, ROB, and store-drain queue are power-of-two rings; in-flight
+ * load completions sit in a binary min-heap (the old implementation
+ * re-sorted a deque on every issued load); and the RS rescan reads
+ * precomputed port/latency/flags from each entry instead of re-deriving
+ * them from the op class every cycle.
  */
 struct StreamCore::Impl {
     explicit Impl(const CoreConfig &cfg)
         : config(cfg), predictor(bpred::makePredictor(cfg.predictorSpec)),
           mem(cfg.mem), complete(kCompleteRing, 0),
-          fetchq_cap(static_cast<size_t>(cfg.width) * 4)
+          fetchq(static_cast<size_t>(cfg.width) * 4),
+          fetchq_cap(static_cast<size_t>(cfg.width) * 4), buf(kBacklog)
     {
         if (cfg.width < 1 || cfg.robSize < cfg.width) {
             throw std::invalid_argument("Core: bad geometry");
         }
+        if (cfg.rsSize > static_cast<int>(kMaskWords * 64)) {
+            throw std::invalid_argument("Core: rsSize above 256");
+        }
         rs.reserve(static_cast<size_t>(cfg.rsSize));
+        // The completion ring must reach past the slowest possible
+        // data access so a future slot is never reused before it fires.
+        const int worst_lat =
+            std::max({cfg.mem.memoryLatency, cfg.mem.l1d.hitLatency,
+                      cfg.mem.l2.hitLatency, cfg.mem.llc.hitLatency, 1});
+        size_t load_ring = 64;
+        while (load_ring <= static_cast<size_t>(worst_lat)) {
+            load_ring *= 2;
+        }
+        load_done_cnt.assign(load_ring, 0);
+        load_ring_mask = load_ring - 1;
+        pos_by_idx.assign(kCompleteRing, 0);
+        cal_head.assign(kCalRing, kPending);
+        cal_next.assign(kCompleteRing, kPending);
+        waiter_head.assign(kWaitRing, kPending);
+        wnext1.assign(kWaitRing, kPending);
+        wnext2.assign(kWaitRing, kPending);
+        rob_cap = static_cast<size_t>(cfg.robSize);
+        port_quota[static_cast<int>(Port::Alu)] = cfg.aluPorts;
+        port_quota[static_cast<int>(Port::Mul)] = cfg.mulPorts;
+        port_quota[static_cast<int>(Port::Simd)] = cfg.simdPorts;
+        port_quota[static_cast<int>(Port::Load)] = cfg.loadPorts;
+        port_quota[static_cast<int>(Port::Store)] = cfg.storePorts;
+        port_quota[static_cast<int>(Port::Branch)] = cfg.branchPorts;
     }
 
     CoreConfig config;
@@ -106,36 +171,156 @@ struct StreamCore::Impl {
     CoreStats stats;
 
     std::vector<uint64_t> complete;
-
-    // Input window: ops [base, base + buf.size()); fetch index pos.
-    std::deque<TraceOp> buf;
-    uint64_t base = 0;
-    uint64_t pos = 0;
-    uint64_t nf_avail = 0;  ///< Non-foreign ops in [pos, end).
-    uint64_t n_instr = 0;   ///< Non-foreign ops received in total.
+    int port_quota[kNumPorts] = {};
 
     // Front end.
-    std::deque<Uop> fetchq;
+    Ring<Uop> fetchq;
     size_t fetchq_cap;
     uint64_t redirect_until = 0;
     uint64_t icache_until = 0;
     uint64_t last_line = ~0ull;
     bool pending_redirect = false;
 
+    // Input window: ops [base, base + buf.size()); fetch index pos.
+    Ring<TraceOp> buf;
+    uint64_t base = 0;
+    uint64_t pos = 0;
+    uint64_t nf_avail = 0;  ///< Non-foreign ops in [pos, end).
+    uint64_t n_instr = 0;   ///< Non-foreign ops received in total.
+
     // Back end.
     struct RobEntry {
         uint64_t idx;
-        OpClass cls;
         uint64_t addr;
+        bool store;
     };
-    std::deque<RobEntry> rob;
+    Ring<RobEntry> rob;
+    size_t rob_cap = 0;
     struct RsEntry {
-        Uop uop;
+        uint64_t idx;
+        uint64_t addr;
         uint64_t alloc_cycle;
+        /**
+         * Cycle at which both producers have completed, or kPending if a
+         * producer has not issued yet. Completion-ring slots referenced
+         * by a live entry are never overwritten (the ROB window is far
+         * smaller than the ring), so once resolved the value a live read
+         * would return can never change and caching it is exact.
+         */
+        uint64_t ready_at;
+        uint8_t dep1;
+        uint8_t dep2;
+        uint8_t port;
+        uint8_t latency;
+        uint8_t wait_cnt;  ///< Producers not yet issued (0 when resolved)
+        bool load;
+        bool mispred;
     };
     std::vector<RsEntry> rs;
-    std::deque<uint64_t> load_completes;  // completion times, in-flight loads
-    std::deque<uint64_t> store_drains;    // drain times of post-retire stores
+    /**
+     * Event-driven wakeup, so the issue scan touches only entries that
+     * can actually issue instead of walking the whole station every
+     * cycle. Three pieces cooperate:
+     *
+     *  - `cal`, a calendar ring bucketed by cycle: when an entry's ready
+     *    time becomes known (at allocation, or when its last producer
+     *    issues), its op index is filed under
+     *    max(ready_at, alloc_cycle + 1). Times beyond the ring period
+     *    simply re-file on fire, so the ring size is a performance
+     *    knob, not a correctness bound.
+     *  - `eligible`, a bitmask over RS *positions*: set when the
+     *    calendar fires, cleared on issue. Port-starved entries keep
+     *    their bit and retry next cycle, exactly like the full scan.
+     *  - `pending`, a bitmask of entries whose ready time is unknown
+     *    (some producer unissued). Producers complete only by issuing,
+     *    so these are re-resolved only after scans that issued.
+     *
+     * Scanning ascending set bits of `eligible` visits entries in
+     * vector order, and issues swap-remove both the vector and the mask
+     * bits, so the visit order — which decides who wins a contended
+     * port — is exactly the full scan's. A cycle with no set bits
+     * provably issues nothing and skips the scan outright.
+     */
+    static constexpr size_t kCalRing = 512;
+    static constexpr size_t kMaskWords = 4;  // supports rsSize <= 256
+    std::array<uint64_t, kMaskWords> eligible{}, pending{};
+    std::vector<uint32_t> pos_by_idx;  ///< RS position of op idx (mod ring)
+    /**
+     * Calendar buckets as intrusive lists: cal_head[t & mask] chains op
+     * indices through cal_next[idx % kCompleteRing] — an entry sits in
+     * at most one bucket at a time (it is drained before any re-file),
+     * so the per-idx next slot cannot collide. Bucket order is
+     * irrelevant: firing only sets eligibility bits, and issue order is
+     * decided by the position scan. Filing is two stores, draining a
+     * pointer walk — no per-cycle vector churn.
+     */
+    std::vector<uint64_t> cal_head;  // bucket -> first idx, kPending empty
+    std::vector<uint64_t> cal_next;  // idx slot -> next idx in bucket
+    /**
+     * Reverse dependency map: for each unissued producer, an intrusive
+     * list of the pending consumers waiting on it, keyed by op index
+     * modulo kWaitRing (dependency distances are < 256 and the live
+     * window is bounded by the ROB, so slots never collide). A
+     * consumer's issue walks its own waiter chain, decrements each
+     * waiter's wait_cnt, and files newly resolved waiters in the
+     * calendar — pending entries are touched exactly when one of their
+     * producers issues, never rescanned. Sized like the completion ring
+     * so slot collisions are impossible under the same window bound.
+     */
+    static constexpr size_t kWaitRing = kCompleteRing;
+    std::vector<uint64_t> waiter_head;  // producer slot -> first waiter idx
+    std::vector<uint64_t> wnext1, wnext2;  // waiter idx -> next, per dep
+
+    void schedule(uint64_t idx, uint64_t t)
+    {
+        uint64_t &head = cal_head[t & (kCalRing - 1)];
+        cal_next[idx % kCompleteRing] = head;
+        head = idx;
+    }
+    static bool maskTest(const std::array<uint64_t, kMaskWords> &m,
+                         size_t pos)
+    {
+        return (m[pos >> 6] >> (pos & 63)) & 1;
+    }
+    static void maskSet(std::array<uint64_t, kMaskWords> &m, size_t pos)
+    {
+        m[pos >> 6] |= 1ull << (pos & 63);
+    }
+    static void maskClear(std::array<uint64_t, kMaskWords> &m, size_t pos)
+    {
+        m[pos >> 6] &= ~(1ull << (pos & 63));
+    }
+    /** First set bit at position >= @p from, or SIZE_MAX. */
+    static size_t maskFirstFrom(const std::array<uint64_t, kMaskWords> &m,
+                                size_t from)
+    {
+        size_t w = from >> 6;
+        if (w >= kMaskWords) {
+            return SIZE_MAX;
+        }
+        uint64_t bits = m[w] & (~0ull << (from & 63));
+        while (bits == 0) {
+            if (++w >= kMaskWords) {
+                return SIZE_MAX;
+            }
+            bits = m[w];
+        }
+        return w * 64 + static_cast<size_t>(__builtin_ctzll(bits));
+    }
+    /**
+     * In-flight load completions as a counting ring: slot (done & mask)
+     * holds how many loads finish at that cycle. Completion times are at
+     * most the worst memory latency ahead, and the ring is sized past
+     * that, so a slot is always drained (at its own cycle) before it
+     * could be reused. load_max is the largest completion time queued
+     * while any load was outstanding — the same quantity the old
+     * min-heap tracked, at two array ops per load instead of heap churn.
+     */
+    std::vector<uint32_t> load_done_cnt;
+    uint64_t load_ring_mask = 0;
+    uint64_t loads_outstanding = 0;
+    uint64_t load_max = 0;
+    Ring<uint64_t> store_drains;  // drain times, pushed in nondecr. order
     int lb_count = 0;
     int sb_count = 0;  // stores allocated but not drained
     uint64_t sb_drain_time = 0;
@@ -150,19 +335,21 @@ struct StreamCore::Impl {
         return buf[static_cast<size_t>(idx - base)];
     }
 
-    void push(const TraceOp &op);
+    void pushBlock(const TraceOp *ops, size_t n);
     void stepCycle();
     void finish();
 };
 
 void
-StreamCore::Impl::push(const TraceOp &op)
+StreamCore::Impl::pushBlock(const TraceOp *ops, size_t n)
 {
-    buf.push_back(op);
-    if (!op.foreign) {
-        ++nf_avail;
-        ++n_instr;
+    buf.append(ops, n);
+    uint64_t nf = 0;
+    for (size_t i = 0; i < n; ++i) {
+        nf += !ops[i].foreign;
     }
+    nf_avail += nf;
+    n_instr += nf;
     // Drain the backlog, keeping the fetch-feed guarantee: each cycle
     // consumes at most `width` non-foreign ops plus the foreign runs
     // between them, so `width` queued non-foreign ops ensure the fetch
@@ -170,9 +357,9 @@ StreamCore::Impl::push(const TraceOp &op)
     while (buf.size() >= kBacklog &&
            nf_avail >= static_cast<uint64_t>(config.width)) {
         stepCycle();
-        while (base < pos) {
-            buf.pop_front();
-            ++base;
+        if (pos > base) {
+            buf.pop_front(static_cast<size_t>(pos - base));
+            base = pos;
         }
     }
 }
@@ -184,9 +371,13 @@ StreamCore::Impl::stepCycle()
 
     // Release load-buffer entries whose loads completed, and
     // store-buffer entries that drained.
-    while (!load_completes.empty() && load_completes.front() <= cycle) {
-        load_completes.pop_front();
-        --lb_count;
+    if (loads_outstanding != 0) {
+        uint32_t &done_now = load_done_cnt[cycle & load_ring_mask];
+        if (done_now != 0) {
+            lb_count -= static_cast<int>(done_now);
+            loads_outstanding -= done_now;
+            done_now = 0;
+        }
     }
     while (!store_drains.empty() && store_drains.front() <= cycle) {
         store_drains.pop_front();
@@ -197,11 +388,11 @@ StreamCore::Impl::stepCycle()
     int retired_now = 0;
     while (!rob.empty() && retired_now < config.width) {
         const RobEntry &head = rob.front();
-        if (complete[head.idx % kCompleteRing] == kPending ||
-            complete[head.idx % kCompleteRing] > cycle) {
+        const uint64_t done = complete[head.idx % kCompleteRing];
+        if (done == kPending || done > cycle) {
             break;
         }
-        if (isStore(head.cls)) {
+        if (head.store) {
             // Senior store: drains to the cache after retirement.
             sb_drain_time = std::max(sb_drain_time + 1, cycle);
             mem.dataAccess(head.addr, true);
@@ -213,69 +404,110 @@ StreamCore::Impl::stepCycle()
     }
 
     // ---- Issue / execute ----------------------------------------
-    int alu_free = config.aluPorts;
-    int simd_free = config.simdPorts;
-    int mul_free = config.mulPorts;
-    int load_free = config.loadPorts;
-    int store_free = config.storePorts;
-    int branch_free = config.branchPorts;
-    for (size_t i = 0; i < rs.size();) {
-        RsEntry &e = rs[i];
-        if (e.alloc_cycle >= cycle) {
-            ++i;
-            continue;
+    // Wake the entries whose scheduled ready cycle arrived. Entries
+    // filed more than a ring period out re-file instead of waking.
+    {
+        uint64_t wake = cal_head[cycle & (kCalRing - 1)];
+        if (wake != kPending) {
+            cal_head[cycle & (kCalRing - 1)] = kPending;
+            while (wake != kPending) {
+                // Read the link before handling: a re-file overwrites it.
+                const uint64_t next = cal_next[wake % kCompleteRing];
+                const uint32_t p = pos_by_idx[wake % kCompleteRing];
+                if (p < rs.size() && rs[p].idx == wake) {
+                    const RsEntry &e = rs[p];
+                    uint64_t t = std::max(e.ready_at, e.alloc_cycle + 1);
+                    if (t > cycle) {
+                        schedule(wake, t);  // calendar wrap
+                    } else {
+                        maskSet(eligible, p);
+                    }
+                }
+                wake = next;
+            }
         }
-        const Uop &u = e.uop;
-        // Dependency check via the completion ring.
-        bool ready = true;
-        for (uint8_t dep : {u.dep1, u.dep2}) {
-            if (dep == 0) {
+    }
+    if ((eligible[0] | eligible[1] | eligible[2] | eligible[3]) != 0) {
+        int port_free[kNumPorts];
+        for (int p = 0; p < kNumPorts; ++p) {
+            port_free[p] = port_quota[p];
+        }
+        size_t i = maskFirstFrom(eligible, 0);
+        while (i < rs.size()) {
+            RsEntry &e = rs[i];
+            int &port = port_free[e.port];
+            if (port <= 0) {
+                // Port-starved: the bit stays set, retry next cycle.
+                i = maskFirstFrom(eligible, i + 1);
                 continue;
             }
-            if (u.idx < dep) {
-                continue;  // producer precedes the trace window
+            --port;
+            uint64_t done;
+            if (e.load) {
+                int lat = mem.dataAccess(e.addr, false);
+                done = cycle + static_cast<uint64_t>(lat);
+                ++load_done_cnt[done & load_ring_mask];
+                ++loads_outstanding;
+                load_max = std::max(load_max, done);
+            } else {
+                done = cycle + e.latency;
             }
-            uint64_t c = complete[(u.idx - dep) % kCompleteRing];
-            if (c == kPending || c > cycle) {
-                ready = false;
-                break;
+            complete[e.idx % kCompleteRing] = done;
+            if (e.mispred) {
+                redirect_until =
+                    done + static_cast<uint64_t>(config.mispredictPenalty);
+                pending_redirect = false;
             }
+            // Wake the consumers chained on this producer; those whose
+            // last producer this was are now resolved — file them.
+            uint64_t wi = waiter_head[e.idx & (kWaitRing - 1)];
+            waiter_head[e.idx & (kWaitRing - 1)] = kPending;
+            while (wi != kPending) {
+                const size_t wp = pos_by_idx[wi % kCompleteRing];
+                RsEntry &c = rs[wp];
+                const uint64_t next =
+                    (c.dep1 != 0 && wi - c.dep1 == e.idx)
+                        ? wnext1[wi & (kWaitRing - 1)]
+                        : wnext2[wi & (kWaitRing - 1)];
+                if (--c.wait_cnt == 0) {
+                    uint64_t r = 0;
+                    if (c.dep1 != 0 && wi >= c.dep1) {
+                        r = complete[(wi - c.dep1) % kCompleteRing];
+                    }
+                    if (c.dep2 != 0 && wi >= c.dep2) {
+                        r = std::max(
+                            r, complete[(wi - c.dep2) % kCompleteRing]);
+                    }
+                    c.ready_at = r;
+                    maskClear(pending, wp);
+                    schedule(wi, std::max(r, cycle + 1));
+                }
+                wi = next;
+            }
+            // Swap-remove the vector and both masks together; the
+            // swapped-in entry is re-examined at this position, exactly
+            // as the full scan would.
+            const size_t last = rs.size() - 1;
+            const bool el = maskTest(eligible, last);
+            const bool pe = maskTest(pending, last);
+            maskClear(eligible, last);
+            maskClear(pending, last);
+            maskClear(eligible, i);
+            maskClear(pending, i);
+            if (i != last) {
+                rs[i] = rs[last];
+                pos_by_idx[rs[i].idx % kCompleteRing] =
+                    static_cast<uint32_t>(i);
+                if (el) {
+                    maskSet(eligible, i);
+                }
+                if (pe) {
+                    maskSet(pending, i);
+                }
+            }
+            rs.pop_back();
+            i = maskFirstFrom(eligible, i);
         }
-        if (!ready) {
-            ++i;
-            continue;
-        }
-        int *port = nullptr;
-        switch (portOf(u.cls)) {
-          case Port::Alu: port = &alu_free; break;
-          case Port::Mul: port = &mul_free; break;
-          case Port::Simd: port = &simd_free; break;
-          case Port::Load: port = &load_free; break;
-          case Port::Store: port = &store_free; break;
-          case Port::Branch: port = &branch_free; break;
-        }
-        if (*port <= 0) {
-            ++i;
-            continue;
-        }
-        --*port;
-        uint64_t done;
-        if (isLoad(u.cls)) {
-            int lat = mem.dataAccess(u.addr, false);
-            done = cycle + static_cast<uint64_t>(lat);
-            load_completes.push_back(done);
-            std::sort(load_completes.begin(), load_completes.end());
-        } else {
-            done = cycle + static_cast<uint64_t>(execLatency(u.cls));
-        }
-        complete[u.idx % kCompleteRing] = done;
-        if (u.mispred) {
-            redirect_until =
-                done + static_cast<uint64_t>(config.mispredictPenalty);
-            pending_redirect = false;
-        }
-        rs[i] = rs.back();
-        rs.pop_back();
     }
 
     // ---- Allocate (width slots; classify every lost slot) -------
@@ -283,12 +515,11 @@ StreamCore::Impl::stepCycle()
     bool counted_stall = false;
     while (allocated < config.width && !fetchq.empty()) {
         const Uop &u = fetchq.front();
-        bool need_lb = isLoad(u.cls);
-        bool need_sb = isStore(u.cls);
-        bool rob_full = rob.size() >= static_cast<size_t>(config.robSize);
+        const OpInfo &info = kOpInfo[static_cast<size_t>(u.cls)];
+        bool rob_full = rob.size() >= rob_cap;
         bool rs_full = rs.size() >= static_cast<size_t>(config.rsSize);
-        bool lb_full = need_lb && lb_count >= config.loadBufSize;
-        bool sb_full = need_sb && sb_count >= config.storeBufSize;
+        bool lb_full = info.load && lb_count >= config.loadBufSize;
+        bool sb_full = info.store && sb_count >= config.storeBufSize;
         if (rob_full || rs_full || lb_full || sb_full) {
             if (!counted_stall) {
                 counted_stall = true;
@@ -305,12 +536,50 @@ StreamCore::Impl::stepCycle()
             break;
         }
         complete[u.idx % kCompleteRing] = kPending;
-        rob.push_back({u.idx, u.cls, u.addr});
-        rs.push_back({u, cycle});
-        if (need_lb) {
+        rob.push_back({u.idx, u.addr, info.store});
+        // Resolve the entry's ready time now if both producers have
+        // already issued; otherwise chain it onto each unissued
+        // producer's waiter list — the last producer's issue files it.
+        const uint8_t dep1 = u.dep1;
+        // A doubled dependency is a single producer: register it once.
+        const uint8_t dep2 = u.dep2 != dep1 ? u.dep2 : 0;
+        uint64_t d1 = 0, d2 = 0;
+        if (dep1 != 0 && u.idx >= dep1) {
+            d1 = complete[(u.idx - dep1) % kCompleteRing];
+        }
+        if (dep2 != 0 && u.idx >= dep2) {
+            d2 = complete[(u.idx - dep2) % kCompleteRing];
+        }
+        const size_t rs_pos = rs.size();
+        pos_by_idx[u.idx % kCompleteRing] = static_cast<uint32_t>(rs_pos);
+        uint8_t wait_cnt = 0;
+        uint64_t r;
+        if (d1 != kPending && d2 != kPending) {
+            r = std::max(d1, d2);
+            schedule(u.idx, std::max(r, cycle + 1));
+        } else {
+            r = kPending;
+            maskSet(pending, rs_pos);
+            const size_t wslot = u.idx & (kWaitRing - 1);
+            if (d1 == kPending) {
+                const size_t p1 = (u.idx - dep1) & (kWaitRing - 1);
+                wnext1[wslot] = waiter_head[p1];
+                waiter_head[p1] = u.idx;
+                ++wait_cnt;
+            }
+            if (d2 == kPending) {
+                const size_t p2 = (u.idx - dep2) & (kWaitRing - 1);
+                wnext2[wslot] = waiter_head[p2];
+                waiter_head[p2] = u.idx;
+                ++wait_cnt;
+            }
+        }
+        rs.push_back({u.idx, u.addr, cycle, r, u.dep1, u.dep2, info.port,
+                      info.latency, wait_cnt, info.load, u.mispred});
+        if (info.load) {
             ++lb_count;
         }
-        if (need_sb) {
+        if (info.store) {
             ++sb_count;
         }
         fetchq.pop_front();
@@ -323,8 +592,7 @@ StreamCore::Impl::stepCycle()
         if (counted_stall) {
             stats.slots.backend += lost;
             // Memory-bound if a load is outstanding past this cycle.
-            bool memory_bound =
-                !load_completes.empty() && load_completes.back() > cycle;
+            bool memory_bound = loads_outstanding != 0 && load_max > cycle;
             if (memory_bound) {
                 stats.slots.backendMemory += lost;
             } else {
@@ -453,7 +721,7 @@ StreamCore::onOp(const trace::TraceOp &op)
     if (impl_->finished) {
         throw std::logic_error("StreamCore: onOp after flush");
     }
-    impl_->push(op);
+    impl_->pushBlock(&op, 1);
 }
 
 void
@@ -462,9 +730,7 @@ StreamCore::onOps(const trace::TraceOp *ops, size_t n)
     if (impl_->finished) {
         throw std::logic_error("StreamCore: onOps after flush");
     }
-    for (size_t i = 0; i < n; ++i) {
-        impl_->push(ops[i]);
-    }
+    impl_->pushBlock(ops, n);
 }
 
 void
@@ -503,6 +769,21 @@ Core::run(const std::vector<TraceOp> &trace)
 
 void
 CacheSink::onOp(const trace::TraceOp &op)
+{
+    step(op);
+}
+
+void
+CacheSink::onOps(const trace::TraceOp *ops, size_t n)
+{
+    // Real batch loop: one virtual dispatch per block, not per op.
+    for (size_t i = 0; i < n; ++i) {
+        step(ops[i]);
+    }
+}
+
+void
+CacheSink::step(const trace::TraceOp &op)
 {
     if (op.foreign) {
         mem_.remoteStore(op.addr);

@@ -208,6 +208,7 @@ class CacheSink final : public trace::TraceSink
     }
 
     void onOp(const trace::TraceOp &op) override;
+    void onOps(const trace::TraceOp *ops, size_t n) override;
 
     const Hierarchy &hierarchy() const { return mem_; }
     uint64_t instructions() const { return instructions_; }
@@ -222,6 +223,8 @@ class CacheSink final : public trace::TraceSink
     }
 
   private:
+    void step(const trace::TraceOp &op);
+
     Hierarchy mem_;
     uint64_t last_line_ = ~0ull;
     uint64_t instructions_ = 0;

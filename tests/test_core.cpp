@@ -1,15 +1,20 @@
 /**
  * @file
  * Unit tests for the experiment harness: report formatting, run scaling,
- * sweep helpers, and the thread-study machinery.
+ * sweep helpers, the thread-study machinery — and the golden-stats
+ * regression suite that pins the simulator's exact counters so hot-path
+ * refactors can be checked against byte-identical numbers.
  */
 
 #include <gtest/gtest.h>
 
+#include "bpred/runner.hpp"
 #include "core/experiment.hpp"
 #include "core/report.hpp"
 #include "core/threadstudy.hpp"
 #include "encoders/registry.hpp"
+#include "trace/synth.hpp"
+#include "uarch/core.hpp"
 #include "video/generator.hpp"
 
 namespace vepro::core
@@ -262,6 +267,98 @@ TEST(SystemTrace, RespectsOpCap)
     cfg.maxOps = 5'000;
     auto trace = buildSystemTrace(r.opTrace(), r.taskGraph, 4, cfg);
     EXPECT_LE(trace.size(), 5'000u);
+}
+
+// ---- Golden-stats regression suite ---------------------------------
+//
+// Every number below was produced by `bench_simspeed --golden` and is
+// the contract every hot-path refactor must preserve BIT-IDENTICALLY:
+// the streaming pipeline, the core's scheduling structures, and the
+// cache model may be rebuilt freely, but these counters must not move.
+// If a change is *meant* to alter simulated behaviour, regenerate with
+// `bench_simspeed --golden` and justify the new numbers in the commit.
+
+TEST(GoldenStats, CoreCountersOnSynthTrace)
+{
+    trace::SynthConfig cfg;
+    cfg.ops = 400'000;
+    std::vector<trace::TraceOp> t = trace::synthTrace(cfg);
+    uarch::Core core;
+    uarch::CoreStats s = core.run(t);
+
+    EXPECT_EQ(s.cycles, 1049439u);
+    EXPECT_EQ(s.instructions, 399744u);
+    EXPECT_EQ(s.slots.retiring, 399744u);
+    EXPECT_EQ(s.slots.badSpec, 2191255u);
+    EXPECT_EQ(s.slots.frontend, 85298u);
+    EXPECT_EQ(s.slots.backend, 1521459u);
+    EXPECT_EQ(s.slots.backendMemory, 1521459u);
+    EXPECT_EQ(s.slots.backendCore, 0u);
+    EXPECT_EQ(s.stalls.rs, 394113u);
+    EXPECT_EQ(s.stalls.rob, 0u);
+    EXPECT_EQ(s.stalls.loadBuf, 0u);
+    EXPECT_EQ(s.stalls.storeBuf, 0u);
+    EXPECT_EQ(s.condBranches, 52886u);
+    EXPECT_EQ(s.mispredicts, 3076u);
+    EXPECT_EQ(s.l1iMisses, 48u);
+    EXPECT_EQ(s.l1dAccesses, 188042u);
+    EXPECT_EQ(s.l1dMisses, 141494u);
+    EXPECT_EQ(s.l2Misses, 93742u);
+    EXPECT_EQ(s.llcMisses, 81221u);
+    EXPECT_EQ(s.invalidations, 5u);
+}
+
+TEST(GoldenStats, StreamingBlockDeliveryIsBitIdentical)
+{
+    // The same trace streamed through the sink interface in awkward
+    // batch sizes must reproduce the batch-replay numbers above.
+    trace::SynthConfig cfg;
+    cfg.ops = 400'000;
+    std::vector<trace::TraceOp> t = trace::synthTrace(cfg);
+    uarch::StreamCore sim;
+    size_t pos = 0, chunk = 1;
+    while (pos < t.size()) {
+        size_t n = std::min(chunk, t.size() - pos);
+        sim.onOps(t.data() + pos, n);
+        pos += n;
+        chunk = chunk % 4099 + 7;
+    }
+    sim.flush();
+    EXPECT_EQ(sim.stats().cycles, 1049439u);
+    EXPECT_EQ(sim.stats().mispredicts, 3076u);
+    EXPECT_EQ(sim.stats().l1dMisses, 141494u);
+    EXPECT_EQ(sim.stats().llcMisses, 81221u);
+}
+
+TEST(GoldenStats, CacheSinkCountersOnSynthTrace)
+{
+    trace::SynthConfig cfg;
+    cfg.ops = 400'000;
+    std::vector<trace::TraceOp> t = trace::synthTrace(cfg);
+    uarch::CacheSink sink;
+    sink.onOps(t.data(), t.size());
+    sink.flush();
+    const uarch::Hierarchy &m = sink.hierarchy();
+
+    EXPECT_EQ(sink.instructions(), 399744u);
+    EXPECT_EQ(m.l1i().accesses(), 117423u);
+    EXPECT_EQ(m.l1i().misses(), 48u);
+    EXPECT_EQ(m.l1d().accesses(), 188042u);
+    EXPECT_EQ(m.l1d().misses(), 141507u);
+    EXPECT_EQ(m.l2().accesses(), 141555u);
+    EXPECT_EQ(m.l2().misses(), 93740u);
+    EXPECT_EQ(m.llc().accesses(), 93996u);
+    EXPECT_EQ(m.llc().misses(), 81221u);
+    EXPECT_EQ(m.l1d().invalidations() + m.l2().invalidations(), 5u);
+}
+
+TEST(GoldenStats, PredictorMissesOnSynthBranches)
+{
+    std::vector<trace::BranchRecord> b = trace::synthBranches(200'000);
+    auto pred = bpred::makePredictor("tage-64KB");
+    bpred::RunResult r = bpred::runTrace(*pred, b, 1'000'000);
+    EXPECT_EQ(r.branches, 200'000u);
+    EXPECT_EQ(r.misses, 20934u);
 }
 
 } // namespace

@@ -448,6 +448,7 @@ TEST(Sink, StreamEqualsCapture)
     Probe fed(pc);
     fed.setSink(&streamed);
     emitWorkload(fed);
+    fed.flushToSink();
 
     expectSameStreams(capture.opTrace(), streamed.ops());
     ASSERT_EQ(capture.branchTrace().size(), streamed.branches().size());
@@ -522,6 +523,7 @@ TEST(Sink, MuxFansOutToAllSinks)
     Probe p(ProbeConfig::streaming(true));
     p.setSink(&mux);
     emitWorkload(p);
+    p.flushToSink();
     mux.flush();
 
     expectSameStreams(first.ops(), second.ops());
@@ -559,6 +561,7 @@ TEST(Sink, StreamingConfigRecordsEverything)
     VectorSink all;
     p.setSink(&all);
     emitWorkload(p);
+    p.flushToSink();
     EXPECT_EQ(all.ops().size(), p.recordedOps());
     EXPECT_EQ(p.droppedOps(), 0u);
     EXPECT_EQ(p.droppedBranches(), 0u);
@@ -579,6 +582,7 @@ TEST(Sink, SiteProfileMatchesProbeProfiling)
     Probe p(pc);
     p.setSink(&sink);
     emitWorkload(p);
+    p.flushToSink();
     EXPECT_EQ(sink.siteOps().size(), p.siteOps().size());
     for (const auto &[site, n] : p.siteOps()) {
         auto it = sink.siteOps().find(site);
