@@ -1,0 +1,1068 @@
+#include "check/fuzzer.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <functional>
+#include <limits>
+#include <sstream>
+
+#include "codec/kernels.hpp"
+#include "codec/transform.hpp"
+#include "core/rng.hpp"
+#include "lab/json.hpp"
+#include "lab/store.hpp"
+#include "trace/synth.hpp"
+#include "uarch/cache.hpp"
+#include "uarch/core.hpp"
+
+namespace fs = std::filesystem;
+
+namespace vepro::check
+{
+
+using core::SplitMix64;
+using trace::TraceOp;
+
+const std::vector<Target> &
+allTargets()
+{
+    static const std::vector<Target> kAll = {
+        Target::Core, Target::Cache, Target::Bpred, Target::Kernels,
+        Target::Store};
+    return kAll;
+}
+
+const char *
+targetName(Target target)
+{
+    switch (target) {
+      case Target::Core: return "core";
+      case Target::Cache: return "cache";
+      case Target::Bpred: return "bpred";
+      case Target::Kernels: return "kernels";
+      case Target::Store: return "store";
+    }
+    return "?";
+}
+
+bool
+parseTarget(const std::string &name, Target &out)
+{
+    for (Target t : allTargets()) {
+        if (name == targetName(t)) {
+            out = t;
+            return true;
+        }
+    }
+    return false;
+}
+
+std::string
+Fuzzer::reproCommand(Target target, uint64_t seed, Fault inject, bool quick)
+{
+    std::ostringstream cmd;
+    cmd << "vepro-check --target=" << targetName(target)
+        << " --seed=" << seed;
+    if (quick) {
+        cmd << " --quick";
+    }
+    if (inject != Fault::None) {
+        cmd << " --inject=" << faultName(inject);
+    }
+    return cmd.str();
+}
+
+bool
+loadCorpusCase(const std::string &path, CorpusCase &out, std::string &err)
+{
+    std::ifstream in(path);
+    if (!in) {
+        err = "cannot open " + path;
+        return false;
+    }
+    bool have_target = false, have_seed = false;
+    std::string line;
+    while (std::getline(in, line)) {
+        if (!line.empty() && line.back() == '\r') {
+            line.pop_back();
+        }
+        const size_t first = line.find_first_not_of(" \t");
+        if (first == std::string::npos || line[first] == '#') {
+            continue;
+        }
+        const size_t eq = line.find('=');
+        if (eq == std::string::npos) {
+            err = path + ": expected key=value, got '" + line + "'";
+            return false;
+        }
+        const std::string key = line.substr(first, eq - first);
+        const std::string value = line.substr(eq + 1);
+        if (key == "target") {
+            if (!parseTarget(value, out.target)) {
+                err = path + ": unknown target '" + value + "'";
+                return false;
+            }
+            have_target = true;
+        } else if (key == "seed") {
+            try {
+                out.seed = std::stoull(value);
+            } catch (const std::exception &) {
+                err = path + ": bad seed '" + value + "'";
+                return false;
+            }
+            have_seed = true;
+        } else {
+            err = path + ": unknown key '" + key + "'";
+            return false;
+        }
+    }
+    if (!have_target || !have_seed) {
+        err = path + ": needs both target= and seed= lines";
+        return false;
+    }
+    return true;
+}
+
+std::vector<std::string>
+listCorpus(const std::string &dir)
+{
+    std::vector<std::string> paths;
+    std::error_code ec;
+    for (const auto &entry : fs::directory_iterator(dir, ec)) {
+        if (entry.is_regular_file() && entry.path().extension() == ".case") {
+            paths.push_back(entry.path().string());
+        }
+    }
+    std::sort(paths.begin(), paths.end());
+    return paths;
+}
+
+namespace
+{
+
+// ---------------------------------------------------------------------
+// Shrinking: ddmin-lite. Repeatedly delete chunks (halving the chunk
+// size when stuck) while the predicate keeps failing. Bounded by a
+// predicate-evaluation budget so shrinking a slow reproduction cannot
+// stall the harness.
+
+template <typename T, typename Pred>
+std::vector<T>
+ddminShrink(std::vector<T> input, const Pred &still_fails, int max_evals)
+{
+    std::vector<T> cur = std::move(input);
+    int evals = 0;
+    size_t chunk = cur.size() / 2;
+    while (chunk >= 1 && evals < max_evals) {
+        bool removed = false;
+        for (size_t start = 0; start + chunk <= cur.size() &&
+                               evals < max_evals;) {
+            std::vector<T> candidate;
+            candidate.reserve(cur.size() - chunk);
+            candidate.insert(candidate.end(), cur.begin(),
+                             cur.begin() + static_cast<ptrdiff_t>(start));
+            candidate.insert(candidate.end(),
+                             cur.begin() +
+                                 static_cast<ptrdiff_t>(start + chunk),
+                             cur.end());
+            ++evals;
+            if (still_fails(candidate)) {
+                cur = std::move(candidate);
+                removed = true;
+            } else {
+                start += chunk;
+            }
+        }
+        if (!removed) {
+            if (chunk == 1) {
+                break;
+            }
+        }
+        chunk = std::max<size_t>(1, chunk / 2);
+        if (chunk > cur.size()) {
+            chunk = std::max<size_t>(1, cur.size() / 2);
+        }
+    }
+    return cur;
+}
+
+// ---------------------------------------------------------------------
+// Core target
+
+uarch::CoreConfig
+randomCoreConfig(SplitMix64 &rng)
+{
+    uarch::CoreConfig cfg;
+    cfg.width = static_cast<int>(rng.range(1, 6));
+    cfg.robSize = std::max(
+        cfg.width, static_cast<int>(rng.range(8, 224)));
+    // The fast core's wakeup bitmask covers 256 RS entries.
+    cfg.rsSize = static_cast<int>(rng.range(4, 256));
+    cfg.loadBufSize = static_cast<int>(rng.range(2, 80));
+    cfg.storeBufSize = static_cast<int>(rng.range(2, 48));
+    cfg.aluPorts = static_cast<int>(rng.range(1, 4));
+    cfg.simdPorts = static_cast<int>(rng.range(1, 3));
+    cfg.mulPorts = static_cast<int>(rng.range(1, 2));
+    cfg.loadPorts = static_cast<int>(rng.range(1, 3));
+    cfg.storePorts = static_cast<int>(rng.range(1, 2));
+    cfg.branchPorts = static_cast<int>(rng.range(1, 2));
+    cfg.mispredictPenalty = static_cast<int>(rng.range(5, 20));
+    cfg.takenBranchBubble = static_cast<int>(rng.range(0, 2));
+
+    static const char *const kSpecs[] = {
+        "tage-8KB",      "tage-64KB",     "gshare-32KB", "bimodal-4KB",
+        "perceptron-8KB", "tournament-16KB"};
+    cfg.predictorSpec = kSpecs[rng.below(6)];
+
+    // 650 pushes load completions past the fast core's 512-entry
+    // calendar ring, forcing the wrap/re-file path.
+    static const int kMemLat[] = {60, 180, 650};
+    cfg.mem.memoryLatency = kMemLat[rng.below(3)];
+    cfg.mem.prefetch.enabled = rng.chance(1, 3);
+    if (rng.chance(1, 2)) {
+        // Shrink the hierarchy so the trace actually misses.
+        cfg.mem.l1d.sizeBytes = size_t{4096} << rng.below(3);
+        cfg.mem.l1d.ways = 1 << rng.below(4);
+        cfg.mem.l2.sizeBytes = size_t{32 * 1024} << rng.below(3);
+        cfg.mem.llc.sizeBytes = size_t{256 * 1024} << rng.below(3);
+        cfg.mem.llc.ways = static_cast<int>(rng.range(2, 20));
+    }
+    return cfg;
+}
+
+/** All CoreStats counters as (name, value), for field-wise diffing. */
+std::vector<std::pair<const char *, uint64_t>>
+statFields(const uarch::CoreStats &s)
+{
+    return {
+        {"cycles", s.cycles},
+        {"instructions", s.instructions},
+        {"slots.retiring", s.slots.retiring},
+        {"slots.badSpec", s.slots.badSpec},
+        {"slots.frontend", s.slots.frontend},
+        {"slots.backend", s.slots.backend},
+        {"slots.backendMemory", s.slots.backendMemory},
+        {"slots.backendCore", s.slots.backendCore},
+        {"stalls.rs", s.stalls.rs},
+        {"stalls.rob", s.stalls.rob},
+        {"stalls.loadBuf", s.stalls.loadBuf},
+        {"stalls.storeBuf", s.stalls.storeBuf},
+        {"condBranches", s.condBranches},
+        {"mispredicts", s.mispredicts},
+        {"l1iMisses", s.l1iMisses},
+        {"l1dAccesses", s.l1dAccesses},
+        {"l1dMisses", s.l1dMisses},
+        {"l2Misses", s.l2Misses},
+        {"llcMisses", s.llcMisses},
+        {"invalidations", s.invalidations},
+    };
+}
+
+/** Diff two stats; empty string when bit-identical. */
+std::string
+diffStats(const uarch::CoreStats &ref, const uarch::CoreStats &fast)
+{
+    const auto rf = statFields(ref);
+    const auto ff = statFields(fast);
+    std::ostringstream out;
+    for (size_t i = 0; i < rf.size(); ++i) {
+        if (rf[i].second != ff[i].second) {
+            if (out.tellp() > 0) {
+                out << ", ";
+            }
+            out << rf[i].first << " ref=" << rf[i].second
+                << " fast=" << ff[i].second;
+        }
+    }
+    return out.str();
+}
+
+/**
+ * Run the optimized core. Chunked delivery exercises the streaming
+ * backlog path; chunk boundaries come from the seed, so batch and
+ * streamed runs are both covered across cases.
+ */
+uarch::CoreStats
+fastCoreRun(const uarch::CoreConfig &cfg, const std::vector<TraceOp> &trace,
+            SplitMix64 &rng)
+{
+    if (rng.chance(1, 2)) {
+        return uarch::Core(cfg).run(trace);
+    }
+    uarch::StreamCore sim(cfg);
+    size_t pos = 0;
+    while (pos < trace.size()) {
+        size_t n = std::min<size_t>(trace.size() - pos,
+                                    rng.range(1, 8192));
+        sim.onOps(trace.data() + pos, n);
+        pos += n;
+    }
+    sim.flush();
+    return sim.stats();
+}
+
+// ---------------------------------------------------------------------
+// Cache target
+
+struct CacheEvent {
+    enum Kind : uint8_t { DataLoad, DataStore, Instr, Remote };
+    Kind kind = DataLoad;
+    uint64_t addr = 0;
+};
+
+uarch::Hierarchy::Config
+randomHierarchyConfig(SplitMix64 &rng)
+{
+    uarch::Hierarchy::Config cfg;
+    // The fast cache indexes with shifts: lineBytes must be a power of
+    // two. Non-power-of-two way counts and set counts are fair game and
+    // exercise the sets-round-down normalisation.
+    const int line = 32 << rng.below(3);
+    auto level = [&](uarch::CacheConfig &c, uint64_t min_sets,
+                     uint64_t max_sets, int max_ways) {
+        c.lineBytes = line;
+        c.ways = static_cast<int>(rng.range(1, static_cast<uint64_t>(max_ways)));
+        uint64_t sets = rng.range(min_sets, max_sets);
+        c.sizeBytes = static_cast<size_t>(sets) *
+                      static_cast<size_t>(c.ways) *
+                      static_cast<size_t>(line);
+    };
+    level(cfg.l1i, 1, 64, 8);
+    level(cfg.l1d, 1, 64, 8);
+    level(cfg.l2, 4, 512, 12);
+    level(cfg.llc, 16, 4096, 20);
+    cfg.l1d.hitLatency = static_cast<int>(rng.range(1, 5));
+    cfg.l2.hitLatency = static_cast<int>(rng.range(6, 20));
+    cfg.llc.hitLatency = static_cast<int>(rng.range(21, 60));
+    cfg.memoryLatency = static_cast<int>(rng.range(61, 400));
+    cfg.prefetch.enabled = rng.chance(1, 2);
+    cfg.prefetch.streams = static_cast<int>(rng.range(1, 16));
+    cfg.prefetch.degree = static_cast<int>(rng.range(1, 4));
+    return cfg;
+}
+
+std::vector<CacheEvent>
+randomCacheEvents(SplitMix64 &rng, uint64_t n)
+{
+    std::vector<CacheEvent> events;
+    events.reserve(n);
+    // A small pool of hot lines plus strided walkers; segments switch
+    // between reuse, streaming, set-conflict, and random modes.
+    std::vector<uint64_t> hot;
+    for (int i = 0; i < 16; ++i) {
+        hot.push_back(rng.next() & 0xffff'ffffull);
+    }
+    while (events.size() < n) {
+        const uint64_t seg = rng.range(8, 256);
+        const uint64_t mode = rng.below(4);
+        uint64_t base = rng.next() & 0xffff'ffffull;
+        const uint64_t stride =
+            (mode == 2) ? 4096 : (uint64_t{16} << rng.below(8));
+        for (uint64_t i = 0; i < seg && events.size() < n; ++i) {
+            CacheEvent e;
+            const uint64_t k = rng.below(16);
+            e.kind = k < 7    ? CacheEvent::DataLoad
+                     : k < 11 ? CacheEvent::DataStore
+                     : k < 14 ? CacheEvent::Instr
+                              : CacheEvent::Remote;
+            switch (mode) {
+              case 0:  // hot-set reuse
+                e.addr = hot[rng.below(hot.size())] + rng.below(64);
+                break;
+              case 1:  // streaming / strided (trains the prefetcher)
+              case 2:  // 4 KiB stride: classic set-conflict ladder
+                e.addr = base;
+                base += stride;
+                break;
+              default:  // scattered
+                e.addr = rng.next() & 0x3f'ffff'ffffull;
+                break;
+            }
+            events.push_back(e);
+        }
+    }
+    return events;
+}
+
+/**
+ * Replay @p events on both hierarchies; returns the index of the first
+ * latency mismatch (or SIZE_MAX), with the mismatching latencies.
+ */
+size_t
+replayCacheEvents(const std::vector<CacheEvent> &events,
+                  uarch::Hierarchy &fast, RefHierarchy &ref, int &lat_ref,
+                  int &lat_fast)
+{
+    for (size_t i = 0; i < events.size(); ++i) {
+        const CacheEvent &e = events[i];
+        int lr = 0, lf = 0;
+        switch (e.kind) {
+          case CacheEvent::DataLoad:
+            lr = ref.dataAccess(e.addr, false);
+            lf = fast.dataAccess(e.addr, false);
+            break;
+          case CacheEvent::DataStore:
+            lr = ref.dataAccess(e.addr, true);
+            lf = fast.dataAccess(e.addr, true);
+            break;
+          case CacheEvent::Instr:
+            lr = ref.instrAccess(e.addr);
+            lf = fast.instrAccess(e.addr);
+            break;
+          case CacheEvent::Remote:
+            ref.remoteStore(e.addr);
+            fast.remoteStore(e.addr);
+            break;
+        }
+        if (lr != lf) {
+            lat_ref = lr;
+            lat_fast = lf;
+            return i;
+        }
+    }
+    return SIZE_MAX;
+}
+
+std::string
+diffCacheCounters(const RefHierarchy &ref, const uarch::Hierarchy &fast)
+{
+    struct Row {
+        const char *name;
+        uint64_t ref_v, fast_v;
+    };
+    const Row rows[] = {
+        {"l1i.accesses", ref.l1i().accesses(), fast.l1i().accesses()},
+        {"l1i.misses", ref.l1i().misses(), fast.l1i().misses()},
+        {"l1d.accesses", ref.l1d().accesses(), fast.l1d().accesses()},
+        {"l1d.misses", ref.l1d().misses(), fast.l1d().misses()},
+        {"l1d.invalidations", ref.l1d().invalidations(),
+         fast.l1d().invalidations()},
+        {"l2.accesses", ref.l2().accesses(), fast.l2().accesses()},
+        {"l2.misses", ref.l2().misses(), fast.l2().misses()},
+        {"l2.invalidations", ref.l2().invalidations(),
+         fast.l2().invalidations()},
+        {"llc.accesses", ref.llc().accesses(), fast.llc().accesses()},
+        {"llc.misses", ref.llc().misses(), fast.llc().misses()},
+    };
+    std::ostringstream out;
+    for (const Row &r : rows) {
+        if (r.ref_v != r.fast_v) {
+            if (out.tellp() > 0) {
+                out << ", ";
+            }
+            out << r.name << " ref=" << r.ref_v << " fast=" << r.fast_v;
+        }
+    }
+    return out.str();
+}
+
+// ---------------------------------------------------------------------
+// Store target helpers
+
+uint64_t
+bitsOf(double d)
+{
+    uint64_t u;
+    std::memcpy(&u, &d, sizeof u);
+    return u;
+}
+
+double
+adversarialDouble(SplitMix64 &rng)
+{
+    switch (rng.below(10)) {
+      case 0: return 0.0;
+      case 1: return -0.0;
+      case 2: return std::numeric_limits<double>::denorm_min();
+      case 3: return -std::numeric_limits<double>::denorm_min();
+      case 4: return std::numeric_limits<double>::max();
+      case 5: return std::numeric_limits<double>::min();
+      case 6: return 1.0 / 3.0;
+      case 7: return -1.7976931348623157e308;
+      case 8: return std::nextafter(1.0, 2.0);
+      default: {
+        // Random finite bit pattern.
+        for (;;) {
+            uint64_t u = rng.next();
+            double d;
+            std::memcpy(&d, &u, sizeof d);
+            if (std::isfinite(d)) {
+                return d;
+            }
+        }
+      }
+    }
+}
+
+std::string
+randomString(SplitMix64 &rng)
+{
+    static const char kChars[] =
+        "abcXYZ019 _-./\\\"';=\t\n{}[]<>%$#@!\xc3\xa9";  // incl. UTF-8 é
+    const uint64_t len = rng.below(25);  // 0 = empty string
+    std::string s;
+    for (uint64_t i = 0; i < len; ++i) {
+        s += kChars[rng.below(sizeof kChars - 1)];
+    }
+    return s;
+}
+
+lab::JobSpec
+randomJobSpec(SplitMix64 &rng)
+{
+    lab::JobSpec spec;
+    spec.encoder = randomString(rng);
+    spec.video = randomString(rng);
+    spec.crf = static_cast<int>(rng.next());
+    spec.preset = static_cast<int>(rng.next());
+    spec.threads = static_cast<int>(rng.range(1, 64));
+    spec.divisor = static_cast<int>(rng.range(1, 16));
+    spec.frames = static_cast<int>(rng.range(1, 600));
+    spec.maxTraceOps = rng.chance(1, 4) ? rng.next() : rng.below(1u << 24);
+    return spec;
+}
+
+lab::JobResult
+randomJobResult(SplitMix64 &rng)
+{
+    lab::JobResult r;
+    r.encode.wallSeconds = adversarialDouble(rng);
+    r.encode.instructions = rng.chance(1, 8)
+                                ? std::numeric_limits<uint64_t>::max()
+                                : rng.next() >> rng.below(40);
+    r.encode.bitrateKbps = adversarialDouble(rng);
+    r.encode.psnrDb = adversarialDouble(rng);
+    r.encode.droppedOps = rng.below(1u << 30);
+    r.jobSeconds = adversarialDouble(rng);
+    r.core.cycles = rng.next() >> rng.below(40);
+    r.core.instructions = rng.next() >> rng.below(40);
+    r.core.slots.retiring = rng.next() >> 20;
+    r.core.slots.badSpec = rng.next() >> 30;
+    r.core.slots.frontend = rng.next() >> 30;
+    r.core.slots.backend = rng.next() >> 30;
+    r.core.slots.backendMemory = rng.next() >> 32;
+    r.core.slots.backendCore = rng.next() >> 32;
+    r.core.stalls.rs = rng.next() >> 32;
+    r.core.stalls.rob = rng.next() >> 32;
+    r.core.stalls.loadBuf = rng.next() >> 32;
+    r.core.stalls.storeBuf = rng.next() >> 32;
+    r.core.condBranches = rng.next() >> 24;
+    r.core.mispredicts = rng.next() >> 32;
+    r.core.l1iMisses = rng.next() >> 32;
+    r.core.l1dAccesses = rng.next() >> 24;
+    r.core.l1dMisses = rng.next() >> 28;
+    r.core.l2Misses = rng.next() >> 30;
+    r.core.llcMisses = rng.next() >> 32;
+    r.core.invalidations = rng.next() >> 32;
+    return r;
+}
+
+/** Field-wise comparison, doubles by bit pattern; empty = identical. */
+std::string
+diffJobResult(const lab::JobResult &want, const lab::JobResult &got)
+{
+    std::ostringstream out;
+    auto chk_u64 = [&](const char *name, uint64_t w, uint64_t g) {
+        if (w != g) {
+            if (out.tellp() > 0) {
+                out << ", ";
+            }
+            out << name << " want=" << w << " got=" << g;
+        }
+    };
+    auto chk_dbl = [&](const char *name, double w, double g) {
+        if (bitsOf(w) != bitsOf(g)) {
+            if (out.tellp() > 0) {
+                out << ", ";
+            }
+            char wb[32], gb[32];
+            std::snprintf(wb, sizeof wb, "%.17g", w);
+            std::snprintf(gb, sizeof gb, "%.17g", g);
+            out << name << " want=" << wb << " (0x" << std::hex
+                << bitsOf(w) << ") got=" << gb << " (0x" << bitsOf(g)
+                << std::dec << ")";
+        }
+    };
+    chk_dbl("encode.wallSeconds", want.encode.wallSeconds,
+            got.encode.wallSeconds);
+    chk_u64("encode.instructions", want.encode.instructions,
+            got.encode.instructions);
+    chk_dbl("encode.bitrateKbps", want.encode.bitrateKbps,
+            got.encode.bitrateKbps);
+    chk_dbl("encode.psnrDb", want.encode.psnrDb, got.encode.psnrDb);
+    chk_u64("encode.droppedOps", want.encode.droppedOps,
+            got.encode.droppedOps);
+    chk_dbl("jobSeconds", want.jobSeconds, got.jobSeconds);
+    const auto wf = statFields(want.core);
+    const auto gf = statFields(got.core);
+    for (size_t i = 0; i < wf.size(); ++i) {
+        chk_u64(wf[i].first, wf[i].second, gf[i].second);
+    }
+    return out.str();
+}
+
+} // namespace
+
+// ---------------------------------------------------------------------
+// Per-target cases
+
+bool
+Fuzzer::runCoreCase(uint64_t seed, Divergence &out)
+{
+    SplitMix64 rng(seed);
+    const uarch::CoreConfig cfg = randomCoreConfig(rng);
+    uint64_t max_ops = options_.quick ? rng.range(2'000, 12'000)
+                                      : rng.range(2'000, 60'000);
+    if (rng.chance(1, 8)) {
+        max_ops = rng.below(81);  // tiny traces: boundary behaviour
+    }
+    const std::vector<TraceOp> trace = trace::synthFuzzTrace(rng.fork(),
+                                                             max_ops);
+
+    const uarch::CoreStats ref = refCoreRun(cfg, trace, options_.inject);
+    const uarch::CoreStats fast = fastCoreRun(cfg, trace, rng);
+    std::string diff = diffStats(ref, fast);
+    if (diff.empty()) {
+        return false;
+    }
+
+    out.target = Target::Core;
+    out.seed = seed;
+    out.repro = reproCommand(Target::Core, seed, options_.inject, options_.quick);
+    out.shrunkOps = trace.size();
+    if (options_.shrink && trace.size() <= 150'000) {
+        const Fault inject = options_.inject;
+        auto still_fails = [&cfg, inject](const std::vector<TraceOp> &t) {
+            return !diffStats(refCoreRun(cfg, t, inject),
+                              uarch::Core(cfg).run(t))
+                        .empty();
+        };
+        // The shrunk predicate uses the batch fast path; re-check the
+        // original input under it before trusting shrink results.
+        if (still_fails(trace)) {
+            const std::vector<TraceOp> small =
+                ddminShrink(trace, still_fails, 200);
+            out.shrunkOps = small.size();
+            diff = diffStats(refCoreRun(cfg, small, inject),
+                             uarch::Core(cfg).run(small));
+        }
+    }
+    out.detail = "CoreStats mismatch (" + std::to_string(trace.size()) +
+                 " ops, shrunk to " + std::to_string(out.shrunkOps) +
+                 "): " + diff;
+    return true;
+}
+
+bool
+Fuzzer::runCacheCase(uint64_t seed, Divergence &out)
+{
+    SplitMix64 rng(seed);
+    const uarch::Hierarchy::Config cfg = randomHierarchyConfig(rng);
+    const uint64_t n = options_.quick ? rng.range(5'000, 40'000)
+                                      : rng.range(5'000, 120'000);
+    const std::vector<CacheEvent> events = randomCacheEvents(rng, n);
+
+    auto diverges = [&cfg, this](const std::vector<CacheEvent> &ev,
+                                 std::string &detail) {
+        uarch::Hierarchy fast(cfg);
+        RefHierarchy ref(cfg, options_.inject);
+        int lr = 0, lf = 0;
+        const size_t idx = replayCacheEvents(ev, fast, ref, lr, lf);
+        if (idx != SIZE_MAX) {
+            std::ostringstream d;
+            d << "latency mismatch at event " << idx << "/" << ev.size()
+              << " (addr 0x" << std::hex << ev[idx].addr << std::dec
+              << "): ref=" << lr << " fast=" << lf;
+            detail = d.str();
+            return true;
+        }
+        detail = diffCacheCounters(ref, fast);
+        return !detail.empty();
+    };
+
+    std::string detail;
+    if (!diverges(events, detail)) {
+        return false;
+    }
+    out.target = Target::Cache;
+    out.seed = seed;
+    out.repro = reproCommand(Target::Cache, seed, options_.inject, options_.quick);
+    out.shrunkOps = events.size();
+    if (options_.shrink) {
+        std::string scratch;
+        auto still_fails = [&](const std::vector<CacheEvent> &ev) {
+            return diverges(ev, scratch);
+        };
+        const std::vector<CacheEvent> small =
+            ddminShrink(events, still_fails, 200);
+        out.shrunkOps = small.size();
+        diverges(small, detail);
+    }
+    out.detail = "cache divergence (" + std::to_string(events.size()) +
+                 " events, shrunk to " + std::to_string(out.shrunkOps) +
+                 "): " + detail;
+    return true;
+}
+
+bool
+Fuzzer::runBpredCase(uint64_t seed, Divergence &out)
+{
+    SplitMix64 rng(seed);
+    static const size_t kBudgets[] = {8 * 1024, 64 * 1024, 192 * 1024};
+    const size_t budget = kBudgets[rng.below(3)];
+    const uint64_t n = options_.quick ? rng.range(5'000, 50'000)
+                                      : rng.range(5'000, 200'000);
+    const std::vector<trace::BranchRecord> branches =
+        trace::synthFuzzBranches(rng.fork(), n);
+
+    auto diverges = [&, this](const std::vector<trace::BranchRecord> &brs,
+                              std::string &detail) {
+        auto fast = bpred::makePredictor(
+            "tage-" + std::to_string(budget / 1024) + "KB");
+        RefTage ref(budget, options_.inject);
+        for (size_t i = 0; i < brs.size(); ++i) {
+            const bool pf = fast->predict(brs[i].pc);
+            const bool pr = ref.predict(brs[i].pc);
+            if (pf != pr) {
+                std::ostringstream d;
+                d << "prediction mismatch at branch " << i << "/"
+                  << brs.size() << " (pc 0x" << std::hex << brs[i].pc
+                  << std::dec << "): ref=" << pr << " fast=" << pf;
+                detail = d.str();
+                return true;
+            }
+            fast->update(brs[i].pc, brs[i].taken, pf);
+            ref.update(brs[i].pc, brs[i].taken, pr);
+        }
+        return false;
+    };
+
+    std::string detail;
+    if (!diverges(branches, detail)) {
+        return false;
+    }
+    out.target = Target::Bpred;
+    out.seed = seed;
+    out.repro = reproCommand(Target::Bpred, seed, options_.inject, options_.quick);
+    out.shrunkOps = branches.size();
+    if (options_.shrink) {
+        std::string scratch;
+        auto still_fails = [&](const std::vector<trace::BranchRecord> &b) {
+            return diverges(b, scratch);
+        };
+        const std::vector<trace::BranchRecord> small =
+            ddminShrink(branches, still_fails, 200);
+        out.shrunkOps = small.size();
+        diverges(small, detail);
+    }
+    out.detail = "predictor divergence (" + std::to_string(branches.size()) +
+                 " branches, shrunk to " + std::to_string(out.shrunkOps) +
+                 "): " + detail;
+    return true;
+}
+
+bool
+Fuzzer::runKernelsCase(uint64_t seed, Divergence &out)
+{
+    SplitMix64 rng(seed);
+    const codec::KernelTable &scalar = codec::scalarKernels();
+    const codec::KernelTable &fast = codec::kernels();
+    std::ostringstream detail;
+
+    auto fail = [&](const std::string &what) {
+        out.target = Target::Kernels;
+        out.seed = seed;
+        out.repro = reproCommand(Target::Kernels, seed, options_.inject, options_.quick);
+        out.detail = "kernel divergence vs scalar oracle (isa=" +
+                     std::string(fast.isa) + "): " + what;
+        return true;
+    };
+
+    // Pixel kernels over a randomized geometry.
+    static const int kDims[] = {4, 5, 7, 8, 12, 16, 24, 31, 32, 48, 64};
+    const int w = kDims[rng.below(11)];
+    const int h = kDims[rng.below(11)];
+    const int a_stride = w + static_cast<int>(rng.below(25));
+    const int b_stride = w + static_cast<int>(rng.below(25));
+    std::vector<uint8_t> a(static_cast<size_t>(a_stride) * h);
+    std::vector<uint8_t> b(static_cast<size_t>(b_stride) * h);
+    for (uint8_t &x : a) {
+        x = static_cast<uint8_t>(rng.next());
+    }
+    for (uint8_t &x : b) {
+        x = static_cast<uint8_t>(rng.next());
+    }
+
+    uint64_t sad_want = scalar.sad(a.data(), a_stride, b.data(), b_stride,
+                                   w, h);
+    if (options_.inject == Fault::KernelsSad && w * h >= 64) {
+        ++sad_want;  // deliberately wrong oracle; harness must notice
+    }
+    const uint64_t sad_got = fast.sad(a.data(), a_stride, b.data(),
+                                      b_stride, w, h);
+    if (sad_want != sad_got) {
+        return fail("sad(" + std::to_string(w) + "x" + std::to_string(h) +
+                    ") oracle=" + std::to_string(sad_want) +
+                    " fast=" + std::to_string(sad_got));
+    }
+    if (scalar.sse(a.data(), a_stride, b.data(), b_stride, w, h) !=
+        fast.sse(a.data(), a_stride, b.data(), b_stride, w, h)) {
+        return fail("sse(" + std::to_string(w) + "x" + std::to_string(h) +
+                    ")");
+    }
+    if (w >= 4 && h >= 4 &&
+        scalar.satd4(a.data(), a_stride, b.data(), b_stride) !=
+            fast.satd4(a.data(), a_stride, b.data(), b_stride)) {
+        return fail("satd4");
+    }
+    if (w >= 8 && h >= 8 &&
+        scalar.satd8(a.data(), a_stride, b.data(), b_stride) !=
+            fast.satd8(a.data(), a_stride, b.data(), b_stride)) {
+        return fail("satd8");
+    }
+
+    const size_t wh = static_cast<size_t>(w) * h;
+    std::vector<int16_t> res_s(wh), res_f(wh);
+    scalar.residual(a.data(), a_stride, b.data(), b_stride, w, h,
+                    res_s.data());
+    fast.residual(a.data(), a_stride, b.data(), b_stride, w, h,
+                  res_f.data());
+    if (res_s != res_f) {
+        return fail("residual");
+    }
+    std::vector<uint8_t> rec_s(a.size(), 0), rec_f(a.size(), 0);
+    scalar.reconstruct(a.data(), a_stride, res_s.data(), w, h, rec_s.data(),
+                       a_stride);
+    fast.reconstruct(a.data(), a_stride, res_s.data(), w, h, rec_f.data(),
+                     a_stride);
+    if (rec_s != rec_f) {
+        return fail("reconstruct");
+    }
+
+    // Transform + quantiser round at a randomized size / q-point.
+    static const int kTx[] = {4, 8, 16, 32};
+    const int n = kTx[rng.below(4)];
+    const int32_t *basis = codec::dctBasis(n);
+    const size_t count = static_cast<size_t>(n) * n;
+    std::vector<int16_t> src(count);
+    for (int16_t &x : src) {
+        x = static_cast<int16_t>(rng.next());
+    }
+    std::vector<int32_t> tx_s(count), tx_f(count);
+    scalar.fdct(src.data(), tx_s.data(), n, basis);
+    fast.fdct(src.data(), tx_f.data(), n, basis);
+    if (tx_s != tx_f) {
+        return fail("fdct(n=" + std::to_string(n) + ")");
+    }
+    std::vector<int32_t> coeff(count);
+    for (int32_t &x : coeff) {
+        x = static_cast<int32_t>(rng.next() % (1u << 23)) - (1 << 22);
+    }
+    for (const std::vector<int32_t> *in : {&tx_s, &coeff}) {
+        std::vector<int16_t> px_s(count), px_f(count);
+        scalar.idct(in->data(), px_s.data(), n, basis);
+        fast.idct(in->data(), px_f.data(), n, basis);
+        if (px_s != px_f) {
+            return fail("idct(n=" + std::to_string(n) + ")");
+        }
+    }
+    const double t = static_cast<double>(rng.below(64)) / 63.0;
+    const double step = 0.6 * std::pow(2.0, t * 8.1);
+    std::vector<int32_t> lv_s(count), lv_f(count);
+    const int nz_s = scalar.quant(coeff.data(), lv_s.data(),
+                                  static_cast<int>(count), step * 0.4,
+                                  1.0 / step);
+    const int nz_f = fast.quant(coeff.data(), lv_f.data(),
+                                static_cast<int>(count), step * 0.4,
+                                1.0 / step);
+    if (nz_s != nz_f || lv_s != lv_f) {
+        return fail("quant(n=" + std::to_string(n) + ")");
+    }
+    std::vector<int32_t> dq_s(count), dq_f(count);
+    scalar.dequant(lv_s.data(), dq_s.data(), static_cast<int>(count), step);
+    fast.dequant(lv_s.data(), dq_f.data(), static_cast<int>(count), step);
+    if (dq_s != dq_f) {
+        return fail("dequant(n=" + std::to_string(n) + ")");
+    }
+    return false;
+}
+
+bool
+Fuzzer::runStoreCase(uint64_t seed, Divergence &out)
+{
+    SplitMix64 rng(seed);
+    const fs::path base = options_.tempDir.empty()
+                              ? fs::temp_directory_path()
+                              : fs::path(options_.tempDir);
+    char sub[64];
+    std::snprintf(sub, sizeof sub, "vepro-check-store-%016llx",
+                  static_cast<unsigned long long>(seed));
+    const fs::path dir = base / sub;
+
+    auto fail = [&](const std::string &what) {
+        out.target = Target::Store;
+        out.seed = seed;
+        out.repro = reproCommand(Target::Store, seed, options_.inject, options_.quick);
+        out.detail = "store round-trip: " + what;
+        std::error_code ec;
+        fs::remove_all(dir, ec);
+        return true;
+    };
+
+    lab::ResultStore store(dir.string(), nullptr);
+    const lab::JobSpec spec = randomJobSpec(rng);
+    lab::JobResult result = randomJobResult(rng);
+
+    if (rng.chance(1, 4)) {
+        // Non-finite doubles must be rejected with JsonError before any
+        // file is written — never persisted as "nan"/"inf" tokens.
+        static const double kBad[] = {
+            std::numeric_limits<double>::quiet_NaN(),
+            std::numeric_limits<double>::infinity(),
+            -std::numeric_limits<double>::infinity()};
+        result.encode.psnrDb = kBad[rng.below(3)];
+        bool threw = false;
+        try {
+            store.save(spec, result);
+        } catch (const lab::JsonError &) {
+            threw = true;
+        }
+        if (!threw) {
+            return fail("save() accepted a non-finite double");
+        }
+        std::error_code ec;
+        if (fs::exists(store.pathFor(spec), ec)) {
+            return fail("non-finite save left a record behind");
+        }
+        if (store.load(spec)) {
+            return fail("load() found a record after a failed save");
+        }
+        fs::remove_all(dir, ec);
+        return false;
+    }
+
+    try {
+        store.save(spec, result);
+    } catch (const std::exception &e) {
+        return fail(std::string("save() threw: ") + e.what());
+    }
+    const std::optional<lab::JobResult> loaded = store.load(spec);
+    if (!loaded) {
+        return fail("load() missed a just-saved record");
+    }
+    lab::JobResult want = result;
+    if (options_.inject == Fault::StoreBit) {
+        // Flip the low mantissa bit of one double on the expectation
+        // side: the bit-exact comparison must flag it.
+        uint64_t bits = bitsOf(want.encode.wallSeconds) ^ 1u;
+        std::memcpy(&want.encode.wallSeconds, &bits, sizeof bits);
+    }
+    const std::string diff = diffJobResult(want, *loaded);
+    if (!diff.empty()) {
+        return fail(diff);
+    }
+
+    // A different spec must not alias onto this record.
+    lab::JobSpec other = spec;
+    other.crf = spec.crf ^ 1;
+    if (store.load(other)) {
+        return fail("load() of a different spec hit this record");
+    }
+
+    std::error_code ec;
+    fs::remove_all(dir, ec);
+    return false;
+}
+
+// ---------------------------------------------------------------------
+// Harness
+
+bool
+Fuzzer::runCase(Target target, uint64_t seed, Divergence &out)
+{
+    switch (target) {
+      case Target::Core: return runCoreCase(seed, out);
+      case Target::Cache: return runCacheCase(seed, out);
+      case Target::Bpred: return runBpredCase(seed, out);
+      case Target::Kernels: return runKernelsCase(seed, out);
+      case Target::Store: return runStoreCase(seed, out);
+    }
+    return false;
+}
+
+int
+Fuzzer::itersFor(Target target) const
+{
+    if (options_.iters > 0) {
+        return options_.iters;
+    }
+    switch (target) {
+      case Target::Core: return options_.quick ? 12 : 60;
+      case Target::Cache: return options_.quick ? 20 : 100;
+      case Target::Bpred: return options_.quick ? 12 : 60;
+      case Target::Kernels: return options_.quick ? 40 : 300;
+      case Target::Store: return options_.quick ? 40 : 200;
+    }
+    return 1;
+}
+
+FuzzReport
+Fuzzer::run(Target target)
+{
+    FuzzReport report;
+    const int iters = itersFor(target);
+    for (int i = 0; i < iters; ++i) {
+        ++report.cases;
+        Divergence d;
+        if (runCase(target, options_.baseSeed + static_cast<uint64_t>(i),
+                    d)) {
+            report.divergences.push_back(std::move(d));
+        }
+    }
+    return report;
+}
+
+FuzzReport
+Fuzzer::runAll()
+{
+    FuzzReport report;
+    for (Target t : allTargets()) {
+        FuzzReport r = run(t);
+        report.cases += r.cases;
+        for (Divergence &d : r.divergences) {
+            report.divergences.push_back(std::move(d));
+        }
+    }
+    return report;
+}
+
+FuzzReport
+Fuzzer::runCorpus(const std::string &dir)
+{
+    FuzzReport report;
+    for (const std::string &path : listCorpus(dir)) {
+        CorpusCase c;
+        std::string err;
+        if (!loadCorpusCase(path, c, err)) {
+            Divergence d;
+            d.seed = 0;
+            d.detail = "corpus: " + err;
+            d.repro = "(fix " + path + ")";
+            report.divergences.push_back(std::move(d));
+            continue;
+        }
+        ++report.cases;
+        Divergence d;
+        if (runCase(c.target, c.seed, d)) {
+            d.detail = "[" + path + "] " + d.detail;
+            report.divergences.push_back(std::move(d));
+        }
+    }
+    return report;
+}
+
+} // namespace vepro::check

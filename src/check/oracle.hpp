@@ -1,0 +1,230 @@
+#ifndef VEPRO_CHECK_ORACLE_HPP
+#define VEPRO_CHECK_ORACLE_HPP
+
+/**
+ * @file
+ * Differential-testing oracles: small, obviously-correct reference
+ * models of the simulator's optimized hot paths.
+ *
+ * PR 4 rewrote the core scheduler (rings + bitmask wakeup), the cache
+ * model (SoA + MRU hint), and the TAGE update (division-free folds) for
+ * speed, promising bit-identical statistics. These classes re-implement
+ * the *pre-optimization* semantics in the most straightforward form —
+ * AoS exact-LRU caches, full-scan issue, textbook modulo-arithmetic
+ * folded histories — so check::Fuzzer can assert the fast paths against
+ * them on arbitrary inputs. They are deliberately slow and simple;
+ * nothing outside src/check and its tests should use them.
+ *
+ * Fault injection: every oracle accepts a Fault knob that deliberately
+ * mis-implements one rule (e.g. the LRU victim choice). This exists to
+ * prove the harness detects single-rule divergences — `vepro-check
+ * --inject=cache-lru` must fail — and is never enabled in real checks.
+ */
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bpred/predictor.hpp"
+#include "bpred/tage.hpp"
+#include "trace/sink.hpp"
+#include "uarch/cache.hpp"
+#include "uarch/core.hpp"
+
+namespace vepro::check
+{
+
+/** Deliberate single-rule bugs for harness self-tests (see file docs). */
+enum class Fault {
+    None,
+    CacheLru,      ///< Victim rule: evicts the MRU way instead of LRU.
+    CoreLatency,   ///< Divide executes in 19 cycles instead of 20.
+    BpredAlloc,    ///< TAGE skips the probabilistic allocation offset.
+    KernelsSad,    ///< Oracle SAD reports one too many on 64+ px blocks.
+    StoreBit,      ///< Round-trip flips one mantissa bit of a double.
+};
+
+/** CLI name of a fault ("cache-lru", ...; "none" for Fault::None). */
+const char *faultName(Fault fault);
+/** Parse a CLI fault name; returns false on unknown names. */
+bool parseFault(const std::string &name, Fault &out);
+
+/**
+ * AoS exact-LRU cache level: the pre-PR4 representation, one Line
+ * struct per way, recency scanned linearly. Mirrors uarch::Cache's
+ * documented semantics exactly: same geometry normalisation, same
+ * victim rule (last invalid way in scan order, else strictly smallest
+ * lastUse), same fill/invalidate behaviour.
+ */
+class RefCache
+{
+  public:
+    explicit RefCache(const uarch::CacheConfig &config,
+                      Fault fault = Fault::None);
+
+    bool access(uint64_t addr, bool is_write);
+    void fill(uint64_t addr);
+    void invalidate(uint64_t addr);
+
+    const uarch::CacheConfig &config() const { return config_; }
+    uint64_t accesses() const { return accesses_; }
+    uint64_t misses() const { return misses_; }
+    uint64_t invalidations() const { return invalidations_; }
+
+  private:
+    struct Line {
+        uint64_t tag = 0;
+        uint64_t lastUse = 0;
+        bool valid = false;
+        bool dirty = false;
+    };
+
+    uint64_t lineOf(uint64_t addr) const
+    {
+        return addr / static_cast<uint64_t>(config_.lineBytes);
+    }
+    uint64_t setOf(uint64_t addr) const
+    {
+        return lineOf(addr) & (static_cast<uint64_t>(num_sets_) - 1);
+    }
+    uint64_t tagOf(uint64_t addr) const
+    {
+        return lineOf(addr) / static_cast<uint64_t>(num_sets_);
+    }
+    Line *victimOf(Line *set);
+
+    uarch::CacheConfig config_;
+    Fault fault_;
+    int num_sets_;
+    std::vector<Line> lines_;  ///< num_sets_ x ways, row-major.
+    uint64_t tick_ = 0;
+    uint64_t accesses_ = 0;
+    uint64_t misses_ = 0;
+    uint64_t invalidations_ = 0;
+};
+
+/**
+ * Reference hierarchy over RefCache levels, replicating
+ * uarch::Hierarchy's lookup chain, MESI-style remoteStore, and stride
+ * prefetcher byte for byte.
+ */
+class RefHierarchy
+{
+  public:
+    explicit RefHierarchy(const uarch::Hierarchy::Config &config,
+                          Fault fault = Fault::None);
+
+    int dataAccess(uint64_t addr, bool is_write);
+    int instrAccess(uint64_t addr);
+    void remoteStore(uint64_t addr);
+
+    const RefCache &l1i() const { return l1i_; }
+    const RefCache &l1d() const { return l1d_; }
+    const RefCache &l2() const { return l2_; }
+    const RefCache &llc() const { return llc_; }
+
+  private:
+    void trainPrefetcher(uint64_t addr);
+
+    struct Stream {
+        uint64_t region = 0;
+        uint64_t lastAddr = 0;
+        int64_t stride = 0;
+        int confirmations = 0;
+        bool valid = false;
+    };
+
+    uarch::Hierarchy::Config config_;
+    RefCache l1i_, l1d_, l2_, llc_;
+    std::vector<Stream> streams_;
+};
+
+/**
+ * Textbook TAGE: the pre-PR4 implementation — folded histories that
+ * compute `origLength % compLength` on every update, a plain
+ * modulo-wrapped global-history ring, and indices/tags re-hashed from
+ * scratch wherever needed. Semantically identical to the optimized
+ * bpred::TagePredictor for the same geometry.
+ */
+class RefTage : public bpred::BranchPredictor
+{
+  public:
+    explicit RefTage(size_t budget_bytes, Fault fault = Fault::None);
+
+    std::string name() const override;
+    size_t sizeBytes() const override { return budget_bytes_; }
+    bool predict(uint64_t pc) override;
+    void update(uint64_t pc, bool taken, bool predicted) override;
+    void reset() override;
+
+  private:
+    struct FoldedHistory {
+        uint32_t comp = 0;
+        int compLength = 0;
+        int origLength = 0;
+
+        void
+        update(uint32_t newest, uint32_t oldest)
+        {
+            comp = (comp << 1) | newest;
+            comp ^= oldest << (origLength % compLength);
+            comp ^= comp >> compLength;
+            comp &= (1u << compLength) - 1;
+        }
+    };
+
+    struct Entry {
+        uint16_t tag = 0;
+        int8_t ctr = 0;
+        uint8_t u = 0;
+    };
+
+    uint32_t tableIndex(uint64_t pc, int t) const;
+    uint16_t tableTag(uint64_t pc, int t) const;
+    void updateHistories(bool taken);
+
+    bpred::TageConfig config_;
+    size_t budget_bytes_;
+    Fault fault_;
+
+    std::vector<uint8_t> base_;
+    std::vector<std::vector<Entry>> tables_;
+
+    std::vector<uint8_t> ghr_;
+    int ghr_pos_ = 0;
+
+    std::vector<FoldedHistory> fold_idx_;
+    std::vector<FoldedHistory> fold_tag0_;
+    std::vector<FoldedHistory> fold_tag1_;
+
+    uint32_t lfsr_ = 0xace1u;
+    uint64_t update_count_ = 0;
+
+    int provider_ = -1;
+    bool provider_pred_ = false;
+    bool alt_pred_ = false;
+};
+
+/**
+ * Build the reference predictor for a core-model spec: RefTage for
+ * plain "tage-<N>KB" specs, otherwise the shared factory (the core
+ * differential then still covers scheduling and caches).
+ */
+std::unique_ptr<bpred::BranchPredictor>
+makeRefPredictor(const std::string &spec, Fault fault = Fault::None);
+
+/**
+ * Reference OoO core: the pre-PR4 batch replay, verbatim — per-cycle
+ * full scan of the reservation station in vector order, a sorted deque
+ * of in-flight load completions, per-op class/latency switches — on top
+ * of RefHierarchy and makeRefPredictor. Produces the same CoreStats
+ * contract as uarch::Core::run and must match it bit for bit.
+ */
+uarch::CoreStats refCoreRun(const uarch::CoreConfig &config,
+                            const std::vector<trace::TraceOp> &trace,
+                            Fault fault = Fault::None);
+
+} // namespace vepro::check
+
+#endif // VEPRO_CHECK_ORACLE_HPP

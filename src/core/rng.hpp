@@ -1,0 +1,104 @@
+#ifndef VEPRO_CORE_RNG_HPP
+#define VEPRO_CORE_RNG_HPP
+
+/**
+ * @file
+ * Shared deterministic RNGs for synthetic workloads, fuzzing, and
+ * randomized tests.
+ *
+ * Every randomized component in the repo (trace::synth, check::Fuzzer,
+ * the test suites) draws from these generators so that a failure is
+ * always reproducible from a single printed 64-bit seed: same seed,
+ * same stream, on every platform, in every build mode. Neither engine
+ * depends on libstdc++'s distribution internals (std::uniform_* are
+ * implementation-defined), so seeds recorded in tests/corpus/ replay
+ * bit-identically across toolchains.
+ */
+
+#include <cstdint>
+
+namespace vepro::core
+{
+
+/**
+ * SplitMix64 (Steele et al.): the recommended seeder/stream-splitter.
+ * Full 64-bit period, passes BigCrush, and — unlike xorshift — has no
+ * bad seeds (0 is fine), which matters when seeds come from a CLI flag.
+ */
+class SplitMix64
+{
+  public:
+    explicit SplitMix64(uint64_t seed = 0) : state_(seed) {}
+
+    uint64_t
+    next()
+    {
+        uint64_t z = (state_ += 0x9e3779b97f4a7c15ull);
+        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+        z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+        return z ^ (z >> 31);
+    }
+
+    /** Uniform value in [0, bound); bound == 0 yields 0. */
+    uint64_t
+    below(uint64_t bound)
+    {
+        return bound != 0 ? next() % bound : 0;
+    }
+
+    /** Uniform value in [lo, hi] (inclusive). */
+    uint64_t
+    range(uint64_t lo, uint64_t hi)
+    {
+        return lo + below(hi - lo + 1);
+    }
+
+    /** True with probability @p num / @p den. */
+    bool
+    chance(uint64_t num, uint64_t den)
+    {
+        return below(den) < num;
+    }
+
+    /** Derive an independent child seed (for per-case sub-streams). */
+    uint64_t
+    fork()
+    {
+        return next();
+    }
+
+  private:
+    uint64_t state_;
+};
+
+/**
+ * xorshift64 (Marsaglia): the historical generator of trace::synth.
+ * Kept bit-compatible with the inline copies it replaces — the golden
+ * stats in tests/test_core.cpp pin counters computed from its exact
+ * stream. Any non-zero state is preserved exactly (so re-wrapping a
+ * mid-stream state is lossless); only the degenerate 0 is bumped.
+ * Callers traditionally seed with `seed | 1`.
+ */
+class XorShift64
+{
+  public:
+    explicit XorShift64(uint64_t seed) : state_(seed != 0 ? seed : 1) {}
+
+    uint64_t
+    next()
+    {
+        state_ ^= state_ << 13;
+        state_ ^= state_ >> 7;
+        state_ ^= state_ << 17;
+        return state_;
+    }
+
+    uint64_t state() const { return state_; }
+
+  private:
+    uint64_t state_;
+};
+
+} // namespace vepro::core
+
+#endif // VEPRO_CORE_RNG_HPP

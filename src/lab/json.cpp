@@ -3,6 +3,7 @@
 #include <cctype>
 #include <cerrno>
 #include <climits>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 
@@ -405,7 +406,14 @@ JsonValue::asDouble() const
     errno = 0;
     char *end = nullptr;
     double v = std::strtod(scalar_.c_str(), &end);
-    if (end != scalar_.c_str() + scalar_.size() || errno == ERANGE) {
+    if (end != scalar_.c_str() + scalar_.size()) {
+        throw JsonError("json: bad double '" + scalar_ + "'");
+    }
+    // strtod sets ERANGE for overflow and for underflow alike. An
+    // underflowed result is a correctly rounded denormal — an exact,
+    // representable value that %.17g emitted in the first place — so
+    // only overflow is malformed.
+    if (errno == ERANGE && (v == HUGE_VAL || v == -HUGE_VAL)) {
         throw JsonError("json: bad double '" + scalar_ + "'");
     }
     return v;

@@ -1,5 +1,8 @@
 #include "trace/synth.hpp"
 
+#include <algorithm>
+
+#include "core/rng.hpp"
 #include "trace/probe.hpp"
 
 namespace vepro::trace
@@ -8,13 +11,14 @@ namespace vepro::trace
 namespace
 {
 
-/** xorshift64: deterministic, seed-stable across platforms. */
+/** xorshift64: deterministic, seed-stable across platforms. Wraps the
+ *  shared core::XorShift64 in the historical in-place-state idiom so the
+ *  golden-pinned streams below stay byte-identical. */
 inline uint64_t
 next(uint64_t &s)
 {
-    s ^= s << 13;
-    s ^= s >> 7;
-    s ^= s << 17;
+    core::XorShift64 x(s);
+    s = x.next();
     return s;
 }
 
@@ -117,6 +121,279 @@ synthBranches(uint64_t n, uint64_t seed)
         } else {
             taken = (rng >> 32 & 1) != 0;  // data-dependent noise
         }
+        b.push_back({pc, taken});
+    }
+    return b;
+}
+
+namespace
+{
+
+/** Hostile segment emitters for synthFuzzTrace. Each appends ops to
+ *  @p t; PCs come from a small window per segment so the L1I stays
+ *  plausible while the segment shapes stress the back end. */
+struct FuzzEmit {
+    std::vector<TraceOp> &t;
+    core::SplitMix64 &rng;
+
+    uint64_t
+    pcBase()
+    {
+        // Mostly reuse a few code windows; occasionally a fresh one so
+        // the I-side and TAGE tag space see both locality and churn.
+        static constexpr uint64_t kWin[4] = {0x400000, 0x440000, 0x480000,
+                                             0x4c0000};
+        return rng.chance(1, 8) ? 0x400000 + rng.below(1 << 20) * 4
+                                : kWin[rng.below(4)];
+    }
+
+    /** Long same-register chain: every op depends on its predecessor, so
+     *  the RS fills with unready entries and allocation hits rs_full. */
+    void
+    depChain(uint64_t len)
+    {
+        const uint64_t pc = pcBase();
+        if (rng.chance(1, 2)) {
+            // Long-latency head makes the whole chain wait on it.
+            t.push_back({pc, 0, OpClass::Div, false, 0, 0, false});
+        }
+        for (uint64_t i = 0; i < len; ++i) {
+            const OpClass cls =
+                rng.chance(1, 3) ? OpClass::SimdAlu : OpClass::Alu;
+            const uint8_t dep2 =
+                rng.chance(1, 4) ? static_cast<uint8_t>(rng.range(2, 8)) : 0;
+            t.push_back({pc + (i & 63) * 4, 0, cls, false, 1, dep2, false});
+        }
+    }
+
+    /** Store burst: fills the store buffer and the post-retire drain
+     *  queue; address modes cover same-line, same-set, and scattered. */
+    void
+    storeBurst(uint64_t len)
+    {
+        const uint64_t pc = pcBase();
+        const uint64_t base = 0x30000000ull + rng.below(1 << 22);
+        const int mode = static_cast<int>(rng.below(3));
+        for (uint64_t i = 0; i < len; ++i) {
+            uint64_t addr;
+            if (mode == 0) {
+                addr = base + (i & 7);  // one hot line
+            } else if (mode == 1) {
+                addr = base + i * 4096;  // L1D set conflict stride
+            } else {
+                addr = base + rng.below(1 << 24);
+            }
+            const OpClass cls =
+                rng.chance(1, 3) ? OpClass::SimdStore : OpClass::Store;
+            t.push_back({pc + (i & 31) * 4, addr, cls,
+                         false, static_cast<uint8_t>(rng.below(4)), 0,
+                         false});
+        }
+    }
+
+    /** Branch-dense region: conditional every one or two ops, mixing
+     *  biased, periodic, and noisy directions plus unconditional jumps
+     *  (taken-bubble and fetch-redirect pressure). */
+    void
+    branchDense(uint64_t len)
+    {
+        const uint64_t pc = pcBase();
+        const uint64_t period = rng.range(2, 9);
+        const int mode = static_cast<int>(rng.below(4));
+        for (uint64_t i = 0; i < len; ++i) {
+            if (rng.chance(1, 10)) {
+                t.push_back({pc + (i & 63) * 4, 0, OpClass::BranchUncond,
+                             true, 0, 0, false});
+                continue;
+            }
+            bool taken;
+            switch (mode) {
+              case 0: taken = true; break;
+              case 1: taken = i % period != 0; break;
+              case 2: taken = rng.chance(15, 16); break;
+              default: taken = rng.chance(1, 2); break;
+            }
+            t.push_back({pc + (i % 29) * 4, 0, OpClass::BranchCond, taken,
+                         1, 0, false});
+            if (rng.chance(1, 2)) {
+                t.push_back({pc + 0x100 + (i & 15) * 4, 0, OpClass::Alu,
+                             false, 1, 0, false});
+            }
+        }
+    }
+
+    /** Pathological load streams: strides picked to thrash one cache
+     *  set, walk page-sized steps, or scatter across the LLC. */
+    void
+    stridedLoads(uint64_t len)
+    {
+        const uint64_t pc = pcBase();
+        static constexpr uint64_t kStride[5] = {64, 4096, 4160, 32768,
+                                                64 * 509};
+        const uint64_t stride = kStride[rng.below(5)];
+        uint64_t addr = 0x10000000ull + rng.below(1 << 20);
+        const bool chain = rng.chance(1, 2);
+        for (uint64_t i = 0; i < len; ++i) {
+            const OpClass cls =
+                rng.chance(1, 3) ? OpClass::SimdLoad : OpClass::Load;
+            t.push_back({pc + (i & 63) * 4, addr, cls, false,
+                         static_cast<uint8_t>(chain ? 1 : 0), 0, false});
+            addr += stride;
+        }
+    }
+
+    /** Divide blockade: the single mul/div port serialises these, the
+     *  ROB backs up behind them, and dependants file far in the future
+     *  (with long memory latencies this wraps the calendar ring). */
+    void
+    divStorm(uint64_t len)
+    {
+        const uint64_t pc = pcBase();
+        for (uint64_t i = 0; i < len; ++i) {
+            t.push_back({pc + (i & 31) * 4, 0, OpClass::Div, false,
+                         static_cast<uint8_t>(rng.chance(1, 2) ? 1 : 0), 0,
+                         false});
+            t.push_back({pc + 0x80 + (i & 31) * 4, 0, OpClass::Alu, false,
+                         1, 2, false});
+        }
+    }
+
+    /** Far loads (forced LLC/memory misses) with dependent consumers:
+     *  ready times land a full memory latency out. */
+    void
+    farLoads(uint64_t len)
+    {
+        const uint64_t pc = pcBase();
+        for (uint64_t i = 0; i < len; ++i) {
+            t.push_back({pc + (i & 63) * 4,
+                         rng.next() & 0x7fff'ffff'ffc0ull, OpClass::Load,
+                         false, 0, 0, false});
+            t.push_back({pc + 0x100 + (i & 63) * 4, 0, OpClass::Alu, false,
+                         1, static_cast<uint8_t>(rng.below(16)), false});
+        }
+    }
+
+    /** Remote-core coherence stores (no pipeline slots). */
+    void
+    foreignRun(uint64_t len)
+    {
+        for (uint64_t i = 0; i < len; ++i) {
+            t.push_back({0, 0x30000000ull + rng.below(1 << 22) * 64,
+                         OpClass::Store, false, 0, 0, true});
+        }
+    }
+
+    /** Fully random ops: any class, full-range dep distances (including
+     *  ones reaching past the window start), arbitrary addresses. */
+    void
+    chaos(uint64_t len)
+    {
+        static constexpr OpClass kCls[11] = {
+            OpClass::Alu,       OpClass::Mul,       OpClass::Div,
+            OpClass::Load,      OpClass::Store,     OpClass::BranchCond,
+            OpClass::BranchUncond, OpClass::SimdAlu, OpClass::SimdMul,
+            OpClass::SimdLoad,  OpClass::SimdStore,
+        };
+        for (uint64_t i = 0; i < len; ++i) {
+            const OpClass cls = kCls[rng.below(11)];
+            t.push_back({pcBase() + rng.below(256) * 4,
+                         isMemory(cls) ? rng.next() >> 24 : 0, cls,
+                         rng.chance(1, 2),
+                         static_cast<uint8_t>(rng.below(256)),
+                         static_cast<uint8_t>(rng.below(256)),
+                         false});
+        }
+    }
+};
+
+} // namespace
+
+std::vector<TraceOp>
+synthFuzzTrace(uint64_t seed, uint64_t max_ops)
+{
+    core::SplitMix64 rng(seed);
+
+    // Target length: usually random, but often snapped to the 4096-op
+    // block-delivery boundary (the Probe/onOps batching size) so the
+    // exact-boundary paths are a first-class shape, not a lottery win.
+    uint64_t target = rng.range(16, max_ops > 16 ? max_ops : 17);
+    if (rng.chance(1, 4)) {
+        const uint64_t blocks = rng.range(1, 3);
+        target = blocks * 4096 + rng.below(3) - 1;  // k*4096 - 1/0/+1
+    }
+    target = std::max<uint64_t>(16, std::min(target, max_ops));
+
+    std::vector<TraceOp> t;
+    t.reserve(target + 512);
+    FuzzEmit emit{t, rng};
+
+    if (rng.chance(1, 8)) {
+        emit.foreignRun(rng.range(1, 24));  // foreign ops lead the trace
+    }
+    while (t.size() < target) {
+        const uint64_t len = rng.range(8, 400);
+        switch (rng.below(8)) {
+          case 0: emit.depChain(len); break;
+          case 1: emit.storeBurst(len); break;
+          case 2: emit.branchDense(len); break;
+          case 3: emit.stridedLoads(len); break;
+          case 4: emit.divStorm(len / 8 + 1); break;
+          case 5: emit.farLoads(len / 2 + 1); break;
+          case 6: emit.foreignRun(len / 8 + 1); break;
+          default: emit.chaos(len); break;
+        }
+    }
+    t.resize(target);
+    if (rng.chance(1, 8)) {
+        // Trailing foreign ops: the end-of-trace drain must consume them
+        // with an empty pipeline.
+        const uint64_t tail = std::min<uint64_t>(rng.range(1, 16), target);
+        for (uint64_t i = target - tail; i < target; ++i) {
+            t[i] = {0, 0x30000000ull + rng.below(1 << 20) * 64,
+                    OpClass::Store, false, 0, 0, true};
+        }
+    }
+    return t;
+}
+
+std::vector<BranchRecord>
+synthFuzzBranches(uint64_t seed, uint64_t max_branches)
+{
+    core::SplitMix64 rng(seed);
+    const uint64_t n = rng.range(64, max_branches > 64 ? max_branches : 65);
+
+    // Site pool: few sites (heavy per-site history), many sites (tag and
+    // allocation churn), or an aliasing ladder (PCs differing only above
+    // the index bits, so tables must disambiguate by tag).
+    const int pool_mode = static_cast<int>(rng.below(3));
+    const uint64_t pool =
+        pool_mode == 0 ? rng.range(2, 8) : rng.range(64, 4096);
+    const uint64_t pc_base = 0x400000ull + rng.below(1 << 16) * 4;
+
+    std::vector<uint8_t> mode(static_cast<size_t>(pool));
+    std::vector<uint64_t> period(static_cast<size_t>(pool));
+    for (uint64_t s = 0; s < pool; ++s) {
+        mode[s] = static_cast<uint8_t>(rng.below(4));
+        period[s] = rng.range(2, 12);
+    }
+
+    std::vector<BranchRecord> b;
+    b.reserve(n);
+    uint64_t history = 0;
+    for (uint64_t i = 0; i < n; ++i) {
+        const uint64_t s = rng.below(pool);
+        const uint64_t pc =
+            pool_mode == 2 ? pc_base + (s << 14)  // aliasing ladder
+                           : pc_base + s * 0x40;
+        bool taken;
+        switch (mode[s]) {
+          case 0: taken = rng.chance(31, 32); break;        // strong bias
+          case 1: taken = i % period[s] != 0; break;        // loop pattern
+          case 2: taken = (__builtin_popcountll(history & 0xff) & 1) != 0;
+                  break;                                    // correlated
+          default: taken = rng.chance(1, 2); break;         // noise
+        }
+        history = (history << 1) | (taken ? 1 : 0);
         b.push_back({pc, taken});
     }
     return b;

@@ -56,6 +56,35 @@ std::vector<BranchRecord> synthBranches(uint64_t n, uint64_t seed = 0xace1);
  */
 void synthProbeWorkload(Probe &probe, uint64_t target_ops);
 
+/**
+ * Adversarial randomized trace for the differential fuzz harness
+ * (check::Fuzzer). Unlike synthTrace — a fixed encoder-shaped workload —
+ * this composes randomly chosen hostile segments: dependency chains that
+ * saturate the reservation station, store bursts against the store
+ * buffer, branch-dense regions, divide blockades that back up the ROB,
+ * strided and set-conflicting address streams, far loads whose
+ * dependants wait out the full memory latency, foreign-op runs (also at
+ * the very start and end of the trace), and op counts landing exactly on
+ * the 4096-op block-delivery boundary (4095/4096/4097 and multiples).
+ * Dependency distances use the full uint8 range, including distances
+ * that reach past the window start.
+ *
+ * Deterministic: a pure function of (seed, max_ops); not covered by the
+ * golden-stats pins, so its shapes may evolve freely — corpus entries
+ * record the generator seed, not the expanded trace.
+ */
+std::vector<TraceOp> synthFuzzTrace(uint64_t seed, uint64_t max_ops);
+
+/**
+ * Adversarial randomized branch stream for the predictor differential:
+ * random site-pool sizes (2 .. 4096 PCs, plus deliberately aliasing PC
+ * ladders), per-site behaviours mixing strong bias, short periodic
+ * patterns, history-correlated directions, and pure noise. Deterministic
+ * in (seed, max_branches); see synthFuzzTrace for the contract.
+ */
+std::vector<BranchRecord> synthFuzzBranches(uint64_t seed,
+                                            uint64_t max_branches);
+
 } // namespace vepro::trace
 
 #endif // VEPRO_TRACE_SYNTH_HPP

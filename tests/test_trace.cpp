@@ -600,5 +600,138 @@ TEST(Sink, SiteProfileMatchesProbeProfiling)
     }
 }
 
+// ---- Emission-block boundaries (kBlockOps = 4096) -------------------
+
+/** Records the exact delivery sequence: op batches (sizes + contents),
+ *  branch records, and kernel markers, in arrival order. */
+class EventRecordingSink final : public TraceSink
+{
+  public:
+    enum class Kind { OpBatch, Branch, Kernel };
+    struct Event {
+        Kind kind;
+        size_t batchSize = 0;   ///< OpBatch only.
+        BranchRecord branch{};  ///< Branch only.
+        uint64_t site = 0;      ///< Kernel only.
+    };
+
+    void onOp(const TraceOp &op) override { onOps(&op, 1); }
+
+    void
+    onOps(const TraceOp *batch, size_t n) override
+    {
+        events.push_back({Kind::OpBatch, n, {}, 0});
+        ops.insert(ops.end(), batch, batch + n);
+    }
+
+    void
+    onBranch(const BranchRecord &branch) override
+    {
+        events.push_back({Kind::Branch, 0, branch, 0});
+    }
+
+    void
+    onKernel(uint64_t site) override
+    {
+        events.push_back({Kind::Kernel, 0, {}, site});
+    }
+
+    std::vector<Event> events;
+    std::vector<TraceOp> ops;
+};
+
+/**
+ * Ops staged around the 4096-op emission-block boundary must arrive in
+ * batches of at most kBlockOps, and a branch record must flush every
+ * staged op first so the sink sees strict program order. 4095 / 4096 /
+ * 4097 hit the stage-exactly-full, flush-then-stage, and
+ * flush-mid-batch paths respectively.
+ */
+TEST(Sink, BlockBoundaryPreservesProgramOrder)
+{
+    const uint64_t site_dec = sitePc("sink.boundary.dec");
+    const uint64_t site_k = sitePc("sink.boundary.kernel");
+    for (uint64_t n : {4095u, 4096u, 4097u}) {
+        SCOPED_TRACE("n=" + std::to_string(n));
+        Probe p(ProbeConfig::streaming(true));
+        EventRecordingSink sink;
+        p.setSink(&sink);
+
+        p.ops(OpClass::Alu, n, 1);
+        p.decision(site_dec, true);  // flushes the staged block
+        p.enterKernel(site_k, 8);    // marker, then 2 bookkeeping ops
+        p.flushToSink();
+
+        // Every op that precedes the branch in program order (the n ALU
+        // ops plus the BranchCond op itself) must arrive before the
+        // branch record; the kernel marker and its call-pair ops follow.
+        size_t ops_before_branch = 0;
+        size_t branch_at = sink.events.size();
+        for (size_t i = 0; i < sink.events.size(); ++i) {
+            const auto &ev = sink.events[i];
+            if (ev.kind == EventRecordingSink::Kind::Branch) {
+                branch_at = i;
+                break;
+            }
+            ASSERT_EQ(ev.kind, EventRecordingSink::Kind::OpBatch);
+            ASSERT_LE(ev.batchSize, 4096u);  // kBlockOps
+            ops_before_branch += ev.batchSize;
+        }
+        ASSERT_LT(branch_at, sink.events.size());
+        EXPECT_EQ(ops_before_branch, n + 1);
+        EXPECT_EQ(sink.events[branch_at].branch.pc, site_dec);
+        EXPECT_TRUE(sink.events[branch_at].branch.taken);
+
+        // The kernel marker comes after the branch and before its own
+        // call-pair batch.
+        ASSERT_EQ(sink.events[branch_at + 1].kind,
+                  EventRecordingSink::Kind::Kernel);
+        EXPECT_EQ(sink.events[branch_at + 1].site, site_k);
+        ASSERT_EQ(sink.events[branch_at + 2].kind,
+                  EventRecordingSink::Kind::OpBatch);
+        EXPECT_EQ(sink.events[branch_at + 2].batchSize, 2u);
+
+        // Concatenated batches are the exact program-order stream.
+        ASSERT_EQ(sink.ops.size(), n + 3);
+        for (uint64_t i = 0; i < n; ++i) {
+            ASSERT_EQ(sink.ops[i].cls, OpClass::Alu) << "op " << i;
+        }
+        EXPECT_EQ(sink.ops[n].cls, OpClass::BranchCond);
+        EXPECT_EQ(sink.ops[n].pc, site_dec);
+        EXPECT_TRUE(sink.ops[n].taken);
+        EXPECT_EQ(sink.ops[n + 1].cls, OpClass::BranchUncond);
+        EXPECT_EQ(sink.ops[n + 2].cls, OpClass::Other);
+        EXPECT_EQ(p.recordedOps(), n + 3);
+        EXPECT_EQ(p.totalOps(), n + 1 + 4);
+    }
+}
+
+/** The same boundary traffic must be bit-identical between a sink-fed
+ *  probe and a capturing probe (which flushes through the same block). */
+TEST(Sink, BlockBoundaryStreamEqualsCapture)
+{
+    for (uint64_t n : {4095u, 4096u, 4097u}) {
+        SCOPED_TRACE("n=" + std::to_string(n));
+        auto emit = [n](Probe &p) {
+            p.enterKernel(sitePc("sink.boundary.kernel"), 16);
+            p.ops(OpClass::SimdAlu, n, 0, 2);
+            p.decision(sitePc("sink.boundary.dec"), false);
+            p.memRun(OpClass::SimdLoad, 0x9000, 4, 32, 1);
+        };
+        Probe capture(ProbeConfig::streaming(true));
+        emit(capture);
+
+        VectorSink streamed;
+        Probe fed(ProbeConfig::streaming(true));
+        fed.setSink(&streamed);
+        emit(fed);
+        fed.flushToSink();
+
+        expectSameStreams(capture.opTrace(), streamed.ops());
+        ASSERT_EQ(capture.branchTrace().size(), streamed.branches().size());
+        EXPECT_EQ(capture.recordedOps(), fed.recordedOps());
+    }
+}
+
 } // namespace
 } // namespace vepro::trace

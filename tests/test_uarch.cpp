@@ -11,6 +11,7 @@
 #include <stdexcept>
 #include <vector>
 
+#include "core/rng.hpp"
 #include "trace/probe.hpp"
 #include "uarch/cache.hpp"
 #include "uarch/core.hpp"
@@ -443,15 +444,15 @@ mixedTrace(int n)
 {
     std::vector<TraceOp> t;
     t.reserve(static_cast<size_t>(n));
-    uint64_t rng = 0x9e3779b97f4a7c15ull;
+    // core::XorShift64 is bit-compatible with the inline xorshift this
+    // replaced; the golden stats below depend on the exact stream.
+    vepro::core::XorShift64 rng(0x9e3779b97f4a7c15ull);
     for (int i = 0; i < n; ++i) {
-        rng ^= rng << 13;
-        rng ^= rng >> 7;
-        rng ^= rng << 17;
+        const uint64_t r = rng.next();
         uint64_t pc = 0x400000 + (static_cast<uint64_t>(i) % 300) * 4;
         switch (i % 11) {
           case 0:
-            t.push_back({pc, 0x100000 + (rng % 4096) * 64, OpClass::Load,
+            t.push_back({pc, 0x100000 + (r % 4096) * 64, OpClass::Load,
                          false, 0, 0, false});
             break;
           case 1:
@@ -459,7 +460,7 @@ mixedTrace(int n)
                          OpClass::Store, false, 1, 0, false});
             break;
           case 2:
-            t.push_back({pc, 0, OpClass::BranchCond, rng % 16 != 0, 1, 0,
+            t.push_back({pc, 0, OpClass::BranchCond, r % 16 != 0, 1, 0,
                          false});
             break;
           case 3:
@@ -468,8 +469,8 @@ mixedTrace(int n)
           case 4:
             // Occasional foreign store: coherence traffic from another
             // core, interleaved mid-stream.
-            if (rng % 5 == 0) {
-                t.push_back({0, 0x100000 + (rng % 4096) * 64, OpClass::Store,
+            if (r % 5 == 0) {
+                t.push_back({0, 0x100000 + (r % 4096) * 64, OpClass::Store,
                              false, 0, 0, true});
             } else {
                 t.push_back({pc, 0, OpClass::Alu, false, 1, 2, false});
