@@ -18,6 +18,7 @@
 #include "core/report.hpp"
 #include "core/threadstudy.hpp"
 #include "encoders/registry.hpp"
+#include "lab/progress.hpp"
 #include "uarch/core.hpp"
 
 int
@@ -71,7 +72,8 @@ main(int argc, char **argv)
                  core::fmt(s.slots.fraction(s.slots.backend), 3),
                  core::fmt(s.ipc(), 2)});
         }
-        std::fprintf(stderr, "  [%s done]\n", name.c_str());
+        // Serialised via Progress: this line is emitted from a worker.
+        lab::Progress::standard().linef("  [%s done]", name.c_str());
     });
     for (const auto &encoder_rows : rows) {
         for (const auto &row : encoder_rows) {

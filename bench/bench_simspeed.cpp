@@ -16,6 +16,14 @@
  *   end_to_end  — probe emission fused into MuxSink{StreamCore,
  *                 CacheSink, StreamRunner}: the shape every vepro-lab
  *                 sweep point runs.
+ *   e2e_pipe    — the same three sinks behind a trace::PipelineMux,
+ *                 each on its own worker thread (--sim-jobs; pipeline
+ *                 parallelism, bit-identical stats).
+ *   core_seg    — uarch::SegmentSim over the same trace (--segments /
+ *                 --segment-warmup; segment parallelism, bounded
+ *                 warmup error).
+ *   e2e_seg     — probe emission fused into SegmentSim, the shape
+ *                 runPoint(--segments=N) executes.
  *
  * Writes BENCH_simspeed.json (see --out) so the repository carries a
  * perf trajectory; --baseline compares against a committed file and
@@ -36,9 +44,11 @@
 
 #include "bpred/runner.hpp"
 #include "lab/json.hpp"
+#include "trace/pipeline.hpp"
 #include "trace/probe.hpp"
 #include "trace/synth.hpp"
 #include "uarch/core.hpp"
+#include "uarch/segment.hpp"
 
 namespace
 {
@@ -173,6 +183,9 @@ struct Options {
     std::string baseline;
     double tolerance = 0.30;
     bool golden = false;
+    int simJobs = 0;    ///< Pipeline workers; 0 = auto-detect.
+    int segments = 0;   ///< Segment count; 0 = auto-detect.
+    int warmup = 8;     ///< Segment warmup blocks.
 };
 
 Options
@@ -197,11 +210,18 @@ parseArgs(int argc, char **argv)
             o.baseline = a.substr(11);
         } else if (a.rfind("--tolerance=", 0) == 0) {
             o.tolerance = std::stod(a.substr(12));
+        } else if (a.rfind("--sim-jobs=", 0) == 0) {
+            o.simJobs = std::stoi(a.substr(11));
+        } else if (a.rfind("--segments=", 0) == 0) {
+            o.segments = std::stoi(a.substr(11));
+        } else if (a.rfind("--segment-warmup=", 0) == 0) {
+            o.warmup = std::stoi(a.substr(17));
         } else {
             std::fprintf(stderr,
                          "usage: bench_simspeed [--quick|--full] [--reps=N] "
                          "[--out=FILE] [--baseline=FILE] [--tolerance=F] "
-                         "[--golden]\n");
+                         "[--golden] [--sim-jobs=N] [--segments=N] "
+                         "[--segment-warmup=K]  (0 = auto-detect)\n");
             std::exit(a == "--help" ? 0 : 1);
         }
     }
@@ -327,6 +347,67 @@ main(int argc, char **argv)
     std::printf("  %-11s %8.2f Mops/s\n", "end_to_end", end_to_end);
     mops.set("end_to_end", lab::JsonValue::numberToken(fmt3(end_to_end)));
 
+    // Parallel modes (the PR-6 paths). e2e_pipe runs the same three
+    // sinks as end_to_end, each on a worker; core_seg slices the trace
+    // across cores. Worker counts resolve 0 = auto-detect.
+    const int sim_jobs = trace::resolveJobs(opt.simJobs);
+    double e2e_pipe = bestMops(opt.reps, [&] {
+        uarch::StreamCore sim;
+        uarch::CacheSink sink;
+        auto pred = bpred::makePredictor("tage-64KB");
+        bpred::StreamRunner runner(*pred);
+        trace::PipelineMux::Options popts;
+        popts.jobs = sim_jobs;
+        trace::PipelineMux mux({&sim, &sink, &runner}, popts);
+        trace::Probe probe{trace::ProbeConfig::streaming(true)};
+        probe.setSink(&mux);
+        trace::synthProbeWorkload(probe, opt.ops);
+        probe.flushToSink();
+        mux.flush();
+        return probe.recordedOps();
+    });
+    std::printf("  %-11s %8.2f Mops/s  (sim-jobs=%d, %.2fx end_to_end)\n",
+                "e2e_pipe", e2e_pipe, sim_jobs,
+                end_to_end > 0.0 ? e2e_pipe / end_to_end : 0.0);
+    mops.set("e2e_pipe", lab::JsonValue::numberToken(fmt3(e2e_pipe)));
+
+    const int segments = trace::resolveJobs(opt.segments);
+    double core_seg = bestMops(opt.reps, [&] {
+        uarch::SegmentSimConfig scfg;
+        scfg.segments = segments;
+        scfg.warmupBlocks = opt.warmup;
+        uarch::SegmentSim sim(scfg);
+        for (size_t i = 0; i < t.size(); i += 4096) {
+            sim.onOps(t.data() + i, std::min<size_t>(4096, t.size() - i));
+        }
+        sim.flush();
+        return t.size();
+    });
+    std::printf("  %-11s %8.2f Mops/s  (segments=%d, warmup=%d, "
+                "%.2fx core)\n",
+                "core_seg", core_seg, segments, opt.warmup,
+                core > 0.0 ? core_seg / core : 0.0);
+    mops.set("core_seg", lab::JsonValue::numberToken(fmt3(core_seg)));
+
+    // The fused segment-mode shape runPoint(--segments=N) executes:
+    // probe emission captures blocks, then N cores simulate slices.
+    double e2e_seg = bestMops(opt.reps, [&] {
+        uarch::SegmentSimConfig scfg;
+        scfg.segments = segments;
+        scfg.warmupBlocks = opt.warmup;
+        uarch::SegmentSim sim(scfg);
+        trace::Probe probe{trace::ProbeConfig::streaming(true)};
+        probe.setSink(&sim);
+        trace::synthProbeWorkload(probe, opt.ops);
+        probe.flushToSink();
+        sim.flush();
+        return probe.recordedOps();
+    });
+    std::printf("  %-11s %8.2f Mops/s  (segments=%d, %.2fx end_to_end)\n",
+                "e2e_seg", e2e_seg, segments,
+                end_to_end > 0.0 ? e2e_seg / end_to_end : 0.0);
+    mops.set("e2e_seg", lab::JsonValue::numberToken(fmt3(e2e_seg)));
+
     lab::JsonValue doc = lab::JsonValue::object();
     doc.set("schema", lab::JsonValue::number(1));
     doc.set("mode", lab::JsonValue::str(opt.mode));
@@ -345,7 +426,12 @@ main(int argc, char **argv)
 
     std::ifstream f(opt.baseline);
     if (!f) {
-        std::fprintf(stderr, "bench_simspeed: cannot read baseline %s\n",
+        std::fprintf(stderr,
+                     "bench_simspeed: baseline file '%s' is missing or "
+                     "unreadable.\n"
+                     "The perf gate cannot run without it. Regenerate with\n"
+                     "  ./bench_simspeed --out=BENCH_simspeed.json\n"
+                     "at the repo root and commit the file.\n",
                      opt.baseline.c_str());
         return 1;
     }
@@ -357,8 +443,11 @@ main(int argc, char **argv)
     bool regressed = false;
     std::printf("vs baseline %s (tolerance %.0f%%):\n", opt.baseline.c_str(),
                 opt.tolerance * 100.0);
-    for (const char *key :
-         {"probe_emit", "cache", "core", "bpred", "end_to_end"}) {
+    // Keys absent from an older baseline are skipped, so adding new
+    // measurements never breaks an existing gate.
+    for (const char *key : {"probe_emit", "cache", "core", "bpred",
+                            "end_to_end", "e2e_pipe", "core_seg",
+                            "e2e_seg"}) {
         const lab::JsonValue *old_v = base_mops.find(key);
         if (old_v == nullptr) {
             continue;

@@ -18,6 +18,7 @@
 #include "core/experiment.hpp"
 #include "core/report.hpp"
 #include "encoders/registry.hpp"
+#include "lab/progress.hpp"
 #include "sweep_common.hpp"
 
 namespace vepro::bench
@@ -82,19 +83,20 @@ runCbpFigure(int argc, char **argv, const char *figure, int preset, int crf)
             results[i].push_back(runner.result());
         }
         dropped[i] = r.droppedBranches;
-        std::fprintf(stderr, "  [%s: %llu branches]\n",
-                     videos[i].name.c_str(),
-                     static_cast<unsigned long long>(
-                         results[i].front().branches));
+        // Worker-thread reporting goes through the mutex-serialised
+        // Progress so concurrent lines never interleave mid-character.
+        lab::Progress::standard().linef(
+            "  [%s: %llu branches]", videos[i].name.c_str(),
+            static_cast<unsigned long long>(results[i].front().branches));
     });
 
     for (size_t i = 0; i < videos.size(); ++i) {
         if (dropped[i] > 0) {
-            std::fprintf(stderr,
-                         "  warning: %s hit the branch cap (%llu branches "
-                         "dropped); MPKI covers the recorded window only\n",
-                         videos[i].name.c_str(),
-                         static_cast<unsigned long long>(dropped[i]));
+            lab::Progress::standard().linef(
+                "  warning: %s hit the branch cap (%llu branches "
+                "dropped); MPKI covers the recorded window only",
+                videos[i].name.c_str(),
+                static_cast<unsigned long long>(dropped[i]));
         }
         std::vector<std::string> mpki_row = {videos[i].name};
         std::vector<std::string> rate_row = {videos[i].name};

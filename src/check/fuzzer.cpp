@@ -10,14 +10,17 @@
 #include <limits>
 #include <sstream>
 
+#include "bpred/runner.hpp"
 #include "codec/kernels.hpp"
 #include "codec/transform.hpp"
 #include "core/rng.hpp"
 #include "lab/json.hpp"
 #include "lab/store.hpp"
+#include "trace/pipeline.hpp"
 #include "trace/synth.hpp"
 #include "uarch/cache.hpp"
 #include "uarch/core.hpp"
+#include "uarch/segment.hpp"
 
 namespace fs = std::filesystem;
 
@@ -32,7 +35,7 @@ allTargets()
 {
     static const std::vector<Target> kAll = {
         Target::Core, Target::Cache, Target::Bpred, Target::Kernels,
-        Target::Store};
+        Target::Store, Target::Parallel};
     return kAll;
 }
 
@@ -45,6 +48,7 @@ targetName(Target target)
       case Target::Bpred: return "bpred";
       case Target::Kernels: return "kernels";
       case Target::Store: return "store";
+      case Target::Parallel: return "parallel";
     }
     return "?";
 }
@@ -605,6 +609,82 @@ diffJobResult(const lab::JobResult &want, const lab::JobResult &got)
     return out.str();
 }
 
+// ---------------------------------------------------------------------
+// Parallel target helpers
+
+/**
+ * Deterministically interleaved op/branch/kernel stream: the same
+ * @p chunk_seed produces the identical record sequence (including chunk
+ * boundaries) on every call, so the sequential reference and the
+ * parallel runs under test consume exactly the same stream. The
+ * ParallelDrop fault withholds the final branch record, which the
+ * pipeline differential must flag as a predictor-count mismatch.
+ */
+void
+replayInterleaved(trace::TraceSink &sink, uint64_t chunk_seed,
+                  const std::vector<TraceOp> &ops,
+                  const std::vector<trace::BranchRecord> &branches,
+                  bool drop_last_branch)
+{
+    SplitMix64 rng(chunk_seed);
+    const size_t br_end =
+        branches.size() - (drop_last_branch && !branches.empty() ? 1 : 0);
+    size_t op_pos = 0, br_pos = 0;
+    while (op_pos < ops.size() || br_pos < br_end) {
+        const bool do_ops =
+            op_pos < ops.size() && (br_pos >= br_end || !rng.chance(1, 3));
+        if (do_ops) {
+            const size_t n = std::min<size_t>(ops.size() - op_pos,
+                                              rng.range(1, 6000));
+            sink.onOps(ops.data() + op_pos, n);
+            op_pos += n;
+        } else {
+            const size_t n = std::min<size_t>(br_end - br_pos,
+                                              rng.range(1, 512));
+            for (size_t i = 0; i < n; ++i) {
+                sink.onBranch(branches[br_pos + i]);
+            }
+            br_pos += n;
+        }
+        if (rng.chance(1, 16)) {
+            sink.onKernel(0x4000 + rng.below(8) * 0x100);
+        }
+    }
+    sink.flush();
+}
+
+/** Diff two cache-sink views (instructions + hierarchy counters). */
+std::string
+diffCacheSinks(const uarch::CacheSink &ref, const uarch::CacheSink &par)
+{
+    struct Row {
+        const char *name;
+        uint64_t ref_v, par_v;
+    };
+    const uarch::Hierarchy &r = ref.hierarchy();
+    const uarch::Hierarchy &p = par.hierarchy();
+    const Row rows[] = {
+        {"instructions", ref.instructions(), par.instructions()},
+        {"l1i.accesses", r.l1i().accesses(), p.l1i().accesses()},
+        {"l1i.misses", r.l1i().misses(), p.l1i().misses()},
+        {"l1d.accesses", r.l1d().accesses(), p.l1d().accesses()},
+        {"l1d.misses", r.l1d().misses(), p.l1d().misses()},
+        {"l2.misses", r.l2().misses(), p.l2().misses()},
+        {"llc.misses", r.llc().misses(), p.llc().misses()},
+    };
+    std::ostringstream out;
+    for (const Row &row : rows) {
+        if (row.ref_v != row.par_v) {
+            if (out.tellp() > 0) {
+                out << ", ";
+            }
+            out << row.name << " seq=" << row.ref_v
+                << " pipe=" << row.par_v;
+        }
+    }
+    return out.str();
+}
+
 } // namespace
 
 // ---------------------------------------------------------------------
@@ -978,6 +1058,157 @@ Fuzzer::runStoreCase(uint64_t seed, Divergence &out)
     return false;
 }
 
+/**
+ * The parallel-simulation differential (ISSUE 6 layer 4). One seeded
+ * case asserts, on the same interleaved op/branch/kernel stream:
+ *
+ *  1. pipeline bit-identity — PipelineMux{StreamCore, CacheSink,
+ *     StreamRunner} on worker threads produces the exact per-sink
+ *     results of a sequential MuxSink replay, any thread count, any
+ *     queue depth;
+ *  2. segment exactness — SegmentSim's stitched event counters
+ *     (instructions, retiring slots, conditional branches, L1D
+ *     accesses) are bit-equal to the sequential core at every segment
+ *     count and warmup depth, because warmup counters are discarded;
+ *  3. segment convergence — segments=1 is bit-identical, and growing
+ *     the warmup prefix does not move the timing counters away from
+ *     the sequential answer beyond a small stitching bound (a leak of
+ *     warmup cycles into the stats blows far past the bound).
+ */
+bool
+Fuzzer::runParallelCase(uint64_t seed, Divergence &out)
+{
+    SplitMix64 rng(seed);
+    const uarch::CoreConfig cfg = randomCoreConfig(rng);
+    const uint64_t max_ops = options_.quick ? rng.range(16'000, 40'000)
+                                            : rng.range(16'000, 120'000);
+    const uint64_t max_brs = options_.quick ? rng.range(1'000, 8'000)
+                                            : rng.range(1'000, 24'000);
+    const std::vector<TraceOp> ops = trace::synthFuzzTrace(rng.fork(),
+                                                           max_ops);
+    const std::vector<trace::BranchRecord> branches =
+        trace::synthFuzzBranches(rng.fork(), max_brs);
+    const uint64_t chunk_seed = rng.next();
+    const bool drop = options_.inject == Fault::ParallelDrop;
+
+    auto fail = [&](const std::string &what) {
+        out.target = Target::Parallel;
+        out.seed = seed;
+        out.repro = reproCommand(Target::Parallel, seed, options_.inject,
+                                 options_.quick);
+        out.shrunkOps = 0;  // two interleaved streams: not ddmin-shaped
+        out.detail = "parallel divergence (" + std::to_string(ops.size()) +
+                     " ops, " + std::to_string(branches.size()) +
+                     " branches): " + what;
+        return true;
+    };
+
+    // Sequential reference: one MuxSink replay on this thread. The
+    // injected ParallelDrop fault breaks only this side.
+    static const char *const kPredSpec = "tage-8KB";
+    uarch::StreamCore seq_core(cfg);
+    uarch::CacheSink seq_cache(cfg.mem);
+    auto seq_pred = bpred::makePredictor(kPredSpec);
+    bpred::StreamRunner seq_runner(*seq_pred);
+    trace::MuxSink seq_mux{&seq_core, &seq_cache, &seq_runner};
+    replayInterleaved(seq_mux, chunk_seed, ops, branches, drop);
+    const uarch::CoreStats ref = seq_core.stats();
+
+    // 1. Pipeline-parallel sinks: bit-identical per-sink results.
+    {
+        uarch::StreamCore core(cfg);
+        uarch::CacheSink cache(cfg.mem);
+        auto pred = bpred::makePredictor(kPredSpec);
+        bpred::StreamRunner runner(*pred);
+        trace::PipelineMux::Options popts;
+        popts.jobs = static_cast<int>(rng.range(2, 4));
+        popts.queueDepth = rng.chance(1, 3) ? 2 : 64;  // stress backpressure
+        trace::PipelineMux mux({&core, &cache, &runner}, popts);
+        replayInterleaved(mux, chunk_seed, ops, branches, false);
+
+        const std::string core_diff = diffStats(ref, core.stats());
+        if (!core_diff.empty()) {
+            return fail("pipeline core: " + core_diff);
+        }
+        const std::string cache_diff = diffCacheSinks(seq_cache, cache);
+        if (!cache_diff.empty()) {
+            return fail("pipeline cache: " + cache_diff);
+        }
+        const bpred::RunResult sr = seq_runner.result();
+        const bpred::RunResult pr = runner.result();
+        if (sr.branches != pr.branches || sr.misses != pr.misses) {
+            return fail("pipeline bpred: seq " +
+                        std::to_string(sr.branches) + " branches/" +
+                        std::to_string(sr.misses) + " misses, pipe " +
+                        std::to_string(pr.branches) + "/" +
+                        std::to_string(pr.misses));
+        }
+    }
+
+    // Shared replay into a SegmentSim at the given geometry.
+    auto segmentStats = [&](int segments, int warmup,
+                            int jobs) -> uarch::CoreStats {
+        uarch::SegmentSimConfig scfg;
+        scfg.core = cfg;
+        scfg.segments = segments;
+        scfg.warmupBlocks = warmup;
+        scfg.jobs = jobs;
+        uarch::SegmentSim sim(scfg);
+        replayInterleaved(sim, chunk_seed, ops, branches, false);
+        return sim.stats();
+    };
+
+    // 2. segments=1 must be bit-identical (every field).
+    const std::string one_diff = diffStats(ref, segmentStats(1, 8, 1));
+    if (!one_diff.empty()) {
+        return fail("segments=1: " + one_diff);
+    }
+
+    // 3. Real segmenting: exact counters bit-equal at two warmup depths;
+    //    timing error must not grow as the warmup prefix deepens.
+    const int segments = static_cast<int>(rng.range(2, 5));
+    const int jobs = static_cast<int>(rng.range(1, 3));
+    const uarch::CoreStats cold = segmentStats(segments, 0, jobs);
+    const uarch::CoreStats warm = segmentStats(segments, 16, jobs);
+    for (const uarch::CoreStats *s : {&cold, &warm}) {
+        std::ostringstream diff;
+        auto exact = [&](const char *name, uint64_t want, uint64_t got) {
+            if (want != got) {
+                if (diff.tellp() > 0) {
+                    diff << ", ";
+                }
+                diff << name << " seq=" << want << " seg=" << got;
+            }
+        };
+        exact("instructions", ref.instructions, s->instructions);
+        exact("slots.retiring", ref.slots.retiring, s->slots.retiring);
+        exact("condBranches", ref.condBranches, s->condBranches);
+        exact("l1dAccesses", ref.l1dAccesses, s->l1dAccesses);
+        if (diff.tellp() > 0) {
+            return fail("segment exact counters (segments=" +
+                        std::to_string(segments) + ", warmup=" +
+                        std::to_string(s == &warm ? 16 : 0) +
+                        "): " + diff.str());
+        }
+    }
+    auto err = [&](const uarch::CoreStats &s) {
+        return s.cycles > ref.cycles ? s.cycles - ref.cycles
+                                     : ref.cycles - s.cycles;
+    };
+    // Generous stitching slack: a warmup-counter leak adds whole
+    // blocks' worth of cycles per segment and lands far outside it.
+    const uint64_t slack =
+        ref.cycles / 32 + 1024 * static_cast<uint64_t>(segments);
+    if (err(warm) > err(cold) + slack) {
+        return fail("segment warmup diverges: |cycles-ref| grew from " +
+                    std::to_string(err(cold)) + " (warmup=0) to " +
+                    std::to_string(err(warm)) + " (warmup=16), ref=" +
+                    std::to_string(ref.cycles) + ", segments=" +
+                    std::to_string(segments));
+    }
+    return false;
+}
+
 // ---------------------------------------------------------------------
 // Harness
 
@@ -990,6 +1221,7 @@ Fuzzer::runCase(Target target, uint64_t seed, Divergence &out)
       case Target::Bpred: return runBpredCase(seed, out);
       case Target::Kernels: return runKernelsCase(seed, out);
       case Target::Store: return runStoreCase(seed, out);
+      case Target::Parallel: return runParallelCase(seed, out);
     }
     return false;
 }
@@ -1006,6 +1238,9 @@ Fuzzer::itersFor(Target target) const
       case Target::Bpred: return options_.quick ? 12 : 60;
       case Target::Kernels: return options_.quick ? 40 : 300;
       case Target::Store: return options_.quick ? 40 : 200;
+      // Parallel cases run the trace through five simulator instances
+      // (sequential reference, pipeline, and three segment variants).
+      case Target::Parallel: return options_.quick ? 6 : 30;
     }
     return 1;
 }

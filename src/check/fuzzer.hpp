@@ -33,7 +33,7 @@ namespace vepro::check
 {
 
 /** What to fuzz. */
-enum class Target { Core, Cache, Bpred, Kernels, Store };
+enum class Target { Core, Cache, Bpred, Kernels, Store, Parallel };
 
 /** All targets, in the order `--target=all` runs them. */
 const std::vector<Target> &allTargets();
@@ -124,6 +124,7 @@ class Fuzzer
     bool runBpredCase(uint64_t seed, Divergence &out);
     bool runKernelsCase(uint64_t seed, Divergence &out);
     bool runStoreCase(uint64_t seed, Divergence &out);
+    bool runParallelCase(uint64_t seed, Divergence &out);
 
     FuzzOptions options_;
 };

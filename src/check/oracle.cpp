@@ -16,6 +16,7 @@ faultName(Fault fault)
       case Fault::BpredAlloc: return "bpred-alloc";
       case Fault::KernelsSad: return "kernels-sad";
       case Fault::StoreBit: return "store-bit";
+      case Fault::ParallelDrop: return "parallel-drop";
     }
     return "?";
 }
@@ -24,7 +25,8 @@ bool
 parseFault(const std::string &name, Fault &out)
 {
     for (Fault f : {Fault::None, Fault::CacheLru, Fault::CoreLatency,
-                    Fault::BpredAlloc, Fault::KernelsSad, Fault::StoreBit}) {
+                    Fault::BpredAlloc, Fault::KernelsSad, Fault::StoreBit,
+                    Fault::ParallelDrop}) {
         if (name == faultName(f)) {
             out = f;
             return true;

@@ -43,6 +43,7 @@ enum class Fault {
     BpredAlloc,    ///< TAGE skips the probabilistic allocation offset.
     KernelsSad,    ///< Oracle SAD reports one too many on 64+ px blocks.
     StoreBit,      ///< Round-trip flips one mantissa bit of a double.
+    ParallelDrop,  ///< Sequential reference stream drops its last branch.
 };
 
 /** CLI name of a fault ("cache-lru", ...; "none" for Fault::None). */

@@ -2,7 +2,7 @@
  * @file
  * `vepro-check` — differential fuzz driver for the optimized simulator:
  *
- *   vepro-check [--target=core|cache|bpred|kernels|store|all]
+ *   vepro-check [--target=core|cache|bpred|kernels|store|parallel|all]
  *               [--iters=N] [--seed=N] [--quick] [--no-shrink]
  *               [--corpus=DIR] [--case=FILE] [--inject=FAULT]
  *               [--repro-out=FILE]
@@ -39,12 +39,13 @@ usage(const std::string &error)
     std::fprintf(stderr, "error: %s\n", error.c_str());
     std::fprintf(
         stderr,
-        "usage: vepro-check [--target=core|cache|bpred|kernels|store|all]\n"
+        "usage: vepro-check "
+        "[--target=core|cache|bpred|kernels|store|parallel|all]\n"
         "                   [--iters=N] [--seed=N] [--quick] [--no-shrink]\n"
         "                   [--corpus=DIR] [--case=FILE] [--inject=FAULT]\n"
         "                   [--repro-out=FILE]\n"
         "faults: none cache-lru core-latency bpred-alloc kernels-sad "
-        "store-bit\n");
+        "store-bit parallel-drop\n");
     std::exit(2);
 }
 

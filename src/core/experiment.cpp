@@ -8,6 +8,9 @@
 #include <stdexcept>
 #include <thread>
 
+#include "trace/pipeline.hpp"
+#include "uarch/segment.hpp"
+
 namespace vepro::core
 {
 
@@ -29,9 +32,29 @@ RunScale::fromArgs(int argc, char **argv)
         } else if (arg == "--uncapped") {
             scale.maxTraceOps = 0;
         } else if (arg.rfind("--jobs=", 0) == 0) {
-            scale.jobs = parseIntStrict(arg.substr(7), "--jobs");
-            if (scale.jobs < 1) {
-                throw std::invalid_argument("--jobs must be >= 1");
+            int jobs = parseIntStrict(arg.substr(7), "--jobs");
+            if (jobs < 0) {
+                throw std::invalid_argument("--jobs must be >= 0");
+            }
+            scale.jobs = trace::resolveJobs(jobs);  // 0 = auto-detect
+        } else if (arg.rfind("--sim-jobs=", 0) == 0) {
+            int jobs = parseIntStrict(arg.substr(11), "--sim-jobs");
+            if (jobs < 0) {
+                throw std::invalid_argument("--sim-jobs must be >= 0");
+            }
+            scale.simJobs = trace::resolveJobs(jobs);  // 0 = auto-detect
+        } else if (arg.rfind("--segments=", 0) == 0) {
+            int segments = parseIntStrict(arg.substr(11), "--segments");
+            if (segments < 0) {
+                throw std::invalid_argument("--segments must be >= 0");
+            }
+            scale.segments = trace::resolveJobs(segments);  // 0 = auto
+        } else if (arg.rfind("--segment-warmup=", 0) == 0) {
+            scale.segmentWarmup =
+                parseIntStrict(arg.substr(17), "--segment-warmup");
+            if (scale.segmentWarmup < 0) {
+                throw std::invalid_argument(
+                    "--segment-warmup must be >= 0");
             }
         } else if (arg == "--no-cache") {
             scale.noCache = true;
@@ -128,10 +151,34 @@ runPoint(const encoders::EncoderModel &encoder, const video::Video &clip,
     params.preset = preset;
 
     SweepPoint point;
-    uarch::StreamCore sim;
-    point.encode =
-        encoder.encode(clip, params, tracingConfig(scale), false, &sim);
-    point.core = sim.stats();
+    if (scale.segments > 1) {
+        // Segment-parallel: capture the trace in blocks, simulate N
+        // contiguous segments concurrently, stitch deterministically.
+        uarch::SegmentSimConfig cfg;
+        cfg.segments = scale.segments;
+        cfg.warmupBlocks = scale.segmentWarmup;
+        cfg.jobs = 0;  // auto; SegmentSim clamps to the segment count
+        uarch::SegmentSim sim(cfg);
+        point.encode =
+            encoder.encode(clip, params, tracingConfig(scale), false, &sim);
+        point.core = sim.stats();
+    } else if (scale.simJobs > 1) {
+        // Pipeline-parallel: the core model consumes blocks on a worker
+        // thread while the encode keeps producing. Bit-identical to the
+        // sequential fused path.
+        uarch::StreamCore sim;
+        trace::PipelineMux::Options opts;
+        opts.jobs = scale.simJobs;
+        trace::PipelineMux mux({&sim}, opts);
+        point.encode =
+            encoder.encode(clip, params, tracingConfig(scale), false, &mux);
+        point.core = sim.stats();
+    } else {
+        uarch::StreamCore sim;
+        point.encode =
+            encoder.encode(clip, params, tracingConfig(scale), false, &sim);
+        point.core = sim.stats();
+    }
     return point;
 }
 

@@ -33,17 +33,42 @@ struct RunScale {
      * op, which stays O(1) in memory but costs proportionally more time.
      */
     size_t maxTraceOps = 1'200'000;
-    /** Worker threads for independent sweep points (--jobs=N). */
+    /** Worker threads for independent sweep points (--jobs=N;
+     *  0 = auto-detect, resolved to a concrete count at parse time). */
     int jobs = 1;
+    /**
+     * Pipeline-parallel simulation inside one sweep point
+     * (--sim-jobs=N): with N > 1 the point's sinks run on worker
+     * threads behind a trace::PipelineMux, overlapping the encode with
+     * the simulation. 0 = auto-detect; 1 = classic sequential fused
+     * path. Never changes the measured statistics (bit-identical by
+     * construction), so it is not part of a point's cache identity.
+     */
+    int simJobs = 1;
+    /**
+     * Segment-parallel core simulation (--segments=N): the point's
+     * trace is split into N block-aligned segments simulated
+     * concurrently by uarch::SegmentSim. 0 = auto-detect; 1 = off.
+     * Segment mode changes the measured numbers (bounded warmup error,
+     * see DESIGN.md §13), so segments/segmentWarmup ARE cache-identity
+     * fields when segments > 1.
+     */
+    int segments = 1;
+    /** Warmup prefix per segment, in 4096-op trace blocks
+     *  (--segment-warmup=K); counters of the prefix are discarded. */
+    int segmentWarmup = 8;
     /** Bypass the lab result cache: recompute (and refresh) every point. */
     bool noCache = false;
     /** Directory of the persistent lab result store. */
     std::string storeDir = ".vepro-lab";
 
     /**
-     * Parse --quick / --full / --videos=a,b,c / --jobs=N / --uncapped /
-     * --no-cache / --store=DIR. Numeric flags are strict: trailing
-     * garbage ("--jobs=4abc") is rejected, not silently truncated.
+     * Parse --quick / --full / --videos=a,b,c / --jobs=N / --sim-jobs=N
+     * / --segments=N / --segment-warmup=K / --uncapped / --no-cache /
+     * --store=DIR. Numeric flags are strict: trailing garbage
+     * ("--jobs=4abc") is rejected, not silently truncated. All three
+     * parallelism flags accept 0 = auto-detect via
+     * std::thread::hardware_concurrency() (floor 1).
      */
     static RunScale fromArgs(int argc, char **argv);
 };

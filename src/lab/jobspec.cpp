@@ -29,6 +29,14 @@ JobSpec::canonicalKey() const
     key += std::to_string(frames);
     key += ";maxTraceOps=";
     key += std::to_string(maxTraceOps);
+    // Appended only when segment mode is active: sequential specs keep
+    // the exact pre-segment key, so existing store entries stay valid.
+    if (segments != 1) {
+        key += ";segments=";
+        key += std::to_string(segments);
+        key += ";segmentWarmup=";
+        key += std::to_string(segmentWarmup);
+    }
     return key;
 }
 
@@ -67,6 +75,9 @@ JobSpec::label() const
     if (threads != 1) {
         out += " threads=" + std::to_string(threads);
     }
+    if (segments != 1) {
+        out += " segments=" + std::to_string(segments);
+    }
     return out;
 }
 
@@ -78,6 +89,8 @@ JobSpec::toRunScale() const
     scale.suite.frames = frames;
     scale.maxTraceOps = maxTraceOps;
     scale.jobs = 1;  // The orchestrator owns the worker pool.
+    scale.segments = segments;
+    scale.segmentWarmup = segmentWarmup;
     return scale;
 }
 
@@ -88,6 +101,8 @@ JobSpec::withScale(const core::RunScale &scale)
     spec.divisor = scale.suite.divisor;
     spec.frames = scale.suite.frames;
     spec.maxTraceOps = scale.maxTraceOps;
+    spec.segments = scale.segments;
+    spec.segmentWarmup = scale.segmentWarmup;
     return spec;
 }
 

@@ -42,6 +42,16 @@ struct JobSpec {
     int divisor = 8;      ///< SuiteScale::divisor.
     int frames = 6;       ///< SuiteScale::frames.
     uint64_t maxTraceOps = 1'200'000;  ///< 0 = uncapped full fidelity.
+    /**
+     * Segment-parallel simulation (RunScale::segments): changes the
+     * measured numbers (bounded warmup error), so it is identity — but
+     * only when active. With segments == 1 (sequential, the default)
+     * neither field enters the canonical key, keeping every
+     * pre-existing store entry valid. Pipeline parallelism
+     * (RunScale::simJobs) is bit-identical and deliberately excluded.
+     */
+    int segments = 1;
+    int segmentWarmup = 8;  ///< Warmup blocks per segment.
 
     /**
      * Canonical key: every identity field, fixed order, 'k=v'

@@ -41,7 +41,10 @@ usage(const char *argv0, const std::string &error)
     std::fprintf(stderr,
                  "usage: %s --figures=%s [--jobs=N] [--quick|--full] "
                  "[--uncapped] [--no-cache] [--store=DIR] [--out=DIR] "
-                 "[--videos=a,b,c]\n",
+                 "[--videos=a,b,c] [--sim-jobs=N] [--segments=N] "
+                 "[--segment-warmup=K]\n"
+                 "       --jobs/--sim-jobs/--segments accept 0 = "
+                 "auto-detect hardware threads\n",
                  argv0, known.c_str());
     std::exit(2);
 }

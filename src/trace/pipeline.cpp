@@ -1,0 +1,372 @@
+#include "trace/pipeline.hpp"
+
+#include <exception>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+
+namespace vepro::trace
+{
+
+int
+resolveJobs(int jobs)
+{
+    if (jobs >= 1) {
+        return jobs;
+    }
+    unsigned detected = std::thread::hardware_concurrency();
+    return detected > 0 ? static_cast<int>(detected) : 1;
+}
+
+namespace
+{
+
+/** A pooled block plus the fan-out refcount: the last sink to finish
+ *  consuming the block returns it to the free list. */
+struct BlockNode {
+    TraceBlock block;
+    std::atomic<uint32_t> remaining{0};
+};
+
+/**
+ * Bounded single-producer/single-consumer ring of BlockNode pointers.
+ * The producer thread is the trace emitter, the consumer one sink
+ * worker; nullptr is the end-of-stream sentinel. Capacity is a power
+ * of two; a full queue is the backpressure point (callers spin).
+ */
+class SpscQueue
+{
+  public:
+    explicit SpscQueue(size_t capacity)
+    {
+        size_t cap = 2;
+        while (cap < capacity) {
+            cap *= 2;
+        }
+        slots_.assign(cap, nullptr);
+        mask_ = cap - 1;
+    }
+
+    bool
+    tryPush(BlockNode *node)
+    {
+        const size_t t = tail_.load(std::memory_order_relaxed);
+        if (t - head_.load(std::memory_order_acquire) > mask_) {
+            return false;
+        }
+        slots_[t & mask_] = node;
+        tail_.store(t + 1, std::memory_order_release);
+        return true;
+    }
+
+    bool
+    tryPop(BlockNode *&node)
+    {
+        const size_t h = head_.load(std::memory_order_relaxed);
+        if (h == tail_.load(std::memory_order_acquire)) {
+            return false;
+        }
+        node = slots_[h & mask_];
+        head_.store(h + 1, std::memory_order_release);
+        return true;
+    }
+
+  private:
+    std::vector<BlockNode *> slots_;
+    size_t mask_ = 0;
+    alignas(64) std::atomic<size_t> head_{0};  ///< Consumer cursor.
+    alignas(64) std::atomic<size_t> tail_{0};  ///< Producer cursor.
+};
+
+} // namespace
+
+struct PipelineMux::Impl {
+    std::vector<TraceSink *> sinks;
+    bool parallel = false;
+    bool flushed = false;
+
+    // Staging for record-at-a-time deliveries.
+    TraceBlock stage;
+
+    uint64_t blocks_published = 0;
+    uint64_t backpressure_waits = 0;
+
+    // Parallel-mode state. The node pool is producer-owned; recycling
+    // back from workers goes through free_mutex (contended once per
+    // block, not per record).
+    std::vector<std::unique_ptr<BlockNode>> pool;
+    std::vector<BlockNode *> free_nodes;
+    std::mutex free_mutex;
+    std::vector<std::unique_ptr<SpscQueue>> queues;
+    std::vector<std::thread> workers;
+    std::vector<std::exception_ptr> worker_errors;
+
+    explicit Impl(std::vector<TraceSink *> s, const Options &options)
+        : sinks(std::move(s))
+    {
+        stage.reserveStandard();
+        const int jobs = resolveJobs(options.jobs);
+        parallel = jobs > 1 && sinks.size() > 0;
+        if (!parallel) {
+            return;
+        }
+        const size_t depth =
+            options.queueDepth > 1
+                ? static_cast<size_t>(options.queueDepth)
+                : 2;
+        // Every sink queue can be full simultaneously with distinct
+        // blocks, plus one in each worker's hands and one staging.
+        const size_t pool_size = depth + sinks.size() + 2;
+        pool.reserve(pool_size);
+        for (size_t i = 0; i < pool_size; ++i) {
+            pool.push_back(std::make_unique<BlockNode>());
+            pool.back()->block.reserveStandard();
+            free_nodes.push_back(pool.back().get());
+        }
+        worker_errors.assign(sinks.size(), nullptr);
+        queues.reserve(sinks.size());
+        workers.reserve(sinks.size());
+        for (size_t i = 0; i < sinks.size(); ++i) {
+            queues.push_back(std::make_unique<SpscQueue>(depth));
+        }
+        for (size_t i = 0; i < sinks.size(); ++i) {
+            workers.emplace_back([this, i] { workerLoop(i); });
+        }
+    }
+
+    void
+    workerLoop(size_t i)
+    {
+        TraceSink *sink = sinks[i];
+        SpscQueue &q = *queues[i];
+        try {
+            for (;;) {
+                BlockNode *node = nullptr;
+                while (!q.tryPop(node)) {
+                    std::this_thread::yield();
+                }
+                if (node == nullptr) {
+                    sink->flush();
+                    return;
+                }
+                replayBlock(node->block, *sink);
+                if (node->remaining.fetch_sub(
+                        1, std::memory_order_acq_rel) == 1) {
+                    node->block.clear();
+                    std::lock_guard<std::mutex> lock(free_mutex);
+                    free_nodes.push_back(node);
+                }
+            }
+        } catch (...) {
+            worker_errors[i] = std::current_exception();
+            // Keep draining so the producer never deadlocks on a full
+            // queue; blocks are recycled but no longer consumed.
+            for (;;) {
+                BlockNode *node = nullptr;
+                while (!q.tryPop(node)) {
+                    std::this_thread::yield();
+                }
+                if (node == nullptr) {
+                    return;
+                }
+                if (node->remaining.fetch_sub(
+                        1, std::memory_order_acq_rel) == 1) {
+                    node->block.clear();
+                    std::lock_guard<std::mutex> lock(free_mutex);
+                    free_nodes.push_back(node);
+                }
+            }
+        }
+    }
+
+    BlockNode *
+    acquireNode()
+    {
+        for (;;) {
+            {
+                std::lock_guard<std::mutex> lock(free_mutex);
+                if (!free_nodes.empty()) {
+                    BlockNode *node = free_nodes.back();
+                    free_nodes.pop_back();
+                    return node;
+                }
+            }
+            ++backpressure_waits;
+            std::this_thread::yield();
+        }
+    }
+
+    void
+    publish(TraceBlock &&block)
+    {
+        ++blocks_published;
+        if (!parallel) {
+            for (TraceSink *sink : sinks) {
+                replayBlock(block, *sink);
+            }
+            return;
+        }
+        BlockNode *node = acquireNode();
+        node->block = std::move(block);
+        node->remaining.store(static_cast<uint32_t>(sinks.size()),
+                              std::memory_order_relaxed);
+        for (auto &q : queues) {
+            if (!q->tryPush(node)) {
+                ++backpressure_waits;
+                do {
+                    std::this_thread::yield();
+                } while (!q->tryPush(node));
+            }
+        }
+    }
+
+    void
+    publishStage()
+    {
+        if (stage.empty()) {
+            return;
+        }
+        publish(std::move(stage));
+        stage.clear();
+        stage.reserveStandard();
+    }
+
+    void
+    finish()
+    {
+        if (flushed) {
+            return;
+        }
+        flushed = true;
+        publishStage();
+        if (!parallel) {
+            for (TraceSink *sink : sinks) {
+                sink->flush();
+            }
+            return;
+        }
+        for (auto &q : queues) {
+            while (!q->tryPush(nullptr)) {
+                std::this_thread::yield();
+            }
+        }
+        for (std::thread &t : workers) {
+            t.join();
+        }
+        workers.clear();
+        for (std::exception_ptr &err : worker_errors) {
+            if (err) {
+                std::rethrow_exception(err);
+            }
+        }
+    }
+
+    ~Impl()
+    {
+        // Unflushed teardown: still join the workers (without flushing
+        // semantics guarantees) so threads never outlive the sinks.
+        if (!workers.empty()) {
+            for (auto &q : queues) {
+                while (!q->tryPush(nullptr)) {
+                    std::this_thread::yield();
+                }
+            }
+            for (std::thread &t : workers) {
+                t.join();
+            }
+        }
+    }
+};
+
+PipelineMux::PipelineMux(std::vector<TraceSink *> sinks)
+    : PipelineMux(std::move(sinks), Options{})
+{
+}
+
+PipelineMux::PipelineMux(std::vector<TraceSink *> sinks,
+                         const Options &options)
+    : impl_(std::make_unique<Impl>(std::move(sinks), options))
+{
+}
+
+PipelineMux::~PipelineMux() = default;
+
+void
+PipelineMux::onOp(const TraceOp &op)
+{
+    impl_->stage.ops.push_back(op);
+    if (impl_->stage.ops.size() >= TraceBlock::kOps) {
+        impl_->publishStage();
+    }
+}
+
+void
+PipelineMux::onOps(const TraceOp *ops, size_t n)
+{
+    TraceBlock &stage = impl_->stage;
+    while (n > 0) {
+        const size_t take =
+            std::min(n, TraceBlock::kOps - stage.ops.size());
+        stage.ops.insert(stage.ops.end(), ops, ops + take);
+        ops += take;
+        n -= take;
+        if (stage.ops.size() >= TraceBlock::kOps) {
+            impl_->publishStage();
+        }
+    }
+}
+
+void
+PipelineMux::onBranch(const BranchRecord &branch)
+{
+    TraceBlock::Event ev;
+    ev.pos = static_cast<uint32_t>(impl_->stage.ops.size());
+    ev.kind = TraceBlock::Event::Branch;
+    ev.taken = branch.taken;
+    ev.value = branch.pc;
+    impl_->stage.events.push_back(ev);
+}
+
+void
+PipelineMux::onKernel(uint64_t site)
+{
+    TraceBlock::Event ev;
+    ev.pos = static_cast<uint32_t>(impl_->stage.ops.size());
+    ev.kind = TraceBlock::Event::Kernel;
+    ev.value = site;
+    impl_->stage.events.push_back(ev);
+}
+
+void
+PipelineMux::onBlock(TraceBlock &&block)
+{
+    // Preserve order with any staged record-at-a-time deliveries.
+    impl_->publishStage();
+    impl_->publish(std::move(block));
+}
+
+void
+PipelineMux::flush()
+{
+    impl_->finish();
+}
+
+bool
+PipelineMux::parallel() const
+{
+    return impl_->parallel;
+}
+
+uint64_t
+PipelineMux::blocksPublished() const
+{
+    return impl_->blocks_published;
+}
+
+uint64_t
+PipelineMux::backpressureWaits() const
+{
+    return impl_->backpressure_waits;
+}
+
+} // namespace vepro::trace

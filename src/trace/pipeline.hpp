@@ -1,0 +1,114 @@
+#ifndef VEPRO_TRACE_PIPELINE_HPP
+#define VEPRO_TRACE_PIPELINE_HPP
+
+/**
+ * @file
+ * Pipeline-parallel trace fan-out: run every sink of a simulation on
+ * its own worker thread, fed whole TraceBlocks through bounded SPSC
+ * ring queues.
+ *
+ * MuxSink runs all sinks inline on the producing thread, so one fused
+ * sweep point costs the SUM of its sinks' per-op costs. PipelineMux
+ * decouples them: the producer (the encode's Probe) publishes each
+ * 4096-op staging block once, and each sink consumes the block stream
+ * in program order on a dedicated thread — end-to-end cost drops to
+ * the SLOWEST sink instead of the sum. Each sink still sees exactly
+ * the record sequence MuxSink would have delivered, in order, on one
+ * thread, so per-sink statistics are bit-identical by construction.
+ *
+ * Memory and flow control are bounded: blocks come from a fixed pool
+ * and queues have fixed depth, so a fast producer backpressures (spins
+ * on the full queue) instead of buffering the trace. With jobs <= 1 or
+ * a single sink the mux degrades to the exact sequential MuxSink
+ * behaviour — no threads, no queues.
+ */
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "trace/sink.hpp"
+
+namespace vepro::trace
+{
+
+/**
+ * Resolve a --jobs / --sim-jobs style worker count: values >= 1 pass
+ * through, 0 means auto-detect via std::thread::hardware_concurrency()
+ * with a floor of 1 (the detection may report 0 on exotic platforms).
+ * Shared by the sweep driver, vepro-lab, and the parallel-simulation
+ * flags so every layer agrees on what "auto" means.
+ */
+int resolveJobs(int jobs);
+
+/**
+ * Fans one trace stream out to several sinks, each on its own worker
+ * thread (see file docs). Use exactly like MuxSink:
+ *
+ *   PipelineMux mux({&core, &cache, &runner});
+ *   probe.setSink(&mux);
+ *   ... emit ...
+ *   probe.flushToSink();
+ *   mux.flush();          // joins the workers; sinks are flushed
+ *
+ * flush() delivers the tail, joins every worker, and flushes each sink
+ * on its own worker thread; after it returns, reading the sinks'
+ * results from the caller's thread is race-free (the joins establish
+ * the happens-before edge). Worker exceptions are captured and the
+ * first one rethrown from flush().
+ *
+ * Record-at-a-time deliveries (onOp/onOps/onBranch/onKernel) are
+ * staged into an internal block, preserving order relative to onBlock
+ * deliveries, so the mux is a drop-in TraceSink even for producers
+ * that never hand over whole blocks.
+ */
+class PipelineMux final : public TraceSink
+{
+  public:
+    struct Options {
+        /** Queue depth per sink, in blocks (rounded up to a power of
+         *  two). Depth x pool bound the in-flight trace span. */
+        int queueDepth = 64;
+        /**
+         * Worker threads: one per sink when parallel. 0 = auto-detect
+         * (resolveJobs); 1 = sequential fallback — behave exactly like
+         * MuxSink on the calling thread. Values above the sink count
+         * are clamped (each sink is inherently serial).
+         */
+        int jobs = 0;
+    };
+
+    explicit PipelineMux(std::vector<TraceSink *> sinks);
+    PipelineMux(std::vector<TraceSink *> sinks, const Options &options);
+    ~PipelineMux() override;
+
+    PipelineMux(const PipelineMux &) = delete;
+    PipelineMux &operator=(const PipelineMux &) = delete;
+
+    void onOp(const TraceOp &op) override;
+    void onOps(const TraceOp *ops, size_t n) override;
+    void onBranch(const BranchRecord &branch) override;
+    void onKernel(uint64_t site) override;
+    void onBlock(TraceBlock &&block) override;
+
+    /** Deliver the tail, join workers, flush sinks; rethrows the first
+     *  worker exception. Idempotent. */
+    void flush() override;
+
+    /** True when running sinks on worker threads (not the fallback). */
+    bool parallel() const;
+
+    /** Blocks published to the workers (or replayed, when sequential). */
+    uint64_t blocksPublished() const;
+    /** Producer-side full-queue wait episodes: backpressure events. */
+    uint64_t backpressureWaits() const;
+
+  private:
+    struct Impl;
+    std::unique_ptr<Impl> impl_;
+};
+
+} // namespace vepro::trace
+
+#endif // VEPRO_TRACE_PIPELINE_HPP

@@ -143,20 +143,25 @@ Probe::advance(uint64_t n)
 void
 Probe::flushBlock() const
 {
-    if (block_fill_ > 0) {
-        dest()->onOps(block_.data(), block_fill_);
-        block_fill_ = 0;
+    if (stage_.empty()) {
+        return;
     }
+    // A non-moving sink (the default) leaves the block with us; a
+    // moving one (PipelineMux, SegmentSim) takes the buffers. Either
+    // way the stage comes back empty with standard capacity.
+    dest()->onBlock(std::move(stage_));
+    stage_.clear();
+    stage_.reserveStandard();
 }
 
 void
 Probe::emitOp(const TraceOp &op)
 {
     ++ops_recorded_;
-    if (block_fill_ == kBlockOps) {
+    if (stage_.ops.size() == kBlockOps) {
         flushBlock();
     }
-    block_[block_fill_++] = op;
+    stage_.ops.push_back(op);
 }
 
 void
@@ -164,12 +169,11 @@ Probe::emitOps(const TraceOp *ops, size_t n)
 {
     ops_recorded_ += n;
     while (n > 0) {
-        if (block_fill_ == kBlockOps) {
+        if (stage_.ops.size() == kBlockOps) {
             flushBlock();
         }
-        size_t take = std::min(n, kBlockOps - block_fill_);
-        std::copy(ops, ops + take, block_.begin() + block_fill_);
-        block_fill_ += take;
+        size_t take = std::min(n, kBlockOps - stage_.ops.size());
+        stage_.ops.insert(stage_.ops.end(), ops, ops + take);
         ops += take;
         n -= take;
     }
@@ -178,15 +182,22 @@ Probe::emitOps(const TraceOp *ops, size_t n)
 void
 Probe::emitBranch(uint64_t pc, bool taken)
 {
-    // Preceding staged ops must reach the sink before the branch record
-    // so consumers see strict program order.
-    flushBlock();
     if (branches_recorded_ == 0) {
         branch_first_op_ = opSeq_;
     }
     branch_last_op_ = opSeq_;
     ++branches_recorded_;
-    dest()->onBranch({pc, taken});
+    TraceBlock::Event ev;
+    ev.pos = static_cast<uint32_t>(stage_.ops.size());
+    ev.kind = TraceBlock::Event::Branch;
+    ev.taken = taken;
+    ev.value = pc;
+    stage_.events.push_back(ev);
+    // Branch-only streams (CBP runs with op tracing off) never fill the
+    // op span, so the event list needs its own publish threshold.
+    if (stage_.events.size() >= kBlockOps) {
+        flushBlock();
+    }
 }
 
 uint64_t
@@ -206,10 +217,16 @@ Probe::enterKernel(uint64_t site, int body_len)
         site_slot_ = &site_ops_[site];
     }
     if (sink_ != nullptr) {
-        // Ops staged before the kernel boundary belong to the previous
-        // site; deliver them before announcing the new one.
-        flushBlock();
-        sink_->onKernel(site);
+        // Staged as a positioned event: replay announces the new site
+        // after the previous site's ops, preserving attribution order.
+        TraceBlock::Event ev;
+        ev.pos = static_cast<uint32_t>(stage_.ops.size());
+        ev.kind = TraceBlock::Event::Kernel;
+        ev.value = site;
+        stage_.events.push_back(ev);
+        if (stage_.events.size() >= kBlockOps) {
+            flushBlock();
+        }
     }
     // Real encoders specialise each kernel by block size / unroll factor;
     // spread invocations over eight code variants so the instruction
@@ -236,10 +253,10 @@ Probe::ops(OpClass cls, uint64_t n, uint8_t dep1, uint8_t dep2)
     uint64_t take = advance(n);
     ops_recorded_ += take;
     for (uint64_t i = 0; i < take; ++i) {
-        if (block_fill_ == kBlockOps) {
+        if (stage_.ops.size() == kBlockOps) {
             flushBlock();
         }
-        block_[block_fill_++] = {nextPc(), 0, cls, false, dep1, dep2, false};
+        stage_.ops.push_back({nextPc(), 0, cls, false, dep1, dep2, false});
     }
 }
 
@@ -259,12 +276,12 @@ Probe::memRun(OpClass cls, uint64_t addr, int n, int stride, uint8_t dep1)
     uint64_t take = advance(static_cast<uint64_t>(n));
     ops_recorded_ += take;
     for (uint64_t i = 0; i < take; ++i) {
-        if (block_fill_ == kBlockOps) {
+        if (stage_.ops.size() == kBlockOps) {
             flushBlock();
         }
-        block_[block_fill_++] = {nextPc(),
-                                 addr + static_cast<uint64_t>(i) * stride,
-                                 cls, false, dep1, 0, false};
+        stage_.ops.push_back({nextPc(),
+                              addr + static_cast<uint64_t>(i) * stride,
+                              cls, false, dep1, 0, false});
     }
 }
 
@@ -295,11 +312,11 @@ Probe::loopBranches(uint64_t iterations)
     uint64_t take = advance(iterations);
     ops_recorded_ += take;
     for (uint64_t i = 0; i < take; ++i) {
-        if (block_fill_ == kBlockOps) {
+        if (stage_.ops.size() == kBlockOps) {
             flushBlock();
         }
-        block_[block_fill_++] = {loop_pc, 0, OpClass::BranchCond,
-                                 i + 1 < iterations, 1, 0, false};
+        stage_.ops.push_back({loop_pc, 0, OpClass::BranchCond,
+                              i + 1 < iterations, 1, 0, false});
     }
     if (config_.collectBranches && opSeq_ > config_.branchWarmupOps) {
         uint64_t room = config_.maxBranches > branches_recorded_
@@ -359,7 +376,7 @@ Probe::reset()
     branch_first_op_ = 0;
     branch_last_op_ = 0;
     capture_.clear();
-    block_fill_ = 0;
+    stage_.clear();
     ops_recorded_ = 0;
     branches_recorded_ = 0;
     dropped_ops_ = 0;

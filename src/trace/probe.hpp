@@ -125,12 +125,14 @@ class Probe
     TraceSink *sink() const { return sink_; }
 
     /**
-     * Deliver any ops still staged in the probe's emission block to the
-     * sink (or internal capture). Recorded ops are staged in a fixed
-     * block and delivered in batches of up to a few thousand, so sink
-     * consumers must call this once emission ends — before the sink's
-     * own flush() — to receive the tail of the stream. The trace
-     * accessors (opTrace(), takeCapture(), ...) flush implicitly.
+     * Deliver any records still staged in the probe's emission block to
+     * the sink (or internal capture). Recorded ops, branches, and
+     * kernel entries are staged in TraceBlock units (TraceBlock::kOps
+     * ops plus the events among them) and delivered whole through
+     * TraceSink::onBlock, so sink consumers must call this once
+     * emission ends — before the sink's own flush() — to receive the
+     * tail of the stream. The trace accessors (opTrace(),
+     * takeCapture(), ...) flush implicitly.
      */
     void flushToSink() { flushBlock(); }
 
@@ -269,9 +271,10 @@ class Probe
     void reset();
 
   private:
-    /** Ops staged per batched delivery; sized so one block amortises the
-     *  virtual onOps dispatch across thousands of records. */
-    static constexpr size_t kBlockOps = 4096;
+    /** Ops staged per block delivery; one block amortises the virtual
+     *  dispatch across thousands of records and is the ownership unit
+     *  of the parallel handoff path. */
+    static constexpr size_t kBlockOps = TraceBlock::kOps;
 
     /** Advance the op counter; returns how many of the @p n ops fall in
      *  the current sampling window and under the cap (0 when op tracing
@@ -283,16 +286,20 @@ class Probe
     /** Destination of recorded records: external sink or capture. */
     TraceSink *dest() const { return sink_ != nullptr ? sink_ : &capture_; }
 
-    /** Deliver the staged block (mutable state: callable from const
-     *  accessors, which must observe a fully delivered trace). */
+    /** Deliver the staged block through dest()->onBlock (mutable
+     *  state: callable from const accessors, which must observe a
+     *  fully delivered trace). A sink that moves from the block takes
+     *  the buffers; either way the stage is left empty with standard
+     *  capacity re-reserved. */
     void flushBlock() const;
 
     /** Record one op (updates the recorded counter). */
     void emitOp(const TraceOp &op);
     /** Record a batch of ops. */
     void emitOps(const TraceOp *ops, size_t n);
-    /** Record one branch (caller already applied warmup/cap gating).
-     *  Flushes staged ops first so the sink sees program order. */
+    /** Record one branch (caller already applied warmup/cap gating) as
+     *  an in-block event at the current op position, preserving
+     *  program order without cutting the block. */
     void emitBranch(uint64_t pc, bool taken);
 
     ProbeConfig config_{};
@@ -315,12 +322,19 @@ class Probe
 
     TraceSink *sink_ = nullptr;  ///< External consumer, overrides capture.
     mutable VectorSink capture_; ///< Internal batch capture (legacy API).
-    /** Emission staging block: recorded ops accumulate here and are
-     *  delivered through dest()->onOps in kBlockOps batches (flushed
-     *  early at kernel entry and before every branch record to keep the
-     *  sink's program-order contract). */
-    mutable std::vector<TraceOp> block_ = std::vector<TraceOp>(kBlockOps);
-    mutable size_t block_fill_ = 0;
+    /** Emission staging block: recorded ops accumulate in stage_.ops
+     *  and branch/kernel records as positioned events, delivered whole
+     *  through dest()->onBlock when the op span reaches kBlockOps (or
+     *  the event list does, for branch-only streams). */
+    mutable TraceBlock stage_ = makeStage();
+
+    static TraceBlock
+    makeStage()
+    {
+        TraceBlock b;
+        b.reserveStandard();
+        return b;
+    }
     uint64_t ops_recorded_ = 0;
     uint64_t branches_recorded_ = 0;
     uint64_t dropped_ops_ = 0;

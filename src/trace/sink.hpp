@@ -61,6 +61,64 @@ struct TraceOp {
 };
 
 /**
+ * One probe staging block: up to kOps dynamic ops plus the branch and
+ * kernel-entry records that occurred among them, carried in program
+ * order. The probe emits the trace as a sequence of these blocks, and
+ * ownership of a whole block can be transferred to a sink (see
+ * TraceSink::onBlock) so the span can cross a thread boundary without
+ * copying — the handoff unit of the pipeline-parallel simulation path
+ * (PipelineMux, uarch::SegmentSim).
+ *
+ * Events interleave with ops by position: an event at pos P happened
+ * after ops[0..P) and before ops[P..). replayBlock() reconstructs the
+ * exact op/branch/kernel program order a record-at-a-time consumer
+ * would have seen.
+ */
+struct TraceBlock {
+    /** Ops per full block; the probe flushes at this fill level. */
+    static constexpr size_t kOps = 4096;
+
+    struct Event {
+        enum Kind : uint8_t { Branch, Kernel };
+        uint32_t pos = 0;    ///< Index into ops where the event fires.
+        Kind kind = Branch;
+        bool taken = false;  ///< Branch direction (Branch events).
+        uint64_t value = 0;  ///< Branch PC, or kernel site PC.
+    };
+
+    std::vector<TraceOp> ops;
+    std::vector<Event> events;
+
+    bool empty() const { return ops.empty() && events.empty(); }
+
+    /** Drop contents, keeping both buffers' capacity for reuse. */
+    void
+    clear()
+    {
+        ops.clear();
+        events.clear();
+    }
+
+    /** Reserve the standard block capacity up front. */
+    void
+    reserveStandard()
+    {
+        ops.reserve(kOps);
+    }
+};
+
+class TraceSink;
+
+/**
+ * Deliver @p block to @p sink record-at-a-time-equivalent: ops between
+ * consecutive events go out as onOps spans, events as
+ * onBranch/onKernel, in exact program order. This is the bridge from
+ * the block-granular handoff path back to the classic streaming
+ * interface, and the default TraceSink::onBlock.
+ */
+void replayBlock(const TraceBlock &block, TraceSink &sink);
+
+/**
  * Consumer of a live trace stream.
  *
  * The probe delivers records in program order. onOps is the batched
@@ -96,6 +154,17 @@ class TraceSink
      * attribute ops without reverse-mapping PCs.
      */
     virtual void onKernel(uint64_t site) { (void)site; }
+
+    /**
+     * One whole staging block, with the ownership-transfer option: a
+     * sink that moves from @p block takes the span (and its branch and
+     * kernel events) without copying — e.g. across a thread boundary.
+     * A sink that does NOT move leaves the block with the caller, who
+     * reuses its capacity for the next block. The default replays the
+     * block through onOps/onBranch/onKernel, so record-at-a-time sinks
+     * see exactly the stream they always did.
+     */
+    virtual void onBlock(TraceBlock &&block) { replayBlock(block, *this); }
 
     /** End of stream: complete pending work, finalise results. */
     virtual void flush() {}

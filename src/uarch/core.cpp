@@ -329,6 +329,21 @@ struct StreamCore::Impl {
     uint64_t retired = 0;
     bool finished = false;
 
+    /**
+     * Measurement bases, snapshotted by resetStats(): finish() reports
+     * each monotone counter minus its base, so a reset discards the
+     * warmup prefix without touching warm cache/predictor state. All
+     * zero by default — finish() is unchanged for whole-trace runs.
+     */
+    uint64_t base_cycle = 0;
+    uint64_t base_instr = 0;
+    uint64_t base_l1i_misses = 0;
+    uint64_t base_l1d_accesses = 0;
+    uint64_t base_l1d_misses = 0;
+    uint64_t base_l2_misses = 0;
+    uint64_t base_llc_misses = 0;
+    uint64_t base_invalidations = 0;
+
     uint64_t end() const { return base + buf.size(); }
     const TraceOp &at(uint64_t idx) const
     {
@@ -338,6 +353,7 @@ struct StreamCore::Impl {
     void pushBlock(const TraceOp *ops, size_t n);
     void stepCycle();
     void finish();
+    void resetStats();
 };
 
 void
@@ -694,16 +710,45 @@ StreamCore::Impl::finish()
     }
     buf.clear();
     base = pos;
-    stats.cycles = cycle;
-    stats.instructions = n_instr;
-    stats.l1iMisses = mem.l1i().misses();
-    stats.l1dAccesses = mem.l1d().accesses();
-    stats.l1dMisses = mem.l1d().misses();
-    stats.l2Misses = mem.l2().misses();
-    stats.llcMisses = mem.llc().misses();
-    stats.invalidations =
-        mem.l1d().invalidations() + mem.l2().invalidations();
+    stats.cycles = cycle - base_cycle;
+    stats.instructions = n_instr - base_instr;
+    stats.l1iMisses = mem.l1i().misses() - base_l1i_misses;
+    stats.l1dAccesses = mem.l1d().accesses() - base_l1d_accesses;
+    stats.l1dMisses = mem.l1d().misses() - base_l1d_misses;
+    stats.l2Misses = mem.l2().misses() - base_l2_misses;
+    stats.llcMisses = mem.llc().misses() - base_llc_misses;
+    stats.invalidations = mem.l1d().invalidations() +
+                          mem.l2().invalidations() - base_invalidations;
     finished = true;
+}
+
+void
+StreamCore::Impl::resetStats()
+{
+    // Drain: everything received so far retires, so the post-reset
+    // measurement starts from an empty pipeline window.
+    while (retired < n_instr) {
+        stepCycle();
+    }
+    // Anything still buffered is a trailing foreign run; apply it as
+    // coherence traffic inside the discarded prefix.
+    while (pos < end()) {
+        mem.remoteStore(at(pos).addr);
+        ++pos;
+    }
+    buf.clear();
+    base = pos;
+    // Incremental counters restart; monotone ones subtract their base.
+    stats = CoreStats{};
+    base_cycle = cycle;
+    base_instr = n_instr;
+    base_l1i_misses = mem.l1i().misses();
+    base_l1d_accesses = mem.l1d().accesses();
+    base_l1d_misses = mem.l1d().misses();
+    base_l2_misses = mem.l2().misses();
+    base_llc_misses = mem.llc().misses();
+    base_invalidations =
+        mem.l1d().invalidations() + mem.l2().invalidations();
 }
 
 StreamCore::StreamCore(const CoreConfig &config)
@@ -737,6 +782,15 @@ void
 StreamCore::flush()
 {
     impl_->finish();
+}
+
+void
+StreamCore::resetStats()
+{
+    if (impl_->finished) {
+        throw std::logic_error("StreamCore: resetStats after flush");
+    }
+    impl_->resetStats();
 }
 
 bool

@@ -165,6 +165,18 @@ class StreamCore final : public trace::TraceSink
     /** End of trace: drain the pipeline and finalise stats(). */
     void flush() override;
 
+    /**
+     * Discard the statistics accumulated so far while keeping all
+     * microarchitectural state warm (caches, branch predictor, TLB-less
+     * hierarchy contents). The pipeline is drained first — every op
+     * received so far retires — so the post-reset measurement starts
+     * from an empty window; the drain itself is the boundary bubble of
+     * segment-parallel simulation (see uarch::SegmentSim). After this,
+     * flush() reports only the ops consumed since the reset. Throws
+     * std::logic_error after flush().
+     */
+    void resetStats();
+
     bool finished() const;
 
     /** The simulation results; valid once flush() has run. */

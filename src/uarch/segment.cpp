@@ -1,0 +1,284 @@
+#include "uarch/segment.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+#include <stdexcept>
+#include <thread>
+
+#include "trace/pipeline.hpp"
+
+namespace vepro::uarch
+{
+
+using trace::TraceBlock;
+
+struct SegmentSim::Impl {
+    SegmentSimConfig config;
+    std::vector<TraceBlock> blocks;
+    TraceBlock stage;
+    CoreStats stitched;
+    bool finished = false;
+    int segments_used = 0;
+    uint64_t warmup_ops = 0;
+
+    explicit Impl(const SegmentSimConfig &cfg) : config(cfg)
+    {
+        stage.reserveStandard();
+    }
+
+    void
+    publishStage()
+    {
+        if (stage.empty()) {
+            return;
+        }
+        blocks.push_back(std::move(stage));
+        stage = TraceBlock{};
+        stage.reserveStandard();
+    }
+
+    void
+    capture(TraceBlock &&block)
+    {
+        publishStage();
+        blocks.push_back(std::move(block));
+    }
+
+    /** Simulate blocks [first, last) on a fresh core, with the warmup
+     *  prefix [wfirst, first) replayed and discarded beforehand. */
+    CoreStats
+    runSegment(size_t wfirst, size_t first, size_t last,
+               uint64_t *warmup_count) const
+    {
+        StreamCore core(config.core);
+        if (wfirst < first) {
+            for (size_t b = wfirst; b < first; ++b) {
+                replayBlock(blocks[b], core);
+                *warmup_count += blocks[b].ops.size();
+            }
+            core.resetStats();
+        }
+        for (size_t b = first; b < last; ++b) {
+            replayBlock(blocks[b], core);
+        }
+        core.flush();
+        return core.stats();
+    }
+
+    void
+    stitch(const CoreStats &s)
+    {
+        stitched.cycles += s.cycles;
+        stitched.instructions += s.instructions;
+        stitched.slots.retiring += s.slots.retiring;
+        stitched.slots.badSpec += s.slots.badSpec;
+        stitched.slots.frontend += s.slots.frontend;
+        stitched.slots.backend += s.slots.backend;
+        stitched.slots.backendMemory += s.slots.backendMemory;
+        stitched.slots.backendCore += s.slots.backendCore;
+        stitched.stalls.rs += s.stalls.rs;
+        stitched.stalls.rob += s.stalls.rob;
+        stitched.stalls.loadBuf += s.stalls.loadBuf;
+        stitched.stalls.storeBuf += s.stalls.storeBuf;
+        stitched.condBranches += s.condBranches;
+        stitched.mispredicts += s.mispredicts;
+        stitched.l1iMisses += s.l1iMisses;
+        stitched.l1dAccesses += s.l1dAccesses;
+        stitched.l1dMisses += s.l1dMisses;
+        stitched.l2Misses += s.l2Misses;
+        stitched.llcMisses += s.llcMisses;
+        stitched.invalidations += s.invalidations;
+    }
+
+    void
+    run()
+    {
+        publishStage();
+        const size_t nblocks = blocks.size();
+        int want = config.segments > 0
+                       ? config.segments
+                       : trace::resolveJobs(config.segments);
+        segments_used = static_cast<int>(std::min<size_t>(
+            std::max(want, 1), std::max<size_t>(nblocks, 1)));
+        const size_t nseg = static_cast<size_t>(segments_used);
+        const size_t warm =
+            config.warmupBlocks > 0
+                ? static_cast<size_t>(config.warmupBlocks)
+                : 0;
+
+        // Contiguous even split at block boundaries: segment i covers
+        // [i*n/S, (i+1)*n/S) — a pure function of (n, S).
+        std::vector<CoreStats> results(nseg);
+        std::vector<uint64_t> warm_counts(nseg, 0);
+        auto runOne = [&](size_t i) {
+            const size_t first = i * nblocks / nseg;
+            const size_t last = (i + 1) * nblocks / nseg;
+            const size_t wfirst = first >= warm ? first - warm : 0;
+            results[i] =
+                runSegment(i == 0 ? first : wfirst, first, last,
+                           &warm_counts[i]);
+        };
+
+        const int jobs = std::min<int>(trace::resolveJobs(config.jobs),
+                                       segments_used);
+        if (jobs <= 1 || nseg <= 1) {
+            for (size_t i = 0; i < nseg; ++i) {
+                runOne(i);
+            }
+        } else {
+            // uarch sits below core::parallelFor in the layering, so
+            // the segment loop carries its own claim-by-index pool.
+            std::atomic<size_t> next{0};
+            std::vector<std::exception_ptr> errors(
+                static_cast<size_t>(jobs));
+            std::vector<std::thread> pool;
+            pool.reserve(static_cast<size_t>(jobs));
+            for (int w = 0; w < jobs; ++w) {
+                pool.emplace_back([&, w] {
+                    try {
+                        for (;;) {
+                            const size_t i = next.fetch_add(
+                                1, std::memory_order_relaxed);
+                            if (i >= nseg) {
+                                return;
+                            }
+                            runOne(i);
+                        }
+                    } catch (...) {
+                        errors[static_cast<size_t>(w)] =
+                            std::current_exception();
+                        // Drain remaining claims so siblings finish.
+                        while (next.fetch_add(1,
+                                              std::memory_order_relaxed) <
+                               nseg) {
+                        }
+                    }
+                });
+            }
+            for (std::thread &t : pool) {
+                t.join();
+            }
+            for (std::exception_ptr &err : errors) {
+                if (err) {
+                    std::rethrow_exception(err);
+                }
+            }
+        }
+
+        // Stitch in segment order: the sum is independent of which
+        // thread simulated which segment, and of completion order.
+        for (size_t i = 0; i < nseg; ++i) {
+            stitch(results[i]);
+            warmup_ops += warm_counts[i];
+        }
+        finished = true;
+    }
+};
+
+SegmentSim::SegmentSim(const SegmentSimConfig &config)
+    : impl_(std::make_unique<Impl>(config))
+{
+}
+
+SegmentSim::~SegmentSim() = default;
+
+void
+SegmentSim::onOp(const trace::TraceOp &op)
+{
+    TraceBlock &stage = impl_->stage;
+    if (stage.ops.size() >= TraceBlock::kOps) {
+        impl_->publishStage();
+    }
+    stage.ops.push_back(op);
+}
+
+void
+SegmentSim::onOps(const trace::TraceOp *ops, size_t n)
+{
+    TraceBlock &stage = impl_->stage;
+    while (n > 0) {
+        if (stage.ops.size() >= TraceBlock::kOps) {
+            impl_->publishStage();
+        }
+        const size_t take =
+            std::min(n, TraceBlock::kOps - stage.ops.size());
+        stage.ops.insert(stage.ops.end(), ops, ops + take);
+        ops += take;
+        n -= take;
+    }
+}
+
+void
+SegmentSim::onBranch(const trace::BranchRecord &branch)
+{
+    TraceBlock::Event ev;
+    ev.pos = static_cast<uint32_t>(impl_->stage.ops.size());
+    ev.kind = TraceBlock::Event::Branch;
+    ev.taken = branch.taken;
+    ev.value = branch.pc;
+    impl_->stage.events.push_back(ev);
+    if (impl_->stage.events.size() >= TraceBlock::kOps) {
+        impl_->publishStage();
+    }
+}
+
+void
+SegmentSim::onKernel(uint64_t site)
+{
+    TraceBlock::Event ev;
+    ev.pos = static_cast<uint32_t>(impl_->stage.ops.size());
+    ev.kind = TraceBlock::Event::Kernel;
+    ev.value = site;
+    impl_->stage.events.push_back(ev);
+    if (impl_->stage.events.size() >= TraceBlock::kOps) {
+        impl_->publishStage();
+    }
+}
+
+void
+SegmentSim::onBlock(TraceBlock &&block)
+{
+    impl_->capture(std::move(block));
+}
+
+void
+SegmentSim::flush()
+{
+    if (impl_->finished) {
+        return;
+    }
+    impl_->run();
+}
+
+bool
+SegmentSim::finished() const
+{
+    return impl_->finished;
+}
+
+const CoreStats &
+SegmentSim::stats() const
+{
+    return impl_->stitched;
+}
+
+int
+SegmentSim::segmentsUsed() const
+{
+    return impl_->segments_used;
+}
+
+size_t
+SegmentSim::blockCount() const
+{
+    return impl_->blocks.size() + (impl_->stage.empty() ? 0 : 1);
+}
+
+uint64_t
+SegmentSim::warmupOps() const
+{
+    return impl_->warmup_ops;
+}
+
+} // namespace vepro::uarch

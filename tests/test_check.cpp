@@ -55,9 +55,10 @@ TEST(CheckNames, TargetNamesRoundTrip)
 
 TEST(CheckNames, FaultNamesRoundTrip)
 {
-    const Fault faults[] = {Fault::None,       Fault::CacheLru,
+    const Fault faults[] = {Fault::None,        Fault::CacheLru,
                             Fault::CoreLatency, Fault::BpredAlloc,
-                            Fault::KernelsSad, Fault::StoreBit};
+                            Fault::KernelsSad,  Fault::StoreBit,
+                            Fault::ParallelDrop};
     for (Fault f : faults) {
         Fault back = Fault::None;
         ASSERT_TRUE(parseFault(faultName(f), back)) << faultName(f);
@@ -109,6 +110,7 @@ TEST(CheckInjection, EveryFaultIsCaught)
         {Fault::BpredAlloc, Target::Bpred},
         {Fault::KernelsSad, Target::Kernels},
         {Fault::StoreBit, Target::Store},
+        {Fault::ParallelDrop, Target::Parallel},
     };
     for (const FaultCase &fc : cases) {
         SCOPED_TRACE(faultName(fc.fault));

@@ -111,9 +111,14 @@ TEST(RunScale, JobsParsingIsStrict)
     const char *ok[] = {"bench", "--jobs=4"};
     EXPECT_EQ(RunScale::fromArgs(2, const_cast<char **>(ok)).jobs, 4);
 
+    // 0 = auto-detect hardware threads, resolved at parse time so every
+    // consumer sees a concrete count (floor 1).
+    const char *zero[] = {"bench", "--jobs=0"};
+    EXPECT_GE(RunScale::fromArgs(2, const_cast<char **>(zero)).jobs, 1);
+
     // std::stoi would have accepted all of these silently.
     for (const char *bad :
-         {"--jobs=4abc", "--jobs=", "--jobs=1e3", "--jobs= 2", "--jobs=0",
+         {"--jobs=4abc", "--jobs=", "--jobs=1e3", "--jobs= 2",
           "--jobs=-1", "--jobs=4.5"}) {
         const char *argv[] = {"bench", bad};
         EXPECT_THROW(RunScale::fromArgs(2, const_cast<char **>(argv)),
