@@ -1,5 +1,6 @@
 #include "lab/orchestrator.hpp"
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <stdexcept>
@@ -9,6 +10,17 @@
 
 namespace vepro::lab
 {
+
+bool
+Orchestrator::queueLess(const QueueItem &a, const QueueItem &b)
+{
+    // Higher priority first; submit order (seq) breaks ties, so a
+    // priority class drains deterministically FIFO.
+    if (a.priority != b.priority) {
+        return a.priority < b.priority;
+    }
+    return a.seq > b.seq;
+}
 
 OrchestratorOptions
 OrchestratorOptions::fromRunScale(const core::RunScale &scale)
@@ -25,11 +37,21 @@ Orchestrator::Orchestrator(OrchestratorOptions opts)
 {
 }
 
+Orchestrator::~Orchestrator()
+{
+    stopService();
+}
+
 size_t
 Orchestrator::request(const JobSpec &spec)
 {
     if (spec.threads < 1) {
         throw std::invalid_argument("lab: threads must be >= 1");
+    }
+    if (service_) {
+        throw std::logic_error(
+            "lab: request() is the batch API — use submit() while the "
+            "service is running");
     }
     std::string key = spec.canonicalKey();
     auto it = byKey_.find(key);
@@ -53,27 +75,53 @@ Orchestrator::clipKey(const JobSpec &spec)
 std::shared_ptr<const video::Video>
 Orchestrator::acquireClip(const JobSpec &spec)
 {
-    ClipSlot &slot = *clips_.at(clipKey(spec));
-    std::lock_guard<std::mutex> lock(slot.mutex);
-    if (!slot.clip) {
+    ClipSlot *slot = nullptr;
+    {
+        std::lock_guard<std::mutex> map_lock(clips_mutex_);
+        slot = clips_.at(clipKey(spec)).get();
+    }
+    std::lock_guard<std::mutex> lock(slot->mutex);
+    if (!slot->clip) {
         core::RunScale scale = spec.toRunScale();
-        slot.clip = std::make_shared<const video::Video>(
+        slot->clip = std::make_shared<const video::Video>(
             video::loadSuiteVideo(spec.video, scale.suite));
     }
-    return slot.clip;
+    return slot->clip;
 }
 
 void
 Orchestrator::releaseClip(const JobSpec &spec)
 {
-    ClipSlot &slot = *clips_.at(clipKey(spec));
-    std::lock_guard<std::mutex> lock(slot.mutex);
-    if (slot.remaining > 0 && --slot.remaining == 0) {
+    ClipSlot *slot = nullptr;
+    {
+        std::lock_guard<std::mutex> map_lock(clips_mutex_);
+        slot = clips_.at(clipKey(spec)).get();
+    }
+    std::lock_guard<std::mutex> lock(slot->mutex);
+    if (slot->remaining > 0 && --slot->remaining == 0) {
         // Last pending point for this clip: free the frames now
         // instead of at end of sweep (outstanding shared_ptr copies
         // keep it alive until their jobs finish).
-        slot.clip.reset();
+        slot->clip.reset();
     }
+}
+
+void
+Orchestrator::prepareMiss(const JobSpec &spec)
+{
+    if (opts_.runner) {
+        return;  // The test runner brings its own inputs.
+    }
+    if (!encoders_.count(spec.encoder)) {
+        encoders_.emplace(spec.encoder,
+                          encoders::encoderByName(spec.encoder));
+    }
+    std::lock_guard<std::mutex> map_lock(clips_mutex_);
+    auto &slot = clips_[clipKey(spec)];
+    if (!slot) {
+        slot = std::make_unique<ClipSlot>();
+    }
+    ++slot->remaining;
 }
 
 JobResult
@@ -87,7 +135,12 @@ Orchestrator::execute(const JobSpec &spec)
             "lab: multi-threaded points are not orchestrated yet "
             "(threads=" + std::to_string(spec.threads) + ")");
     }
-    auto encoder = encoders_.at(spec.encoder);
+    std::shared_ptr<const encoders::EncoderModel> encoder;
+    {
+        // encoders_ grows under intake_mutex_ while workers read it.
+        std::lock_guard<std::mutex> lock(intake_mutex_);
+        encoder = encoders_.at(spec.encoder);
+    }
     std::shared_ptr<const video::Video> clip = acquireClip(spec);
     core::SweepPoint point = core::runPoint(*encoder, *clip, spec.crf,
                                             spec.preset, spec.toRunScale());
@@ -104,9 +157,65 @@ Orchestrator::execute(const JobSpec &spec)
     return result;
 }
 
+JobResult
+Orchestrator::executeWithRetry(const JobSpec &spec,
+                               std::atomic<size_t> &retried)
+{
+    JobResult result;
+    auto attempt = [&] {
+        auto t0 = std::chrono::steady_clock::now();
+        result = execute(spec);
+        result.jobSeconds = std::chrono::duration<double>(
+                                std::chrono::steady_clock::now() - t0)
+                                .count();
+    };
+    auto describe = [](std::exception_ptr err) -> std::string {
+        try {
+            std::rethrow_exception(err);
+        } catch (const std::exception &e) {
+            return e.what();
+        } catch (...) {
+            return "unknown error";
+        }
+    };
+    try {
+        attempt();
+        return result;
+    } catch (...) {
+        retried.fetch_add(1, std::memory_order_relaxed);
+        if (opts_.progress) {
+            opts_.progress->linef(
+                "  warning: %s failed (%s) — retrying once",
+                spec.label().c_str(),
+                describe(std::current_exception()).c_str());
+        }
+    }
+    try {
+        attempt();
+        return result;
+    } catch (...) {
+        // Second failure: record it instead of aborting — a long sweep
+        // (or a long-running service) must never lose completed work
+        // to one bad spec.
+        result = JobResult{};
+        result.failed = true;
+        result.error = describe(std::current_exception());
+        if (opts_.progress) {
+            opts_.progress->linef(
+                "  warning: %s failed twice (%s) — recorded as failed",
+                spec.label().c_str(), result.error.c_str());
+        }
+        return result;
+    }
+}
+
 void
 Orchestrator::run()
 {
+    if (service_) {
+        throw std::logic_error("lab: run() while the service is active");
+    }
+
     // Phase 1 — resolve from the store (serial: cheap file reads).
     std::vector<size_t> pending;
     std::vector<size_t> resolved;  ///< Everything this call settles.
@@ -128,57 +237,34 @@ Orchestrator::run()
     // Phase 2 — prepare shared state for the misses: encoder models
     // and per-clip refcount slots (only misses pin a clip; a fully
     // cached run never decodes anything).
-    if (!opts_.runner) {
-        for (size_t i : pending) {
-            const JobSpec &spec = jobs_[i];
-            if (!encoders_.count(spec.encoder)) {
-                encoders_.emplace(spec.encoder,
-                                  encoders::encoderByName(spec.encoder));
-            }
-            auto &slot = clips_[clipKey(spec)];
-            if (!slot) {
-                slot = std::make_unique<ClipSlot>();
-            }
-            ++slot->remaining;
-        }
+    for (size_t i : pending) {
+        prepareMiss(jobs_[i]);
     }
 
-    // Phase 3 — run the unique misses on the worker pool.
+    // Phase 3 — run the unique misses on the worker pool. A job that
+    // throws twice is recorded as failed; the sweep keeps draining.
     std::atomic<size_t> done{0};
     std::atomic<size_t> retried{0};
+    std::atomic<size_t> newly_failed{0};
     const size_t total = pending.size();
     core::parallelFor(total, opts_.jobs, [&](size_t p) {
         const JobSpec &spec = jobs_[pending[p]];
-        JobResult result;
-        auto attempt = [&] {
-            auto t0 = std::chrono::steady_clock::now();
-            result = execute(spec);
-            result.jobSeconds =
-                std::chrono::duration<double>(
-                    std::chrono::steady_clock::now() - t0)
-                    .count();
-        };
-        try {
-            attempt();
-        } catch (const std::exception &e) {
-            retried.fetch_add(1, std::memory_order_relaxed);
-            if (opts_.progress) {
-                opts_.progress->linef(
-                    "  warning: %s failed (%s) — retrying once",
-                    spec.label().c_str(), e.what());
-            }
-            attempt();  // A second throw aborts the run via parallelFor.
+        JobResult result = executeWithRetry(spec, retried);
+        if (result.failed) {
+            newly_failed.fetch_add(1, std::memory_order_relaxed);
+        } else {
+            result.fromCache = false;
+            store_.save(spec, result);
         }
-        result.fromCache = false;
-        store_.save(spec, result);
         size_t k = done.fetch_add(1, std::memory_order_relaxed) + 1;
-        if (opts_.verbose && opts_.progress) {
+        if (opts_.verbose && opts_.progress && !result.failed) {
             opts_.progress->linef("  [%zu/%zu] %s — %.2fs", k, total,
                                   spec.label().c_str(), result.jobSeconds);
         }
-        results_[pending[p]] = std::make_unique<JobResult>(result);
+        results_[pending[p]] = std::make_unique<JobResult>(std::move(result));
     });
-    computed_ += total;
+    failures_ += newly_failed.load();
+    computed_ += total - newly_failed.load();
     retries_ += retried.load();
 
     // Probe-cap warnings for everything resolved in this run, cached
@@ -186,7 +272,7 @@ Orchestrator::run()
     if (opts_.progress) {
         for (size_t i : resolved) {
             const JobResult &r = *results_[i];
-            if (r.encode.droppedOps > 0) {
+            if (!r.failed && r.encode.droppedOps > 0) {
                 opts_.progress->linef(
                     "  warning: %s hit the op cap (%llu ops dropped) — "
                     "pass --uncapped for full fidelity",
@@ -197,16 +283,277 @@ Orchestrator::run()
     }
 }
 
-const JobResult &
-Orchestrator::result(size_t handle) const
+// ---- Service mode ----------------------------------------------------
+
+void
+Orchestrator::startService(const ServiceOptions &options)
 {
+    std::lock_guard<std::mutex> lock(intake_mutex_);
+    if (service_) {
+        throw std::logic_error("lab: service already started");
+    }
+    auto service = std::make_unique<Service>();
+    service->opts = options;
+    service->opts.shards = std::max(1, options.shards);
+    service->opts.workers = std::max(1, options.workers);
+    for (int s = 0; s < service->opts.shards; ++s) {
+        service->shards.push_back(std::make_unique<Shard>());
+    }
+    service_ = std::move(service);
+    for (int w = 0; w < service_->opts.workers; ++w) {
+        service_->workers.emplace_back(
+            [this, w] { serviceWorker(static_cast<size_t>(w)); });
+    }
+}
+
+std::optional<size_t>
+Orchestrator::submit(const JobSpec &spec, int priority)
+{
+    if (spec.threads < 1) {
+        throw std::invalid_argument("lab: threads must be >= 1");
+    }
+    std::lock_guard<std::mutex> lock(intake_mutex_);
+    if (!service_) {
+        throw std::logic_error("lab: submit() before startService()");
+    }
+    Service &svc = *service_;
+
+    std::string key = spec.canonicalKey();
+    auto it = byKey_.find(key);
+    if (it != byKey_.end()) {
+        return it->second;  // Dedupe: already resolved or in flight.
+    }
+
+    // Cache-first intake: a warm-store hit resolves synchronously and
+    // never occupies queue capacity.
+    std::optional<JobResult> hit;
+    if (opts_.useCache) {
+        hit = store_.load(spec);
+    }
+
+    if (!hit) {
+        // Admission control: reject new work while the backlog is at
+        // the limit (dedupe hits and cache hits above are always
+        // admitted — they cost nothing to resolve).
+        std::lock_guard<std::mutex> wait_lock(svc.wait_mutex);
+        if (svc.opts.admissionLimit != 0 &&
+            svc.queued >= svc.opts.admissionLimit) {
+            ++rejected_;
+            return std::nullopt;
+        }
+    }
+
+    size_t handle;
+    {
+        std::lock_guard<std::mutex> done_lock(done_mutex_);
+        handle = jobs_.size();
+        jobs_.push_back(spec);
+        results_.push_back(nullptr);
+    }
+    byKey_.emplace(std::move(key), handle);
+
+    if (hit) {
+        {
+            std::lock_guard<std::mutex> done_lock(done_mutex_);
+            results_[handle] = std::make_unique<JobResult>(*hit);
+            ++cacheHits_;
+        }
+        done_cv_.notify_all();
+        return handle;
+    }
+
+    prepareMiss(spec);
+
+    QueueItem item;
+    item.priority = priority;
+    item.handle = handle;
+    Shard &shard = *svc.shards[handle % svc.shards.size()];
+    {
+        std::lock_guard<std::mutex> wait_lock(svc.wait_mutex);
+        item.seq = svc.next_seq++;
+        {
+            std::lock_guard<std::mutex> shard_lock(shard.mutex);
+            shard.heap.push_back(item);
+            std::push_heap(shard.heap.begin(), shard.heap.end(), queueLess);
+        }
+        ++svc.queued;
+    }
+    svc.work_cv.notify_one();
+    return handle;
+}
+
+std::optional<size_t>
+Orchestrator::popQueued(size_t worker_index)
+{
+    Service &svc = *service_;
+    const size_t n = svc.shards.size();
+    // Start at the worker's home shard, then steal round-robin: shards
+    // keep intake mostly contention-free while idle workers still find
+    // any backlog.
+    for (size_t k = 0; k < n; ++k) {
+        Shard &shard = *svc.shards[(worker_index + k) % n];
+        std::lock_guard<std::mutex> shard_lock(shard.mutex);
+        if (shard.heap.empty()) {
+            continue;
+        }
+        std::pop_heap(shard.heap.begin(), shard.heap.end(), queueLess);
+        size_t handle = shard.heap.back().handle;
+        shard.heap.pop_back();
+        return handle;
+    }
+    return std::nullopt;
+}
+
+void
+Orchestrator::serviceWorker(size_t worker_index)
+{
+    Service &svc = *service_;
+    for (;;) {
+        std::optional<size_t> handle = popQueued(worker_index);
+        if (!handle) {
+            std::unique_lock<std::mutex> wait_lock(svc.wait_mutex);
+            svc.work_cv.wait(wait_lock, [&] {
+                return svc.queued > 0 || svc.stopping;
+            });
+            if (svc.queued == 0 && svc.stopping) {
+                return;
+            }
+            continue;
+        }
+        {
+            std::lock_guard<std::mutex> wait_lock(svc.wait_mutex);
+            --svc.queued;
+        }
+
+        const JobSpec *spec = nullptr;
+        {
+            // Deque elements never move, so the reference outlives the
+            // lock; only the container's structure needs the mutex.
+            std::lock_guard<std::mutex> done_lock(done_mutex_);
+            spec = &jobs_[*handle];
+        }
+        JobResult result = executeWithRetry(*spec, service_retries_);
+        if (!result.failed) {
+            result.fromCache = false;
+            store_.save(*spec, result);
+        }
+        finishJob(*handle, std::move(result));
+    }
+}
+
+void
+Orchestrator::finishJob(size_t handle, JobResult &&result)
+{
+    {
+        std::lock_guard<std::mutex> done_lock(done_mutex_);
+        if (result.failed) {
+            ++failures_;
+        } else {
+            ++computed_;
+        }
+        results_[handle] = std::make_unique<JobResult>(std::move(result));
+    }
+    done_cv_.notify_all();
+}
+
+void
+Orchestrator::await(size_t handle)
+{
+    std::unique_lock<std::mutex> done_lock(done_mutex_);
     if (handle >= results_.size()) {
         throw std::out_of_range("lab: bad job handle");
     }
-    if (!results_[handle]) {
+    done_cv_.wait(done_lock, [&] { return results_[handle] != nullptr; });
+}
+
+bool
+Orchestrator::finished(size_t handle) const
+{
+    std::lock_guard<std::mutex> done_lock(done_mutex_);
+    if (handle >= results_.size()) {
+        throw std::out_of_range("lab: bad job handle");
+    }
+    return results_[handle] != nullptr;
+}
+
+void
+Orchestrator::stopService()
+{
+    {
+        std::lock_guard<std::mutex> lock(intake_mutex_);
+        if (!service_) {
+            return;
+        }
+        {
+            std::lock_guard<std::mutex> wait_lock(service_->wait_mutex);
+            service_->stopping = true;
+        }
+        service_->work_cv.notify_all();
+    }
+    // Join outside intake_mutex_ so in-flight workers can still read
+    // the encoder map while finishing their last jobs.
+    for (std::thread &t : service_->workers) {
+        t.join();
+    }
+    std::lock_guard<std::mutex> lock(intake_mutex_);
+    retries_ += service_retries_.exchange(0);
+    service_.reset();
+}
+
+// ---- Results ---------------------------------------------------------
+
+const JobResult &
+Orchestrator::result(size_t handle) const
+{
+    const JobResult *result = nullptr;
+    {
+        std::lock_guard<std::mutex> done_lock(done_mutex_);
+        if (handle >= results_.size()) {
+            throw std::out_of_range("lab: bad job handle");
+        }
+        result = results_[handle].get();
+    }
+    if (result == nullptr) {
         throw std::logic_error("lab: result() before run()");
     }
-    return *results_[handle];
+    if (result->failed) {
+        throw std::runtime_error("lab: job failed: " + result->error);
+    }
+    return *result;
+}
+
+bool
+Orchestrator::failed(size_t handle) const
+{
+    const JobResult *result = nullptr;
+    {
+        std::lock_guard<std::mutex> done_lock(done_mutex_);
+        if (handle >= results_.size()) {
+            throw std::out_of_range("lab: bad job handle");
+        }
+        result = results_[handle].get();
+    }
+    if (result == nullptr) {
+        throw std::logic_error("lab: failed() before run()");
+    }
+    return result->failed;
+}
+
+const std::string &
+Orchestrator::error(size_t handle) const
+{
+    const JobResult *result = nullptr;
+    {
+        std::lock_guard<std::mutex> done_lock(done_mutex_);
+        if (handle >= results_.size()) {
+            throw std::out_of_range("lab: bad job handle");
+        }
+        result = results_[handle].get();
+    }
+    if (result == nullptr) {
+        throw std::logic_error("lab: error() before run()");
+    }
+    return result->error;
 }
 
 std::string
@@ -216,12 +563,19 @@ Orchestrator::summaryLine() const
     const double pct =
         n ? 100.0 * static_cast<double>(cacheHits_) / static_cast<double>(n)
           : 100.0;
-    char buf[160];
+    char buf[200];
     std::snprintf(buf, sizeof buf,
                   "%zu unique jobs, %zu cache hits, %zu computed "
                   "(cache hits: %.1f%%)",
                   n, cacheHits_, computed_, pct);
-    return buf;
+    std::string line = buf;
+    if (failures_ > 0) {
+        line += ", " + std::to_string(failures_) + " failed";
+    }
+    if (rejected_ > 0) {
+        line += ", " + std::to_string(rejected_) + " rejected";
+    }
+    return line;
 }
 
 } // namespace vepro::lab

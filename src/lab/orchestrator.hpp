@@ -6,8 +6,15 @@
  * Sweep orchestrator: figures declare the JobSpecs they need, the
  * orchestrator dedupes the union, satisfies what it can from the
  * persistent store, runs the rest on the core::parallelFor pool — with
- * per-job wall-clock timing, one retry on a thrown attempt, and
- * serialized progress lines — and fans results back out per figure.
+ * per-job wall-clock timing, one retry on a thrown attempt (a second
+ * failure is recorded, not fatal), and serialized progress lines — and
+ * fans results back out per figure.
+ *
+ * Besides the batch API, the orchestrator can run as a persistent
+ * service (startService/submit/await/stopService): worker threads
+ * drain a sharded priority queue with asynchronous intake, admission
+ * control, and the same dedupe/cache-first/retry semantics — the
+ * execution engine of the vepro-serve encode farm.
  *
  * Decoded clips are reference-counted: a clip is loaded lazily when its
  * first cache-missing point starts and released as soon as its last
@@ -15,11 +22,17 @@
  * resident (and an all-cache-hit run decodes nothing at all).
  */
 
+#include <atomic>
+#include <condition_variable>
 #include <cstddef>
+#include <cstdint>
+#include <deque>
 #include <functional>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
+#include <thread>
 #include <unordered_map>
 #include <vector>
 
@@ -49,10 +62,26 @@ struct OrchestratorOptions {
     static OrchestratorOptions fromRunScale(const core::RunScale &scale);
 };
 
+/**
+ * Service-mode configuration (see Orchestrator::startService): the
+ * persistent sharded priority queue behind vepro-serve's async job
+ * intake.
+ */
+struct ServiceOptions {
+    int shards = 4;    ///< Independent priority-queue shards (>= 1).
+    int workers = 1;   ///< Persistent worker threads (>= 1).
+    /**
+     * Admission control: maximum jobs queued (submitted but not yet
+     * started) before submit() rejects. 0 = unbounded.
+     */
+    size_t admissionLimit = 0;
+};
+
 class Orchestrator
 {
   public:
     explicit Orchestrator(OrchestratorOptions opts = {});
+    ~Orchestrator();
 
     /**
      * Register one point and get its handle. Requests dedupe: the same
@@ -64,19 +93,68 @@ class Orchestrator
     /**
      * Resolve every outstanding request: cache lookups first, then the
      * unique misses on the worker pool. Each miss is retried once if
-     * its first attempt throws; a job that fails twice aborts the run
-     * with that exception (results computed before it are already
-     * persisted). May be called again after further request()s.
+     * its first attempt throws; a job that fails twice is recorded as
+     * FAILED (failed(handle), with the error string) and the sweep
+     * keeps draining — completed work is never lost to one bad spec.
+     * May be called again after further request()s.
      */
     void run();
 
-    /** The result for a handle. @throws std::logic_error before run(). */
+    // ---- Service mode: persistent queue with async intake -----------
+    //
+    // The batch API above resolves a closed set of requests in one
+    // run() call. Service mode promotes the orchestrator into a
+    // long-running farm back-end: persistent worker threads drain a
+    // sharded priority queue while producers keep submitting jobs
+    // asynchronously — the engine behind vepro-serve.
+
+    /**
+     * Spawn the service workers. Mutually exclusive with concurrent
+     * run() calls. @throws std::logic_error if already started.
+     */
+    void startService(const ServiceOptions &options);
+
+    /**
+     * Asynchronously submit one job; thread-safe. Cache hits and
+     * duplicates of an already-submitted spec resolve without queueing.
+     * Higher @p priority runs earlier; ties run in submit order.
+     *
+     * @return the job handle, or nullopt when admission control
+     *         rejected the job (queue at admissionLimit). A handle is
+     *         interchangeable with batch handles: await() it, then read
+     *         result().
+     */
+    std::optional<size_t> submit(const JobSpec &spec, int priority = 0);
+
+    /** Block until @p handle is resolved (thread-safe). */
+    void await(size_t handle);
+
+    /** True once @p handle has a result (possibly a failure). */
+    bool finished(size_t handle) const;
+
+    /**
+     * Drain every queued job, join the workers, and leave service
+     * mode. Every handle submitted before stopService() is resolved
+     * when it returns. Idempotent.
+     */
+    void stopService();
+
+    /** The result for a handle. @throws std::logic_error before run();
+     *  rethrows the recorded error for a failed job. */
     const JobResult &result(size_t handle) const;
+
+    /** Whether the job resolved as a terminal failure. */
+    bool failed(size_t handle) const;
+    /** The recorded error of a failed job ("" when it succeeded). */
+    const std::string &error(size_t handle) const;
 
     size_t requested() const { return jobs_.size(); }  ///< Unique jobs.
     size_t cacheHits() const { return cacheHits_; }
     size_t computed() const { return computed_; }
-    size_t retries() const { return retries_; }
+    size_t retries() const { return retries_ + service_retries_.load(); }
+    size_t failures() const { return failures_; }
+    /** Jobs admission control turned away (service mode). */
+    size_t rejected() const { return rejected_; }
 
     const ResultStore &store() const { return store_; }
 
@@ -90,7 +168,42 @@ class Orchestrator
         size_t remaining = 0;  ///< Pending points still needing it.
     };
 
+    /** One queued service job, ordered by (priority desc, seq asc). */
+    struct QueueItem {
+        int priority = 0;
+        uint64_t seq = 0;
+        size_t handle = 0;
+    };
+
+    struct Shard {
+        std::mutex mutex;
+        std::vector<QueueItem> heap;  ///< std::push_heap max-heap.
+    };
+
+    /** Everything the persistent service owns; null in batch mode. */
+    struct Service {
+        ServiceOptions opts;
+        std::vector<std::unique_ptr<Shard>> shards;
+        std::vector<std::thread> workers;
+        std::mutex wait_mutex;
+        std::condition_variable work_cv;
+        size_t queued = 0;       ///< Submitted, not yet started.
+        uint64_t next_seq = 0;
+        bool stopping = false;
+    };
+
+    /** Max-heap order: higher priority first, then submit order. */
+    static bool queueLess(const QueueItem &a, const QueueItem &b);
+
     JobResult execute(const JobSpec &spec);
+    /** execute() with the one-retry policy; never throws — a second
+     *  failure comes back as a failed JobResult. */
+    JobResult executeWithRetry(const JobSpec &spec,
+                               std::atomic<size_t> &retried);
+    void prepareMiss(const JobSpec &spec);
+    void finishJob(size_t handle, JobResult &&result);
+    void serviceWorker(size_t worker_index);
+    std::optional<size_t> popQueued(size_t worker_index);
     std::shared_ptr<const video::Video> acquireClip(const JobSpec &spec);
     void releaseClip(const JobSpec &spec);
     static std::string clipKey(const JobSpec &spec);
@@ -98,18 +211,36 @@ class Orchestrator
     OrchestratorOptions opts_;
     ResultStore store_;
 
-    std::vector<JobSpec> jobs_;
-    std::vector<std::unique_ptr<JobResult>> results_;
+    // Deques for reference stability: service workers hold references
+    // to their job's spec and result slot while submit() keeps growing
+    // both containers (structural changes and slot writes are guarded
+    // by done_mutex_; a deque never relocates existing elements).
+    std::deque<JobSpec> jobs_;
+    std::deque<std::unique_ptr<JobResult>> results_;
     std::unordered_map<std::string, size_t> byKey_;
 
     std::unordered_map<std::string,
                        std::shared_ptr<const encoders::EncoderModel>>
         encoders_;
     std::unordered_map<std::string, std::unique_ptr<ClipSlot>> clips_;
+    std::mutex clips_mutex_;  ///< Guards the clips_ map (not the slots).
+
+    /** Intake/dedupe state shared by submit() callers; also guards the
+     *  counters below in service mode (batch mode is single-threaded
+     *  outside parallelFor, which only touches disjoint results_). */
+    mutable std::mutex intake_mutex_;
+    /** Resolution signalling for await()/finished(). */
+    mutable std::mutex done_mutex_;
+    mutable std::condition_variable done_cv_;
+
+    std::unique_ptr<Service> service_;
+    std::atomic<size_t> service_retries_{0};
 
     size_t cacheHits_ = 0;
     size_t computed_ = 0;
     size_t retries_ = 0;
+    size_t failures_ = 0;
+    size_t rejected_ = 0;
 };
 
 } // namespace vepro::lab

@@ -44,6 +44,16 @@ struct JobResult {
     // Provenance — not part of the record's figure payload.
     double jobSeconds = 0.0;  ///< Orchestrator-measured wall clock.
     bool fromCache = false;   ///< Set by the orchestrator on load.
+
+    /**
+     * Terminal failure: the job threw on its first attempt AND its
+     * retry. The orchestrator records the error here instead of
+     * aborting the sweep, keeps draining the remaining jobs, and never
+     * persists a failed record to the store. Reading such a result
+     * through Orchestrator::result() rethrows the recorded error.
+     */
+    bool failed = false;
+    std::string error;  ///< what() of the second failure.
 };
 
 class ResultStore

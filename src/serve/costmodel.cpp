@@ -1,0 +1,142 @@
+#include "serve/costmodel.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+#include "encoders/registry.hpp"
+#include "sched/scheduler.hpp"
+#include "video/suite.hpp"
+
+namespace vepro::serve
+{
+
+CostModel::CostModel(lab::Orchestrator &orch, CostModelConfig config)
+    : orch_(orch), config_(std::move(config))
+{
+    if (config_.presets.empty()) {
+        throw std::invalid_argument("serve: empty preset ladder");
+    }
+}
+
+std::string
+CostModel::comboKey(const std::string &clip, int crf, int preset)
+{
+    return clip + "|" + std::to_string(crf) + "|" + std::to_string(preset);
+}
+
+lab::JobSpec
+CostModel::specFor(const std::string &clip, int crf, int preset) const
+{
+    lab::JobSpec spec;
+    spec.encoder = config_.encoder;
+    spec.video = clip;
+    spec.crf = crf;
+    spec.preset = preset;
+    spec.divisor = config_.divisor;
+    spec.frames = config_.frames;
+    spec.maxTraceOps = config_.maxTraceOps;
+    return spec;
+}
+
+void
+CostModel::resolve(const std::vector<std::string> &clips,
+                   const std::vector<int> &crfs)
+{
+    // Per-preset parallel speedup from the encoder's own task graph:
+    // one cheap instrumented encode per rung (graph only, no trace),
+    // list-scheduled at 1 and at serverCores. Deterministic, so it
+    // never perturbs the SLA table across runs.
+    const auto model = encoders::encoderByName(config_.encoder);
+    for (int preset : config_.presets) {
+        if (speedups_.count(preset) != 0) {
+            continue;
+        }
+        const video::SuiteScale scale{config_.divisor, config_.frames};
+        const video::Video clip =
+            video::loadSuiteVideo(clips.front(), scale);
+        encoders::EncodeParams params;
+        params.crf = crfs.front();
+        params.preset = preset;
+        trace::ProbeConfig probe;  // Mix counters only: cheapest run.
+        const encoders::EncodeResult enc =
+            model->encode(clip, params, probe, /*build_tasks=*/true);
+        const sched::ScheduleResult serial =
+            sched::schedule(enc.taskGraph, 1);
+        const sched::ScheduleResult wide =
+            sched::schedule(enc.taskGraph, config_.serverCores);
+        double up = wide.speedupVs(serial.makespan);
+        speedups_[preset] = up > 1.0 ? up : 1.0;
+    }
+
+    // Cost specs go through the orchestrator's persistent service:
+    // async intake, cache-first against the store, parallel across its
+    // workers. Duplicate combos dedupe to the same handle for free.
+    std::vector<std::pair<std::string, size_t>> pending;
+    for (const std::string &clip : clips) {
+        for (int crf : crfs) {
+            for (int preset : config_.presets) {
+                const std::string key = comboKey(clip, crf, preset);
+                if (seconds_.count(key) != 0) {
+                    continue;
+                }
+                const auto handle = orch_.submit(specFor(clip, crf, preset));
+                if (!handle.has_value()) {
+                    throw std::runtime_error(
+                        "serve: cost spec rejected by admission control");
+                }
+                pending.emplace_back(key, *handle);
+            }
+        }
+    }
+    for (const auto &[key, handle] : pending) {
+        orch_.await(handle);
+        const lab::JobResult &result = orch_.result(handle);
+        const double ipc = result.core.ipc();
+        if (result.encode.instructions == 0 || ipc <= 0.0) {
+            throw std::runtime_error("serve: degenerate cost record for " +
+                                     key);
+        }
+        const double scale =
+            static_cast<double>(config_.divisor) *
+            static_cast<double>(config_.divisor) *
+            (static_cast<double>(config_.referenceFrames) /
+             static_cast<double>(config_.frames));
+        const double full_instructions =
+            static_cast<double>(result.encode.instructions) * scale;
+        const double single_core =
+            full_instructions / (ipc * config_.nominalGhz * 1e9);
+        const int preset = std::stoi(key.substr(key.rfind('|') + 1));
+        seconds_[key] = single_core / speedups_.at(preset);
+    }
+}
+
+double
+CostModel::serviceSeconds(const std::string &clip, int crf,
+                          int preset) const
+{
+    const auto it = seconds_.find(comboKey(clip, crf, preset));
+    if (it == seconds_.end()) {
+        throw std::out_of_range("serve: unresolved cost combo " +
+                                comboKey(clip, crf, preset));
+    }
+    return it->second;
+}
+
+const std::vector<int> &
+CostModel::presetLadder() const
+{
+    return config_.presets;
+}
+
+double
+CostModel::speedup(int preset) const
+{
+    const auto it = speedups_.find(preset);
+    if (it == speedups_.end()) {
+        throw std::out_of_range("serve: no speedup probe for preset " +
+                                std::to_string(preset));
+    }
+    return it->second;
+}
+
+} // namespace vepro::serve

@@ -1,0 +1,103 @@
+#ifndef VEPRO_SERVE_COSTMODEL_HPP
+#define VEPRO_SERVE_COSTMODEL_HPP
+
+/**
+ * @file
+ * Model-derived encode costs for the farm simulator, cache-first
+ * through the lab ResultStore.
+ *
+ * Every (clip, crf, preset) combo in a scenario resolves to one
+ * lab::JobSpec executed by the Orchestrator's persistent service
+ * (async submit + await): the instrumented encoder model produces the
+ * dynamic instruction count and the core model the achieved IPC, both
+ * persisted in the store — a warm store makes policy sweeps replay
+ * without re-encoding anything.
+ *
+ * Single-core service seconds are then
+ *
+ *     instructions * divisor^2 * (referenceFrames / frames)
+ *     -----------------------------------------------------
+ *                    ipc * nominalGhz * 1e9
+ *
+ * i.e. the measured downscaled, frame-limited encode scaled back to
+ * the full-size clip, retired at the simulated core's IPC — the
+ * paper's framing that encode-time differences are instruction-count
+ * differences, not IPC differences. Farm servers are multi-core, so
+ * the single-core time is divided by a per-preset parallel speedup
+ * obtained from the encoder's own task graph run through the
+ * sched::schedule list scheduler at serverCores — slower presets have
+ * deeper, better-balanced graphs, so speedups differ per rung.
+ */
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "lab/orchestrator.hpp"
+#include "serve/policy.hpp"
+
+namespace vepro::serve
+{
+
+/** How specs are formed and costs scaled. */
+struct CostModelConfig {
+    std::string encoder = "SVT-AV1";
+    /** Preset ladder, slowest (best quality) first. */
+    std::vector<int> presets = {2, 4, 6, 8};
+
+    // Run-scale of the measured specs (small: costs resolve fast).
+    int divisor = 16;
+    int frames = 2;
+    uint64_t maxTraceOps = 150'000;
+
+    /** Full-length clip frames the measurement is scaled up to
+     *  (the suite's 5 s @ 30 fps). */
+    int referenceFrames = 150;
+    double nominalGhz = 3.0;  ///< Farm server clock.
+    int serverCores = 8;      ///< Cores per farm server.
+};
+
+/**
+ * CostOracle backed by the encoder models (see file docs). resolve()
+ * must run before serviceSeconds(); unresolved combos throw.
+ */
+class CostModel final : public CostOracle
+{
+  public:
+    /** @param orch Orchestrator whose service mode is ALREADY started
+     *  (resolve() submits into it). Not owned. */
+    CostModel(lab::Orchestrator &orch, CostModelConfig config);
+
+    /**
+     * Resolve every (clip, crf, ladder-preset) combo: submit the specs
+     * asynchronously, await them, memoise service seconds. Also runs
+     * the per-preset task-graph speedup probes. Idempotent per combo.
+     */
+    void resolve(const std::vector<std::string> &clips,
+                 const std::vector<int> &crfs);
+
+    double serviceSeconds(const std::string &clip, int crf,
+                          int preset) const override;
+    const std::vector<int> &presetLadder() const override;
+
+    /** Parallel speedup used for @p preset (post-resolve; for tests
+     *  and the verbose scenario print). */
+    double speedup(int preset) const;
+
+    /** The JobSpec a combo maps to (exposed for tests). */
+    lab::JobSpec specFor(const std::string &clip, int crf,
+                         int preset) const;
+
+  private:
+    static std::string comboKey(const std::string &clip, int crf,
+                                int preset);
+
+    lab::Orchestrator &orch_;
+    CostModelConfig config_;
+    std::unordered_map<std::string, double> seconds_;
+    std::unordered_map<int, double> speedups_;
+};
+
+} // namespace vepro::serve
+
+#endif // VEPRO_SERVE_COSTMODEL_HPP

@@ -1,0 +1,80 @@
+#include "serve/traffic.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "core/rng.hpp"
+
+namespace vepro::serve
+{
+
+namespace
+{
+
+constexpr double kPi = 3.14159265358979323846;
+
+/** Uniform double in (0, 1]: 53 mantissa bits, never exactly 0 so it is
+ *  always safe inside a log(). */
+double
+uniform01(core::SplitMix64 &rng)
+{
+    return (static_cast<double>(rng.next() >> 11) + 1.0) * 0x1.0p-53;
+}
+
+} // namespace
+
+double
+arrivalRatePerSec(const TrafficConfig &config, double t)
+{
+    const double base = static_cast<double>(config.users) *
+                        config.uploadsPerUserPerHour / 3600.0;
+    if (config.diurnalAmplitude == 0.0 || config.diurnalPeriodSec <= 0.0) {
+        return base;
+    }
+    const double phase =
+        2.0 * kPi * (t + config.diurnalPhaseSec) / config.diurnalPeriodSec;
+    const double rate =
+        base * (1.0 + config.diurnalAmplitude * std::sin(phase));
+    return rate > 0.0 ? rate : 0.0;
+}
+
+std::vector<UploadJob>
+generateTraffic(const TrafficConfig &config)
+{
+    if (config.clips.empty() || config.crfs.empty()) {
+        throw std::invalid_argument(
+            "serve: traffic needs a non-empty clip and CRF mix");
+    }
+    std::vector<UploadJob> jobs;
+    const double rate_max =
+        static_cast<double>(config.users) * config.uploadsPerUserPerHour /
+        3600.0 * (1.0 + std::fabs(config.diurnalAmplitude));
+    if (rate_max <= 0.0 || config.durationSec <= 0.0) {
+        return jobs;
+    }
+
+    // Lewis-Shedler thinning: draw a homogeneous process at rate_max,
+    // keep each point with probability rate(t)/rate_max. One RNG
+    // stream drives both the clock and the mix so the whole sequence
+    // replays from the single seed.
+    core::SplitMix64 rng(config.seed);
+    double t = 0.0;
+    for (;;) {
+        t += -std::log(uniform01(rng)) / rate_max;
+        if (t >= config.durationSec) {
+            break;
+        }
+        if (uniform01(rng) * rate_max > arrivalRatePerSec(config, t)) {
+            continue;  // Thinned out.
+        }
+        UploadJob job;
+        job.id = jobs.size();
+        job.arrivalSec = t;
+        job.clip = config.clips[rng.below(config.clips.size())];
+        job.crf = config.crfs[rng.below(config.crfs.size())];
+        jobs.push_back(std::move(job));
+    }
+    return jobs;
+}
+
+} // namespace vepro::serve

@@ -1,0 +1,72 @@
+#ifndef VEPRO_SERVE_TRAFFIC_HPP
+#define VEPRO_SERVE_TRAFFIC_HPP
+
+/**
+ * @file
+ * Synthetic upload traffic for the encode-farm simulator: a seeded,
+ * deterministic nonhomogeneous Poisson arrival process with a diurnal
+ * rate shape, parameterised by user count and a clip/CRF mix.
+ *
+ * The generator uses Lewis-Shedler thinning over core::SplitMix64, so
+ * the arrival sequence is a pure function of the TrafficConfig — the
+ * same seed and parameters reproduce the same uploads byte-for-byte on
+ * every platform, which is what makes per-policy SLA tables comparable
+ * and the serve smoke test able to diff JSON artifacts across runs.
+ */
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace vepro::serve
+{
+
+/** Parameters of the upload arrival process. */
+struct TrafficConfig {
+    uint64_t seed = 1;  ///< RNG seed; same seed ⇒ same arrivals.
+
+    /** Active uploaders behind the farm. */
+    int users = 1000;
+    /** Mean uploads per user per hour (Poisson intensity scale). */
+    double uploadsPerUserPerHour = 0.1;
+
+    /** Simulated window length in seconds. */
+    double durationSec = 1800.0;
+
+    // Diurnal shape: rate(t) = base * (1 + amplitude * sin(2*pi *
+    // (t + phaseSec) / periodSec)), clamped at 0. amplitude = 0 is a
+    // flat (homogeneous) process. Quick scenarios compress periodSec so
+    // a short window still sweeps trough -> peak.
+    double diurnalAmplitude = 0.5;
+    double diurnalPeriodSec = 86400.0;
+    double diurnalPhaseSec = 0.0;
+
+    /** Clip mix (suite names), drawn uniformly per upload. */
+    std::vector<std::string> clips = {"desktop", "game1", "house"};
+    /** CRF mix, drawn uniformly per upload. */
+    std::vector<int> crfs = {32};
+};
+
+/** One upload: what arrived and when. The encoder/preset are NOT part
+ *  of the job — the farm's scheduling policy chooses them at dispatch
+ *  (per-job encoder+preset selection). */
+struct UploadJob {
+    size_t id = 0;          ///< Arrival index (0-based, arrival order).
+    double arrivalSec = 0;  ///< Arrival time within the window.
+    std::string clip;       ///< Suite clip name.
+    int crf = 32;
+};
+
+/** Instantaneous arrival rate (uploads/sec) at time @p t. */
+double arrivalRatePerSec(const TrafficConfig &config, double t);
+
+/**
+ * Generate the full arrival sequence for the window, sorted by arrival
+ * time. Deterministic: a pure function of @p config.
+ */
+std::vector<UploadJob> generateTraffic(const TrafficConfig &config);
+
+} // namespace vepro::serve
+
+#endif // VEPRO_SERVE_TRAFFIC_HPP

@@ -1,0 +1,139 @@
+/**
+ * @file
+ * vepro-serve: the encode-farm simulator front-end.
+ *
+ * Resolves model-derived encode costs cache-first through the lab
+ * ResultStore (so a second run against the same --store is warm and
+ * byte-identical), replays seeded upload traffic through the farm
+ * under every scheduling policy, prints the per-policy SLA table, and
+ * optionally writes it as a JSON artifact for diffing in CI.
+ */
+
+#include <cstdint>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "serve/scenario.hpp"
+
+namespace
+{
+
+void
+usage()
+{
+    std::cout
+        << "usage: vepro-serve [options]\n"
+           "\n"
+           "Encode-farm simulator: seeded upload traffic, EDF queue,\n"
+           "static vs speed-adaptive preset policies, SLA table.\n"
+           "\n"
+           "  --quick                CI-sized reference overload scenario\n"
+           "  --seed N               traffic RNG seed\n"
+           "  --users N              active uploaders\n"
+           "  --uploads-per-hour X   mean uploads per user per hour\n"
+           "  --duration SEC        simulated window length\n"
+           "  --servers N            farm servers\n"
+           "  --shards N             EDF queue shards\n"
+           "  --admission N          admission limit (queued jobs; 0 = off)\n"
+           "  --latency-target SEC   SLA deadline per job\n"
+           "  --jobs N               cost-resolution workers (default 1)\n"
+           "  --store DIR            result store directory (.vepro-lab)\n"
+           "  --json PATH            write the SLA table as JSON\n"
+           "  --help                 this text\n";
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace vepro;
+
+    bool quick = false;
+    int jobs = 1;
+    std::string store_dir = ".vepro-lab";
+    std::string json_path;
+    serve::ServeScenario scenario = serve::referenceScenario(false);
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        const auto value = [&]() -> std::string {
+            if (i + 1 >= argc) {
+                std::cerr << "vepro-serve: " << arg << " needs a value\n";
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        if (arg == "--help" || arg == "-h") {
+            usage();
+            return 0;
+        } else if (arg == "--quick") {
+            quick = true;
+            scenario = serve::referenceScenario(true);
+        } else if (arg == "--seed") {
+            scenario.traffic.seed = std::stoull(value());
+        } else if (arg == "--users") {
+            scenario.traffic.users = std::stoi(value());
+        } else if (arg == "--uploads-per-hour") {
+            scenario.traffic.uploadsPerUserPerHour = std::stod(value());
+        } else if (arg == "--duration") {
+            scenario.traffic.durationSec = std::stod(value());
+        } else if (arg == "--servers") {
+            scenario.farm.servers = std::stoi(value());
+        } else if (arg == "--shards") {
+            scenario.farm.shards = std::stoi(value());
+        } else if (arg == "--admission") {
+            scenario.farm.admissionLimit =
+                static_cast<size_t>(std::stoull(value()));
+        } else if (arg == "--latency-target") {
+            scenario.farm.latencyTargetSec = std::stod(value());
+        } else if (arg == "--jobs") {
+            jobs = std::stoi(value());
+        } else if (arg == "--store") {
+            store_dir = value();
+        } else if (arg == "--json") {
+            json_path = value();
+        } else {
+            std::cerr << "vepro-serve: unknown option " << arg << "\n";
+            usage();
+            return 2;
+        }
+    }
+
+    lab::OrchestratorOptions opts;
+    opts.jobs = jobs;
+    opts.storeDir = store_dir;
+    opts.verbose = false;
+    lab::Orchestrator orch(opts);
+
+    std::cout << "vepro-serve: " << (quick ? "quick " : "")
+              << "scenario — " << scenario.traffic.users << " users, "
+              << scenario.farm.servers << " servers, latency target "
+              << scenario.farm.latencyTargetSec << " s\n";
+
+    try {
+        const serve::ScenarioRun run =
+            serve::runScenario(scenario, orch, jobs);
+        std::cout << "traffic: " << run.arrivals.size()
+                  << " uploads over " << scenario.traffic.durationSec
+                  << " s\n";
+        run.table.print("SLA outcomes per scheduling policy");
+        std::cout << "orchestrator: " << orch.summaryLine() << "\n";
+        if (!json_path.empty()) {
+            std::ofstream out(json_path);
+            if (!out) {
+                std::cerr << "vepro-serve: cannot write " << json_path
+                          << "\n";
+                return 1;
+            }
+            out << run.table.toJson();
+            std::cout << "wrote " << json_path << "\n";
+        }
+    } catch (const std::exception &err) {
+        std::cerr << "vepro-serve: " << err.what() << "\n";
+        return 1;
+    }
+    return 0;
+}

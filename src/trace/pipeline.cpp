@@ -100,6 +100,15 @@ struct PipelineMux::Impl {
     std::vector<std::unique_ptr<SpscQueue>> queues;
     std::vector<std::thread> workers;
     std::vector<std::exception_ptr> worker_errors;
+    /**
+     * One flag per worker, set (release) the moment its sink throws.
+     * The producer's backpressure loops acquire-load it so a dead
+     * consumer can never stall publishing: once a worker has failed,
+     * its queue is skipped and the block's fan-out refcount dropped
+     * immediately. Exceptions still surface at flush(), but the
+     * producer no longer has to outrun them.
+     */
+    std::vector<std::unique_ptr<std::atomic<bool>>> worker_failed;
 
     explicit Impl(std::vector<TraceSink *> s, const Options &options)
         : sinks(std::move(s))
@@ -128,9 +137,21 @@ struct PipelineMux::Impl {
         workers.reserve(sinks.size());
         for (size_t i = 0; i < sinks.size(); ++i) {
             queues.push_back(std::make_unique<SpscQueue>(depth));
+            worker_failed.push_back(
+                std::make_unique<std::atomic<bool>>(false));
         }
         for (size_t i = 0; i < sinks.size(); ++i) {
             workers.emplace_back([this, i] { workerLoop(i); });
+        }
+    }
+
+    void
+    recycle(BlockNode *node)
+    {
+        if (node->remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+            node->block.clear();
+            std::lock_guard<std::mutex> lock(free_mutex);
+            free_nodes.push_back(node);
         }
     }
 
@@ -139,6 +160,8 @@ struct PipelineMux::Impl {
     {
         TraceSink *sink = sinks[i];
         SpscQueue &q = *queues[i];
+        bool saw_sentinel = false;
+        BlockNode *in_flight = nullptr;
         try {
             for (;;) {
                 BlockNode *node = nullptr;
@@ -146,21 +169,35 @@ struct PipelineMux::Impl {
                     std::this_thread::yield();
                 }
                 if (node == nullptr) {
+                    // The sentinel is consumed BEFORE flushing: if the
+                    // sink throws in flush() there is no second
+                    // sentinel coming, so the drain below must not
+                    // wait for one.
+                    saw_sentinel = true;
                     sink->flush();
                     return;
                 }
+                in_flight = node;
                 replayBlock(node->block, *sink);
-                if (node->remaining.fetch_sub(
-                        1, std::memory_order_acq_rel) == 1) {
-                    node->block.clear();
-                    std::lock_guard<std::mutex> lock(free_mutex);
-                    free_nodes.push_back(node);
-                }
+                in_flight = nullptr;
+                recycle(node);
             }
         } catch (...) {
             worker_errors[i] = std::current_exception();
-            // Keep draining so the producer never deadlocks on a full
-            // queue; blocks are recycled but no longer consumed.
+            // Publish the failure FIRST: the producer's backpressure
+            // loops observe it and stop feeding this queue, so a dead
+            // consumer can never stall the pipeline (the exception
+            // itself still surfaces when flush() rethrows).
+            worker_failed[i]->store(true, std::memory_order_release);
+            if (in_flight != nullptr) {
+                recycle(in_flight);  // The throwing block still fans in.
+            }
+            if (saw_sentinel) {
+                return;  // Failed in flush(): the stream already ended.
+            }
+            // Drain whatever the producer managed to push before it saw
+            // the failure flag, through to the shutdown sentinel, so
+            // every block's refcount resolves and pooled nodes recycle.
             for (;;) {
                 BlockNode *node = nullptr;
                 while (!q.tryPop(node)) {
@@ -169,12 +206,7 @@ struct PipelineMux::Impl {
                 if (node == nullptr) {
                     return;
                 }
-                if (node->remaining.fetch_sub(
-                        1, std::memory_order_acq_rel) == 1) {
-                    node->block.clear();
-                    std::lock_guard<std::mutex> lock(free_mutex);
-                    free_nodes.push_back(node);
-                }
+                recycle(node);
             }
         }
     }
@@ -210,12 +242,28 @@ struct PipelineMux::Impl {
         node->block = std::move(block);
         node->remaining.store(static_cast<uint32_t>(sinks.size()),
                               std::memory_order_relaxed);
-        for (auto &q : queues) {
-            if (!q->tryPush(node)) {
+        for (size_t i = 0; i < queues.size(); ++i) {
+            // A failed consumer no longer pops: skipping it (and
+            // dropping its share of the fan-out refcount) is the only
+            // way the producer can make progress once that queue
+            // fills. The worker observed/observes every block pushed
+            // before the flag flipped, so nothing leaks either way.
+            if (worker_failed[i]->load(std::memory_order_acquire)) {
+                recycle(node);
+                continue;
+            }
+            if (!queues[i]->tryPush(node)) {
                 ++backpressure_waits;
-                do {
+                for (;;) {
+                    if (worker_failed[i]->load(std::memory_order_acquire)) {
+                        recycle(node);
+                        break;
+                    }
+                    if (queues[i]->tryPush(node)) {
+                        break;
+                    }
                     std::this_thread::yield();
-                } while (!q->tryPush(node));
+                }
             }
         }
     }

@@ -21,6 +21,13 @@
  * on the full queue) instead of buffering the trace. With jobs <= 1 or
  * a single sink the mux degrades to the exact sequential MuxSink
  * behaviour — no threads, no queues.
+ *
+ * Failure safety: when a sink throws on its worker, the worker flags
+ * itself failed before anything else, and every producer backpressure
+ * loop observes that flag — publishing bails out of the dead queue
+ * instead of yield-spinning on it forever, so a failing (possibly
+ * slow) sink can never stall the trace producer. The first captured
+ * exception still rethrows from flush().
  */
 
 #include <atomic>

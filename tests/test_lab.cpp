@@ -273,6 +273,57 @@ TEST(Store, AtomicWriteLeavesOnlyTheFinalFile)
     EXPECT_EQ(files, 1u);  // No *.tmp droppings left visible.
 }
 
+TEST(Store, ConcurrentSameKeyWritersNeverCorruptTheEntry)
+{
+    // Two drivers (vepro-serve and vepro-lab, here modeled as threads
+    // with independent ResultStore instances) race to write the SAME
+    // key. With a shared "<path>.tmp" staging name the interleavings
+    // truncate each other mid-write and rename partial files into
+    // place; with per-writer tmp names every rename publishes a
+    // complete record. The surviving entry must parse cleanly and be
+    // one of the written values.
+    std::string dir = freshDir("race");
+    JobSpec spec = makeSpec();
+    constexpr int kWriters = 8;
+    constexpr int kRounds = 40;
+    std::vector<std::thread> writers;
+    std::atomic<int> errors{0};
+    for (int w = 0; w < kWriters; ++w) {
+        writers.emplace_back([&, w] {
+            ResultStore store(dir, nullptr);
+            for (int r = 0; r < kRounds; ++r) {
+                try {
+                    store.save(spec, makeResult(spec.crf + w));
+                } catch (const std::exception &) {
+                    // A lost rename race (tmp stolen by another writer)
+                    // is exactly the pre-fix failure mode.
+                    errors.fetch_add(1);
+                }
+            }
+        });
+    }
+    for (std::thread &t : writers) {
+        t.join();
+    }
+    EXPECT_EQ(errors.load(), 0);
+
+    ResultStore reader(dir, nullptr);
+    std::optional<JobResult> survivor = reader.load(spec);
+    ASSERT_TRUE(survivor.has_value());  // Parses cleanly: no torn write.
+    // The record is one writer's value, not an interleaving of several.
+    bool known = false;
+    for (int w = 0; w < kWriters; ++w) {
+        known = known || survivor->encode.instructions ==
+                             1'000'000ull +
+                                 static_cast<uint64_t>(spec.crf + w);
+    }
+    EXPECT_TRUE(known);
+    // And no tmp droppings survive the races.
+    for (const auto &entry : fs::directory_iterator(dir)) {
+        EXPECT_EQ(entry.path().extension(), ".json") << entry.path();
+    }
+}
+
 TEST(Store, TruncatedEntryIsWarnedAndRecomputable)
 {
     std::string dir = freshDir("truncated");
@@ -474,17 +525,200 @@ TEST(Orchestrator, RetriesOnceThenSucceeds)
     EXPECT_EQ(orch.result(h).encode.instructions, 1'000'030u);
 }
 
-TEST(Orchestrator, SecondFailureAbortsTheRun)
+TEST(Orchestrator, SecondFailureIsRecordedAndTheSweepKeepsDraining)
 {
+    // One spec fails on every attempt; the sweep must NOT abort — the
+    // healthy specs complete, persist, and stay readable, while the
+    // bad one resolves as a recorded failure carrying the error text.
+    std::string dir = freshDir("recordfail");
+    std::atomic<size_t> calls{0};
     OrchestratorOptions opts;
-    opts.storeDir = freshDir("abort");
+    opts.storeDir = dir;
     opts.progress = nullptr;
-    opts.runner = [](const JobSpec &) -> JobResult {
-        throw std::runtime_error("persistent failure");
+    opts.verbose = false;
+    opts.runner = [&calls](const JobSpec &spec) -> JobResult {
+        calls.fetch_add(1);
+        if (spec.crf == 20) {
+            throw std::runtime_error("persistent failure");
+        }
+        return makeResult(spec.crf);
     };
     Orchestrator orch(opts);
-    orch.request(makeSpec(30));
-    EXPECT_THROW(orch.run(), std::runtime_error);
+    std::vector<size_t> handles;
+    for (int crf : {10, 20, 30}) {
+        handles.push_back(orch.request(makeSpec(crf)));
+    }
+    orch.run();  // Must not throw.
+
+    EXPECT_EQ(calls.load(), 4u);  // 2 good + 2 attempts of the bad one.
+    EXPECT_EQ(orch.computed(), 2u);
+    EXPECT_EQ(orch.failures(), 1u);
+    EXPECT_EQ(orch.retries(), 1u);
+
+    // Healthy neighbours resolved and persisted.
+    EXPECT_EQ(orch.result(handles[0]).encode.instructions, 1'000'010u);
+    EXPECT_EQ(orch.result(handles[2]).encode.instructions, 1'000'030u);
+    ResultStore store(dir, nullptr);
+    EXPECT_TRUE(store.load(makeSpec(10)).has_value());
+    EXPECT_TRUE(store.load(makeSpec(30)).has_value());
+
+    // The failed job: flagged, error text recorded, never cached, and
+    // result() rethrows the recorded error for anyone who uses it.
+    EXPECT_TRUE(orch.failed(handles[1]));
+    EXPECT_NE(orch.error(handles[1]).find("persistent failure"),
+              std::string::npos);
+    EXPECT_FALSE(store.load(makeSpec(20)).has_value());
+    EXPECT_THROW(orch.result(handles[1]), std::runtime_error);
+    EXPECT_NE(orch.summaryLine().find("1 failed"), std::string::npos);
+}
+
+// ---- Service mode (the vepro-serve engine) ---------------------------
+
+TEST(OrchestratorService, AsyncSubmitResolvesDedupesAndCaches)
+{
+    std::string dir = freshDir("svc");
+    std::atomic<size_t> calls{0};
+    OrchestratorOptions opts;
+    opts.storeDir = dir;
+    opts.progress = nullptr;
+    opts.verbose = false;
+    opts.runner = [&calls](const JobSpec &spec) {
+        calls.fetch_add(1);
+        return makeResult(spec.crf);
+    };
+    Orchestrator orch(opts);
+    ServiceOptions svc;
+    svc.shards = 3;
+    svc.workers = 4;
+    orch.startService(svc);
+
+    std::vector<size_t> handles;
+    for (int crf = 1; crf <= 20; ++crf) {
+        auto h = orch.submit(makeSpec(crf), /*priority=*/crf % 3);
+        ASSERT_TRUE(h.has_value());
+        handles.push_back(*h);
+    }
+    // Dedupe: resubmitting an in-flight or finished spec returns the
+    // same handle without re-running it.
+    auto dup = orch.submit(makeSpec(7));
+    ASSERT_TRUE(dup.has_value());
+    EXPECT_EQ(*dup, handles[6]);
+
+    for (size_t h : handles) {
+        orch.await(h);
+        EXPECT_TRUE(orch.finished(h));
+    }
+    orch.stopService();
+    EXPECT_EQ(calls.load(), 20u);
+    EXPECT_EQ(orch.computed(), 20u);
+    for (int crf = 1; crf <= 20; ++crf) {
+        EXPECT_EQ(orch.result(handles[static_cast<size_t>(crf - 1)])
+                      .encode.instructions,
+                  1'000'000ull + static_cast<uint64_t>(crf));
+    }
+
+    // A second service run over the same store is pure cache intake.
+    Orchestrator warm(opts);
+    warm.startService(svc);
+    auto h = warm.submit(makeSpec(5));
+    ASSERT_TRUE(h.has_value());
+    warm.await(*h);  // Cache hits resolve synchronously.
+    warm.stopService();
+    EXPECT_EQ(calls.load(), 20u);
+    EXPECT_EQ(warm.cacheHits(), 1u);
+    EXPECT_TRUE(warm.result(*h).fromCache);
+}
+
+TEST(OrchestratorService, AdmissionControlRejectsBeyondTheLimit)
+{
+    std::string dir = freshDir("svcadmit");
+    // A runner that blocks until released, so the queue visibly fills.
+    std::atomic<bool> release{false};
+    OrchestratorOptions opts;
+    opts.storeDir = dir;
+    opts.progress = nullptr;
+    opts.runner = [&release](const JobSpec &spec) {
+        while (!release.load()) {
+            std::this_thread::yield();
+        }
+        return makeResult(spec.crf);
+    };
+    Orchestrator orch(opts);
+    ServiceOptions svc;
+    svc.shards = 2;
+    svc.workers = 1;
+    svc.admissionLimit = 3;
+    orch.startService(svc);
+
+    // First submit may start executing immediately; the next three fill
+    // the queue to the admission limit; the ones after are rejected.
+    std::vector<size_t> accepted;
+    size_t rejected = 0;
+    for (int crf = 1; crf <= 10; ++crf) {
+        auto h = orch.submit(makeSpec(crf));
+        if (h) {
+            accepted.push_back(*h);
+        } else {
+            ++rejected;
+        }
+    }
+    EXPECT_GE(rejected, 6u);  // At most worker(1) + limit(3) admitted.
+    EXPECT_EQ(orch.rejected(), rejected);
+    EXPECT_NE(orch.summaryLine().find("rejected"), std::string::npos);
+
+    release.store(true);
+    orch.stopService();  // Drains every accepted job.
+    for (size_t h : accepted) {
+        EXPECT_TRUE(orch.finished(h));
+        EXPECT_FALSE(orch.failed(h));
+    }
+}
+
+TEST(OrchestratorService, FailedJobResolvesWithoutStallingTheService)
+{
+    std::string dir = freshDir("svcfail");
+    OrchestratorOptions opts;
+    opts.storeDir = dir;
+    opts.progress = nullptr;
+    opts.runner = [](const JobSpec &spec) -> JobResult {
+        if (spec.crf == 13) {
+            throw std::runtime_error("unlucky spec");
+        }
+        return makeResult(spec.crf);
+    };
+    Orchestrator orch(opts);
+    ServiceOptions svc;
+    svc.workers = 2;
+    orch.startService(svc);
+    auto bad = orch.submit(makeSpec(13));
+    auto good = orch.submit(makeSpec(14));
+    ASSERT_TRUE(bad && good);
+    orch.await(*bad);
+    orch.await(*good);
+    orch.stopService();
+    EXPECT_TRUE(orch.failed(*bad));
+    EXPECT_NE(orch.error(*bad).find("unlucky spec"), std::string::npos);
+    EXPECT_FALSE(orch.failed(*good));
+    EXPECT_EQ(orch.result(*good).encode.instructions, 1'000'014u);
+    // Failures are never persisted: a later service can retry fresh.
+    ResultStore store(dir, nullptr);
+    EXPECT_FALSE(store.load(makeSpec(13)).has_value());
+}
+
+TEST(OrchestratorService, BatchApiRefusedWhileServiceRuns)
+{
+    OrchestratorOptions opts;
+    opts.storeDir = freshDir("svcguard");
+    opts.progress = nullptr;
+    opts.runner = [](const JobSpec &spec) { return makeResult(spec.crf); };
+    Orchestrator orch(opts);
+    EXPECT_THROW(orch.submit(makeSpec(1)), std::logic_error);
+    orch.startService({});
+    EXPECT_THROW(orch.request(makeSpec(1)), std::logic_error);
+    EXPECT_THROW(orch.run(), std::logic_error);
+    EXPECT_THROW(orch.startService({}), std::logic_error);
+    orch.stopService();
+    orch.stopService();  // Idempotent.
 }
 
 TEST(Orchestrator, ParallelRunResolvesEveryPoint)

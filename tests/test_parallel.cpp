@@ -20,6 +20,7 @@
  */
 
 #include <cstdint>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -256,6 +257,113 @@ TEST(PipelineMux, TinyQueueBackpressureKeepsResultsExact)
     replayStream(s, mux);
 
     expectStatsEqual(seq_core.stats(), core.stats(), "queueDepth=2");
+}
+
+/** Counts deliveries, then throws: models a sink whose worker dies
+ *  mid-stream (ISSUE 7 backpressure bugfix). */
+class ThrowingSink final : public trace::TraceSink
+{
+  public:
+    /** @param fail_after_blocks onOps deliveries before the throw;
+     *  @param throw_in_flush    throw at flush() instead. */
+    ThrowingSink(uint64_t fail_after_blocks, bool throw_in_flush = false)
+        : fail_after_(fail_after_blocks), throw_in_flush_(throw_in_flush)
+    {
+    }
+
+    void onOp(const TraceOp &) override { deliver(1); }
+    void
+    onOps(const TraceOp *, size_t n) override
+    {
+        deliver(n);
+    }
+    void
+    flush() override
+    {
+        if (throw_in_flush_) {
+            throw std::runtime_error("sink failed in flush");
+        }
+    }
+
+    uint64_t delivered() const { return delivered_; }
+
+  private:
+    void
+    deliver(size_t n)
+    {
+        if (!throw_in_flush_ && spans_seen_++ >= fail_after_) {
+            throw std::runtime_error("sink failed mid-stream");
+        }
+        delivered_ += n;
+    }
+
+    uint64_t fail_after_;
+    bool throw_in_flush_;
+    uint64_t spans_seen_ = 0;
+    uint64_t delivered_ = 0;
+};
+
+TEST(PipelineMux, SinkThrowingInFlushDoesNotDeadlockTheProducer)
+{
+    // Regression (ISSUE 7): a sink whose failure only shows at flush()
+    // used to leave its worker draining for a second shutdown sentinel
+    // that never comes — PipelineMux::flush() joined forever. The fix
+    // lets the worker bail after a post-sentinel failure; flush() must
+    // return by rethrowing the sink's exception.
+    const Stream s = makeStream(30'000, 500);
+    uarch::StreamCore core;
+    ThrowingSink bad(0, /*throw_in_flush=*/true);
+    trace::PipelineMux::Options opts;
+    opts.jobs = 2;
+    opts.queueDepth = 2;
+    trace::PipelineMux mux({&core, &bad}, opts);
+
+    size_t op_pos = 0;
+    while (op_pos < s.ops.size()) {
+        const size_t n = std::min<size_t>(s.ops.size() - op_pos, 3000);
+        mux.onOps(s.ops.data() + op_pos, n);
+        op_pos += n;
+    }
+    EXPECT_THROW(mux.flush(), std::runtime_error);
+
+    // The healthy sibling still consumed the full stream.
+    uarch::StreamCore seq_core;
+    trace::MuxSink seq{&seq_core};
+    op_pos = 0;
+    while (op_pos < s.ops.size()) {
+        const size_t n = std::min<size_t>(s.ops.size() - op_pos, 3000);
+        seq.onOps(s.ops.data() + op_pos, n);
+        op_pos += n;
+    }
+    seq.flush();
+    expectStatsEqual(seq_core.stats(), core.stats(), "healthy sibling");
+}
+
+TEST(PipelineMux, BackpressureObservesAFailedConsumerAndBails)
+{
+    // Regression (ISSUE 7): with a tiny queue, a sink that dies early
+    // must not keep the producer yield-spinning against its full
+    // queue; the backpressure loop observes the failure flag and stops
+    // feeding that sink, while the healthy sink still sees the whole
+    // stream bit-exactly and flush() reports the failure.
+    const Stream s = makeStream(120'000, 2'000);
+
+    uarch::StreamCore seq_core;
+    trace::MuxSink seq{&seq_core};
+    replayStream(s, seq);
+
+    uarch::StreamCore core;
+    ThrowingSink bad(1);  // Dies on its second delivered span.
+    trace::PipelineMux::Options opts;
+    opts.jobs = 2;
+    opts.queueDepth = 2;
+    trace::PipelineMux mux({&core, &bad}, opts);
+    EXPECT_THROW(replayStream(s, mux), std::runtime_error);
+
+    // The failed sink stopped receiving early: nearly all of the ~30
+    // blocks were skipped once the failure was observed.
+    EXPECT_LT(bad.delivered(), s.ops.size());
+    expectStatsEqual(seq_core.stats(), core.stats(), "healthy sibling");
 }
 
 TEST(PipelineMux, SequentialFallbackAtOneJob)

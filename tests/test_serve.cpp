@@ -1,0 +1,355 @@
+/**
+ * @file
+ * Tests for the vepro::serve encode-farm simulator (ISSUE 7): arrival
+ * process determinism and shape, the farm's EDF/admission contracts,
+ * byte-identical SLA tables across orchestrator worker counts, and the
+ * policy sanity pins — including the committed reference overload
+ * scenario, where speed-adaptive preset switching must strictly beat
+ * the slowest static preset on deadline misses.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "lab/orchestrator.hpp"
+#include "serve/costmodel.hpp"
+#include "serve/farm.hpp"
+#include "serve/policy.hpp"
+#include "serve/scenario.hpp"
+#include "serve/traffic.hpp"
+
+namespace vepro::serve
+{
+namespace
+{
+
+namespace fs = std::filesystem;
+
+std::string
+freshDir(const std::string &name)
+{
+    fs::path dir = fs::path(::testing::TempDir()) / ("vepro_serve_" + name);
+    fs::remove_all(dir);
+    fs::create_directories(dir);
+    return dir.string();
+}
+
+/** Cost oracle with a fixed per-preset cost (clip/CRF-independent):
+ *  isolates queue/policy logic from the encoder models. */
+class FakeOracle final : public CostOracle
+{
+  public:
+    FakeOracle(std::vector<int> ladder, std::vector<double> seconds)
+        : ladder_(std::move(ladder)), seconds_(std::move(seconds))
+    {
+    }
+
+    double
+    serviceSeconds(const std::string &, int, int preset) const override
+    {
+        for (size_t i = 0; i < ladder_.size(); ++i) {
+            if (ladder_[i] == preset) {
+                return seconds_[i];
+            }
+        }
+        throw std::out_of_range("fake oracle: preset off the ladder");
+    }
+
+    const std::vector<int> &presetLadder() const override { return ladder_; }
+
+  private:
+    std::vector<int> ladder_;
+    std::vector<double> seconds_;
+};
+
+/** @p count arrivals of one clip, @p gap seconds apart. */
+std::vector<UploadJob>
+steadyArrivals(size_t count, double gap)
+{
+    std::vector<UploadJob> jobs;
+    for (size_t i = 0; i < count; ++i) {
+        UploadJob j;
+        j.id = i;
+        j.arrivalSec = static_cast<double>(i) * gap;
+        j.clip = "game1";
+        j.crf = 32;
+        jobs.push_back(std::move(j));
+    }
+    return jobs;
+}
+
+// ---- Arrival process -------------------------------------------------
+
+TEST(Traffic, DeterministicPerSeedAndSensitiveToIt)
+{
+    TrafficConfig config;
+    config.seed = 42;
+    config.users = 500;
+    config.uploadsPerUserPerHour = 1.0;
+    config.durationSec = 600.0;
+
+    const auto a = generateTraffic(config);
+    const auto b = generateTraffic(config);
+    ASSERT_EQ(a.size(), b.size());
+    ASSERT_GT(a.size(), 20u);
+    for (size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i].id, i);
+        EXPECT_DOUBLE_EQ(a[i].arrivalSec, b[i].arrivalSec);
+        EXPECT_EQ(a[i].clip, b[i].clip);
+        EXPECT_EQ(a[i].crf, b[i].crf);
+        EXPECT_GE(a[i].arrivalSec, 0.0);
+        EXPECT_LT(a[i].arrivalSec, config.durationSec);
+        if (i > 0) {
+            EXPECT_GE(a[i].arrivalSec, a[i - 1].arrivalSec);
+        }
+        EXPECT_NE(std::find(config.clips.begin(), config.clips.end(),
+                            a[i].clip),
+                  config.clips.end());
+    }
+
+    config.seed = 43;
+    const auto c = generateTraffic(config);
+    bool differs = c.size() != a.size();
+    for (size_t i = 0; !differs && i < a.size(); ++i) {
+        differs = a[i].arrivalSec != c[i].arrivalSec;
+    }
+    EXPECT_TRUE(differs) << "different seeds must give different traffic";
+}
+
+TEST(Traffic, RateScalesWithUsersAndFollowsTheDiurnalShape)
+{
+    TrafficConfig config;
+    config.seed = 9;
+    config.users = 2000;
+    config.uploadsPerUserPerHour = 1.0;
+    config.durationSec = 1200.0;
+    config.diurnalAmplitude = 0.0;
+    const size_t big = generateTraffic(config).size();
+    config.users = 500;
+    const size_t small = generateTraffic(config).size();
+    EXPECT_GT(big, small * 2) << "4x the users must raise the rate";
+
+    // One full sine period across the window: the first half (sin > 0)
+    // must out-arrive the second half (sin < 0).
+    config.users = 2000;
+    config.diurnalAmplitude = 0.9;
+    config.diurnalPeriodSec = config.durationSec;
+    const auto arrivals = generateTraffic(config);
+    size_t first_half = 0;
+    for (const UploadJob &j : arrivals) {
+        if (j.arrivalSec < config.durationSec / 2) {
+            ++first_half;
+        }
+    }
+    EXPECT_GT(first_half, (arrivals.size() - first_half) * 2);
+}
+
+// ---- Farm queue contracts --------------------------------------------
+
+TEST(Farm, DispatchOrderIsDeterministicAndShardCountInvariant)
+{
+    const auto arrivals = steadyArrivals(40, 0.25);
+    const FakeOracle oracle({4}, {3.0});
+    const StaticPolicy policy(4);
+    FarmConfig config;
+    config.servers = 2;
+    config.latencyTargetSec = 10.0;
+
+    config.shards = 1;
+    const FarmResult one = simulateFarm(arrivals, config, policy, oracle);
+    for (int shards : {2, 5}) {
+        config.shards = shards;
+        const FarmResult many =
+            simulateFarm(arrivals, config, policy, oracle);
+        ASSERT_EQ(one.outcomes.size(), many.outcomes.size());
+        for (size_t i = 0; i < one.outcomes.size(); ++i) {
+            EXPECT_EQ(one.outcomes[i].id, many.outcomes[i].id);
+            EXPECT_DOUBLE_EQ(one.outcomes[i].startSec,
+                             many.outcomes[i].startSec);
+            EXPECT_DOUBLE_EQ(one.outcomes[i].endSec,
+                             many.outcomes[i].endSec);
+        }
+    }
+    // EDF with a uniform latency target dispatches in deadline ==
+    // arrival order.
+    for (size_t i = 1; i < one.outcomes.size(); ++i) {
+        EXPECT_LT(one.outcomes[i - 1].id, one.outcomes[i].id);
+    }
+}
+
+TEST(Farm, AdmissionControlRejectsWhenTheQueueIsFull)
+{
+    // One server stuck on 100 s jobs; arrivals flood in every second.
+    const auto arrivals = steadyArrivals(12, 1.0);
+    const FakeOracle oracle({4}, {100.0});
+    const StaticPolicy policy(4);
+    FarmConfig config;
+    config.servers = 1;
+    config.shards = 2;
+    config.admissionLimit = 3;
+    config.latencyTargetSec = 50.0;
+
+    const FarmResult r = simulateFarm(arrivals, config, policy, oracle);
+    EXPECT_EQ(r.sla.offered, 12u);
+    EXPECT_EQ(r.sla.completed + r.sla.rejected, 12u);
+    EXPECT_GT(r.sla.rejected, 0u);
+    size_t rejected = 0;
+    for (const JobOutcome &o : r.outcomes) {
+        rejected += o.rejected ? 1 : 0;
+    }
+    EXPECT_EQ(rejected, r.sla.rejected);
+}
+
+// ---- Policies --------------------------------------------------------
+
+TEST(Policy, AdaptivePicksTheSlowestRungThatStillFits)
+{
+    const FakeOracle oracle({2, 4, 6, 8}, {10.0, 5.0, 2.0, 1.0});
+    const AdaptivePolicy policy;
+    UploadJob job;
+    job.clip = "game1";
+    job.crf = 32;
+
+    EXPECT_EQ(policy.choosePreset(job, 0.0, 20.0, oracle), 2);
+    EXPECT_EQ(policy.choosePreset(job, 0.0, 6.0, oracle), 4);
+    EXPECT_EQ(policy.choosePreset(job, 0.0, 1.5, oracle), 8);
+    // Nothing fits: take the fastest anyway.
+    EXPECT_EQ(policy.choosePreset(job, 0.0, -3.0, oracle), 8);
+}
+
+TEST(Policy, AdaptiveStrictlyBeatsSlowestStaticUnderOverload)
+{
+    // 1 server, arrivals every 2 s: 5x overload at the slow rung,
+    // half-capacity at the fast one.
+    const auto arrivals = steadyArrivals(100, 2.0);
+    const FakeOracle oracle({2, 4, 6, 8}, {10.0, 6.0, 3.0, 1.0});
+    FarmConfig config;
+    config.servers = 1;
+    config.latencyTargetSec = 12.0;
+
+    const FarmResult slow =
+        simulateFarm(arrivals, config, StaticPolicy(2), oracle);
+    const FarmResult adaptive =
+        simulateFarm(arrivals, config, AdaptivePolicy(), oracle);
+
+    EXPECT_GT(slow.sla.deadlineMisses, arrivals.size() / 2);
+    EXPECT_LT(adaptive.sla.deadlineMisses, slow.sla.deadlineMisses);
+    EXPECT_GT(adaptive.sla.presetSwitches, 0u);
+    // Quality is shed only under pressure: the adaptive mean service
+    // stays above always-fastest.
+    EXPECT_GT(adaptive.sla.meanServiceSec, 1.0);
+}
+
+// ---- Scenario runs through the orchestrator --------------------------
+
+/** Deterministic fake runner: spec-derived numbers, no real encodes. */
+lab::JobResult
+fakeRun(const lab::JobSpec &spec)
+{
+    lab::JobResult r;
+    r.encode.instructions =
+        1'000'000ull * static_cast<uint64_t>(10 - spec.preset) +
+        static_cast<uint64_t>(spec.crf) * 1000ull +
+        static_cast<uint64_t>(spec.video.size());
+    r.core.instructions = r.encode.instructions;
+    r.core.cycles = r.encode.instructions / 2;  // IPC 2.0.
+    return r;
+}
+
+TEST(Scenario, SlaTableIsByteIdenticalAcrossOrchestratorJobs)
+{
+    ServeScenario scenario = referenceScenario(true);
+    scenario.traffic.durationSec = 400.0;
+
+    std::string first;
+    for (int jobs : {1, 4}) {
+        lab::OrchestratorOptions opts;
+        opts.jobs = jobs;
+        opts.storeDir = freshDir("jobs" + std::to_string(jobs));
+        opts.verbose = false;
+        opts.runner = fakeRun;
+        lab::Orchestrator orch(opts);
+        const ScenarioRun run = runScenario(scenario, orch, jobs);
+        const std::string json = run.table.toJson();
+        ASSERT_FALSE(json.empty());
+        if (first.empty()) {
+            first = json;
+        } else {
+            EXPECT_EQ(first, json)
+                << "--jobs must never change the SLA table";
+        }
+    }
+}
+
+TEST(Scenario, ReferenceOverloadPinAdaptiveBeatsSlowestStatic)
+{
+    // The committed acceptance pin, on the REAL encoder models: in the
+    // quick reference overload scenario, speed-adaptive preset
+    // switching strictly reduces deadline misses vs the slowest static
+    // preset. Uses the real cost pipeline end-to-end (tiny specs).
+    ServeScenario scenario = referenceScenario(true);
+    lab::OrchestratorOptions opts;
+    opts.jobs = 2;
+    opts.storeDir = freshDir("reference");
+    opts.verbose = false;
+    lab::Orchestrator orch(opts);
+
+    const ScenarioRun run = runScenario(scenario, orch, 2);
+    ASSERT_EQ(run.reports.size(), scenario.cost.presets.size() + 1);
+    const SlaReport &slowest = run.reports.front();
+    const SlaReport &adaptive = run.reports.back();
+    ASSERT_EQ(adaptive.policy, "adaptive");
+    EXPECT_GT(slowest.deadlineMisses, slowest.completed / 2)
+        << "reference scenario must overload the slow static baseline";
+    EXPECT_LT(adaptive.deadlineMisses, slowest.deadlineMisses)
+        << "adaptive must strictly beat the slowest static preset";
+    EXPECT_GT(adaptive.presetSwitches, 0u);
+}
+
+TEST(Scenario, CostModelScalesWithPresetAndCachesThroughTheStore)
+{
+    // Preset 8 must be modelled faster than preset 2, and a second
+    // orchestrator over the same store must resolve fully from cache.
+    const std::string dir = freshDir("costcache");
+    CostModelConfig config;
+    config.presets = {2, 8};
+
+    lab::OrchestratorOptions opts;
+    opts.jobs = 2;
+    opts.storeDir = dir;
+    opts.verbose = false;
+    opts.runner = fakeRun;
+
+    double slow = 0.0, fast = 0.0;
+    {
+        lab::Orchestrator orch(opts);
+        orch.startService({});
+        CostModel cost(orch, config);
+        cost.resolve({"game1"}, {32});
+        orch.stopService();
+        slow = cost.serviceSeconds("game1", 32, 2);
+        fast = cost.serviceSeconds("game1", 32, 8);
+        EXPECT_GT(slow, fast);
+        EXPECT_GE(cost.speedup(2), 1.0);
+        EXPECT_EQ(orch.cacheHits(), 0u);
+    }
+    {
+        lab::Orchestrator orch(opts);
+        orch.startService({});
+        CostModel cost(orch, config);
+        cost.resolve({"game1"}, {32});
+        orch.stopService();
+        EXPECT_EQ(orch.cacheHits(), 2u);
+        EXPECT_EQ(orch.computed(), 0u);
+        EXPECT_DOUBLE_EQ(cost.serviceSeconds("game1", 32, 2), slow);
+        EXPECT_DOUBLE_EQ(cost.serviceSeconds("game1", 32, 8), fast);
+    }
+}
+
+} // namespace
+} // namespace vepro::serve
