@@ -34,8 +34,8 @@ const std::vector<Target> &
 allTargets()
 {
     static const std::vector<Target> kAll = {
-        Target::Core, Target::Cache, Target::Bpred, Target::Kernels,
-        Target::Store, Target::Parallel};
+        Target::Core,  Target::Cache,    Target::Bpred, Target::Kernels,
+        Target::Store, Target::Parallel, Target::Energy};
     return kAll;
 }
 
@@ -49,6 +49,7 @@ targetName(Target target)
       case Target::Kernels: return "kernels";
       case Target::Store: return "store";
       case Target::Parallel: return "parallel";
+      case Target::Energy: return "energy";
     }
     return "?";
 }
@@ -200,6 +201,18 @@ ddminShrink(std::vector<T> input, const Pred &still_fails, int max_evals)
 uarch::CoreConfig
 randomCoreConfig(SplitMix64 &rng)
 {
+    // 1-in-4 cases run a REGISTRY profile's exact geometry instead of a
+    // random draw, so the differential keeps covering the machines the
+    // fleet sweep actually buys (backend/profile.cpp) as the registry
+    // grows.
+    if (rng.chance(1, 4)) {
+        const auto &names = backend::profileNames();
+        const backend::MachineProfile &prof =
+            backend::profile(names[rng.below(names.size())]);
+        if (prof.kind == backend::Kind::Core) {
+            return prof.core;
+        }
+    }
     uarch::CoreConfig cfg;
     cfg.width = static_cast<int>(rng.range(1, 6));
     cfg.robSize = std::max(
@@ -1210,6 +1223,100 @@ Fuzzer::runParallelCase(uint64_t seed, Divergence &out)
 }
 
 // ---------------------------------------------------------------------
+// Energy target
+
+namespace
+{
+
+/** %a (hex-float) rendering: divergence reports must show the exact
+ *  bits, not a rounded decimal that can print identically for two
+ *  different doubles. */
+std::string
+hexDouble(double v)
+{
+    char buf[48];
+    std::snprintf(buf, sizeof buf, "%a", v);
+    return buf;
+}
+
+} // namespace
+
+bool
+Fuzzer::runEnergyCase(uint64_t seed, Divergence &out)
+{
+    SplitMix64 rng(seed);
+    const auto &names = backend::profileNames();
+    const backend::MachineProfile &prof =
+        backend::profile(names[rng.below(names.size())]);
+
+    auto fail = [&](const std::string &what) {
+        out.target = Target::Energy;
+        out.seed = seed;
+        out.repro = reproCommand(Target::Energy, seed, options_.inject,
+                                 options_.quick);
+        out.detail =
+            "energy divergence (profile " + prof.name + "): " + what;
+        return true;
+    };
+
+    if (prof.kind == backend::Kind::Fixed) {
+        const uint64_t blocks = rng.range(1, 5'000'000);
+        const double fast_s = backend::fixedServiceSeconds(prof, blocks);
+        const double ref_s =
+            refFixedServiceSeconds(prof, blocks, options_.inject);
+        if (fast_s != ref_s) {
+            return fail("service seconds ref=" + hexDouble(ref_s) +
+                        " fast=" + hexDouble(fast_s) + " at blocks=" +
+                        std::to_string(blocks));
+        }
+        const double fast_j = backend::fixedEnergyJoules(prof, blocks);
+        const double ref_j =
+            refFixedEnergyJoules(prof, blocks, options_.inject);
+        if (fast_j != ref_j) {
+            return fail("joules ref=" + hexDouble(ref_j) +
+                        " fast=" + hexDouble(fast_j) + " at blocks=" +
+                        std::to_string(blocks));
+        }
+        return false;
+    }
+
+    // Random-but-plausible counters. The hierarchy invariant l2Misses
+    // >= llcMisses is drawn with a STRICT gap, so the injected
+    // weight-swap fault always moves the dynamic term.
+    uarch::CoreStats s;
+    s.instructions = rng.range(1, 50'000'000);
+    s.cycles = s.instructions / rng.range(1, 4) + rng.range(1, 1'000'000);
+    s.mispredicts = rng.range(0, 500'000);
+    s.l1iMisses = rng.range(0, 1'000'000);
+    s.l1dMisses = rng.range(0, 2'000'000);
+    s.llcMisses = rng.range(0, 200'000);
+    s.l2Misses = s.llcMisses + rng.range(1, 500'000);
+
+    const double fast = backend::energyJoules(prof, s);
+    const double ref = refEnergyJoules(prof, s, options_.inject);
+    if (fast != ref) {
+        return fail("joules ref=" + hexDouble(ref) +
+                    " fast=" + hexDouble(fast) + " at instructions=" +
+                    std::to_string(s.instructions));
+    }
+
+    // Cheap properties the formula must keep regardless of weights:
+    // more retired instructions can never cost less energy, and energy
+    // is non-negative.
+    if (fast < 0.0) {
+        return fail("negative joules " + hexDouble(fast));
+    }
+    uarch::CoreStats more = s;
+    more.instructions += rng.range(1, 1'000'000);
+    const double bigger = backend::energyJoules(prof, more);
+    if (bigger <= fast) {
+        return fail("energy not monotone in instructions: " +
+                    hexDouble(fast) + " -> " + hexDouble(bigger));
+    }
+    return false;
+}
+
+// ---------------------------------------------------------------------
 // Harness
 
 bool
@@ -1222,6 +1329,7 @@ Fuzzer::runCase(Target target, uint64_t seed, Divergence &out)
       case Target::Kernels: return runKernelsCase(seed, out);
       case Target::Store: return runStoreCase(seed, out);
       case Target::Parallel: return runParallelCase(seed, out);
+      case Target::Energy: return runEnergyCase(seed, out);
     }
     return false;
 }
@@ -1241,6 +1349,8 @@ Fuzzer::itersFor(Target target) const
       // Parallel cases run the trace through five simulator instances
       // (sequential reference, pipeline, and three segment variants).
       case Target::Parallel: return options_.quick ? 6 : 30;
+      // Pure arithmetic over the profile registry: cheap, so plenty.
+      case Target::Energy: return options_.quick ? 50 : 400;
     }
     return 1;
 }

@@ -33,7 +33,7 @@ namespace vepro::check
 {
 
 /** What to fuzz. */
-enum class Target { Core, Cache, Bpred, Kernels, Store, Parallel };
+enum class Target { Core, Cache, Bpred, Kernels, Store, Parallel, Energy };
 
 /** All targets, in the order `--target=all` runs them. */
 const std::vector<Target> &allTargets();
@@ -125,6 +125,7 @@ class Fuzzer
     bool runKernelsCase(uint64_t seed, Divergence &out);
     bool runStoreCase(uint64_t seed, Divergence &out);
     bool runParallelCase(uint64_t seed, Divergence &out);
+    bool runEnergyCase(uint64_t seed, Divergence &out);
 
     FuzzOptions options_;
 };

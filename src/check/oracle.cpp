@@ -17,6 +17,7 @@ faultName(Fault fault)
       case Fault::KernelsSad: return "kernels-sad";
       case Fault::StoreBit: return "store-bit";
       case Fault::ParallelDrop: return "parallel-drop";
+      case Fault::BackendEnergy: return "backend-energy";
     }
     return "?";
 }
@@ -26,7 +27,7 @@ parseFault(const std::string &name, Fault &out)
 {
     for (Fault f : {Fault::None, Fault::CacheLru, Fault::CoreLatency,
                     Fault::BpredAlloc, Fault::KernelsSad, Fault::StoreBit,
-                    Fault::ParallelDrop}) {
+                    Fault::ParallelDrop, Fault::BackendEnergy}) {
         if (name == faultName(f)) {
             out = f;
             return true;
@@ -444,6 +445,59 @@ makeRefPredictor(const std::string &spec, Fault fault)
         }
     }
     return bpred::makePredictor(spec);
+}
+
+// ---------------------------------------------------------------------
+// Backend energy references
+
+double
+refEnergyJoules(const backend::MachineProfile &p,
+                const uarch::CoreStats &stats, Fault fault)
+{
+    // An independent transcription of the documented formula, term by
+    // term in the documented order (bit-exact doubles demand it). The
+    // injected fault swaps the L2 and LLC miss weights — a plausible
+    // copy/paste bug a tolerance-based comparison would shrug off
+    // whenever the two counters are close.
+    const double l2_nj = fault == Fault::BackendEnergy
+                             ? p.energy.llcMissNj
+                             : p.energy.l2MissNj;
+    const double llc_nj = fault == Fault::BackendEnergy
+                              ? p.energy.l2MissNj
+                              : p.energy.llcMissNj;
+    const double nj =
+        static_cast<double>(stats.instructions) * p.energy.instructionNj +
+        static_cast<double>(stats.l1dMisses + stats.l1iMisses) *
+            p.energy.l1MissNj +
+        static_cast<double>(stats.l2Misses) * l2_nj +
+        static_cast<double>(stats.llcMisses) * llc_nj +
+        static_cast<double>(stats.mispredicts) * p.energy.mispredictNj;
+    const double dynamic_j = nj * 1e-9;
+    const double static_j = p.energy.staticWatts *
+                            static_cast<double>(stats.cycles) /
+                            (p.clockGhz * 1e9);
+    return dynamic_j + static_j;
+}
+
+double
+refFixedServiceSeconds(const backend::MachineProfile &p, uint64_t blocks,
+                       Fault fault)
+{
+    if (fault == Fault::BackendEnergy) {
+        ++blocks;  // One phantom block: the fencepost version of the bug.
+    }
+    return p.setupSeconds + static_cast<double>(blocks) * p.secondsPerBlock;
+}
+
+double
+refFixedEnergyJoules(const backend::MachineProfile &p, uint64_t blocks,
+                     Fault fault)
+{
+    if (fault == Fault::BackendEnergy) {
+        ++blocks;
+    }
+    return p.energy.setupJ +
+           static_cast<double>(blocks) * p.energy.blockNj * 1e-9;
 }
 
 } // namespace vepro::check

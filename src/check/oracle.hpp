@@ -26,6 +26,7 @@
 #include <string>
 #include <vector>
 
+#include "backend/profile.hpp"
 #include "bpred/predictor.hpp"
 #include "bpred/tage.hpp"
 #include "trace/sink.hpp"
@@ -38,12 +39,14 @@ namespace vepro::check
 /** Deliberate single-rule bugs for harness self-tests (see file docs). */
 enum class Fault {
     None,
-    CacheLru,      ///< Victim rule: evicts the MRU way instead of LRU.
-    CoreLatency,   ///< Divide executes in 19 cycles instead of 20.
-    BpredAlloc,    ///< TAGE skips the probabilistic allocation offset.
-    KernelsSad,    ///< Oracle SAD reports one too many on 64+ px blocks.
-    StoreBit,      ///< Round-trip flips one mantissa bit of a double.
-    ParallelDrop,  ///< Sequential reference stream drops its last branch.
+    CacheLru,       ///< Victim rule: evicts the MRU way instead of LRU.
+    CoreLatency,    ///< Divide executes in 19 cycles instead of 20.
+    BpredAlloc,     ///< TAGE skips the probabilistic allocation offset.
+    KernelsSad,     ///< Oracle SAD reports one too many on 64+ px blocks.
+    StoreBit,       ///< Round-trip flips one mantissa bit of a double.
+    ParallelDrop,   ///< Sequential reference stream drops its last branch.
+    BackendEnergy,  ///< Energy weights: L2 and LLC miss nJ swapped
+                    ///< (fixed profiles: one phantom block).
 };
 
 /** CLI name of a fault ("cache-lru", ...; "none" for Fault::None). */
@@ -225,6 +228,25 @@ makeRefPredictor(const std::string &spec, Fault fault = Fault::None);
 uarch::CoreStats refCoreRun(const uarch::CoreConfig &config,
                             const std::vector<trace::TraceOp> &trace,
                             Fault fault = Fault::None);
+
+/**
+ * Reference energy model for Kind::Core profiles: an independent
+ * transcription of the formula documented in backend/profile.hpp, in
+ * the SAME evaluation order — IEEE doubles only reproduce bit for bit
+ * when the operation order matches, and the energy differential
+ * demands bit-identical joules, not approximately-equal ones.
+ */
+double refEnergyJoules(const backend::MachineProfile &p,
+                       const uarch::CoreStats &stats,
+                       Fault fault = Fault::None);
+
+/** Reference service seconds for Kind::Fixed profiles. */
+double refFixedServiceSeconds(const backend::MachineProfile &p,
+                              uint64_t blocks, Fault fault = Fault::None);
+
+/** Reference energy for Kind::Fixed profiles. */
+double refFixedEnergyJoules(const backend::MachineProfile &p,
+                            uint64_t blocks, Fault fault = Fault::None);
 
 } // namespace vepro::check
 

@@ -8,6 +8,7 @@
 #include <stdexcept>
 #include <thread>
 
+#include "backend/profile.hpp"
 #include "trace/pipeline.hpp"
 #include "uarch/segment.hpp"
 
@@ -55,6 +56,21 @@ RunScale::fromArgs(int argc, char **argv)
             if (scale.segmentWarmup < 0) {
                 throw std::invalid_argument(
                     "--segment-warmup must be >= 0");
+            }
+        } else if (arg.rfind("--backend=", 0) == 0) {
+            scale.backend = arg.substr(10);
+            if (scale.backend.empty()) {
+                throw std::invalid_argument("--backend expects a name");
+            }
+            // Validate at parse time so typos fail before any encode;
+            // fixed-function profiles have no core to simulate on.
+            const backend::MachineProfile &profile =
+                backend::resolveProfile(scale.backend);
+            if (profile.kind != backend::Kind::Core) {
+                throw std::invalid_argument(
+                    "--backend=" + scale.backend +
+                    " is a fixed-function profile; sweep points need a "
+                    "core-model backend");
             }
         } else if (arg == "--no-cache") {
             scale.noCache = true;
@@ -150,11 +166,27 @@ runPoint(const encoders::EncoderModel &encoder, const video::Video &clip,
     params.crf = crf;
     params.preset = preset;
 
+    // The machine the point simulates on: default-constructed (the
+    // paper's Xeon) when no backend is named, so pre-backend callers
+    // and cache entries see the exact geometry they always did.
+    uarch::CoreConfig core_cfg;
+    if (!scale.backend.empty()) {
+        const backend::MachineProfile &profile =
+            backend::resolveProfile(scale.backend);
+        if (profile.kind != backend::Kind::Core) {
+            throw std::invalid_argument(
+                "runPoint: backend '" + scale.backend +
+                "' is fixed-function and cannot run the core model");
+        }
+        core_cfg = profile.core;
+    }
+
     SweepPoint point;
     if (scale.segments > 1) {
         // Segment-parallel: capture the trace in blocks, simulate N
         // contiguous segments concurrently, stitch deterministically.
         uarch::SegmentSimConfig cfg;
+        cfg.core = core_cfg;
         cfg.segments = scale.segments;
         cfg.warmupBlocks = scale.segmentWarmup;
         cfg.jobs = 0;  // auto; SegmentSim clamps to the segment count
@@ -166,7 +198,7 @@ runPoint(const encoders::EncoderModel &encoder, const video::Video &clip,
         // Pipeline-parallel: the core model consumes blocks on a worker
         // thread while the encode keeps producing. Bit-identical to the
         // sequential fused path.
-        uarch::StreamCore sim;
+        uarch::StreamCore sim(core_cfg);
         trace::PipelineMux::Options opts;
         opts.jobs = scale.simJobs;
         trace::PipelineMux mux({&sim}, opts);
@@ -174,7 +206,7 @@ runPoint(const encoders::EncoderModel &encoder, const video::Video &clip,
             encoder.encode(clip, params, tracingConfig(scale), false, &mux);
         point.core = sim.stats();
     } else {
-        uarch::StreamCore sim;
+        uarch::StreamCore sim(core_cfg);
         point.encode =
             encoder.encode(clip, params, tracingConfig(scale), false, &sim);
         point.core = sim.stats();

@@ -57,6 +57,16 @@ struct RunScale {
     /** Warmup prefix per segment, in 4096-op trace blocks
      *  (--segment-warmup=K); counters of the prefix are discarded. */
     int segmentWarmup = 8;
+    /**
+     * Named machine profile the point simulates on (--backend=NAME):
+     * "" = the default xeon-bdw geometry, i.e. exactly the config every
+     * pre-backend run used, so the default changes nothing. Must name a
+     * core-model profile — fixed-function backends (hw-enc) have no
+     * trace to simulate and are priced analytically by serve's cost
+     * model instead. Changes the measured numbers, so it is a cache
+     * identity field (see lab::JobSpec::canonicalKey).
+     */
+    std::string backend;
     /** Bypass the lab result cache: recompute (and refresh) every point. */
     bool noCache = false;
     /** Directory of the persistent lab result store. */
@@ -65,7 +75,7 @@ struct RunScale {
     /**
      * Parse --quick / --full / --videos=a,b,c / --jobs=N / --sim-jobs=N
      * / --segments=N / --segment-warmup=K / --uncapped / --no-cache /
-     * --store=DIR. Numeric flags are strict: trailing garbage
+     * --store=DIR / --backend=NAME. Numeric flags are strict: trailing garbage
      * ("--jobs=4abc") is rejected, not silently truncated. All three
      * parallelism flags accept 0 = auto-detect via
      * std::thread::hardware_concurrency() (floor 1).

@@ -2,6 +2,8 @@
 
 #include <cstdio>
 
+#include "backend/profile.hpp"
+
 namespace vepro::lab
 {
 
@@ -36,6 +38,14 @@ JobSpec::canonicalKey() const
         key += std::to_string(segments);
         key += ";segmentWarmup=";
         key += std::to_string(segmentWarmup);
+    }
+    // Same append-only rule for the machine profile: "" and the default
+    // profile name both mean the pre-backend default geometry and keep
+    // the pre-backend key byte-identical (old store entries stay hits);
+    // only a genuinely different machine re-keys the point.
+    if (!backend.empty() && backend != backend::kDefaultProfile) {
+        key += ";backend=";
+        key += backend;
     }
     return key;
 }
@@ -78,6 +88,9 @@ JobSpec::label() const
     if (segments != 1) {
         out += " segments=" + std::to_string(segments);
     }
+    if (!backend.empty() && backend != backend::kDefaultProfile) {
+        out += " backend=" + backend;
+    }
     return out;
 }
 
@@ -91,6 +104,7 @@ JobSpec::toRunScale() const
     scale.jobs = 1;  // The orchestrator owns the worker pool.
     scale.segments = segments;
     scale.segmentWarmup = segmentWarmup;
+    scale.backend = backend;
     return scale;
 }
 
@@ -103,6 +117,7 @@ JobSpec::withScale(const core::RunScale &scale)
     spec.maxTraceOps = scale.maxTraceOps;
     spec.segments = scale.segments;
     spec.segmentWarmup = scale.segmentWarmup;
+    spec.backend = scale.backend;
     return spec;
 }
 

@@ -54,6 +54,17 @@ struct JobSpec {
     int segmentWarmup = 8;  ///< Warmup blocks per segment.
 
     /**
+     * Named machine profile the point simulates on (backend registry,
+     * src/backend). Identity: a different core geometry measures
+     * different numbers. Compatibility rule: the field enters the
+     * canonical key ONLY when it names a non-default profile — both ""
+     * and "xeon-bdw" (the default profile, whose geometry is exactly
+     * the pre-backend default CoreConfig) keep the exact pre-backend
+     * key, so every existing store entry still resolves as a cache hit.
+     */
+    std::string backend;
+
+    /**
      * Canonical key: every identity field, fixed order, 'k=v'
      * ';'-joined. Two specs are the same experiment iff their keys are
      * byte-equal.

@@ -11,6 +11,7 @@
 #include <unistd.h>
 #endif
 
+#include "backend/profile.hpp"
 #include "lab/json.hpp"
 
 namespace vepro::lab
@@ -33,6 +34,12 @@ specToJson(const JobSpec &spec)
         .set("divisor", JsonValue::number(spec.divisor))
         .set("frames", JsonValue::number(spec.frames))
         .set("maxTraceOps", JsonValue::number(spec.maxTraceOps));
+    // Echoed only when it is part of the identity (the canonical key
+    // carries the same rule), so default-backend records keep the exact
+    // pre-backend byte layout.
+    if (!spec.backend.empty() && spec.backend != backend::kDefaultProfile) {
+        obj.set("backend", JsonValue::str(spec.backend));
+    }
     return obj;
 }
 

@@ -182,6 +182,175 @@ simulateFarm(const std::vector<UploadJob> &arrivals,
         out.sla.throughputPerMin =
             static_cast<double>(out.sla.completed) / (horizon / 60.0);
     }
+    out.horizonSec = horizon;
+    return out;
+}
+
+namespace
+{
+
+/** The per-backend lens a heterogeneous dispatch consults the policy
+ *  through: base-class queries answer for ONE profile. */
+class BackendView final : public CostOracle
+{
+  public:
+    BackendView(const FleetCostOracle &fleet, const std::string &backend)
+        : fleet_(fleet), backend_(backend)
+    {
+    }
+
+    double
+    serviceSeconds(const std::string &clip, int crf,
+                   int preset) const override
+    {
+        return fleet_.serviceSecondsOn(backend_, clip, crf, preset);
+    }
+
+    const std::vector<int> &
+    presetLadder() const override
+    {
+        return fleet_.presetLadder();
+    }
+
+  private:
+    const FleetCostOracle &fleet_;
+    const std::string &backend_;
+};
+
+} // namespace
+
+FarmResult
+simulateFarm(const std::vector<UploadJob> &arrivals,
+             const FarmConfig &config, const Policy &policy,
+             const FleetCostOracle &cost,
+             const std::vector<ServerGroup> &pool)
+{
+    // Flatten the groups into one backend string per server; group
+    // order fixes server indices, and indices break free-time ties.
+    std::vector<std::string> server_backend;
+    for (const ServerGroup &group : pool) {
+        for (int i = 0; i < group.servers; ++i) {
+            server_backend.push_back(group.backend);
+        }
+    }
+    if (server_backend.empty() || config.shards < 1) {
+        throw std::invalid_argument("serve: farm needs >= 1 server/shard");
+    }
+    std::vector<BackendView> views;
+    views.reserve(server_backend.size());
+    for (const std::string &name : server_backend) {
+        views.emplace_back(cost, name);
+    }
+
+    FarmResult out;
+    out.sla.policy = policy.name();
+    out.sla.offered = arrivals.size();
+    out.outcomes.reserve(arrivals.size());
+
+    // Server pool: min-heap of (free time, server index).
+    using Slot = std::pair<double, size_t>;
+    std::priority_queue<Slot, std::vector<Slot>, std::greater<Slot>>
+        servers;
+    for (size_t i = 0; i < server_backend.size(); ++i) {
+        servers.emplace(0.0, i);
+    }
+    std::vector<ShardQueue> shards(static_cast<size_t>(config.shards));
+    size_t queued = 0;
+
+    std::vector<double> queue_waits;
+    double service_sum = 0.0;
+    double horizon = 0.0;
+    int prev_preset = -1;
+    size_t next_arrival = 0;
+
+    const auto admit = [&](size_t job_index) {
+        const UploadJob &job = arrivals[job_index];
+        if (config.admissionLimit != 0 && queued >= config.admissionLimit) {
+            JobOutcome reject;
+            reject.id = job.id;
+            reject.arrivalSec = job.arrivalSec;
+            reject.rejected = true;
+            out.outcomes.push_back(reject);
+            ++out.sla.rejected;
+            return;
+        }
+        Waiting w;
+        w.deadline = job.arrivalSec + config.latencyTargetSec;
+        w.seq = job_index;
+        w.job = job_index;
+        shards[job_index % shards.size()].push(w);
+        ++queued;
+    };
+
+    while (next_arrival < arrivals.size() || queued > 0) {
+        if (queued == 0) {
+            admit(next_arrival++);
+            continue;
+        }
+        const auto [t_free, server] = servers.top();
+        if (next_arrival < arrivals.size() &&
+            arrivals[next_arrival].arrivalSec <= t_free) {
+            admit(next_arrival++);
+            continue;
+        }
+
+        const size_t job_index = popEarliest(shards);
+        --queued;
+        const UploadJob &job = arrivals[job_index];
+        const std::string &backend = server_backend[server];
+        const double start = std::max(t_free, job.arrivalSec);
+        const double deadline = job.arrivalSec + config.latencyTargetSec;
+        const int preset =
+            policy.choosePreset(job, start, deadline, views[server]);
+        const double service =
+            cost.serviceSecondsOn(backend, job.clip, job.crf, preset);
+        const double end = start + service;
+        servers.pop();
+        servers.emplace(end, server);
+
+        JobOutcome done;
+        done.id = job.id;
+        done.arrivalSec = job.arrivalSec;
+        done.preset = preset;
+        done.startSec = start;
+        done.endSec = end;
+        done.missedDeadline = end > deadline;
+        done.backend = backend;
+        out.outcomes.push_back(done);
+
+        ++out.sla.completed;
+        if (done.missedDeadline) {
+            ++out.sla.deadlineMisses;
+        }
+        if (prev_preset >= 0 && preset != prev_preset) {
+            ++out.sla.presetSwitches;
+        }
+        prev_preset = preset;
+        queue_waits.push_back(start - job.arrivalSec);
+        service_sum += service;
+        out.energyJoules +=
+            cost.energyJoulesOn(backend, job.clip, job.crf, preset);
+        horizon = std::max(horizon, end);
+    }
+
+    std::sort(queue_waits.begin(), queue_waits.end());
+    out.sla.p50QueueSec = percentile(queue_waits, 0.50);
+    out.sla.p99QueueSec = percentile(queue_waits, 0.99);
+    if (out.sla.completed > 0) {
+        out.sla.deadlineMissRate =
+            static_cast<double>(out.sla.deadlineMisses) /
+            static_cast<double>(out.sla.completed);
+        out.sla.meanServiceSec =
+            service_sum / static_cast<double>(out.sla.completed);
+    }
+    if (!arrivals.empty()) {
+        horizon = std::max(horizon, arrivals.back().arrivalSec);
+    }
+    if (horizon > 0.0) {
+        out.sla.throughputPerMin =
+            static_cast<double>(out.sla.completed) / (horizon / 60.0);
+    }
+    out.horizonSec = horizon;
     return out;
 }
 

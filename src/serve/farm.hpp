@@ -55,6 +55,13 @@ struct FarmConfig {
     double latencyTargetSec = 60.0;
 };
 
+/** One homogeneous slice of a heterogeneous server pool: @p servers
+ *  machines of the named backend profile ("" = default). */
+struct ServerGroup {
+    std::string backend;
+    int servers = 1;
+};
+
 /** Per-job outcome, in dispatch order (rejected jobs in arrival order
  *  at the point of rejection). Exposed for tests and tooling. */
 struct JobOutcome {
@@ -65,6 +72,9 @@ struct JobOutcome {
     double startSec = 0.0;   ///< Dispatch time.
     double endSec = 0.0;     ///< Completion time.
     bool missedDeadline = false;
+    /** Profile of the server that ran the job (heterogeneous overload
+     *  only; empty in the homogeneous farm and for rejected jobs). */
+    std::string backend;
 };
 
 /** The SLA metrics layer: one row of the per-policy table. */
@@ -85,6 +95,12 @@ struct SlaReport {
 struct FarmResult {
     SlaReport sla;
     std::vector<JobOutcome> outcomes;
+    /** Modelled energy over all completed jobs (heterogeneous overload
+     *  only — the plain CostOracle has no energy channel). */
+    double energyJoules = 0.0;
+    /** max(last completion, last arrival): the window fleet economics
+     *  charge server-hours over. */
+    double horizonSec = 0.0;
 };
 
 /**
@@ -94,6 +110,22 @@ struct FarmResult {
 FarmResult simulateFarm(const std::vector<UploadJob> &arrivals,
                         const FarmConfig &config, const Policy &policy,
                         const CostOracle &cost);
+
+/**
+ * Heterogeneous overload: the pool is the concatenation of @p pool's
+ * groups (config.servers is ignored; shards / admission / latency
+ * target still apply). Each server carries its group's backend;
+ * service times and energy come from the FleetCostOracle's *On
+ * methods, and the policy is consulted through a per-backend view so
+ * adaptive switching sees the costs of the machine actually dispatching
+ * the job. Ties between simultaneously free servers break toward the
+ * lowest server index (earlier groups first) — deterministic, like
+ * everything else here.
+ */
+FarmResult simulateFarm(const std::vector<UploadJob> &arrivals,
+                        const FarmConfig &config, const Policy &policy,
+                        const FleetCostOracle &cost,
+                        const std::vector<ServerGroup> &pool);
 
 /**
  * Render per-policy reports as the SLA table (markdown/CSV/JSON via

@@ -52,6 +52,32 @@ class CostOracle
     virtual const std::vector<int> &presetLadder() const = 0;
 };
 
+/**
+ * A CostOracle that can price the same combo on several named machine
+ * profiles (backend registry, src/backend). The base-class methods
+ * answer for the oracle's primary backend; the *On variants take the
+ * profile name explicitly, which is what the heterogeneous farm and
+ * the fleet sweep consult per server. Implemented by serve::CostModel.
+ */
+class FleetCostOracle : public CostOracle
+{
+  public:
+    /** Predicted wall seconds to encode @p clip at (@p crf, @p preset)
+     *  on one server of @p backend ("" = the default profile). */
+    virtual double serviceSecondsOn(const std::string &backend,
+                                    const std::string &clip, int crf,
+                                    int preset) const = 0;
+
+    /**
+     * Modelled energy in joules one such encode costs on @p backend:
+     * dynamic event energy plus static burn over the service time (see
+     * CostModel docs for the exact evaluation order).
+     */
+    virtual double energyJoulesOn(const std::string &backend,
+                                  const std::string &clip, int crf,
+                                  int preset) const = 0;
+};
+
 /** Scheduling policy: preset selection at dispatch time. */
 class Policy
 {

@@ -7,41 +7,36 @@
  * byte-identical), replays seeded upload traffic through the farm
  * under every scheduling policy, prints the per-policy SLA table, and
  * optionally writes it as a JSON artifact for diffing in CI.
+ *
+ * With --fleet it instead sweeps machine-profile mixes (backend
+ * registry, src/backend) over the same traffic and reports
+ * $/1k-encodes, J/encode, and deadline-miss rate per mix — the
+ * cheapest-backend-at-SLA question.
  */
 
-#include <cstdint>
-#include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <string>
+#include <vector>
 
+#include "serve/cli.hpp"
+#include "serve/fleet.hpp"
 #include "serve/scenario.hpp"
 
 namespace
 {
 
-void
-usage()
+bool
+writeFile(const std::string &path, const std::string &bytes)
 {
-    std::cout
-        << "usage: vepro-serve [options]\n"
-           "\n"
-           "Encode-farm simulator: seeded upload traffic, EDF queue,\n"
-           "static vs speed-adaptive preset policies, SLA table.\n"
-           "\n"
-           "  --quick                CI-sized reference overload scenario\n"
-           "  --seed N               traffic RNG seed\n"
-           "  --users N              active uploaders\n"
-           "  --uploads-per-hour X   mean uploads per user per hour\n"
-           "  --duration SEC        simulated window length\n"
-           "  --servers N            farm servers\n"
-           "  --shards N             EDF queue shards\n"
-           "  --admission N          admission limit (queued jobs; 0 = off)\n"
-           "  --latency-target SEC   SLA deadline per job\n"
-           "  --jobs N               cost-resolution workers (default 1)\n"
-           "  --store DIR            result store directory (.vepro-lab)\n"
-           "  --json PATH            write the SLA table as JSON\n"
-           "  --help                 this text\n";
+    std::ofstream out(path, std::ios::binary);
+    if (!out) {
+        std::cerr << "vepro-serve: cannot write " << path << "\n";
+        return false;
+    }
+    out << bytes;
+    std::cout << "wrote " << path << "\n";
+    return true;
 }
 
 } // namespace
@@ -51,85 +46,71 @@ main(int argc, char **argv)
 {
     using namespace vepro;
 
-    bool quick = false;
-    int jobs = 1;
-    std::string store_dir = ".vepro-lab";
-    std::string json_path;
-    serve::ServeScenario scenario = serve::referenceScenario(false);
-
-    for (int i = 1; i < argc; ++i) {
-        const std::string arg = argv[i];
-        const auto value = [&]() -> std::string {
-            if (i + 1 >= argc) {
-                std::cerr << "vepro-serve: " << arg << " needs a value\n";
-                std::exit(2);
-            }
-            return argv[++i];
-        };
-        if (arg == "--help" || arg == "-h") {
-            usage();
-            return 0;
-        } else if (arg == "--quick") {
-            quick = true;
-            scenario = serve::referenceScenario(true);
-        } else if (arg == "--seed") {
-            scenario.traffic.seed = std::stoull(value());
-        } else if (arg == "--users") {
-            scenario.traffic.users = std::stoi(value());
-        } else if (arg == "--uploads-per-hour") {
-            scenario.traffic.uploadsPerUserPerHour = std::stod(value());
-        } else if (arg == "--duration") {
-            scenario.traffic.durationSec = std::stod(value());
-        } else if (arg == "--servers") {
-            scenario.farm.servers = std::stoi(value());
-        } else if (arg == "--shards") {
-            scenario.farm.shards = std::stoi(value());
-        } else if (arg == "--admission") {
-            scenario.farm.admissionLimit =
-                static_cast<size_t>(std::stoull(value()));
-        } else if (arg == "--latency-target") {
-            scenario.farm.latencyTargetSec = std::stod(value());
-        } else if (arg == "--jobs") {
-            jobs = std::stoi(value());
-        } else if (arg == "--store") {
-            store_dir = value();
-        } else if (arg == "--json") {
-            json_path = value();
-        } else {
-            std::cerr << "vepro-serve: unknown option " << arg << "\n";
-            usage();
-            return 2;
-        }
+    const serve::ServeCli cli =
+        serve::parseServeCli({argv + 1, argv + argc});
+    if (cli.showHelp) {
+        std::cout << serve::serveUsage();
+        return 0;
     }
+    if (!cli.error.empty()) {
+        std::cerr << "vepro-serve: " << cli.error << "\n";
+        std::cerr << serve::serveUsage();
+        return 2;
+    }
+    const serve::ServeScenario &scenario = cli.scenario;
 
     lab::OrchestratorOptions opts;
-    opts.jobs = jobs;
-    opts.storeDir = store_dir;
+    opts.jobs = cli.jobs;
+    opts.storeDir = cli.storeDir;
     opts.verbose = false;
     lab::Orchestrator orch(opts);
 
-    std::cout << "vepro-serve: " << (quick ? "quick " : "")
-              << "scenario — " << scenario.traffic.users << " users, "
-              << scenario.farm.servers << " servers, latency target "
-              << scenario.farm.latencyTargetSec << " s\n";
+    std::cout << "vepro-serve: " << (cli.quick ? "quick " : "")
+              << (cli.fleet ? "fleet sweep" : "scenario") << " — "
+              << scenario.traffic.users << " users, "
+              << scenario.farm.servers
+              << (cli.fleet ? " servers/mix" : " servers")
+              << ", latency target " << scenario.farm.latencyTargetSec
+              << " s\n";
 
     try {
-        const serve::ScenarioRun run =
-            serve::runScenario(scenario, orch, jobs);
-        std::cout << "traffic: " << run.arrivals.size()
-                  << " uploads over " << scenario.traffic.durationSec
-                  << " s\n";
-        run.table.print("SLA outcomes per scheduling policy");
-        std::cout << "orchestrator: " << orch.summaryLine() << "\n";
-        if (!json_path.empty()) {
-            std::ofstream out(json_path);
-            if (!out) {
-                std::cerr << "vepro-serve: cannot write " << json_path
-                          << "\n";
+        if (cli.fleet) {
+            serve::FleetConfig config;
+            config.backends = cli.fleetBackends;
+            const serve::FleetRun run =
+                serve::runFleetScenario(scenario, orch, cli.jobs, config);
+            std::cout << "traffic: " << run.arrivals.size()
+                      << " uploads over " << scenario.traffic.durationSec
+                      << " s\n";
+            run.sweep.table.print(
+                "Fleet economics per backend mix and preset regime");
+            std::cout << run.sweep.verdict << "\n";
+            std::cout << "orchestrator: " << orch.summaryLine() << "\n";
+            if (!cli.jsonPath.empty() &&
+                !writeFile(cli.jsonPath, run.sweep.table.toJson())) {
                 return 1;
             }
-            out << run.table.toJson();
-            std::cout << "wrote " << json_path << "\n";
+            if (!cli.markdownPath.empty()) {
+                const std::string md =
+                    "# Fleet economics (vepro-serve --fleet)\n\n" +
+                    run.sweep.table.toMarkdown() + "\n" +
+                    run.sweep.verdict + "\n";
+                if (!writeFile(cli.markdownPath, md)) {
+                    return 1;
+                }
+            }
+            return 0;
+        }
+
+        const serve::ScenarioRun run =
+            serve::runScenario(scenario, orch, cli.jobs);
+        std::cout << "traffic: " << run.arrivals.size() << " uploads over "
+                  << scenario.traffic.durationSec << " s\n";
+        run.table.print("SLA outcomes per scheduling policy");
+        std::cout << "orchestrator: " << orch.summaryLine() << "\n";
+        if (!cli.jsonPath.empty() &&
+            !writeFile(cli.jsonPath, run.table.toJson())) {
+            return 1;
         }
     } catch (const std::exception &err) {
         std::cerr << "vepro-serve: " << err.what() << "\n";

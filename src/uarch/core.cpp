@@ -856,4 +856,42 @@ CacheSink::step(const trace::TraceOp &op)
     }
 }
 
+CoreConfig
+xeonBdwConfig()
+{
+    // The defaults ARE the paper machine; the named form exists so
+    // profile registries construct it explicitly (and test_backend pins
+    // the equivalence, so the two can never drift apart silently).
+    return CoreConfig{};
+}
+
+CoreConfig
+gravitonLikeConfig()
+{
+    CoreConfig cfg;
+    cfg.width = 6;
+    cfg.robSize = 256;
+    cfg.rsSize = 120;
+    cfg.loadBufSize = 96;
+    cfg.storeBufSize = 56;
+    cfg.aluPorts = 4;
+    cfg.simdPorts = 2;
+    cfg.mulPorts = 1;
+    cfg.loadPorts = 2;
+    cfg.storePorts = 2;
+    cfg.branchPorts = 1;
+    cfg.mispredictPenalty = 11;  // Shorter pipe than the Xeon's.
+    cfg.takenBranchBubble = 1;
+    cfg.predictorSpec = "tage-64KB";
+    // Larger, private-heavy hierarchy with a slower outer edge: 64K
+    // L1s, a 1M private L2, a 32M shared LLC slice, and a longer trip
+    // to DRAM than the Xeon's integrated controller.
+    cfg.mem.l1i = CacheConfig{"L1I", 64 * 1024, 4, 64, 1};
+    cfg.mem.l1d = CacheConfig{"L1D", 64 * 1024, 4, 64, 4};
+    cfg.mem.l2 = CacheConfig{"L2", 1024 * 1024, 8, 64, 13};
+    cfg.mem.llc = CacheConfig{"LLC", 32 * 1024 * 1024, 16, 64, 42};
+    cfg.mem.memoryLatency = 210;
+    return cfg;
+}
+
 } // namespace vepro::uarch

@@ -54,6 +54,23 @@ struct CoreConfig {
     Hierarchy::Config mem;
 };
 
+/**
+ * The paper's measurement machine, explicitly: identical to a
+ * default-constructed CoreConfig (pinned by test_backend), but named so
+ * profile-constructed configs read as what they are.
+ */
+CoreConfig xeonBdwConfig();
+
+/**
+ * An Arm server core of the Graviton/Neoverse class: wider issue and a
+ * deeper window than the Broadwell Xeon, more L1/L2 capacity but a
+ * slower outer hierarchy — the geometry "Where to Encode" prices
+ * against x86. Consumed by the backend profile registry and the
+ * vepro-check fuzzer (so the differential oracles exercise a real
+ * profile geometry, not only random ones).
+ */
+CoreConfig gravitonLikeConfig();
+
 /** Top-down pipeline-slot totals (slots = cycles x width). */
 struct TopDownSlots {
     uint64_t retiring = 0;

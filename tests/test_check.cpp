@@ -55,10 +55,10 @@ TEST(CheckNames, TargetNamesRoundTrip)
 
 TEST(CheckNames, FaultNamesRoundTrip)
 {
-    const Fault faults[] = {Fault::None,        Fault::CacheLru,
-                            Fault::CoreLatency, Fault::BpredAlloc,
-                            Fault::KernelsSad,  Fault::StoreBit,
-                            Fault::ParallelDrop};
+    const Fault faults[] = {Fault::None,         Fault::CacheLru,
+                            Fault::CoreLatency,  Fault::BpredAlloc,
+                            Fault::KernelsSad,   Fault::StoreBit,
+                            Fault::ParallelDrop, Fault::BackendEnergy};
     for (Fault f : faults) {
         Fault back = Fault::None;
         ASSERT_TRUE(parseFault(faultName(f), back)) << faultName(f);
@@ -111,6 +111,7 @@ TEST(CheckInjection, EveryFaultIsCaught)
         {Fault::KernelsSad, Target::Kernels},
         {Fault::StoreBit, Target::Store},
         {Fault::ParallelDrop, Target::Parallel},
+        {Fault::BackendEnergy, Target::Energy},
     };
     for (const FaultCase &fc : cases) {
         SCOPED_TRACE(faultName(fc.fault));

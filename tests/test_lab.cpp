@@ -92,6 +92,37 @@ TEST(JobSpecHash, CanonicalKeyIsStableAndComplete)
               "divisor=8;frames=6;maxTraceOps=1200000");
 }
 
+TEST(JobSpecHash, DefaultBackendKeepsThePreBackendKey)
+{
+    // The compatibility contract (ISSUE 8): both the empty backend and
+    // an explicit default-profile name hash exactly like specs from
+    // before the field existed, so warm stores stay warm. Only a
+    // genuinely different machine re-keys the point.
+    const JobSpec base = makeSpec();
+    JobSpec explicit_default = makeSpec();
+    explicit_default.backend = "xeon-bdw";
+    EXPECT_EQ(explicit_default.canonicalKey(), base.canonicalKey());
+    EXPECT_EQ(explicit_default.hash(), base.hash());
+    EXPECT_EQ(base.canonicalKey().find("backend"), std::string::npos);
+
+    JobSpec arm = makeSpec();
+    arm.backend = "graviton-like";
+    EXPECT_NE(arm.hash(), base.hash());
+    EXPECT_EQ(arm.canonicalKey(),
+              base.canonicalKey() + ";backend=graviton-like");
+    EXPECT_NE(arm.label().find("backend=graviton-like"), std::string::npos);
+    EXPECT_EQ(base.label().find("backend"), std::string::npos);
+}
+
+TEST(JobSpecHash, BackendRoundTripsThroughRunScale)
+{
+    JobSpec spec = makeSpec();
+    spec.backend = "graviton-like";
+    const core::RunScale scale = spec.toRunScale();
+    EXPECT_EQ(scale.backend, "graviton-like");
+    EXPECT_EQ(JobSpec::withScale(scale).backend, "graviton-like");
+}
+
 TEST(JobSpecHash, IndependentOfFieldAssignmentOrder)
 {
     // Populate the same spec in two different field orders.
