@@ -4,15 +4,23 @@
  * traces as Figs. 8-10: bimodal and tournament below/between the paper's
  * Gshare points, a perceptron, and extra TAGE budgets, quantifying how
  * much of the TAGE win is history length vs raw budget.
+ *
+ * All eleven predictors score each clip in ONE encode pass: the probe's
+ * branch stream fans through a trace::MuxSink into eleven streaming
+ * bpred::StreamRunner sinks, so nothing materialises a branch-trace
+ * vector — memory stays O(1) regardless of trace length, and the encode
+ * is not repeated per predictor.
  */
 
 #include <cstdio>
+#include <memory>
 
 #include "bpred/runner.hpp"
 #include "core/experiment.hpp"
 #include "core/report.hpp"
 #include "encoders/registry.hpp"
 #include "sweep_common.hpp"
+#include "trace/sink.hpp"
 
 int
 main(int argc, char **argv)
@@ -41,14 +49,21 @@ main(int argc, char **argv)
         pc.collectBranches = true;
         pc.maxBranches = 1'500'000;
         pc.branchWarmupOps = 1'000'000;
-        auto r = encoder->encode(clip, params, pc);
+
+        std::vector<std::unique_ptr<bpred::BranchPredictor>> preds;
+        std::vector<std::unique_ptr<bpred::StreamRunner>> runners;
+        trace::MuxSink mux;
+        for (const std::string &spec : zoo) {
+            preds.push_back(bpred::makePredictor(spec));
+            runners.push_back(
+                std::make_unique<bpred::StreamRunner>(*preds.back()));
+            mux.add(runners.back().get());
+        }
+        encoder->encode(clip, params, pc, false, &mux);
 
         std::vector<std::string> row = {e.name};
-        for (const std::string &spec : zoo) {
-            auto pred = bpred::makePredictor(spec);
-            auto rr = bpred::runTrace(*pred, r.branchTrace(),
-                                      r.branchTraceInstructions);
-            row.push_back(core::fmt(rr.missRatePercent(), 2));
+        for (const auto &runner : runners) {
+            row.push_back(core::fmt(runner->result().missRatePercent(), 2));
         }
         table.addRow(row);
     }

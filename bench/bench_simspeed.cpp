@@ -16,9 +16,21 @@
  *   end_to_end  — probe emission fused into MuxSink{StreamCore,
  *                 CacheSink, StreamRunner}: the shape every vepro-lab
  *                 sweep point runs.
+ *   capture     — probe emission into a trace::FileSink: the encode-side
+ *                 cost of a trace-cache miss over plain executeDirect
+ *                 (also logs the on-disk bytes/op of the codec).
+ *   replay      — trace::FileSource decode into a counting sink: the
+ *                 fixed per-run cost of a trace-cache hit before any
+ *                 simulation work happens.
  *   e2e_pipe    — the same three sinks behind a trace::PipelineMux,
  *                 each on its own worker thread (--sim-jobs; pipeline
  *                 parallelism, bit-identical stats).
+ *   e2e_multi4  — probe emission fanned through a PipelineMux into FOUR
+ *                 full StreamCore+CacheSink+StreamRunner stacks with
+ *                 distinct configs: the one-pass runPointMulti ablation
+ *                 shape. Reported in config-ops/s (4 simulated configs
+ *                 per emitted op), so its ratio vs end_to_end is the
+ *                 speedup over running the four configs sequentially.
  *   core_seg    — uarch::SegmentSim over the same trace (--segments /
  *                 --segment-warmup; segment parallelism, bounded
  *                 warmup error).
@@ -37,7 +49,9 @@
 #include <chrono>
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -47,6 +61,7 @@
 #include "trace/pipeline.hpp"
 #include "trace/probe.hpp"
 #include "trace/synth.hpp"
+#include "trace/trace_io.hpp"
 #include "uarch/core.hpp"
 #include "uarch/segment.hpp"
 
@@ -347,6 +362,38 @@ main(int argc, char **argv)
     std::printf("  %-11s %8.2f Mops/s\n", "end_to_end", end_to_end);
     mops.set("end_to_end", lab::JsonValue::numberToken(fmt3(end_to_end)));
 
+    // TraceFile capture/replay: the two halves of the lab trace cache.
+    const std::filesystem::path trace_path =
+        std::filesystem::temp_directory_path() / "bench_simspeed.vetf";
+    double bytes_per_op = 0.0;
+    double capture = bestMops(opt.reps, [&] {
+        trace::FileSink file(trace_path.string());
+        trace::Probe probe{trace::ProbeConfig::streaming(true)};
+        probe.setSink(&file);
+        trace::synthProbeWorkload(probe, opt.ops);
+        probe.flushToSink();
+        file.flush();
+        bytes_per_op = file.opCount() > 0
+                           ? static_cast<double>(file.bytesWritten()) /
+                                 static_cast<double>(file.opCount())
+                           : 0.0;
+        return probe.recordedOps();
+    });
+    std::printf("  %-11s %8.2f Mops/s  (%.2f bytes/op on disk)\n", "capture",
+                capture, bytes_per_op);
+    mops.set("capture", lab::JsonValue::numberToken(fmt3(capture)));
+
+    double replay = bestMops(opt.reps, [&] {
+        CountSink count;
+        trace::FileSource source(trace_path.string());
+        trace::TraceFileInfo info = source.replay(count);
+        count.flush();
+        return info.opCount;
+    });
+    std::printf("  %-11s %8.2f Mops/s\n", "replay", replay);
+    mops.set("replay", lab::JsonValue::numberToken(fmt3(replay)));
+    std::filesystem::remove(trace_path);
+
     // Parallel modes (the PR-6 paths). e2e_pipe runs the same three
     // sinks as end_to_end, each on a worker; core_seg slices the trace
     // across cores. Worker counts resolve 0 = auto-detect.
@@ -370,6 +417,50 @@ main(int argc, char **argv)
                 "e2e_pipe", e2e_pipe, sim_jobs,
                 end_to_end > 0.0 ? e2e_pipe / end_to_end : 0.0);
     mops.set("e2e_pipe", lab::JsonValue::numberToken(fmt3(e2e_pipe)));
+
+    // The one-pass multi-config shape runPointMulti executes: one
+    // emission pass, four independent full sweep stacks. Counting each
+    // op once per config makes the e2e_multi4/end_to_end ratio the
+    // speedup over simulating the four configs sequentially.
+    constexpr int kMultiConfigs = 4;
+    double e2e_multi4 = bestMops(opt.reps, [&] {
+        const int robs[kMultiConfigs] = {64, 128, 256, 384};
+        std::vector<std::unique_ptr<uarch::StreamCore>> cores;
+        std::vector<std::unique_ptr<uarch::CacheSink>> caches;
+        std::vector<std::unique_ptr<bpred::BranchPredictor>> preds;
+        std::vector<std::unique_ptr<bpred::StreamRunner>> runners;
+        std::vector<std::unique_ptr<trace::MuxSink>> stacks;
+        std::vector<trace::TraceSink *> fanout;
+        for (int rob : robs) {
+            uarch::CoreConfig ccfg;
+            ccfg.robSize = rob;
+            cores.push_back(std::make_unique<uarch::StreamCore>(ccfg));
+            caches.push_back(std::make_unique<uarch::CacheSink>());
+            preds.push_back(bpred::makePredictor("tage-64KB"));
+            runners.push_back(
+                std::make_unique<bpred::StreamRunner>(*preds.back()));
+            auto stack = std::make_unique<trace::MuxSink>();
+            stack->add(cores.back().get());
+            stack->add(caches.back().get());
+            stack->add(runners.back().get());
+            fanout.push_back(stack.get());
+            stacks.push_back(std::move(stack));
+        }
+        trace::PipelineMux::Options popts;
+        popts.jobs = sim_jobs;
+        trace::PipelineMux mux(fanout, popts);
+        trace::Probe probe{trace::ProbeConfig::streaming(true)};
+        probe.setSink(&mux);
+        trace::synthProbeWorkload(probe, opt.ops);
+        probe.flushToSink();
+        mux.flush();
+        return probe.recordedOps() * kMultiConfigs;
+    });
+    std::printf("  %-11s %8.2f Mops/s  (%d configs, sim-jobs=%d, "
+                "%.2fx end_to_end)\n",
+                "e2e_multi4", e2e_multi4, kMultiConfigs, sim_jobs,
+                end_to_end > 0.0 ? e2e_multi4 / end_to_end : 0.0);
+    mops.set("e2e_multi4", lab::JsonValue::numberToken(fmt3(e2e_multi4)));
 
     const int segments = trace::resolveJobs(opt.segments);
     double core_seg = bestMops(opt.reps, [&] {
@@ -446,8 +537,8 @@ main(int argc, char **argv)
     // Keys absent from an older baseline are skipped, so adding new
     // measurements never breaks an existing gate.
     for (const char *key : {"probe_emit", "cache", "core", "bpred",
-                            "end_to_end", "e2e_pipe", "core_seg",
-                            "e2e_seg"}) {
+                            "end_to_end", "capture", "replay", "e2e_pipe",
+                            "e2e_multi4", "core_seg", "e2e_seg"}) {
         const lab::JsonValue *old_v = base_mops.find(key);
         if (old_v == nullptr) {
             continue;

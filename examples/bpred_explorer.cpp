@@ -1,15 +1,17 @@
 /**
  * @file
- * Branch-predictor explorer: capture a branch trace from an encoder run,
- * save it to disk in the CBP trace format, reload it, and evaluate any
- * predictor specs given on the command line — the workflow a
- * microarchitect would use this library for.
+ * Branch-predictor explorer: capture a branch trace from an encoder run
+ * straight to a TraceFile on disk, then replay it once through every
+ * predictor spec given on the command line — the capture-once/
+ * replay-many workflow a microarchitect would use this library for,
+ * at O(1) memory on both the capture and replay sides.
  *
  * Usage: bpred_explorer [spec ...]
  *   e.g. bpred_explorer gshare-2KB tage-8KB tage-64KB perceptron-8KB
  */
 
 #include <cstdio>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -33,7 +35,8 @@ main(int argc, char **argv)
                  "tage-64KB"};
     }
 
-    // 1. Capture a branch trace from an SVT-AV1 encode of "girl".
+    // 1. Capture a branch trace from an SVT-AV1 encode of "girl",
+    //    streaming it straight to disk (nothing is materialised).
     video::SuiteScale scale;
     scale.divisor = 8;
     scale.frames = 6;
@@ -47,26 +50,41 @@ main(int argc, char **argv)
     pc.collectBranches = true;
     pc.maxBranches = 1'000'000;
     pc.branchWarmupOps = 1'000'000;  // skip the keyframe warm-up
-    encoders::EncodeResult r = encoder->encode(clip, params, pc);
-    std::printf("captured %zu branches over %s instructions\n",
-                r.branchTrace().size(),
+    const std::string path = "/tmp/vepro_girl_branches.vetf";
+    trace::FileSink capture(path);
+    encoders::EncodeResult r =
+        encoder->encode(clip, params, pc, false, &capture);
+    std::printf("captured %llu branches over %s instructions\n",
+                static_cast<unsigned long long>(capture.branchCount()),
                 core::fmtCount(r.branchTraceInstructions).c_str());
+    std::printf("trace written to %s (%llu bytes)\n\n", path.c_str(),
+                static_cast<unsigned long long>(capture.bytesWritten()));
 
-    // 2. Round-trip the trace through the on-disk CBP format.
-    const std::string path = "/tmp/vepro_girl_branches.vepb";
-    trace::writeBranchTrace(path, r.branchTrace());
-    auto reloaded = trace::readBranchTrace(path);
-    std::printf("trace written to %s and reloaded (%zu records)\n\n",
-                path.c_str(), reloaded.size());
+    // 2. Replay the on-disk trace through every requested predictor in
+    //    ONE pass: a mux of StreamRunners scores them side by side.
+    std::vector<std::unique_ptr<bpred::BranchPredictor>> predictors;
+    std::vector<std::unique_ptr<bpred::StreamRunner>> runners;
+    trace::MuxSink fan;
+    for (const std::string &spec : specs) {
+        predictors.push_back(bpred::makePredictor(spec));
+        runners.push_back(
+            std::make_unique<bpred::StreamRunner>(*predictors.back()));
+        fan.add(runners.back().get());
+    }
+    trace::FileSource source(path);
+    trace::TraceFileInfo info = source.replay(fan);
+    fan.flush();
+    std::printf("replayed %llu branches from disk\n",
+                static_cast<unsigned long long>(info.branchCount));
 
-    // 3. Evaluate every requested predictor.
+    // 3. Report the paper's metrics per predictor.
     core::Table table({"Predictor", "Size (B)", "Misses", "Miss rate %",
                        "MPKI"});
-    for (const std::string &spec : specs) {
-        auto pred = bpred::makePredictor(spec);
-        bpred::RunResult rr =
-            bpred::runTrace(*pred, reloaded, r.branchTraceInstructions);
-        table.addRow({pred->name(), std::to_string(pred->sizeBytes()),
+    for (size_t i = 0; i < runners.size(); ++i) {
+        runners[i]->setInstructions(r.branchTraceInstructions);
+        const bpred::RunResult &rr = runners[i]->result();
+        table.addRow({predictors[i]->name(),
+                      std::to_string(predictors[i]->sizeBytes()),
                       core::fmtCount(rr.misses),
                       core::fmt(rr.missRatePercent(), 2),
                       core::fmt(rr.mpki(), 2)});

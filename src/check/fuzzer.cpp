@@ -18,6 +18,7 @@
 #include "lab/store.hpp"
 #include "trace/pipeline.hpp"
 #include "trace/synth.hpp"
+#include "trace/trace_io.hpp"
 #include "uarch/cache.hpp"
 #include "uarch/core.hpp"
 #include "uarch/segment.hpp"
@@ -34,8 +35,8 @@ const std::vector<Target> &
 allTargets()
 {
     static const std::vector<Target> kAll = {
-        Target::Core,  Target::Cache,    Target::Bpred, Target::Kernels,
-        Target::Store, Target::Parallel, Target::Energy};
+        Target::Core,  Target::Cache,    Target::Bpred,  Target::Kernels,
+        Target::Store, Target::Parallel, Target::Energy, Target::TraceFile};
     return kAll;
 }
 
@@ -50,6 +51,7 @@ targetName(Target target)
       case Target::Store: return "store";
       case Target::Parallel: return "parallel";
       case Target::Energy: return "energy";
+      case Target::TraceFile: return "tracefile";
     }
     return "?";
 }
@@ -1222,6 +1224,123 @@ Fuzzer::runParallelCase(uint64_t seed, Divergence &out)
     return false;
 }
 
+/**
+ * The trace capture/replay differential (tentpole of the TraceFile PR).
+ * One seeded case streams the same deterministically interleaved
+ * op/branch/kernel stream (a) live into a MuxSink{StreamCore,
+ * CacheSink, StreamRunner} stack and (b) through a FileSink capture to
+ * disk, then replays the file through FileSource into an identical
+ * stack. Every counter — CoreStats fields, hierarchy counters, and
+ * predictor branch/miss totals — must be bit-identical, proving the
+ * codec (varint + delta + dictionary, per-class address chains,
+ * positioned events) is lossless for everything the simulators consume.
+ * The injected tracefile-delta fault skews every decoded pc delta by
+ * one; the drifting PCs must surface here as a stats mismatch.
+ */
+bool
+Fuzzer::runTraceFileCase(uint64_t seed, Divergence &out)
+{
+    SplitMix64 rng(seed);
+    const uarch::CoreConfig cfg = randomCoreConfig(rng);
+    const uint64_t max_ops = options_.quick ? rng.range(16'000, 40'000)
+                                            : rng.range(16'000, 120'000);
+    const uint64_t max_brs = options_.quick ? rng.range(1'000, 8'000)
+                                            : rng.range(1'000, 24'000);
+    const std::vector<TraceOp> ops = trace::synthFuzzTrace(rng.fork(),
+                                                           max_ops);
+    const std::vector<trace::BranchRecord> branches =
+        trace::synthFuzzBranches(rng.fork(), max_brs);
+    const uint64_t chunk_seed = rng.next();
+
+    const fs::path base = options_.tempDir.empty()
+                              ? fs::temp_directory_path()
+                              : fs::path(options_.tempDir);
+    char name[64];
+    std::snprintf(name, sizeof name, "vepro-check-trace-%016llx.vetf",
+                  static_cast<unsigned long long>(seed));
+    const fs::path file = base / name;
+
+    auto fail = [&](const std::string &what) {
+        out.target = Target::TraceFile;
+        out.seed = seed;
+        out.repro = reproCommand(Target::TraceFile, seed, options_.inject,
+                                 options_.quick);
+        out.shrunkOps = 0;  // interleaved stream + a file: not ddmin-shaped
+        out.detail = "tracefile divergence (" + std::to_string(ops.size()) +
+                     " ops, " + std::to_string(branches.size()) +
+                     " branches): " + what;
+        std::error_code ec;
+        fs::remove(file, ec);
+        return true;
+    };
+
+    static const char *const kPredSpec = "tage-8KB";
+
+    // Live reference: the fused stack fed record-at-a-time.
+    uarch::StreamCore live_core(cfg);
+    uarch::CacheSink live_cache(cfg.mem);
+    auto live_pred = bpred::makePredictor(kPredSpec);
+    bpred::StreamRunner live_runner(*live_pred);
+    trace::MuxSink live_mux{&live_core, &live_cache, &live_runner};
+    replayInterleaved(live_mux, chunk_seed, ops, branches, false);
+
+    // Capture the identical stream to disk (flush() seals the file).
+    try {
+        trace::FileSink sink(file.string());
+        replayInterleaved(sink, chunk_seed, ops, branches, false);
+        if (sink.opCount() != ops.size()) {
+            return fail("capture op count " +
+                        std::to_string(sink.opCount()) + " != stream's " +
+                        std::to_string(ops.size()));
+        }
+    } catch (const std::exception &e) {
+        return fail(std::string("capture threw: ") + e.what());
+    }
+
+    // Replay into a fresh, identically configured stack.
+    uarch::StreamCore rep_core(cfg);
+    uarch::CacheSink rep_cache(cfg.mem);
+    auto rep_pred = bpred::makePredictor(kPredSpec);
+    bpred::StreamRunner rep_runner(*rep_pred);
+    trace::MuxSink rep_mux{&rep_core, &rep_cache, &rep_runner};
+    trace::FileSource source(file.string());
+    if (options_.inject == Fault::TraceFileDelta) {
+        source.injectDeltaFault(true);
+    }
+    try {
+        const trace::TraceFileInfo info = source.replay(rep_mux);
+        rep_mux.flush();
+        if (info.opCount != ops.size()) {
+            return fail("footer op count " + std::to_string(info.opCount) +
+                        " != stream's " + std::to_string(ops.size()));
+        }
+    } catch (const std::exception &e) {
+        return fail(std::string("replay threw: ") + e.what());
+    }
+
+    const std::string core_diff = diffStats(live_core.stats(),
+                                            rep_core.stats());
+    if (!core_diff.empty()) {
+        return fail("replayed core: " + core_diff);
+    }
+    const std::string cache_diff = diffCacheSinks(live_cache, rep_cache);
+    if (!cache_diff.empty()) {
+        return fail("replayed cache: " + cache_diff);
+    }
+    const bpred::RunResult lr = live_runner.result();
+    const bpred::RunResult rr = rep_runner.result();
+    if (lr.branches != rr.branches || lr.misses != rr.misses) {
+        return fail("replayed bpred: live " + std::to_string(lr.branches) +
+                    " branches/" + std::to_string(lr.misses) +
+                    " misses, replay " + std::to_string(rr.branches) + "/" +
+                    std::to_string(rr.misses));
+    }
+
+    std::error_code ec;
+    fs::remove(file, ec);
+    return false;
+}
+
 // ---------------------------------------------------------------------
 // Energy target
 
@@ -1330,6 +1449,7 @@ Fuzzer::runCase(Target target, uint64_t seed, Divergence &out)
       case Target::Store: return runStoreCase(seed, out);
       case Target::Parallel: return runParallelCase(seed, out);
       case Target::Energy: return runEnergyCase(seed, out);
+      case Target::TraceFile: return runTraceFileCase(seed, out);
     }
     return false;
 }
@@ -1351,6 +1471,8 @@ Fuzzer::itersFor(Target target) const
       case Target::Parallel: return options_.quick ? 6 : 30;
       // Pure arithmetic over the profile registry: cheap, so plenty.
       case Target::Energy: return options_.quick ? 50 : 400;
+      // Each case runs two live stacks plus a disk round-trip.
+      case Target::TraceFile: return options_.quick ? 6 : 30;
     }
     return 1;
 }

@@ -33,7 +33,16 @@ namespace vepro::check
 {
 
 /** What to fuzz. */
-enum class Target { Core, Cache, Bpred, Kernels, Store, Parallel, Energy };
+enum class Target {
+    Core,
+    Cache,
+    Bpred,
+    Kernels,
+    Store,
+    Parallel,
+    Energy,
+    TraceFile,
+};
 
 /** All targets, in the order `--target=all` runs them. */
 const std::vector<Target> &allTargets();
@@ -126,6 +135,7 @@ class Fuzzer
     bool runStoreCase(uint64_t seed, Divergence &out);
     bool runParallelCase(uint64_t seed, Divergence &out);
     bool runEnergyCase(uint64_t seed, Divergence &out);
+    bool runTraceFileCase(uint64_t seed, Divergence &out);
 
     FuzzOptions options_;
 };

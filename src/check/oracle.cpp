@@ -18,6 +18,7 @@ faultName(Fault fault)
       case Fault::StoreBit: return "store-bit";
       case Fault::ParallelDrop: return "parallel-drop";
       case Fault::BackendEnergy: return "backend-energy";
+      case Fault::TraceFileDelta: return "tracefile-delta";
     }
     return "?";
 }
@@ -27,7 +28,8 @@ parseFault(const std::string &name, Fault &out)
 {
     for (Fault f : {Fault::None, Fault::CacheLru, Fault::CoreLatency,
                     Fault::BpredAlloc, Fault::KernelsSad, Fault::StoreBit,
-                    Fault::ParallelDrop, Fault::BackendEnergy}) {
+                    Fault::ParallelDrop, Fault::BackendEnergy,
+                    Fault::TraceFileDelta}) {
         if (name == faultName(f)) {
             out = f;
             return true;

@@ -47,6 +47,8 @@ enum class Fault {
     ParallelDrop,   ///< Sequential reference stream drops its last branch.
     BackendEnergy,  ///< Energy weights: L2 and LLC miss nJ swapped
                     ///< (fixed profiles: one phantom block).
+    TraceFileDelta, ///< TraceFile decode reads every op pc delta off by
+                    ///< one (replayed PCs drift from the captured ones).
 };
 
 /** CLI name of a fault ("cache-lru", ...; "none" for Fault::None). */

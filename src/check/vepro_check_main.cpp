@@ -2,7 +2,8 @@
  * @file
  * `vepro-check` — differential fuzz driver for the optimized simulator:
  *
- *   vepro-check [--target=core|cache|bpred|kernels|store|parallel|energy|all]
+ *   vepro-check [--target=core|cache|bpred|kernels|store|parallel|energy|
+ *                         tracefile|all]
  *               [--iters=N] [--seed=N] [--quick] [--no-shrink]
  *               [--corpus=DIR] [--case=FILE] [--inject=FAULT]
  *               [--repro-out=FILE]
@@ -40,12 +41,13 @@ usage(const std::string &error)
     std::fprintf(
         stderr,
         "usage: vepro-check "
-        "[--target=core|cache|bpred|kernels|store|parallel|energy|all]\n"
+        "[--target=core|cache|bpred|kernels|store|parallel|energy|"
+        "tracefile|all]\n"
         "                   [--iters=N] [--seed=N] [--quick] [--no-shrink]\n"
         "                   [--corpus=DIR] [--case=FILE] [--inject=FAULT]\n"
         "                   [--repro-out=FILE]\n"
         "faults: none cache-lru core-latency bpred-alloc kernels-sad "
-        "store-bit parallel-drop backend-energy\n");
+        "store-bit parallel-drop backend-energy tracefile-delta\n");
     std::exit(2);
 }
 

@@ -4,6 +4,7 @@
 #include <charconv>
 #include <cstring>
 #include <limits>
+#include <memory>
 #include <mutex>
 #include <stdexcept>
 #include <thread>
@@ -212,6 +213,87 @@ runPoint(const encoders::EncoderModel &encoder, const video::Video &clip,
         point.core = sim.stats();
     }
     return point;
+}
+
+namespace
+{
+
+/** K StreamCores + the sink pointer list a PipelineMux wants. */
+struct CoreFan {
+    std::vector<std::unique_ptr<uarch::StreamCore>> cores;
+    std::vector<trace::TraceSink *> sinks;
+
+    explicit CoreFan(const std::vector<uarch::CoreConfig> &configs)
+    {
+        cores.reserve(configs.size());
+        sinks.reserve(configs.size());
+        for (const uarch::CoreConfig &cfg : configs) {
+            cores.push_back(std::make_unique<uarch::StreamCore>(cfg));
+            sinks.push_back(cores.back().get());
+        }
+    }
+
+    std::vector<uarch::CoreStats>
+    stats() const
+    {
+        std::vector<uarch::CoreStats> out;
+        out.reserve(cores.size());
+        for (const auto &core : cores) {
+            out.push_back(core->stats());
+        }
+        return out;
+    }
+};
+
+} // namespace
+
+std::vector<SweepPoint>
+runPointMulti(const encoders::EncoderModel &encoder, const video::Video &clip,
+              int crf, int preset, const RunScale &scale,
+              const std::vector<uarch::CoreConfig> &configs)
+{
+    if (scale.segments > 1) {
+        throw std::invalid_argument(
+            "runPointMulti: segment-parallel simulation is per-config "
+            "state; run segment points through runPoint");
+    }
+    if (configs.empty()) {
+        return {};
+    }
+    encoders::EncodeParams params;
+    params.crf = crf;
+    params.preset = preset;
+
+    CoreFan fan(configs);
+    trace::PipelineMux::Options opts;
+    opts.jobs = scale.simJobs;  // 1 = inline fan-out, 0/N = workers
+    trace::PipelineMux mux(fan.sinks, opts);
+    encoders::EncodeResult enc =
+        encoder.encode(clip, params, tracingConfig(scale), false, &mux);
+
+    std::vector<uarch::CoreStats> stats = fan.stats();
+    std::vector<SweepPoint> points(configs.size());
+    for (size_t i = 0; i < configs.size(); ++i) {
+        points[i].encode = enc;  // one encode serves every config
+        points[i].core = stats[i];
+    }
+    return points;
+}
+
+std::vector<uarch::CoreStats>
+replayMulti(const trace::FileSource &source,
+            const std::vector<uarch::CoreConfig> &configs, int jobs)
+{
+    if (configs.empty()) {
+        return {};
+    }
+    CoreFan fan(configs);
+    trace::PipelineMux::Options opts;
+    opts.jobs = jobs;
+    trace::PipelineMux mux(fan.sinks, opts);
+    source.replay(mux);
+    mux.flush();
+    return fan.stats();
 }
 
 void

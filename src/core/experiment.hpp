@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "encoders/encoder_model.hpp"
+#include "trace/trace_io.hpp"
 #include "uarch/core.hpp"
 #include "video/suite.hpp"
 
@@ -118,6 +119,37 @@ trace::ProbeConfig tracingConfig(const RunScale &scale);
 SweepPoint runPoint(const encoders::EncoderModel &encoder,
                     const video::Video &clip, int crf, int preset,
                     const RunScale &scale);
+
+/**
+ * One-pass multi-config simulation: run ONE encode and fan its trace
+ * through @p configs.size() independent uarch::StreamCore instances
+ * behind a trace::PipelineMux, returning one SweepPoint per config.
+ * Each returned point's CoreStats is bit-identical to what a sequential
+ * runPoint with that config would measure (the mux preserves per-sink
+ * record order exactly), but the encode+emit cost — and on the replay
+ * variants the decode cost — is paid once instead of K times.
+ *
+ * scale.simJobs drives the fan-out parallelism: 1 runs every core
+ * inline on the producing thread (still one encode), >1 or 0 (auto)
+ * runs each core on its own mux worker. scale.backend is ignored — the
+ * configs are explicit. Segment mode is per-config simulation state and
+ * is not supported here; @throws std::invalid_argument when
+ * scale.segments > 1.
+ */
+std::vector<SweepPoint>
+runPointMulti(const encoders::EncoderModel &encoder, const video::Video &clip,
+              int crf, int preset, const RunScale &scale,
+              const std::vector<uarch::CoreConfig> &configs);
+
+/**
+ * The replay half of the capture-once/replay-many workflow: stream one
+ * on-disk TraceFile through K core configs in a single pass. Same
+ * determinism contract as runPointMulti; @p jobs as PipelineMux
+ * (0 = auto, 1 = sequential).
+ */
+std::vector<uarch::CoreStats>
+replayMulti(const trace::FileSource &source,
+            const std::vector<uarch::CoreConfig> &configs, int jobs = 0);
 
 /**
  * Run fn(0..n-1) on a pool of @p jobs worker threads (inline when jobs

@@ -50,6 +50,44 @@ JobSpec::canonicalKey() const
     return key;
 }
 
+std::string
+JobSpec::traceKey() const
+{
+    // Encode-side fields only, fixed order, append-only — same
+    // evolution rules as canonicalKey(). Backend/segments are absent on
+    // purpose: they change how the trace is SIMULATED, never the trace
+    // itself (see the header comment).
+    std::string key;
+    key.reserve(128);
+    key += "encoder=";
+    key += encoder;
+    key += ";video=";
+    key += video;
+    key += ";crf=";
+    key += std::to_string(crf);
+    key += ";preset=";
+    key += std::to_string(preset);
+    key += ";threads=";
+    key += std::to_string(threads);
+    key += ";divisor=";
+    key += std::to_string(divisor);
+    key += ";frames=";
+    key += std::to_string(frames);
+    key += ";maxTraceOps=";
+    key += std::to_string(maxTraceOps);
+    return key;
+}
+
+std::string
+JobSpec::traceHashHex() const
+{
+    char buf[17];
+    std::snprintf(buf, sizeof buf, "%016llx",
+                  static_cast<unsigned long long>(
+                      fnv1a64("vepro-trace/v1|" + traceKey())));
+    return buf;
+}
+
 uint64_t
 fnv1a64(const std::string &bytes)
 {

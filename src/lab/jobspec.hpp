@@ -28,7 +28,9 @@ namespace vepro::lab
  * (whenever the record layout or the meaning of any spec field changes)
  * orphans old entries instead of misreading them.
  */
-constexpr int kSchemaVersion = 1;
+constexpr int kSchemaVersion = 2;  // 2: lazy kernel events moved
+                                   // sampled-capture block boundaries,
+                                   // shifting segment-parallel numbers.
 
 /** One experiment point. Field order never affects the hash. */
 struct JobSpec {
@@ -79,6 +81,21 @@ struct JobSpec {
 
     /** hash() as 16 lowercase hex digits (the store file stem). */
     std::string hashHex() const;
+
+    /**
+     * The trace-cache key: ONLY the encode-side identity fields
+     * (encoder, video, crf, preset, threads, divisor, frames,
+     * maxTraceOps). The machine profile (backend) and the
+     * segment-parallel knobs are deliberately excluded — the captured
+     * op stream is a property of the encode, not of the core it is
+     * later simulated on, so one trace file serves every machine
+     * profile of the same encode (capture once, replay per backend).
+     */
+    std::string traceKey() const;
+
+    /** FNV-1a 64 of "vepro-trace/v1|" + traceKey(), as 16 lowercase
+     *  hex digits (the trace file stem under <store>/traces/). */
+    std::string traceHashHex() const;
 
     /** Short human label for progress lines. */
     std::string label() const;

@@ -5,11 +5,48 @@
 #include <chrono>
 #include <stdexcept>
 
+#include "backend/profile.hpp"
 #include "encoders/registry.hpp"
+#include "lab/json.hpp"
+#include "trace/trace_io.hpp"
 #include "video/suite.hpp"
 
 namespace vepro::lab
 {
+
+namespace
+{
+
+/** The core geometry a spec simulates on (runPoint's resolution). */
+uarch::CoreConfig
+coreConfigFor(const JobSpec &spec)
+{
+    uarch::CoreConfig cfg;
+    if (!spec.backend.empty()) {
+        const backend::MachineProfile &profile =
+            backend::resolveProfile(spec.backend);
+        if (profile.kind != backend::Kind::Core) {
+            throw std::invalid_argument(
+                "lab: backend '" + spec.backend +
+                "' is fixed-function and cannot run the core model");
+        }
+        cfg = profile.core;
+    }
+    return cfg;
+}
+
+/** Copy the encode-side numbers a figure consumes into a JobResult. */
+void
+fillEncodeSummary(JobResult &result, const encoders::EncodeResult &enc)
+{
+    result.encode.wallSeconds = enc.wallSeconds;
+    result.encode.instructions = enc.instructions;
+    result.encode.bitrateKbps = enc.bitrateKbps;
+    result.encode.psnrDb = enc.psnrDb;
+    result.encode.droppedOps = enc.droppedOps;
+}
+
+} // namespace
 
 bool
 Orchestrator::queueLess(const QueueItem &a, const QueueItem &b)
@@ -28,12 +65,14 @@ OrchestratorOptions::fromRunScale(const core::RunScale &scale)
     OrchestratorOptions opts;
     opts.jobs = scale.jobs;
     opts.useCache = !scale.noCache;
+    opts.useTraceCache = !scale.noCache;
     opts.storeDir = scale.storeDir;
     return opts;
 }
 
 Orchestrator::Orchestrator(OrchestratorOptions opts)
-    : opts_(std::move(opts)), store_(opts_.storeDir, opts_.progress)
+    : opts_(std::move(opts)), store_(opts_.storeDir, opts_.progress),
+      traceCache_(opts_.storeDir + "/traces", opts_.progress)
 {
 }
 
@@ -135,6 +174,39 @@ Orchestrator::execute(const JobSpec &spec)
             "lab: multi-threaded points are not orchestrated yet "
             "(threads=" + std::to_string(spec.threads) + ")");
     }
+    // Segment-mode stats depend on exact block boundaries, so only
+    // sequential points go through the trace cache (their stats are
+    // delivery-batching independent — replay is bit-identical).
+    if (!opts_.useTraceCache || spec.segments != 1) {
+        return executeDirect(spec);
+    }
+
+    TraceCache::Lease lease = traceCache_.begin(spec);
+    if (lease.hit) {
+        try {
+            JobResult result = replayTrace(spec, lease.path);
+            traceCache_.commit(lease);
+            return result;
+        } catch (const std::exception &e) {
+            // Same policy as the result store: warn, drop the corrupt
+            // entry, recompute. recapture() keeps the per-key lease so
+            // no other worker can race the re-capture.
+            traceCache_.recapture(lease, e.what());
+        }
+    }
+    try {
+        JobResult result = captureTrace(spec, lease);
+        traceCache_.commit(lease);
+        return result;
+    } catch (...) {
+        traceCache_.abort(lease);
+        throw;
+    }
+}
+
+JobResult
+Orchestrator::executeDirect(const JobSpec &spec)
+{
     std::shared_ptr<const encoders::EncoderModel> encoder;
     {
         // encoders_ grows under intake_mutex_ while workers read it.
@@ -142,18 +214,93 @@ Orchestrator::execute(const JobSpec &spec)
         encoder = encoders_.at(spec.encoder);
     }
     std::shared_ptr<const video::Video> clip = acquireClip(spec);
+    encoderRuns_.fetch_add(1, std::memory_order_relaxed);
     core::SweepPoint point = core::runPoint(*encoder, *clip, spec.crf,
                                             spec.preset, spec.toRunScale());
     clip.reset();
     releaseClip(spec);
 
     JobResult result;
-    result.encode.wallSeconds = point.encode.wallSeconds;
-    result.encode.instructions = point.encode.instructions;
-    result.encode.bitrateKbps = point.encode.bitrateKbps;
-    result.encode.psnrDb = point.encode.psnrDb;
-    result.encode.droppedOps = point.encode.droppedOps;
+    fillEncodeSummary(result, point.encode);
     result.core = point.core;
+    return result;
+}
+
+JobResult
+Orchestrator::replayTrace(const JobSpec &spec, const std::string &path)
+{
+    uarch::StreamCore sim(coreConfigFor(spec));
+    trace::FileSource source(path);
+    trace::TraceFileInfo info = source.replay(sim);
+    sim.flush();
+
+    // The encode-side numbers ride in the trace metadata (written by
+    // captureTrace). Any parse failure or key mismatch throws, which
+    // the caller treats as a corrupt trace.
+    JsonValue meta = JsonValue::parse(info.metadata);
+    if (meta.at("traceKey").asString() != spec.traceKey()) {
+        throw std::runtime_error(
+            "trace metadata key mismatch (hash collision or renamed "
+            "field without a version bump)");
+    }
+    JobResult result;
+    result.encode.wallSeconds = meta.at("wallSeconds").asDouble();
+    result.encode.instructions = meta.at("instructions").asU64();
+    result.encode.bitrateKbps = meta.at("bitrateKbps").asDouble();
+    result.encode.psnrDb = meta.at("psnrDb").asDouble();
+    result.encode.droppedOps = meta.at("droppedOps").asU64();
+    result.core = sim.stats();
+    traceReplays_.fetch_add(1, std::memory_order_relaxed);
+    // The replayed job never touched the clip, but prepareMiss pinned
+    // it; release our reference so an all-replay sweep decodes nothing
+    // and frees eagerly.
+    releaseClip(spec);
+    return result;
+}
+
+JobResult
+Orchestrator::captureTrace(const JobSpec &spec,
+                           const TraceCache::Lease &lease)
+{
+    std::shared_ptr<const encoders::EncoderModel> encoder;
+    {
+        std::lock_guard<std::mutex> lock(intake_mutex_);
+        encoder = encoders_.at(spec.encoder);
+    }
+    encoders::EncodeParams params;
+    params.crf = spec.crf;
+    params.preset = spec.preset;
+    core::RunScale scale = spec.toRunScale();
+
+    // One encode feeds BOTH the live core model and the on-disk
+    // capture: the FileSink sees byte-for-byte the stream the core
+    // simulates, which is what makes later replays bit-identical.
+    uarch::StreamCore sim(coreConfigFor(spec));
+    trace::FileSink sink(lease.tmpPath);
+    sink.deferSeal(true);  // metadata is only known after the encode
+    trace::MuxSink mux{&sink, &sim};
+
+    std::shared_ptr<const video::Video> clip = acquireClip(spec);
+    encoderRuns_.fetch_add(1, std::memory_order_relaxed);
+    encoders::EncodeResult enc = encoder->encode(
+        *clip, params, core::tracingConfig(scale), false, &mux);
+    clip.reset();
+    releaseClip(spec);
+
+    JsonValue meta = JsonValue::object();
+    meta.set("traceKey", JsonValue::str(spec.traceKey()))
+        .set("wallSeconds", JsonValue::number(enc.wallSeconds))
+        .set("instructions", JsonValue::number(enc.instructions))
+        .set("bitrateKbps", JsonValue::number(enc.bitrateKbps))
+        .set("psnrDb", JsonValue::number(enc.psnrDb))
+        .set("droppedOps", JsonValue::number(enc.droppedOps));
+    sink.setMetadata(meta.dump());
+    sink.seal();
+    traceCaptures_.fetch_add(1, std::memory_order_relaxed);
+
+    JobResult result;
+    fillEncodeSummary(result, enc);
+    result.core = sim.stats();
     return result;
 }
 
@@ -576,6 +723,18 @@ Orchestrator::summaryLine() const
         line += ", " + std::to_string(rejected_) + " rejected";
     }
     return line;
+}
+
+std::string
+Orchestrator::traceLine() const
+{
+    char buf[160];
+    std::snprintf(buf, sizeof buf,
+                  "encoder invoked %zu times (%zu trace captures, "
+                  "%zu trace replays)",
+                  encoderRuns_.load(), traceCaptures_.load(),
+                  traceReplays_.load());
+    return buf;
 }
 
 } // namespace vepro::lab

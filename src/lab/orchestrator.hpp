@@ -40,6 +40,7 @@
 #include "lab/jobspec.hpp"
 #include "lab/progress.hpp"
 #include "lab/store.hpp"
+#include "lab/tracecache.hpp"
 #include "video/frame.hpp"
 
 namespace vepro::lab
@@ -48,6 +49,15 @@ namespace vepro::lab
 struct OrchestratorOptions {
     int jobs = 1;                      ///< Worker threads.
     bool useCache = true;              ///< false = recompute everything.
+    /**
+     * Capture each unique encode's op trace to `<store>/traces/` and
+     * replay it instead of re-running the encoder when the same encode
+     * is requested again (possibly on a different backend). Replays
+     * are bit-identical to the live fused pipeline, so this changes
+     * wall-clock only, never results. Disabled together with useCache
+     * by --no-cache.
+     */
+    bool useTraceCache = true;
     std::string storeDir = ".vepro-lab";
     Progress *progress = &Progress::standard();
     bool verbose = true;               ///< Per-job progress lines.
@@ -156,10 +166,23 @@ class Orchestrator
     /** Jobs admission control turned away (service mode). */
     size_t rejected() const { return rejected_; }
 
+    // ---- Trace-cache observability (the "no encoder work" seam) -----
+    /** Times the encoder model actually ran (live encodes). A fully
+     *  trace-warm run reports 0. */
+    size_t encoderRuns() const { return encoderRuns_.load(); }
+    /** Unique encodes captured to the trace cache this process. */
+    size_t traceCaptures() const { return traceCaptures_.load(); }
+    /** Jobs satisfied by replaying an on-disk trace. */
+    size_t traceReplays() const { return traceReplays_.load(); }
+
     const ResultStore &store() const { return store_; }
+    const TraceCache &traceCache() const { return traceCache_; }
 
     /** "N unique jobs, H cache hits, C computed (cache hits: P%)" */
     std::string summaryLine() const;
+
+    /** "encoder invoked N times (C trace captures, R trace replays)" */
+    std::string traceLine() const;
 
   private:
     struct ClipSlot {
@@ -196,6 +219,16 @@ class Orchestrator
     static bool queueLess(const QueueItem &a, const QueueItem &b);
 
     JobResult execute(const JobSpec &spec);
+    /** The pre-trace-cache path: live encode fused with the core
+     *  model (runPoint). Used for segment-mode specs and --no-cache. */
+    JobResult executeDirect(const JobSpec &spec);
+    /** Replay an on-disk trace through the spec's core config; the
+     *  encode summary comes from the trace metadata. @throws on any
+     *  corrupt trace (caller recaptures). */
+    JobResult replayTrace(const JobSpec &spec, const std::string &path);
+    /** Live encode that also captures the trace to lease.tmpPath. */
+    JobResult captureTrace(const JobSpec &spec,
+                           const TraceCache::Lease &lease);
     /** execute() with the one-retry policy; never throws — a second
      *  failure comes back as a failed JobResult. */
     JobResult executeWithRetry(const JobSpec &spec,
@@ -210,6 +243,7 @@ class Orchestrator
 
     OrchestratorOptions opts_;
     ResultStore store_;
+    TraceCache traceCache_;
 
     // Deques for reference stability: service workers hold references
     // to their job's spec and result slot while submit() keeps growing
@@ -235,6 +269,12 @@ class Orchestrator
 
     std::unique_ptr<Service> service_;
     std::atomic<size_t> service_retries_{0};
+
+    // Relaxed atomics: incremented from parallelFor/service workers,
+    // read from accessors after the work drains.
+    std::atomic<size_t> encoderRuns_{0};
+    std::atomic<size_t> traceCaptures_{0};
+    std::atomic<size_t> traceReplays_{0};
 
     size_t cacheHits_ = 0;
     size_t computed_ = 0;

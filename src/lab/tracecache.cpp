@@ -1,0 +1,128 @@
+#include "lab/tracecache.hpp"
+
+#include <atomic>
+#include <filesystem>
+
+#ifdef _WIN32
+#include <process.h>
+#else
+#include <unistd.h>
+#endif
+
+namespace vepro::lab
+{
+
+namespace fs = std::filesystem;
+
+namespace
+{
+
+/** Unique-per-writer tmp suffix (same scheme as ResultStore::save). */
+std::string
+tmpSuffix()
+{
+    static std::atomic<uint64_t> counter{0};
+#ifdef _WIN32
+    const long pid = _getpid();
+#else
+    const long pid = static_cast<long>(::getpid());
+#endif
+    return "." + std::to_string(pid) + "-" +
+           std::to_string(counter.fetch_add(1, std::memory_order_relaxed)) +
+           ".tmp";
+}
+
+} // namespace
+
+TraceCache::TraceCache(std::string dir, Progress *progress)
+    : dir_(std::move(dir)), progress_(progress)
+{
+}
+
+std::string
+TraceCache::pathFor(const JobSpec &spec) const
+{
+    return (fs::path(dir_) / (spec.traceHashHex() + ".vetf")).string();
+}
+
+TraceCache::Lease
+TraceCache::begin(const JobSpec &spec)
+{
+    Lease lease;
+    lease.key = spec.traceHashHex();
+    lease.path = pathFor(spec);
+    {
+        std::unique_lock<std::mutex> lock(mutex_);
+        cv_.wait(lock, [&] { return inflight_.count(lease.key) == 0; });
+        inflight_.insert(lease.key);
+    }
+    lease.active = true;
+    std::error_code ec;
+    if (fs::exists(lease.path, ec)) {
+        lease.hit = true;
+    } else {
+        fs::create_directories(dir_, ec);
+        lease.tmpPath = lease.path + tmpSuffix();
+    }
+    return lease;
+}
+
+void
+TraceCache::recapture(Lease &lease, const std::string &error)
+{
+    if (!lease.active || !lease.hit) {
+        throw std::logic_error("lab: recapture() needs an active hit lease");
+    }
+    if (progress_) {
+        progress_->linef(
+            "  warning: corrupt or stale cache entry %s (%s) — recomputing",
+            lease.path.c_str(), error.c_str());
+    }
+    std::error_code ec;
+    fs::remove(lease.path, ec);  // Best effort; capture overwrites anyway.
+    fs::create_directories(dir_, ec);
+    lease.hit = false;
+    lease.tmpPath = lease.path + tmpSuffix();
+}
+
+void
+TraceCache::commit(Lease &lease)
+{
+    if (!lease.active) {
+        return;
+    }
+    if (!lease.hit) {
+        // Atomic publish, like the result store: a concurrent reader
+        // (another process sharing the store) sees either no trace or
+        // a complete sealed one, never a partial file.
+        fs::rename(lease.tmpPath, lease.path);
+    }
+    release(lease);
+}
+
+void
+TraceCache::abort(Lease &lease)
+{
+    if (!lease.active) {
+        return;
+    }
+    if (!lease.hit && !lease.tmpPath.empty()) {
+        std::error_code ec;
+        fs::remove(lease.tmpPath, ec);  // Best effort cleanup.
+    }
+    release(lease);
+}
+
+void
+TraceCache::release(Lease &lease)
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        inflight_.erase(lease.key);
+    }
+    cv_.notify_all();
+    lease.active = false;
+    lease.tmpPath.clear();
+}
+
+} // namespace vepro::lab

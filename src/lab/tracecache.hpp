@@ -1,0 +1,104 @@
+#ifndef VEPRO_LAB_TRACECACHE_HPP
+#define VEPRO_LAB_TRACECACHE_HPP
+
+/**
+ * @file
+ * Content-addressed on-disk trace cache: one trace::TraceFile per
+ * unique *encode* under `<store>/traces/`, keyed by
+ * JobSpec::traceHashHex() — the encode-side identity fields only.
+ *
+ * The point of the key choice: a captured op stream depends on the
+ * encoder, clip, CRF, preset and probe cap, but NOT on the core config
+ * it is later simulated on. Excluding the backend from the key means a
+ * fleet sweep over K machine profiles captures each (clip, crf,
+ * preset) trace exactly once and replays it K times.
+ *
+ * Concurrency: begin() takes an exclusive per-key lease (workers
+ * racing on the same encode block until the holder commits or
+ * aborts), so a trace is captured at most once per process even when
+ * K backend jobs for the same encode run concurrently. Captures write
+ * `<hash>.vetf.<tmp>` and publish by rename, matching the result
+ * store's atomicity contract; a corrupt file found at replay time is
+ * deleted under the same lease and recaptured (recapture()), matching
+ * the store's warn-and-recompute policy.
+ */
+
+#include <condition_variable>
+#include <mutex>
+#include <set>
+#include <string>
+
+#include "lab/jobspec.hpp"
+#include "lab/progress.hpp"
+
+namespace vepro::lab
+{
+
+class TraceCache
+{
+  public:
+    /**
+     * One in-flight per-key lease. Obtained from begin(); MUST be
+     * returned through exactly one of commit()/abort() (both are safe
+     * on a hit lease). Leases are movable handles, not RAII — the
+     * orchestrator owns the try/catch that decides their fate.
+     */
+    struct Lease {
+        std::string key;      ///< traceHashHex of the spec.
+        std::string path;     ///< Final trace path (hit or capture).
+        std::string tmpPath;  ///< Capture target; "" on a hit.
+        bool hit = false;     ///< true: path is a readable capture.
+        bool active = false;  ///< Holds the in-flight lock.
+    };
+
+    /**
+     * @param dir      Trace directory (e.g. "<store>/traces");
+     *                 created on first capture.
+     * @param progress Where corrupt-trace warnings go; nullptr
+     *                 silences them.
+     */
+    explicit TraceCache(std::string dir,
+                        Progress *progress = &Progress::standard());
+
+    /**
+     * Acquire the lease for @p spec's trace, blocking while another
+     * thread holds it. Returns a hit lease when the trace file exists
+     * (replay from lease.path) or a capture lease otherwise (capture
+     * to lease.tmpPath, then commit()).
+     */
+    Lease begin(const JobSpec &spec);
+
+    /**
+     * Convert a hit lease whose file failed to replay into a capture
+     * lease: warns (store-policy wording), deletes the corrupt file,
+     * assigns a fresh tmpPath. The in-flight lock is kept throughout,
+     * so no other thread can observe the half-state.
+     */
+    void recapture(Lease &lease, const std::string &error);
+
+    /** Publish lease.tmpPath over lease.path (rename) and release the
+     *  lease. On a hit lease: just releases. */
+    void commit(Lease &lease);
+
+    /** Discard lease.tmpPath (if any) and release the lease. Safe to
+     *  call on an already-released lease (no-op). */
+    void abort(Lease &lease);
+
+    /** The trace path a spec maps to (exposed for tests/tooling). */
+    std::string pathFor(const JobSpec &spec) const;
+
+    const std::string &dir() const { return dir_; }
+
+  private:
+    void release(Lease &lease);
+
+    std::string dir_;
+    Progress *progress_;
+    std::mutex mutex_;
+    std::condition_variable cv_;
+    std::set<std::string> inflight_;
+};
+
+} // namespace vepro::lab
+
+#endif // VEPRO_LAB_TRACECACHE_HPP

@@ -146,6 +146,9 @@ main(int argc, char **argv)
             std::printf("wrote %s\n", path.string().c_str());
         }
         std::printf("\nvepro-lab: %s\n", orch.summaryLine().c_str());
+        // Always printed (even on a fully result-cached run) so CI can
+        // assert that a trace-warm sweep does zero encoder work.
+        std::printf("vepro-lab: %s\n", orch.traceLine().c_str());
     } catch (const std::exception &e) {
         std::fprintf(stderr, "vepro-lab: %s\n", e.what());
         return 1;

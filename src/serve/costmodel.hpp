@@ -16,6 +16,14 @@
  * re-encoding anything; specs on the default profile keep the exact
  * pre-backend store key, so old entries stay cache hits.
  *
+ * Underneath the result store sits the orchestrator's trace cache
+ * (lab::TraceCache), keyed by the encode-side spec fields only — the
+ * backend is deliberately excluded. A fleet resolveOn() over N
+ * backends therefore runs the instrumented encoder exactly once per
+ * (clip, crf, preset): the first backend's spec captures the trace,
+ * and the other N-1 replay the same file through their own core
+ * configs at simulation speed (tests/test_serve.cpp pins the counts).
+ *
  * Single-core service seconds on a core-model backend are
  *
  *     instructions * divisor^2 * (referenceFrames / frames)

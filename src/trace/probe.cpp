@@ -155,8 +155,25 @@ Probe::flushBlock() const
 }
 
 void
+Probe::stagePendingKernel()
+{
+    pending_site_valid_ = false;
+    TraceBlock::Event ev;
+    ev.pos = static_cast<uint32_t>(stage_.ops.size());
+    ev.kind = TraceBlock::Event::Kernel;
+    ev.value = pending_site_;
+    stage_.events.push_back(ev);
+    if (stage_.events.size() >= kBlockOps) {
+        flushBlock();
+    }
+}
+
+void
 Probe::emitOp(const TraceOp &op)
 {
+    if (pending_site_valid_) {
+        stagePendingKernel();
+    }
     ++ops_recorded_;
     if (stage_.ops.size() == kBlockOps) {
         flushBlock();
@@ -167,6 +184,9 @@ Probe::emitOp(const TraceOp &op)
 void
 Probe::emitOps(const TraceOp *ops, size_t n)
 {
+    if (pending_site_valid_) {
+        stagePendingKernel();
+    }
     ops_recorded_ += n;
     while (n > 0) {
         if (stage_.ops.size() == kBlockOps) {
@@ -182,6 +202,9 @@ Probe::emitOps(const TraceOp *ops, size_t n)
 void
 Probe::emitBranch(uint64_t pc, bool taken)
 {
+    if (pending_site_valid_) {
+        stagePendingKernel();
+    }
     if (branches_recorded_ == 0) {
         branch_first_op_ = opSeq_;
     }
@@ -217,16 +240,15 @@ Probe::enterKernel(uint64_t site, int body_len)
         site_slot_ = &site_ops_[site];
     }
     if (sink_ != nullptr) {
-        // Staged as a positioned event: replay announces the new site
-        // after the previous site's ops, preserving attribution order.
-        TraceBlock::Event ev;
-        ev.pos = static_cast<uint32_t>(stage_.ops.size());
-        ev.kind = TraceBlock::Event::Kernel;
-        ev.value = site;
-        stage_.events.push_back(ev);
-        if (stage_.events.size() >= kBlockOps) {
-            flushBlock();
-        }
+        // Deferred: the event is only staged when a record actually
+        // lands under this site (stagePendingKernel). Sampled captures
+        // gate ops off for most of each interval, and staging an event
+        // per kernel entry during those gaps used to swamp the trace —
+        // more event bytes than op bytes. Replay attribution only needs
+        // the site in force when recording resumes, which collapsing
+        // the gap's entries to the last one preserves.
+        pending_site_ = site;
+        pending_site_valid_ = true;
     }
     // Real encoders specialise each kernel by block size / unroll factor;
     // spread invocations over eight code variants so the instruction
@@ -383,6 +405,7 @@ Probe::reset()
     dropped_branches_ = 0;
     site_ops_.clear();
     site_slot_ = nullptr;
+    pending_site_valid_ = false;
     nextRegion_ = 0x10000000ULL;
 }
 

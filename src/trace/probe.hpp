@@ -297,6 +297,9 @@ class Probe
     void emitOp(const TraceOp &op);
     /** Record a batch of ops. */
     void emitOps(const TraceOp *ops, size_t n);
+    /** Stage the deferred kernel-site event (see enterKernel) just
+     *  before the first op recorded under that site. */
+    void stagePendingKernel();
     /** Record one branch (caller already applied warmup/cap gating) as
      *  an in-block event at the current op position, preserving
      *  program order without cutting the block. */
@@ -322,6 +325,13 @@ class Probe
 
     TraceSink *sink_ = nullptr;  ///< External consumer, overrides capture.
     mutable VectorSink capture_; ///< Internal batch capture (legacy API).
+    /** Kernel-site event deferred until an op is actually recorded:
+     *  in sampled runs, kernel entries in the gaps between op windows
+     *  vastly outnumber recorded ops and carry no information a
+     *  stream consumer can use (attribution only needs the site in
+     *  force when recording resumes). */
+    uint64_t pending_site_ = 0;
+    bool pending_site_valid_ = false;
     /** Emission staging block: recorded ops accumulate in stage_.ops
      *  and branch/kernel records as positioned events, delivered whole
      *  through dest()->onBlock when the op span reaches kBlockOps (or

@@ -55,10 +55,11 @@ TEST(CheckNames, TargetNamesRoundTrip)
 
 TEST(CheckNames, FaultNamesRoundTrip)
 {
-    const Fault faults[] = {Fault::None,         Fault::CacheLru,
-                            Fault::CoreLatency,  Fault::BpredAlloc,
-                            Fault::KernelsSad,   Fault::StoreBit,
-                            Fault::ParallelDrop, Fault::BackendEnergy};
+    const Fault faults[] = {Fault::None,          Fault::CacheLru,
+                            Fault::CoreLatency,   Fault::BpredAlloc,
+                            Fault::KernelsSad,    Fault::StoreBit,
+                            Fault::ParallelDrop,  Fault::BackendEnergy,
+                            Fault::TraceFileDelta};
     for (Fault f : faults) {
         Fault back = Fault::None;
         ASSERT_TRUE(parseFault(faultName(f), back)) << faultName(f);
@@ -112,6 +113,7 @@ TEST(CheckInjection, EveryFaultIsCaught)
         {Fault::StoreBit, Target::Store},
         {Fault::ParallelDrop, Target::Parallel},
         {Fault::BackendEnergy, Target::Energy},
+        {Fault::TraceFileDelta, Target::TraceFile},
     };
     for (const FaultCase &fc : cases) {
         SCOPED_TRACE(faultName(fc.fault));

@@ -8,12 +8,16 @@
 
 #include <gtest/gtest.h>
 
+#include <filesystem>
+
+#include "backend/profile.hpp"
 #include "bpred/runner.hpp"
 #include "core/experiment.hpp"
 #include "core/report.hpp"
 #include "core/threadstudy.hpp"
 #include "encoders/registry.hpp"
 #include "trace/synth.hpp"
+#include "trace/trace_io.hpp"
 #include "uarch/core.hpp"
 #include "video/generator.hpp"
 
@@ -364,6 +368,158 @@ TEST(GoldenStats, PredictorMissesOnSynthBranches)
     bpred::RunResult r = bpred::runTrace(*pred, b, 1'000'000);
     EXPECT_EQ(r.branches, 200'000u);
     EXPECT_EQ(r.misses, 20934u);
+}
+
+// ---------------------------------------------------------------------------
+// One-pass multi-config fan-out (runPointMulti / replayMulti): the
+// determinism contract is BIT-IDENTITY with sequential runPoint, not
+// "close enough" — the mux preserves per-sink record order exactly.
+
+video::Video
+multiClip()
+{
+    video::GeneratorParams p;
+    p.width = 96;
+    p.height = 64;
+    p.frames = 2;
+    p.entropy = 5;
+    p.seed = 11;
+    return video::generate("multi", p);
+}
+
+void
+expectSameStats(const uarch::CoreStats &a, const uarch::CoreStats &b)
+{
+    EXPECT_EQ(a.cycles, b.cycles);
+    EXPECT_EQ(a.instructions, b.instructions);
+    EXPECT_EQ(a.slots.retiring, b.slots.retiring);
+    EXPECT_EQ(a.slots.badSpec, b.slots.badSpec);
+    EXPECT_EQ(a.slots.frontend, b.slots.frontend);
+    EXPECT_EQ(a.slots.backend, b.slots.backend);
+    EXPECT_EQ(a.slots.backendMemory, b.slots.backendMemory);
+    EXPECT_EQ(a.stalls.rs, b.stalls.rs);
+    EXPECT_EQ(a.stalls.rob, b.stalls.rob);
+    EXPECT_EQ(a.condBranches, b.condBranches);
+    EXPECT_EQ(a.mispredicts, b.mispredicts);
+    EXPECT_EQ(a.l1iMisses, b.l1iMisses);
+    EXPECT_EQ(a.l1dAccesses, b.l1dAccesses);
+    EXPECT_EQ(a.l1dMisses, b.l1dMisses);
+    EXPECT_EQ(a.l2Misses, b.l2Misses);
+    EXPECT_EQ(a.llcMisses, b.llcMisses);
+    EXPECT_DOUBLE_EQ(a.l1dMpki(), b.l1dMpki());
+    EXPECT_DOUBLE_EQ(a.llcMpki(), b.llcMpki());
+}
+
+TEST(RunPointMulti, BitIdenticalToSequentialRunPoint)
+{
+    video::Video clip = multiClip();
+    auto enc = encoders::encoderByName("SVT-AV1");
+    RunScale scale;
+    scale.maxTraceOps = 150'000;
+
+    // Sequential baselines: one full encode per config.
+    SweepPoint seq_default = runPoint(*enc, clip, 40, 6, scale);
+    RunScale grav_scale = scale;
+    grav_scale.backend = "graviton-like";
+    SweepPoint seq_grav = runPoint(*enc, clip, 40, 6, grav_scale);
+
+    // One pass through both configs, fanned out on worker threads.
+    RunScale multi_scale = scale;
+    multi_scale.simJobs = 2;
+    std::vector<uarch::CoreConfig> configs = {
+        uarch::CoreConfig{},
+        backend::resolveProfile("graviton-like").core};
+    std::vector<SweepPoint> multi =
+        runPointMulti(*enc, clip, 40, 6, multi_scale, configs);
+    ASSERT_EQ(multi.size(), 2u);
+    expectSameStats(multi[0].core, seq_default.core);
+    expectSameStats(multi[1].core, seq_grav.core);
+
+    // The single encode serves every config verbatim.
+    EXPECT_EQ(multi[0].encode.instructions, multi[1].encode.instructions);
+    EXPECT_EQ(multi[0].encode.instructions, seq_default.encode.instructions);
+    // Different machine geometries really did diverge (no sink aliasing).
+    EXPECT_NE(multi[0].core.cycles, multi[1].core.cycles);
+}
+
+TEST(RunPointMulti, InlineAndParallelFanOutAgree)
+{
+    video::Video clip = multiClip();
+    auto enc = encoders::encoderByName("x264");
+    RunScale scale;
+    scale.maxTraceOps = 120'000;
+
+    std::vector<uarch::CoreConfig> configs;
+    const int robs[] = {64, 128, 256, 384};
+    for (int rob : robs) {
+        uarch::CoreConfig cfg;
+        cfg.robSize = rob;
+        configs.push_back(cfg);
+    }
+
+    RunScale inline_scale = scale;
+    inline_scale.simJobs = 1;  // fan-out on the producing thread
+    RunScale pool_scale = scale;
+    pool_scale.simJobs = 4;  // one worker per config
+    std::vector<SweepPoint> a =
+        runPointMulti(*enc, clip, 35, 5, inline_scale, configs);
+    std::vector<SweepPoint> b =
+        runPointMulti(*enc, clip, 35, 5, pool_scale, configs);
+    ASSERT_EQ(a.size(), configs.size());
+    ASSERT_EQ(b.size(), configs.size());
+    for (size_t i = 0; i < configs.size(); ++i) {
+        expectSameStats(a[i].core, b[i].core);
+    }
+    // The four geometries genuinely simulate apart (no sink aliasing),
+    // and the smallest ROB is the clear loser.
+    EXPECT_NE(a[0].core.cycles, a[1].core.cycles);
+    EXPECT_GT(a[0].core.cycles, a.back().core.cycles);
+}
+
+TEST(RunPointMulti, SegmentModeThrowsAndEmptyConfigsReturnEmpty)
+{
+    video::Video clip = multiClip();
+    auto enc = encoders::encoderByName("SVT-AV1");
+    RunScale scale;
+    scale.maxTraceOps = 50'000;
+    EXPECT_TRUE(runPointMulti(*enc, clip, 40, 6, scale, {}).empty());
+    scale.segments = 4;
+    EXPECT_THROW(
+        runPointMulti(*enc, clip, 40, 6, scale, {uarch::CoreConfig{}}),
+        std::invalid_argument);
+}
+
+TEST(ReplayMulti, DiskReplayMatchesLiveFanOut)
+{
+    video::Video clip = multiClip();
+    auto enc = encoders::encoderByName("SVT-AV1");
+    RunScale scale;
+    scale.maxTraceOps = 150'000;
+    std::vector<uarch::CoreConfig> configs = {
+        uarch::CoreConfig{},
+        backend::resolveProfile("graviton-like").core};
+
+    // Capture the very trace a live run would stream.
+    const std::string path = "/tmp/vepro_test_replaymulti.vetf";
+    {
+        encoders::EncodeParams params;
+        params.crf = 40;
+        params.preset = 6;
+        trace::FileSink sink(path);
+        enc->encode(clip, params, tracingConfig(scale), false, &sink);
+    }
+
+    std::vector<SweepPoint> live =
+        runPointMulti(*enc, clip, 40, 6, scale, configs);
+    trace::FileSource source(path);
+    std::vector<uarch::CoreStats> replayed =
+        replayMulti(source, configs, /*jobs=*/2);
+    ASSERT_EQ(replayed.size(), live.size());
+    for (size_t i = 0; i < configs.size(); ++i) {
+        expectSameStats(replayed[i], live[i].core);
+    }
+    EXPECT_TRUE(replayMulti(source, {}).empty());
+    std::filesystem::remove(path);
 }
 
 } // namespace

@@ -15,10 +15,13 @@
 #include <sstream>
 #include <thread>
 
+#include <functional>
+
 #include "lab/figures.hpp"
 #include "lab/json.hpp"
 #include "lab/orchestrator.hpp"
 #include "lab/store.hpp"
+#include "trace/trace_io.hpp"
 
 namespace vepro::lab
 {
@@ -867,6 +870,226 @@ TEST(Progress, ConcurrentLinesNeverInterleave)
             << line;
     }
     EXPECT_EQ(count, static_cast<size_t>(kThreads * kLines));
+}
+
+// ---------------------------------------------------------------------------
+// Trace cache: one captured TraceFile per unique ENCODE, shared across
+// backends. These run the real pipeline (tiny specs) because the whole
+// point is the seam between encoder invocation and disk replay.
+
+/** Small enough to encode in well under a second. */
+JobSpec
+quickSpec()
+{
+    JobSpec spec;
+    spec.encoder = "SVT-AV1";
+    spec.video = "game1";
+    spec.crf = 32;
+    spec.preset = 6;
+    spec.divisor = 16;
+    spec.frames = 2;
+    spec.maxTraceOps = 150'000;
+    return spec;
+}
+
+OrchestratorOptions
+realRunnerOptions(const std::string &dir)
+{
+    OrchestratorOptions opts;
+    opts.jobs = 1;
+    opts.storeDir = dir;
+    opts.progress = nullptr;
+    opts.verbose = false;
+    return opts;
+}
+
+TEST(TraceKey, ExcludesSimulationSideFields)
+{
+    const JobSpec base = quickSpec();
+    // Backend and segmentation choose the MACHINE; the captured op
+    // stream only depends on the encode. Same key -> one capture
+    // serves every profile.
+    JobSpec arm = quickSpec();
+    arm.backend = "graviton-like";
+    JobSpec seg = quickSpec();
+    seg.segments = 8;
+    seg.segmentWarmup = 2;
+    EXPECT_EQ(arm.traceKey(), base.traceKey());
+    EXPECT_EQ(seg.traceKey(), base.traceKey());
+    EXPECT_EQ(arm.traceHashHex(), base.traceHashHex());
+    EXPECT_EQ(base.traceKey().find("backend"), std::string::npos);
+
+    // Every encode-side field re-keys the trace.
+    for (auto mutate : std::vector<std::function<void(JobSpec &)>>{
+             [](JobSpec &s) { s.encoder = "x264"; },
+             [](JobSpec &s) { s.video = "sport1"; },
+             [](JobSpec &s) { s.crf = 33; },
+             [](JobSpec &s) { s.preset = 7; },
+             [](JobSpec &s) { s.threads = 4; },
+             [](JobSpec &s) { s.divisor = 8; },
+             [](JobSpec &s) { s.frames = 3; },
+             [](JobSpec &s) { s.maxTraceOps = 100'000; }}) {
+        JobSpec changed = quickSpec();
+        mutate(changed);
+        EXPECT_NE(changed.traceKey(), base.traceKey());
+        EXPECT_NE(changed.traceHashHex(), base.traceHashHex());
+    }
+
+    const std::string hex = base.traceHashHex();
+    EXPECT_EQ(hex.size(), 16u);
+    EXPECT_EQ(hex.find_first_not_of("0123456789abcdef"), std::string::npos);
+}
+
+TEST(TraceCacheE2E, SecondBackendReplaysWithoutRunningTheEncoder)
+{
+    const std::string dir = freshDir("tcross");
+    JobResult cold, warm;
+    {
+        Orchestrator orch(realRunnerOptions(dir));
+        size_t h = orch.request(quickSpec());
+        orch.run();
+        cold = orch.result(h);
+        EXPECT_EQ(orch.encoderRuns(), 1u);
+        EXPECT_EQ(orch.traceCaptures(), 1u);
+        EXPECT_EQ(orch.traceReplays(), 0u);
+        EXPECT_EQ(orch.traceLine(),
+                  "encoder invoked 1 times (1 trace captures, "
+                  "0 trace replays)");
+    }
+    // The acceptance bar for the codec: the on-disk capture of the
+    // reference quick clip spends at most 6 bytes per recorded op.
+    const std::string trace_path =
+        dir + "/traces/" + quickSpec().traceHashHex() + ".vetf";
+    ASSERT_TRUE(fs::exists(trace_path));
+    trace::TraceFileInfo info = trace::FileSource::inspect(trace_path);
+    EXPECT_GT(info.opCount, 0u);
+    EXPECT_LE(info.bytesPerOp(), 6.0);
+
+    {
+        // Different machine profile = result-store miss, but the SAME
+        // encode: the point must come from disk replay, zero encoder
+        // work.
+        JobSpec arm = quickSpec();
+        arm.backend = "graviton-like";
+        Orchestrator orch(realRunnerOptions(dir));
+        size_t h = orch.request(arm);
+        orch.run();
+        warm = orch.result(h);
+        EXPECT_EQ(orch.computed(), 1u);
+        EXPECT_EQ(orch.cacheHits(), 0u);
+        EXPECT_EQ(orch.encoderRuns(), 0u);
+        EXPECT_EQ(orch.traceCaptures(), 0u);
+        EXPECT_EQ(orch.traceReplays(), 1u);
+    }
+    // Replay reproduces the capture-time encode verbatim, while the
+    // different core geometry really simulates apart.
+    EXPECT_EQ(warm.encode.instructions, cold.encode.instructions);
+    EXPECT_DOUBLE_EQ(warm.encode.wallSeconds, cold.encode.wallSeconds);
+    EXPECT_DOUBLE_EQ(warm.encode.psnrDb, cold.encode.psnrDb);
+    EXPECT_NE(warm.core.cycles, cold.core.cycles);
+}
+
+TEST(TraceCacheE2E, SameSpecWarmRunShortCircuitsAtTheResultStore)
+{
+    const std::string dir = freshDir("twarm");
+    {
+        Orchestrator orch(realRunnerOptions(dir));
+        orch.request(quickSpec());
+        orch.run();
+    }
+    Orchestrator orch(realRunnerOptions(dir));
+    orch.request(quickSpec());
+    orch.run();
+    EXPECT_EQ(orch.cacheHits(), 1u);
+    EXPECT_EQ(orch.computed(), 0u);
+    // The result store answered first; the trace layer never woke up.
+    EXPECT_EQ(orch.encoderRuns(), 0u);
+    EXPECT_EQ(orch.traceCaptures(), 0u);
+    EXPECT_EQ(orch.traceReplays(), 0u);
+    EXPECT_EQ(orch.traceLine(),
+              "encoder invoked 0 times (0 trace captures, "
+              "0 trace replays)");
+}
+
+TEST(TraceCacheE2E, CorruptTraceWarnsAndRecaptures)
+{
+    const std::string dir = freshDir("theal");
+    {
+        Orchestrator orch(realRunnerOptions(dir));
+        orch.request(quickSpec());
+        orch.run();
+    }
+    const std::string trace_path =
+        dir + "/traces/" + quickSpec().traceHashHex() + ".vetf";
+    ASSERT_TRUE(fs::exists(trace_path));
+    {
+        // Flip one payload byte; the checksum/decode must catch it.
+        std::fstream f(trace_path,
+                       std::ios::in | std::ios::out | std::ios::binary);
+        f.seekp(64);
+        char byte = 0;
+        f.seekg(64);
+        f.get(byte);
+        f.seekp(64);
+        f.put(static_cast<char>(byte ^ 0x20));
+    }
+
+    std::FILE *sink = std::tmpfile();
+    ASSERT_NE(sink, nullptr);
+    Progress progress(sink);
+    JobSpec arm = quickSpec();
+    arm.backend = "graviton-like";
+    OrchestratorOptions opts = realRunnerOptions(dir);
+    opts.progress = &progress;
+    Orchestrator orch(opts);
+    orch.request(arm);
+    orch.run();
+    // Store-policy healing: warn, recapture under the lease, still
+    // produce the point.
+    EXPECT_EQ(orch.encoderRuns(), 1u);
+    EXPECT_EQ(orch.traceCaptures(), 1u);
+    EXPECT_EQ(orch.traceReplays(), 0u);
+    EXPECT_EQ(orch.computed(), 1u);
+
+    std::rewind(sink);
+    char buf[512] = {};
+    size_t n = std::fread(buf, 1, sizeof buf - 1, sink);
+    std::string text(buf, n);
+    EXPECT_NE(text.find("corrupt or stale cache entry"), std::string::npos);
+    std::fclose(sink);
+
+    // The recapture healed the file: a third run replays cleanly.
+    trace::TraceFileInfo info = trace::FileSource::inspect(trace_path);
+    EXPECT_GT(info.opCount, 0u);
+}
+
+TEST(TraceCacheE2E, SegmentedAndOptedOutSpecsBypassTheCache)
+{
+    {
+        // segments > 1 is per-config simulation state — direct path.
+        const std::string dir = freshDir("tseg");
+        Orchestrator orch(realRunnerOptions(dir));
+        JobSpec seg = quickSpec();
+        seg.segments = 2;
+        orch.request(seg);
+        orch.run();
+        EXPECT_EQ(orch.encoderRuns(), 1u);
+        EXPECT_EQ(orch.traceCaptures(), 0u);
+        EXPECT_EQ(orch.traceReplays(), 0u);
+        EXPECT_FALSE(fs::exists(dir + "/traces"));
+    }
+    {
+        // --no-cache style opt-out.
+        const std::string dir = freshDir("tnocache");
+        OrchestratorOptions opts = realRunnerOptions(dir);
+        opts.useTraceCache = false;
+        Orchestrator orch(opts);
+        orch.request(quickSpec());
+        orch.run();
+        EXPECT_EQ(orch.encoderRuns(), 1u);
+        EXPECT_EQ(orch.traceCaptures(), 0u);
+        EXPECT_FALSE(fs::exists(dir + "/traces"));
+    }
 }
 
 TEST(Figures, UnsupportedIdRejected)

@@ -655,6 +655,41 @@ TEST(CostModel, ResolvesPerBackendAndPricesFixedFunctionAnalytically)
     EXPECT_EQ(orch.computed(), 4u);
 }
 
+TEST(CostModel, FleetResolutionCapturesEachTraceExactlyOnce)
+{
+    // On a cold store, resolveOn() across two core backends must run
+    // the instrumented encoder exactly once per (clip, crf, preset) —
+    // the trace cache is keyed by the encode-side spec only, so the
+    // second backend replays the first backend's captures. Uses the
+    // real encode pipeline (no runner seam): the whole point is the
+    // seam-level encoder-invocation count.
+    const std::string dir = freshDir("fleettrace");
+    CostModelConfig config;
+    config.presets = {2, 8};
+
+    lab::OrchestratorOptions opts;
+    opts.jobs = 2;
+    opts.storeDir = dir;
+    opts.verbose = false;
+
+    lab::Orchestrator orch(opts);
+    orch.startService({});
+    CostModel cost(orch, config);
+    cost.resolveOn({"xeon-bdw", "graviton-like"}, {"game1"}, {32});
+    orch.stopService();
+
+    // 1 clip x 1 crf x 2 presets = 2 unique encodes; 2 backends x 2
+    // presets = 4 computed specs, the extra 2 resolved by replay.
+    EXPECT_EQ(orch.computed(), 4u);
+    EXPECT_EQ(orch.encoderRuns(), 2u);
+    EXPECT_EQ(orch.traceCaptures(), 2u);
+    EXPECT_EQ(orch.traceReplays(), 2u);
+
+    // Both backends priced every preset from the same capture.
+    EXPECT_GT(cost.serviceSecondsOn("xeon-bdw", "game1", 32, 2), 0.0);
+    EXPECT_GT(cost.serviceSecondsOn("graviton-like", "game1", 32, 8), 0.0);
+}
+
 TEST(CostModel, ExplicitOverridesSupersedeTheProfile)
 {
     const std::string dir = freshDir("ghzoverride");

@@ -8,6 +8,8 @@
 
 #include <cstdio>
 #include <filesystem>
+#include <fstream>
+#include <iterator>
 
 #include "trace/opclass.hpp"
 #include "trace/probe.hpp"
@@ -341,58 +343,7 @@ TEST(Profile, SiteNameLookup)
     EXPECT_EQ(siteName(0xdeadULL), "?");
 }
 
-TEST(TraceIo, BranchRoundTrip)
-{
-    std::string path = "/tmp/vepro_test_branch.bin";
-    std::vector<BranchRecord> trace = {
-        {0x1000, true}, {0x2000, false}, {0x1000, true}};
-    writeBranchTrace(path, trace);
-    auto back = readBranchTrace(path);
-    ASSERT_EQ(back.size(), 3u);
-    EXPECT_EQ(back[0].pc, 0x1000u);
-    EXPECT_TRUE(back[0].taken);
-    EXPECT_FALSE(back[1].taken);
-    std::filesystem::remove(path);
-}
-
-TEST(TraceIo, OpRoundTrip)
-{
-    std::string path = "/tmp/vepro_test_ops.bin";
-    std::vector<TraceOp> trace;
-    TraceOp a{0x400000, 0xfeed, OpClass::SimdLoad, false, 3, 7, false};
-    TraceOp b{0x400004, 0xbeef, OpClass::Store, false, 0, 0, true};
-    TraceOp c{0x400008, 0, OpClass::BranchCond, true, 1, 0, false};
-    trace = {a, b, c};
-    writeOpTrace(path, trace);
-    auto back = readOpTrace(path);
-    ASSERT_EQ(back.size(), 3u);
-    EXPECT_EQ(back[0].addr, 0xfeedu);
-    EXPECT_EQ(back[0].dep1, 3);
-    EXPECT_EQ(back[0].dep2, 7);
-    EXPECT_TRUE(back[1].foreign);
-    EXPECT_TRUE(back[2].taken);
-    EXPECT_EQ(back[2].cls, OpClass::BranchCond);
-    std::filesystem::remove(path);
-}
-
-TEST(TraceIo, RejectsBadMagic)
-{
-    std::string path = "/tmp/vepro_test_bad.bin";
-    FILE *f = std::fopen(path.c_str(), "wb");
-    std::fputs("NOPE....garbage", f);
-    std::fclose(f);
-    EXPECT_THROW(readBranchTrace(path), std::runtime_error);
-    EXPECT_THROW(readOpTrace(path), std::runtime_error);
-    std::filesystem::remove(path);
-}
-
-TEST(TraceIo, RejectsMissingFile)
-{
-    EXPECT_THROW(readBranchTrace("/tmp/does_not_exist_vepro.bin"),
-                 std::runtime_error);
-}
-
-// ---- Streaming sink architecture -----------------------------------
+// ---- Shared stream helpers (sink + TraceFile suites) ----------------
 
 /** A deterministic emission workload exercising every probe API. */
 void
@@ -427,6 +378,379 @@ expectSameStreams(const std::vector<TraceOp> &a,
         EXPECT_EQ(a[i].foreign, b[i].foreign) << "op " << i;
     }
 }
+
+// ---- TraceFile: on-disk capture / replay ---------------------------
+
+/** Expect @p fn to throw a "trace:"-prefixed error naming @p path. */
+template <typename Fn>
+std::string
+expectTraceError(Fn &&fn, const std::string &path)
+{
+    try {
+        fn();
+    } catch (const std::runtime_error &e) {
+        const std::string what = e.what();
+        EXPECT_EQ(what.rfind("trace:", 0), 0u) << what;
+        EXPECT_NE(what.find(path), std::string::npos) << what;
+        return what;
+    }
+    ADD_FAILURE() << "no trace error thrown for " << path;
+    return {};
+}
+
+TEST(TraceFile, OpRoundTripPreservesEveryField)
+{
+    const std::string path = "/tmp/vepro_test_tracefile_ops.vetf";
+    TraceOp a{0x400000, 0xfeed, OpClass::SimdLoad, false, 3, 7, false};
+    TraceOp b{0x400004, 0xbeef, OpClass::Store, false, 0, 0, true};
+    TraceOp c{0x400008, 0, OpClass::BranchCond, true, 1, 0, false};
+    {
+        FileSink sink(path);
+        sink.onOp(a);
+        sink.onOp(b);
+        sink.onOp(c);
+        sink.onBranch({0x400008, true});
+        sink.flush();
+        EXPECT_EQ(sink.opCount(), 3u);
+        EXPECT_EQ(sink.branchCount(), 1u);
+    }
+    VectorSink back;
+    TraceFileInfo info = FileSource(path).replay(back);
+    expectSameStreams({a, b, c}, back.ops());
+    ASSERT_EQ(back.branches().size(), 1u);
+    EXPECT_EQ(back.branches()[0].pc, 0x400008u);
+    EXPECT_TRUE(back.branches()[0].taken);
+    EXPECT_EQ(info.opCount, 3u);
+    EXPECT_EQ(info.branchCount, 1u);
+    EXPECT_EQ(info.blockCount, 1u);
+    EXPECT_EQ(info.fileBytes, std::filesystem::file_size(path));
+    std::filesystem::remove(path);
+}
+
+/** Capture a probe workload to disk, replay it, and demand the exact
+ *  record stream a live-fed sink sees — including across the 4096-op
+ *  block boundary and for branch and kernel events. */
+TEST(TraceFile, ReplayEqualsLiveStream)
+{
+    const ProbeConfig pc = ProbeConfig::streaming(true);
+    Probe direct(pc);
+    VectorSink live;
+    SiteProfileSink live_profile;
+    MuxSink live_mux{&live, &live_profile};
+    direct.setSink(&live_mux);
+    emitWorkload(direct);
+    direct.flushToSink();
+
+    const std::string path = "/tmp/vepro_test_tracefile_stream.vetf";
+    {
+        FileSink sink(path);
+        Probe fed(pc);
+        fed.setSink(&sink);
+        emitWorkload(fed);
+        fed.flushToSink();
+        sink.flush();
+        EXPECT_EQ(sink.opCount(), direct.recordedOps());
+        EXPECT_EQ(sink.branchCount(), direct.recordedBranches());
+    }
+
+    VectorSink replayed;
+    SiteProfileSink replayed_profile;
+    MuxSink replay_mux{&replayed, &replayed_profile};
+    TraceFileInfo info = FileSource(path).replay(replay_mux);
+    replay_mux.flush();
+
+    expectSameStreams(live.ops(), replayed.ops());
+    ASSERT_EQ(live.branches().size(), replayed.branches().size());
+    for (size_t i = 0; i < live.branches().size(); ++i) {
+        EXPECT_EQ(live.branches()[i].pc, replayed.branches()[i].pc);
+        EXPECT_EQ(live.branches()[i].taken, replayed.branches()[i].taken);
+    }
+    // Kernel events survive: the replayed profiler attributes the same
+    // per-site op counts as the live one.
+    ASSERT_EQ(live_profile.siteOps().size(),
+              replayed_profile.siteOps().size());
+    for (const auto &[site, n] : live_profile.siteOps()) {
+        auto it = replayed_profile.siteOps().find(site);
+        ASSERT_NE(it, replayed_profile.siteOps().end()) << siteName(site);
+        EXPECT_EQ(it->second, n) << siteName(site);
+    }
+    EXPECT_EQ(info.opCount, direct.recordedOps());
+    EXPECT_EQ(info.branchCount, direct.recordedBranches());
+    EXPECT_GT(info.blockCount, 1u) << "workload must cross a block";
+    // The varint/delta codec target: well under 6 bytes/op on a dense
+    // probe stream (the old fixed-width records took 21).
+    EXPECT_LE(info.bytesPerOp(), 6.0);
+    std::filesystem::remove(path);
+}
+
+TEST(TraceFile, BlockBoundaryRoundTrip)
+{
+    for (uint64_t n : {4095u, 4096u, 4097u}) {
+        SCOPED_TRACE("n=" + std::to_string(n));
+        auto emit = [n](Probe &p) {
+            p.enterKernel(sitePc("tracefile.boundary"), 16);
+            p.ops(OpClass::SimdAlu, n, 0, 2);
+            p.decision(sitePc("tracefile.boundary.dec"), n % 2 == 0);
+            p.memRun(OpClass::SimdLoad, 0x9000, 4, 32, 1);
+        };
+        Probe capture(ProbeConfig::streaming(true));
+        emit(capture);
+
+        const std::string path = "/tmp/vepro_test_tracefile_boundary.vetf";
+        {
+            FileSink sink(path);
+            Probe fed(ProbeConfig::streaming(true));
+            fed.setSink(&sink);
+            emit(fed);
+            fed.flushToSink();
+            sink.flush();
+        }
+        VectorSink back;
+        FileSource(path).replay(back);
+        expectSameStreams(capture.opTrace(), back.ops());
+        ASSERT_EQ(capture.branchTrace().size(), back.branches().size());
+        std::filesystem::remove(path);
+    }
+}
+
+/** Record-at-a-time feeding (no probe): the sink stages standard 4096-op
+ *  blocks itself, preserving op/branch/kernel interleaving. */
+TEST(TraceFile, RecordAtATimeStagingPreservesOrder)
+{
+    const std::string path = "/tmp/vepro_test_tracefile_records.vetf";
+    std::vector<TraceOp> ops(10'000);
+    for (size_t i = 0; i < ops.size(); ++i) {
+        ops[i].pc = 0x1000 + (i % 37) * 4;
+        ops[i].cls = i % 5 == 0 ? OpClass::Load : OpClass::Alu;
+        ops[i].addr = i % 5 == 0 ? 0x20000 + i * 8 : 0;
+    }
+    {
+        FileSink sink(path);
+        sink.onOps(ops.data(), 3000);
+        sink.onBranch({0x5000, true});
+        sink.onKernel(sitePc("tracefile.records"));
+        sink.onOps(ops.data() + 3000, 7000);  // crosses two boundaries
+        sink.onBranch({0x5004, false});
+        sink.flush();
+        EXPECT_EQ(sink.opCount(), ops.size());
+        EXPECT_EQ(sink.branchCount(), 2u);
+    }
+    VectorSink back;
+    TraceFileInfo info = FileSource(path).replay(back);
+    expectSameStreams(ops, back.ops());
+    ASSERT_EQ(back.branches().size(), 2u);
+    EXPECT_EQ(back.branches()[0].pc, 0x5000u);
+    EXPECT_FALSE(back.branches()[1].taken);
+    EXPECT_EQ(info.blockCount, 3u) << "10000 ops = 2 full blocks + tail";
+    std::filesystem::remove(path);
+}
+
+TEST(TraceFile, MetadataRoundTripAndInspect)
+{
+    const std::string path = "/tmp/vepro_test_tracefile_meta.vetf";
+    {
+        FileSink sink(path);
+        sink.deferSeal(true);
+        sink.onOp({0x1000, 0, OpClass::Alu, false, 0, 0, false});
+        sink.flush();  // deferred: must NOT seal yet
+        sink.setMetadata("{\"wallSeconds\":1.5}");
+        sink.seal();
+    }
+    TraceFileInfo inspected = FileSource::inspect(path);
+    EXPECT_EQ(inspected.metadata, "{\"wallSeconds\":1.5}");
+    EXPECT_EQ(inspected.opCount, 1u);
+    EXPECT_EQ(inspected.fileBytes, std::filesystem::file_size(path));
+
+    VectorSink back;
+    TraceFileInfo replayed = FileSource(path).replay(back);
+    EXPECT_EQ(replayed.metadata, inspected.metadata);
+    EXPECT_EQ(back.ops().size(), 1u);
+    std::filesystem::remove(path);
+}
+
+TEST(TraceFile, RecordAfterSealThrows)
+{
+    const std::string path = "/tmp/vepro_test_tracefile_sealed.vetf";
+    FileSink sink(path);
+    sink.flush();
+    TraceOp op{};
+    EXPECT_THROW(sink.onOp(op), std::logic_error);
+    EXPECT_THROW(sink.onBranch({0x1, true}), std::logic_error);
+    std::filesystem::remove(path);
+}
+
+TEST(TraceFile, RejectsMissingFile)
+{
+    VectorSink sink;
+    expectTraceError(
+        [&] { FileSource("/tmp/does_not_exist_vepro.vetf").replay(sink); },
+        "/tmp/does_not_exist_vepro.vetf");
+    expectTraceError(
+        [&] { FileSource::inspect("/tmp/does_not_exist_vepro.vetf"); },
+        "/tmp/does_not_exist_vepro.vetf");
+}
+
+TEST(TraceFile, RejectsBadMagic)
+{
+    const std::string path = "/tmp/vepro_test_tracefile_bad.vetf";
+    FILE *f = std::fopen(path.c_str(), "wb");
+    std::fputs("NOPE....garbage", f);
+    std::fclose(f);
+    VectorSink sink;
+    std::string what =
+        expectTraceError([&] { FileSource(path).replay(sink); }, path);
+    EXPECT_NE(what.find("bad magic"), std::string::npos) << what;
+    std::filesystem::remove(path);
+}
+
+/** The retired fixed-width formats are named, not mistaken for rot. */
+TEST(TraceFile, RejectsLegacyFormatsWithVersionedError)
+{
+    for (const char *magic : {"VEPB", "VEPO"}) {
+        SCOPED_TRACE(magic);
+        const std::string path = "/tmp/vepro_test_tracefile_legacy.vetf";
+        FILE *f = std::fopen(path.c_str(), "wb");
+        std::fputs(magic, f);
+        const uint32_t version = 1;
+        std::fwrite(&version, sizeof version, 1, f);
+        std::fclose(f);
+        VectorSink sink;
+        std::string what =
+            expectTraceError([&] { FileSource(path).replay(sink); }, path);
+        EXPECT_NE(what.find("legacy"), std::string::npos) << what;
+        EXPECT_NE(what.find(magic), std::string::npos) << what;
+        EXPECT_NE(what.find("recapture"), std::string::npos) << what;
+        std::filesystem::remove(path);
+    }
+}
+
+TEST(TraceFile, RejectsWrongVersion)
+{
+    const std::string path = "/tmp/vepro_test_tracefile_version.vetf";
+    FILE *f = std::fopen(path.c_str(), "wb");
+    std::fputs("VETF", f);
+    const uint32_t version = 99;
+    std::fwrite(&version, sizeof version, 1, f);
+    std::fclose(f);
+    VectorSink sink;
+    std::string what =
+        expectTraceError([&] { FileSource(path).replay(sink); }, path);
+    EXPECT_NE(what.find("unsupported version 99"), std::string::npos)
+        << what;
+    std::filesystem::remove(path);
+}
+
+namespace
+{
+
+/** Write a small but representative capture and return its path. */
+std::string
+writeCorruptionFixture()
+{
+    const std::string path = "/tmp/vepro_test_tracefile_corrupt.vetf";
+    FileSink sink(path);
+    Probe fed(ProbeConfig::streaming(true));
+    fed.setSink(&sink);
+    fed.enterKernel(sitePc("tracefile.corrupt"), 8);
+    fed.ops(OpClass::Alu, 600, 1);
+    fed.mem(OpClass::Load, 0x30000);
+    fed.decision(sitePc("tracefile.corrupt.dec"), true);
+    fed.flushToSink();
+    sink.setMetadata("fixture-metadata-0123456789");
+    sink.flush();
+    return path;
+}
+
+std::vector<char>
+readAll(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    return std::vector<char>(std::istreambuf_iterator<char>(in),
+                             std::istreambuf_iterator<char>());
+}
+
+void
+writeAll(const std::string &path, const std::vector<char> &bytes)
+{
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+} // namespace
+
+/** EVERY single-byte corruption of a capture must be detected: header
+ *  checks, per-block decode validation, footer counts, or the payload
+ *  checksum — nothing decodes silently wrong. */
+TEST(TraceFile, EverySingleByteFlipIsDetected)
+{
+    const std::string path = writeCorruptionFixture();
+    const std::vector<char> good = readAll(path);
+    ASSERT_GT(good.size(), 60u);
+    const std::string flipped = path + ".flip";
+    for (size_t i = 0; i < good.size(); ++i) {
+        std::vector<char> bad = good;
+        bad[i] = static_cast<char>(bad[i] ^ 0x01);
+        writeAll(flipped, bad);
+        VectorSink sink;
+        try {
+            FileSource(flipped).replay(sink);
+            ADD_FAILURE() << "flip at byte " << i << " went undetected";
+        } catch (const std::runtime_error &e) {
+            EXPECT_EQ(std::string(e.what()).rfind("trace:", 0), 0u)
+                << "byte " << i << ": " << e.what();
+        }
+    }
+    std::filesystem::remove(flipped);
+    std::filesystem::remove(path);
+}
+
+/** Every proper prefix of a capture must fail as truncated. */
+TEST(TraceFile, TruncationIsDetectedAtAnyLength)
+{
+    const std::string path = writeCorruptionFixture();
+    const std::vector<char> good = readAll(path);
+    const std::string cut = path + ".cut";
+    // Every length up to the header, then a spread of longer prefixes.
+    std::vector<size_t> lengths;
+    for (size_t n = 0; n < 12 && n < good.size(); ++n) {
+        lengths.push_back(n);
+    }
+    for (size_t n = 12; n < good.size(); n += 7) {
+        lengths.push_back(n);
+    }
+    lengths.push_back(good.size() - 1);
+    for (size_t n : lengths) {
+        std::vector<char> bad(good.begin(),
+                              good.begin() + static_cast<ptrdiff_t>(n));
+        writeAll(cut, bad);
+        VectorSink sink;
+        std::string what =
+            expectTraceError([&] { FileSource(cut).replay(sink); }, cut);
+        EXPECT_NE(what.find("offset"), std::string::npos)
+            << "truncated at " << n << ": " << what;
+    }
+    std::filesystem::remove(cut);
+    std::filesystem::remove(path);
+}
+
+/** A flip in the (never-decoded) metadata is exactly what the checksum
+ *  exists for. */
+TEST(TraceFile, MetadataBitFlipFailsChecksum)
+{
+    const std::string path = writeCorruptionFixture();
+    std::vector<char> bytes = readAll(path);
+    // The metadata sits 36 footer bytes + its own length from the end.
+    const size_t meta_at = bytes.size() - 36 - 10;
+    bytes[meta_at] = static_cast<char>(bytes[meta_at] ^ 0x40);
+    writeAll(path, bytes);
+    VectorSink sink;
+    std::string what =
+        expectTraceError([&] { FileSource(path).replay(sink); }, path);
+    EXPECT_NE(what.find("checksum mismatch"), std::string::npos) << what;
+    std::filesystem::remove(path);
+}
+
+// ---- Streaming sink architecture -----------------------------------
 
 /** A sink-fed probe must deliver exactly the stream a capturing probe
  *  materialises — same sampling windows, same caps, same records. */
