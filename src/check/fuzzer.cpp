@@ -16,12 +16,14 @@
 #include "core/rng.hpp"
 #include "lab/json.hpp"
 #include "lab/store.hpp"
+#include "ladder/ladder.hpp"
 #include "trace/pipeline.hpp"
 #include "trace/synth.hpp"
 #include "trace/trace_io.hpp"
 #include "uarch/cache.hpp"
 #include "uarch/core.hpp"
 #include "uarch/segment.hpp"
+#include "video/scale.hpp"
 
 namespace fs = std::filesystem;
 
@@ -36,7 +38,8 @@ allTargets()
 {
     static const std::vector<Target> kAll = {
         Target::Core,  Target::Cache,    Target::Bpred,  Target::Kernels,
-        Target::Store, Target::Parallel, Target::Energy, Target::TraceFile};
+        Target::Store, Target::Parallel, Target::Energy, Target::TraceFile,
+        Target::Ladder};
     return kAll;
 }
 
@@ -52,6 +55,7 @@ targetName(Target target)
       case Target::Parallel: return "parallel";
       case Target::Energy: return "energy";
       case Target::TraceFile: return "tracefile";
+      case Target::Ladder: return "ladder";
     }
     return "?";
 }
@@ -1342,6 +1346,112 @@ Fuzzer::runTraceFileCase(uint64_t seed, Divergence &out)
 }
 
 // ---------------------------------------------------------------------
+// Ladder target
+
+bool
+Fuzzer::runLadderCase(uint64_t seed, Divergence &out)
+{
+    SplitMix64 rng(seed);
+
+    auto fail = [&](const std::string &what) {
+        out.target = Target::Ladder;
+        out.seed = seed;
+        out.repro = reproCommand(Target::Ladder, seed, options_.inject,
+                                 options_.quick);
+        out.detail = "ladder divergence vs naive oracle: " + what;
+        return true;
+    };
+
+    // Hull differential on an integer-grid RD point set. Small integer
+    // coordinates keep every cross product exact in doubles, so the
+    // monotone chain and the O(n^2) oracle must agree bit for bit. A
+    // forced collinear triple per case keeps the harness sensitive to
+    // the strict-cross fault; random extras add ties, duplicates and
+    // dominated points around it.
+    std::vector<video::RdPoint> pts;
+    const double r0 = 1.0 + static_cast<double>(rng.below(20));
+    const double q0 = 1.0 + static_cast<double>(rng.below(20));
+    const double dr = 1.0 + static_cast<double>(rng.below(4));
+    const double dq = 1.0 + static_cast<double>(rng.below(4));
+    for (int t = 0; t < 3; ++t) {
+        pts.push_back({r0 + t * dr, q0 + t * dq});
+    }
+    const size_t extras = 2 + rng.below(7);
+    for (size_t i = 0; i < extras; ++i) {
+        pts.push_back({1.0 + static_cast<double>(rng.below(40)),
+                       1.0 + static_cast<double>(rng.below(40))});
+    }
+    if (rng.below(2) == 0) {
+        pts.push_back(pts[rng.below(pts.size())]);  // exact duplicate
+    }
+    const std::vector<size_t> want =
+        refConvexHull(pts, options_.inject);
+    const std::vector<size_t> got = ladder::convexHull(pts);
+    if (want != got) {
+        auto render = [&](const std::vector<size_t> &hull) {
+            std::string s = "{";
+            for (size_t i : hull) {
+                s += (s.size() > 1 ? "," : "") + std::to_string(i);
+            }
+            return s + "}";
+        };
+        return fail("convexHull over " + std::to_string(pts.size()) +
+                    " points: oracle=" + render(want) +
+                    " fast=" + render(got));
+    }
+
+    // Scaler differential: the kernel-table scaling path against naive
+    // per-pixel references, bit for bit.
+    static const int kPlaneDims[] = {1, 2, 3, 5, 8, 15, 16, 17, 31, 40, 64};
+    const int w = kPlaneDims[rng.below(11)];
+    const int h = kPlaneDims[rng.below(11)];
+    const int factor = 1 + static_cast<int>(rng.below(4));
+    video::Plane src(w, h);
+    for (int y = 0; y < h; ++y) {
+        uint8_t *row = src.row(y);
+        for (int x = 0; x < w; ++x) {
+            row[x] = static_cast<uint8_t>(rng.next());
+        }
+    }
+    const video::Plane down_want = refDownscalePlane(src, factor);
+    const video::Plane down_got = video::downscalePlane(src, factor);
+    auto planesEqual = [](const video::Plane &a, const video::Plane &b,
+                          std::string &where) {
+        if (a.width() != b.width() || a.height() != b.height()) {
+            where = "dims";
+            return false;
+        }
+        for (int y = 0; y < a.height(); ++y) {
+            for (int x = 0; x < a.width(); ++x) {
+                if (a.at(x, y) != b.at(x, y)) {
+                    where = "(" + std::to_string(x) + "," +
+                            std::to_string(y) + ") oracle=" +
+                            std::to_string(a.at(x, y)) + " fast=" +
+                            std::to_string(b.at(x, y));
+                    return false;
+                }
+            }
+        }
+        return true;
+    };
+    std::string where;
+    if (!planesEqual(down_want, down_got, where)) {
+        return fail("downscalePlane(" + std::to_string(w) + "x" +
+                    std::to_string(h) + ", /" + std::to_string(factor) +
+                    ") at " + where);
+    }
+    const int uw = 1 + static_cast<int>(rng.below(80));
+    const int uh = 1 + static_cast<int>(rng.below(80));
+    const video::Plane up_want = refUpscalePlane(down_want, uw, uh);
+    const video::Plane up_got = video::upscalePlane(down_got, uw, uh);
+    if (!planesEqual(up_want, up_got, where)) {
+        return fail("upscalePlane(-> " + std::to_string(uw) + "x" +
+                    std::to_string(uh) + ") at " + where);
+    }
+    return false;
+}
+
+// ---------------------------------------------------------------------
 // Energy target
 
 namespace
@@ -1450,6 +1560,7 @@ Fuzzer::runCase(Target target, uint64_t seed, Divergence &out)
       case Target::Parallel: return runParallelCase(seed, out);
       case Target::Energy: return runEnergyCase(seed, out);
       case Target::TraceFile: return runTraceFileCase(seed, out);
+      case Target::Ladder: return runLadderCase(seed, out);
     }
     return false;
 }
@@ -1473,6 +1584,8 @@ Fuzzer::itersFor(Target target) const
       case Target::Energy: return options_.quick ? 50 : 400;
       // Each case runs two live stacks plus a disk round-trip.
       case Target::TraceFile: return options_.quick ? 6 : 30;
+      // Hull arithmetic plus two small-plane scaler round trips: cheap.
+      case Target::Ladder: return options_.quick ? 40 : 300;
     }
     return 1;
 }

@@ -42,6 +42,7 @@ enum class Target {
     Parallel,
     Energy,
     TraceFile,
+    Ladder,
 };
 
 /** All targets, in the order `--target=all` runs them. */
@@ -136,6 +137,7 @@ class Fuzzer
     bool runParallelCase(uint64_t seed, Divergence &out);
     bool runEnergyCase(uint64_t seed, Divergence &out);
     bool runTraceFileCase(uint64_t seed, Divergence &out);
+    bool runLadderCase(uint64_t seed, Divergence &out);
 
     FuzzOptions options_;
 };

@@ -19,6 +19,7 @@ faultName(Fault fault)
       case Fault::ParallelDrop: return "parallel-drop";
       case Fault::BackendEnergy: return "backend-energy";
       case Fault::TraceFileDelta: return "tracefile-delta";
+      case Fault::LadderHull: return "ladder-hull";
     }
     return "?";
 }
@@ -29,7 +30,7 @@ parseFault(const std::string &name, Fault &out)
     for (Fault f : {Fault::None, Fault::CacheLru, Fault::CoreLatency,
                     Fault::BpredAlloc, Fault::KernelsSad, Fault::StoreBit,
                     Fault::ParallelDrop, Fault::BackendEnergy,
-                    Fault::TraceFileDelta}) {
+                    Fault::TraceFileDelta, Fault::LadderHull}) {
         if (name == faultName(f)) {
             out = f;
             return true;
@@ -500,6 +501,143 @@ refFixedEnergyJoules(const backend::MachineProfile &p, uint64_t blocks,
     }
     return p.energy.setupJ +
            static_cast<double>(blocks) * p.energy.blockNj * 1e-9;
+}
+
+// ---------------------------------------------------------------------
+// Ladder: naive hull + naive scalers
+
+std::vector<size_t>
+refConvexHull(const std::vector<video::RdPoint> &pts, Fault fault)
+{
+    // Rule 1+2: candidate order (rate asc, psnr desc, index asc);
+    // equal-rate groups keep only their first member.
+    std::vector<size_t> order(pts.size());
+    for (size_t i = 0; i < order.size(); ++i) {
+        order[i] = i;
+    }
+    std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+        if (pts[a].bitrateKbps != pts[b].bitrateKbps) {
+            return pts[a].bitrateKbps < pts[b].bitrateKbps;
+        }
+        if (pts[a].psnrDb != pts[b].psnrDb) {
+            return pts[a].psnrDb > pts[b].psnrDb;
+        }
+        return a < b;
+    });
+    std::vector<size_t> cand;
+    for (size_t i : order) {
+        if (!cand.empty() &&
+            pts[cand.back()].bitrateKbps == pts[i].bitrateKbps) {
+            continue;
+        }
+        cand.push_back(i);
+    }
+    // Rule 3: strictly increasing psnr.
+    std::vector<size_t> mono;
+    for (size_t i : cand) {
+        if (mono.empty() || pts[i].psnrDb > pts[mono.back()].psnrDb) {
+            mono.push_back(i);
+        }
+    }
+    // Rule 4, exhaustively: keep m iff NO chord (a, b) of two other
+    // surviving points straddling it passes on or above m. Same double
+    // expression as the production monotone chain, so on integer-grid
+    // inputs the arithmetic is exact and the two must agree.
+    std::vector<size_t> hull;
+    for (size_t mi = 0; mi < mono.size(); ++mi) {
+        const video::RdPoint &m = pts[mono[mi]];
+        bool keep = true;
+        for (size_t ai = 0; ai < mi && keep; ++ai) {
+            const video::RdPoint &a = pts[mono[ai]];
+            for (size_t bi = mi + 1; bi < mono.size() && keep; ++bi) {
+                const video::RdPoint &b = pts[mono[bi]];
+                const double cross =
+                    (m.psnrDb - a.psnrDb) * (b.bitrateKbps - a.bitrateKbps) -
+                    (b.psnrDb - a.psnrDb) * (m.bitrateKbps - a.bitrateKbps);
+                const bool cut = fault == Fault::LadderHull ? cross < 0.0
+                                                           : cross <= 0.0;
+                keep = keep && !cut;
+            }
+        }
+        if (keep) {
+            hull.push_back(mono[mi]);
+        }
+    }
+    return hull;
+}
+
+video::Plane
+refDownscalePlane(const video::Plane &src, int factor)
+{
+    const int dw = (src.width() + factor - 1) / factor;
+    const int dh = (src.height() + factor - 1) / factor;
+    video::Plane dst(dw, dh);
+    for (int yd = 0; yd < dh; ++yd) {
+        for (int xd = 0; xd < dw; ++xd) {
+            const int x1 = std::min((xd + 1) * factor, src.width());
+            const int y1 = std::min((yd + 1) * factor, src.height());
+            uint32_t sum = 0;
+            uint32_t cnt = 0;
+            for (int y = yd * factor; y < y1; ++y) {
+                for (int x = xd * factor; x < x1; ++x) {
+                    sum += src.at(x, y);
+                    ++cnt;
+                }
+            }
+            dst.set(xd, yd, static_cast<uint8_t>((sum + cnt / 2) / cnt));
+        }
+    }
+    return dst;
+}
+
+namespace
+{
+
+/** The production tap: source position of output x in 1/64 units,
+ *  center-aligned, clamped to the plane. */
+void
+refTap(int x, int dst_n, int src_n, int &i0, int &w6)
+{
+    const int64_t s64 =
+        (2 * static_cast<int64_t>(x) + 1) * src_n * 32 / dst_n - 32;
+    if (s64 < 0) {
+        i0 = 0;
+        w6 = 0;
+        return;
+    }
+    i0 = static_cast<int>(s64 >> 6);
+    w6 = static_cast<int>(s64 & 63);
+    if (i0 >= src_n - 1) {
+        i0 = src_n - 1;
+        w6 = 0;
+    }
+}
+
+} // namespace
+
+video::Plane
+refUpscalePlane(const video::Plane &src, int dst_width, int dst_height)
+{
+    video::Plane dst(dst_width, dst_height);
+    for (int yd = 0; yd < dst_height; ++yd) {
+        int yi = 0, yw = 0;
+        refTap(yd, dst_height, src.height(), yi, yw);
+        const int yi1 = std::min(yi + 1, src.height() - 1);
+        for (int xd = 0; xd < dst_width; ++xd) {
+            int xi = 0, xw = 0;
+            refTap(xd, dst_width, src.width(), xi, xw);
+            const int xi1 = std::min(xi + 1, src.width() - 1);
+            // Two-pass rounding order, exactly as production: vertical
+            // blend to 8 bits first, then horizontal.
+            const int a = (src.at(xi, yi) * (64 - yw) +
+                           src.at(xi, yi1) * yw + 32) >> 6;
+            const int b = (src.at(xi1, yi) * (64 - yw) +
+                           src.at(xi1, yi1) * yw + 32) >> 6;
+            dst.set(xd, yd, static_cast<uint8_t>(
+                                (a * (64 - xw) + b * xw + 32) >> 6));
+        }
+    }
+    return dst;
 }
 
 } // namespace vepro::check

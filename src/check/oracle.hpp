@@ -32,6 +32,8 @@
 #include "trace/sink.hpp"
 #include "uarch/cache.hpp"
 #include "uarch/core.hpp"
+#include "video/frame.hpp"
+#include "video/metrics.hpp"
 
 namespace vepro::check
 {
@@ -49,6 +51,9 @@ enum class Fault {
                     ///< (fixed profiles: one phantom block).
     TraceFileDelta, ///< TraceFile decode reads every op pc delta off by
                     ///< one (replayed PCs drift from the captured ones).
+    LadderHull,     ///< Hull oracle tests the chord with a strict cross
+                    ///< (< 0 instead of <= 0), so collinear rungs that
+                    ///< the real ladder drops stay on the oracle's hull.
 };
 
 /** CLI name of a fault ("cache-lru", ...; "none" for Fault::None). */
@@ -249,6 +254,29 @@ double refFixedServiceSeconds(const backend::MachineProfile &p,
 /** Reference energy for Kind::Fixed profiles. */
 double refFixedEnergyJoules(const backend::MachineProfile &p,
                             uint64_t blocks, Fault fault = Fault::None);
+
+/**
+ * Naive O(n^2) upper convex hull over (bitrate, PSNR): a point is kept
+ * iff it survives the documented tie/dominance rules and NO chord of
+ * two other surviving points passes on or above it — tested with the
+ * same exact double cross expression the production monotone chain
+ * uses, so on integer-grid inputs the two agree bit for bit. Returns
+ * original indices in ascending bitrate order, the
+ * ladder::convexHull contract.
+ */
+std::vector<size_t> refConvexHull(const std::vector<video::RdPoint> &pts,
+                                  Fault fault = Fault::None);
+
+/** Naive per-pixel box downscale: clipped box sum, (sum + cnt/2)/cnt.
+ *  No kernel table, no interior/edge split — the obviously-correct
+ *  transcription of the video::downscalePlane contract. */
+video::Plane refDownscalePlane(const video::Plane &src, int factor);
+
+/** Naive per-pixel bilinear upscale replicating the production two-pass
+ *  rounding order (vertical blend to 8 bits, then horizontal) with the
+ *  tap positions re-derived inline. */
+video::Plane refUpscalePlane(const video::Plane &src, int dst_width,
+                             int dst_height);
 
 } // namespace vepro::check
 

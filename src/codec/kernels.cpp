@@ -221,6 +221,35 @@ dequantScalar(const int32_t *levels, int32_t *coeff, int count, double step)
     }
 }
 
+void
+boxdownScalar(const uint8_t *src, int src_stride, int factor, uint8_t *dst,
+              int dw)
+{
+    const uint32_t cnt = static_cast<uint32_t>(factor) * factor;
+    const uint32_t half = cnt / 2;
+    for (int i = 0; i < dw; ++i) {
+        const uint8_t *box = src + static_cast<ptrdiff_t>(i) * factor;
+        uint32_t sum = 0;
+        for (int y = 0; y < factor; ++y) {
+            const uint8_t *r = box + static_cast<ptrdiff_t>(y) * src_stride;
+            for (int x = 0; x < factor; ++x) {
+                sum += r[x];
+            }
+        }
+        dst[i] = static_cast<uint8_t>((sum + half) / cnt);
+    }
+}
+
+void
+lerpblendScalar(const uint8_t *a, const uint8_t *b, int w6, uint8_t *dst,
+                int n)
+{
+    for (int i = 0; i < n; ++i) {
+        dst[i] = static_cast<uint8_t>(
+            (a[i] * (64 - w6) + b[i] * w6 + 32) >> 6);
+    }
+}
+
 const KernelTable &
 resolveTable()
 {
@@ -269,6 +298,8 @@ scalarKernels()
         t.idct = idctScalar;
         t.quant = quantScalar;
         t.dequant = dequantScalar;
+        t.boxdown = boxdownScalar;
+        t.lerpblend = lerpblendScalar;
         return t;
     }();
     return table;

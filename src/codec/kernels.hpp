@@ -65,6 +65,22 @@ struct KernelTable {
                  double dead_zone, double inv_step) = nullptr;
     void (*dequant)(const int32_t *levels, int32_t *coeff, int count,
                     double step) = nullptr;
+    /**
+     * One output row of exact box downscaling: dst[i] is the rounded
+     * mean of the factor x factor pixel box whose top-left corner is
+     * src + i*factor, i.e. (sum + cnt/2) / cnt with cnt = factor^2.
+     * All dw boxes must be fully inside the source; partial edge boxes
+     * are the caller's job (video::downscalePlane).
+     */
+    void (*boxdown)(const uint8_t *src, int src_stride, int factor,
+                    uint8_t *dst, int dw) = nullptr;
+    /**
+     * Fixed-point row blend for the bilinear upscaler:
+     * dst[i] = (a[i]*(64-w6) + b[i]*w6 + 32) >> 6 for a 6-bit weight
+     * w6 in [0, 64]. w6 == 0 reproduces a exactly.
+     */
+    void (*lerpblend)(const uint8_t *a, const uint8_t *b, int w6,
+                      uint8_t *dst, int n) = nullptr;
 };
 
 /**

@@ -551,6 +551,100 @@ dequantAvx2(const int32_t *levels, int32_t *coeff, int count, double step)
     }
 }
 
+void
+boxdownAvx2(const uint8_t *src, int src_stride, int factor, uint8_t *dst,
+            int dw)
+{
+    if (factor == 2) {
+        // The ladder's hot case: 2x2 boxes. maddubs with a ones vector
+        // sums horizontal pairs into exact u16 lanes (max 510), two rows
+        // add to <= 1020, so (sum + 2) >> 2 equals the scalar
+        // (sum + 2) / 4 with no overflow anywhere.
+        const __m256i ones = _mm256_set1_epi8(1);
+        const __m256i two = _mm256_set1_epi16(2);
+        int i = 0;
+        for (; i + 16 <= dw; i += 16) {
+            const uint8_t *r0 = src + static_cast<ptrdiff_t>(i) * 2;
+            const uint8_t *r1 = r0 + src_stride;
+            __m256i p0 = _mm256_maddubs_epi16(
+                _mm256_loadu_si256(reinterpret_cast<const __m256i *>(r0)),
+                ones);
+            __m256i p1 = _mm256_maddubs_epi16(
+                _mm256_loadu_si256(reinterpret_cast<const __m256i *>(r1)),
+                ones);
+            __m256i sum = _mm256_add_epi16(_mm256_add_epi16(p0, p1), two);
+            __m256i res = _mm256_srli_epi16(sum, 2);
+            __m256i packed = _mm256_packus_epi16(res, res);
+            packed = _mm256_permute4x64_epi64(packed, 0xD8);
+            _mm_storeu_si128(reinterpret_cast<__m128i *>(dst + i),
+                             _mm256_castsi256_si128(packed));
+        }
+        for (; i < dw; ++i) {
+            const uint8_t *r0 = src + static_cast<ptrdiff_t>(i) * 2;
+            const uint8_t *r1 = r0 + src_stride;
+            uint32_t sum = static_cast<uint32_t>(r0[0]) + r0[1] + r1[0] +
+                           r1[1];
+            dst[i] = static_cast<uint8_t>((sum + 2) / 4);
+        }
+        return;
+    }
+    // General factors are rare (the driver applies scale as repeated /2
+    // where it can); keep the exact scalar arithmetic.
+    const uint32_t cnt = static_cast<uint32_t>(factor) * factor;
+    const uint32_t half = cnt / 2;
+    for (int i = 0; i < dw; ++i) {
+        const uint8_t *box = src + static_cast<ptrdiff_t>(i) * factor;
+        uint32_t sum = 0;
+        for (int y = 0; y < factor; ++y) {
+            const uint8_t *r = box + static_cast<ptrdiff_t>(y) * src_stride;
+            for (int x = 0; x < factor; ++x) {
+                sum += r[x];
+            }
+        }
+        dst[i] = static_cast<uint8_t>((sum + half) / cnt);
+    }
+}
+
+void
+lerpblendAvx2(const uint8_t *a, const uint8_t *b, int w6, uint8_t *dst,
+              int n)
+{
+    // a*(64-w6) + b*w6 + 32 <= 255*64 + 32 = 16352 < 2^15: the whole
+    // expression fits an s16 lane, so mullo/add/srli match the scalar
+    // integer arithmetic exactly.
+    const __m256i wa = _mm256_set1_epi16(static_cast<short>(64 - w6));
+    const __m256i wb = _mm256_set1_epi16(static_cast<short>(w6));
+    const __m256i bias = _mm256_set1_epi16(32);
+    int i = 0;
+    for (; i + 32 <= n; i += 32) {
+        __m256i va =
+            _mm256_loadu_si256(reinterpret_cast<const __m256i *>(a + i));
+        __m256i vb =
+            _mm256_loadu_si256(reinterpret_cast<const __m256i *>(b + i));
+        __m256i alo = _mm256_cvtepu8_epi16(_mm256_castsi256_si128(va));
+        __m256i ahi = _mm256_cvtepu8_epi16(_mm256_extracti128_si256(va, 1));
+        __m256i blo = _mm256_cvtepu8_epi16(_mm256_castsi256_si128(vb));
+        __m256i bhi = _mm256_cvtepu8_epi16(_mm256_extracti128_si256(vb, 1));
+        __m256i lo = _mm256_srli_epi16(
+            _mm256_add_epi16(_mm256_add_epi16(_mm256_mullo_epi16(alo, wa),
+                                              _mm256_mullo_epi16(blo, wb)),
+                             bias),
+            6);
+        __m256i hi = _mm256_srli_epi16(
+            _mm256_add_epi16(_mm256_add_epi16(_mm256_mullo_epi16(ahi, wa),
+                                              _mm256_mullo_epi16(bhi, wb)),
+                             bias),
+            6);
+        __m256i packed = _mm256_packus_epi16(lo, hi);
+        packed = _mm256_permute4x64_epi64(packed, 0xD8);
+        _mm256_storeu_si256(reinterpret_cast<__m256i *>(dst + i), packed);
+    }
+    for (; i < n; ++i) {
+        dst[i] = static_cast<uint8_t>(
+            (a[i] * (64 - w6) + b[i] * w6 + 32) >> 6);
+    }
+}
+
 } // namespace
 
 namespace detail
@@ -572,6 +666,8 @@ avx2KernelsImpl()
         t.idct = idctAvx2;
         t.quant = quantAvx2;
         t.dequant = dequantAvx2;
+        t.boxdown = boxdownAvx2;
+        t.lerpblend = lerpblendAvx2;
         return t;
     }();
     return &table;

@@ -263,6 +263,70 @@ reconstructNeon(const uint8_t *pred, int pred_stride, const int16_t *res,
     }
 }
 
+void
+boxdownNeon(const uint8_t *src, int src_stride, int factor, uint8_t *dst,
+            int dw)
+{
+    if (factor == 2) {
+        // Pairwise widening adds keep every intermediate exact in u16
+        // (max 1020), so (sum + 2) >> 2 matches the scalar rounding.
+        const uint16x8_t two = vdupq_n_u16(2);
+        int i = 0;
+        for (; i + 8 <= dw; i += 8) {
+            const uint8_t *r0 = src + static_cast<ptrdiff_t>(i) * 2;
+            const uint8_t *r1 = r0 + src_stride;
+            uint16x8_t sum = vaddq_u16(vpaddlq_u8(vld1q_u8(r0)),
+                                       vpaddlq_u8(vld1q_u8(r1)));
+            sum = vshrq_n_u16(vaddq_u16(sum, two), 2);
+            vst1_u8(dst + i, vmovn_u16(sum));
+        }
+        for (; i < dw; ++i) {
+            const uint8_t *r0 = src + static_cast<ptrdiff_t>(i) * 2;
+            const uint8_t *r1 = r0 + src_stride;
+            uint32_t sum = static_cast<uint32_t>(r0[0]) + r0[1] + r1[0] +
+                           r1[1];
+            dst[i] = static_cast<uint8_t>((sum + 2) / 4);
+        }
+        return;
+    }
+    const uint32_t cnt = static_cast<uint32_t>(factor) * factor;
+    const uint32_t half = cnt / 2;
+    for (int i = 0; i < dw; ++i) {
+        const uint8_t *box = src + static_cast<ptrdiff_t>(i) * factor;
+        uint32_t sum = 0;
+        for (int y = 0; y < factor; ++y) {
+            const uint8_t *r = box + static_cast<ptrdiff_t>(y) * src_stride;
+            for (int x = 0; x < factor; ++x) {
+                sum += r[x];
+            }
+        }
+        dst[i] = static_cast<uint8_t>((sum + half) / cnt);
+    }
+}
+
+void
+lerpblendNeon(const uint8_t *a, const uint8_t *b, int w6, uint8_t *dst,
+              int n)
+{
+    // a*(64-w6) + b*w6 + 32 <= 16352 fits u16 exactly; the final >> 6
+    // result is <= 255, so the non-saturating narrow is exact.
+    const uint16_t wa = static_cast<uint16_t>(64 - w6);
+    const uint16_t wb = static_cast<uint16_t>(w6);
+    const uint16x8_t bias = vdupq_n_u16(32);
+    int i = 0;
+    for (; i + 8 <= n; i += 8) {
+        uint16x8_t va = vmovl_u8(vld1_u8(a + i));
+        uint16x8_t vb = vmovl_u8(vld1_u8(b + i));
+        uint16x8_t t = vmlaq_n_u16(vmulq_n_u16(va, wa), vb, wb);
+        t = vshrq_n_u16(vaddq_u16(t, bias), 6);
+        vst1_u8(dst + i, vmovn_u16(t));
+    }
+    for (; i < n; ++i) {
+        dst[i] = static_cast<uint8_t>(
+            (a[i] * (64 - w6) + b[i] * w6 + 32) >> 6);
+    }
+}
+
 } // namespace
 
 namespace detail
@@ -280,6 +344,8 @@ neonKernelsImpl()
         t.satd8 = satd8Neon;
         t.residual = residualNeon;
         t.reconstruct = reconstructNeon;
+        t.boxdown = boxdownNeon;
+        t.lerpblend = lerpblendNeon;
         return t;
     }();
     return &table;

@@ -47,6 +47,12 @@ JobSpec::canonicalKey() const
         key += ";backend=";
         key += backend;
     }
+    // Ladder rung: scale == 1 (full resolution, the default) keeps the
+    // pre-ladder key byte-identical; only a real rung re-keys the point.
+    if (scale != 1) {
+        key += ";scale=";
+        key += std::to_string(scale);
+    }
     return key;
 }
 
@@ -75,6 +81,13 @@ JobSpec::traceKey() const
     key += std::to_string(frames);
     key += ";maxTraceOps=";
     key += std::to_string(maxTraceOps);
+    // Unlike backend/segments, the ladder rung DOES change the encode
+    // input (and therefore the op stream), so it is trace identity —
+    // but only when active, keeping every pre-ladder trace warm.
+    if (scale != 1) {
+        key += ";scale=";
+        key += std::to_string(scale);
+    }
     return key;
 }
 
@@ -128,6 +141,9 @@ JobSpec::label() const
     }
     if (!backend.empty() && backend != backend::kDefaultProfile) {
         out += " backend=" + backend;
+    }
+    if (scale != 1) {
+        out += " scale=1/" + std::to_string(scale);
     }
     return out;
 }

@@ -67,6 +67,18 @@ struct JobSpec {
     std::string backend;
 
     /**
+     * ABR ladder rung: extra integer downscale applied to the suite
+     * clip AFTER SuiteScale geometry (scale=2 halves each dimension
+     * again — a "half-resolution rung" of the experiment's nominal
+     * resolution). Identity: a different input resolution measures a
+     * different encode. Compatibility rule: enters the canonical key
+     * (and the trace key — it changes the encode input, hence the op
+     * stream) ONLY when != 1, so every pre-ladder store and trace entry
+     * keeps its exact key and stays a cache hit.
+     */
+    int scale = 1;
+
+    /**
      * Canonical key: every identity field, fixed order, 'k=v'
      * ';'-joined. Two specs are the same experiment iff their keys are
      * byte-equal.

@@ -9,6 +9,7 @@
 #include "encoders/registry.hpp"
 #include "lab/json.hpp"
 #include "trace/trace_io.hpp"
+#include "video/scale.hpp"
 #include "video/suite.hpp"
 
 namespace vepro::lab
@@ -107,8 +108,14 @@ Orchestrator::request(const JobSpec &spec)
 std::string
 Orchestrator::clipKey(const JobSpec &spec)
 {
-    return spec.video + "/" + std::to_string(spec.divisor) + "x" +
-           std::to_string(spec.frames);
+    std::string key = spec.video + "/" + std::to_string(spec.divisor) +
+                      "x" + std::to_string(spec.frames);
+    // Ladder rungs load a further-downscaled copy: distinct slot, and
+    // scale == 1 keeps the exact pre-ladder key.
+    if (spec.scale != 1) {
+        key += "/s" + std::to_string(spec.scale);
+    }
+    return key;
 }
 
 std::shared_ptr<const video::Video>
@@ -122,8 +129,12 @@ Orchestrator::acquireClip(const JobSpec &spec)
     std::lock_guard<std::mutex> lock(slot->mutex);
     if (!slot->clip) {
         core::RunScale scale = spec.toRunScale();
-        slot->clip = std::make_shared<const video::Video>(
-            video::loadSuiteVideo(spec.video, scale.suite));
+        video::Video clip = video::loadSuiteVideo(spec.video, scale.suite);
+        if (spec.scale != 1) {
+            clip = video::downscaleVideo(clip, spec.scale);
+        }
+        slot->clip =
+            std::make_shared<const video::Video>(std::move(clip));
     }
     return slot->clip;
 }

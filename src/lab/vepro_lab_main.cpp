@@ -11,6 +11,12 @@
  * print as markdown on stdout and land as a JSON artifact in --out
  * (default vepro-lab-out/), byte-identical across re-runs of the same
  * configuration.
+ *
+ * `vepro-lab --ladder` runs the per-title ABR ladder instead (see
+ * src/ladder): every clip × {1/1, 1/2, 1/4} × CRF grid cache-first,
+ * convex-hull ladder extraction, and the rung-mix uarch
+ * characterization, with the same store and artifact contract
+ * (ladder.json in --out).
  */
 
 #include <cstdio>
@@ -24,6 +30,7 @@
 #include "core/experiment.hpp"
 #include "lab/figures.hpp"
 #include "lab/orchestrator.hpp"
+#include "ladder/ladder.hpp"
 
 namespace
 {
@@ -39,7 +46,8 @@ usage(const char *argv0, const std::string &error)
         known += (known.empty() ? "" : ",") + std::to_string(id);
     }
     std::fprintf(stderr,
-                 "usage: %s --figures=%s [--jobs=N] [--quick|--full] "
+                 "usage: %s (--figures=%s | --ladder) [--jobs=N] "
+                 "[--quick|--full] "
                  "[--uncapped] [--no-cache] [--store=DIR] [--out=DIR] "
                  "[--videos=a,b,c] [--sim-jobs=N] [--segments=N] "
                  "[--segment-warmup=K]\n"
@@ -66,6 +74,49 @@ parseFigureList(const std::string &list)
     return ids;
 }
 
+/** Write @p json to <out_dir>/<name> atomically enough for CI's cmp. */
+void
+writeArtifact(const std::string &out_dir, const std::string &name,
+              const std::string &json)
+{
+    std::filesystem::path path = std::filesystem::path(out_dir) / name;
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    if (!out) {
+        throw std::runtime_error("cannot write " + path.string());
+    }
+    out << json;
+    if (!out.flush()) {
+        throw std::runtime_error("short write to " + path.string());
+    }
+    std::printf("wrote %s\n", path.string().c_str());
+}
+
+int
+runLadder(const core::RunScale &scale, bool full, const std::string &out_dir)
+{
+    lab::Orchestrator orch(lab::OrchestratorOptions::fromRunScale(scale));
+    ladder::LadderConfig config = ladder::ladderConfigFromScale(scale, full);
+    ladder::LadderResult result = ladder::sweep(config, orch);
+
+    result.ladder.print("Per-title ladder (convex hull of bitrate vs "
+                        "source-resolution PSNR)");
+    result.rd.print("All measured rungs");
+    result.uarch.print("Rung workload characterization (CPI stack, MPKI)");
+    std::printf("\n%s\n", result.mixLine.c_str());
+
+    std::filesystem::create_directories(out_dir);
+    std::string json = "{\n  \"ladder\": true,\n  \"tables\": {";
+    json += "\n    \"ladder\": " + result.ladder.toJson();
+    json += ",\n    \"rd\": " + result.rd.toJson();
+    json += ",\n    \"uarch\": " + result.uarch.toJson();
+    json += "\n  },\n  \"mix\": \"" + result.mixLine + "\"\n}\n";
+    writeArtifact(out_dir, "ladder.json", json);
+
+    std::printf("\nvepro-lab: %s\n", orch.summaryLine().c_str());
+    std::printf("vepro-lab: %s\n", orch.traceLine().c_str());
+    return 0;
+}
+
 } // namespace
 
 int
@@ -73,6 +124,8 @@ main(int argc, char **argv)
 {
     std::vector<int> figure_ids;
     std::string out_dir = "vepro-lab-out";
+    bool ladder_mode = false;
+    bool full = false;
 
     // Split off the lab-only flags; everything else is RunScale's.
     std::vector<std::string> owned;
@@ -84,12 +137,17 @@ main(int argc, char **argv)
             } catch (const std::exception &e) {
                 usage(argv[0], e.what());
             }
+        } else if (arg == "--ladder") {
+            ladder_mode = true;
         } else if (arg.rfind("--out=", 0) == 0) {
             out_dir = arg.substr(6);
             if (out_dir.empty()) {
                 usage(argv[0], "--out expects a directory");
             }
         } else {
+            if (arg == "--full") {
+                full = true;  // also RunScale's: stays in owned
+            }
             owned.push_back(std::move(arg));
         }
     }
@@ -99,8 +157,11 @@ main(int argc, char **argv)
         scale_args.push_back(arg.data());
     }
 
-    if (figure_ids.empty()) {
-        usage(argv[0], "--figures=... is required");
+    if (ladder_mode && !figure_ids.empty()) {
+        usage(argv[0], "--ladder and --figures are mutually exclusive");
+    }
+    if (!ladder_mode && figure_ids.empty()) {
+        usage(argv[0], "--figures=... or --ladder is required");
     }
 
     core::RunScale scale;
@@ -112,6 +173,9 @@ main(int argc, char **argv)
     }
 
     try {
+        if (ladder_mode) {
+            return runLadder(scale, full, out_dir);
+        }
         lab::Orchestrator orch(lab::OrchestratorOptions::fromRunScale(scale));
         std::vector<lab::FigureResult> figures =
             lab::runFigures(figure_ids, scale, orch);
@@ -132,18 +196,7 @@ main(int argc, char **argv)
                         fig.tables[i].table.toJson();
             }
             json += "\n  }\n}\n";
-
-            std::filesystem::path path =
-                std::filesystem::path(out_dir) / (fig.slug + ".json");
-            std::ofstream out(path, std::ios::binary | std::ios::trunc);
-            if (!out) {
-                throw std::runtime_error("cannot write " + path.string());
-            }
-            out << json;
-            if (!out.flush()) {
-                throw std::runtime_error("short write to " + path.string());
-            }
-            std::printf("wrote %s\n", path.string().c_str());
+            writeArtifact(out_dir, fig.slug + ".json", json);
         }
         std::printf("\nvepro-lab: %s\n", orch.summaryLine().c_str());
         // Always printed (even on a fully result-cached run) so CI can

@@ -27,6 +27,42 @@ splitList(const std::string &text)
     return out;
 }
 
+/** Parse "scale:weight,scale:weight,..." into a rung mix. */
+std::vector<TrafficConfig::RungShare>
+parseRungMix(const std::string &text)
+{
+    std::vector<TrafficConfig::RungShare> mix;
+    for (const std::string &item : splitList(text)) {
+        const size_t colon = item.find(':');
+        if (colon == std::string::npos || colon + 1 >= item.size()) {
+            throw std::invalid_argument(
+                "--rung-mix expects scale:weight pairs, got '" + item + "'");
+        }
+        TrafficConfig::RungShare share;
+        share.scale =
+            core::parseIntStrict(item.substr(0, colon), "--rung-mix scale");
+        const std::string weight_text = item.substr(colon + 1);
+        size_t consumed = 0;
+        share.weight = std::stod(weight_text, &consumed);
+        if (consumed != weight_text.size()) {
+            throw std::invalid_argument(
+                "--rung-mix: bad weight '" + weight_text + "'");
+        }
+        if (share.scale < 1) {
+            throw std::invalid_argument("--rung-mix scales must be >= 1");
+        }
+        if (!(share.weight > 0.0)) {
+            throw std::invalid_argument("--rung-mix weights must be > 0");
+        }
+        mix.push_back(share);
+    }
+    if (mix.empty()) {
+        throw std::invalid_argument(
+            "--rung-mix needs at least one scale:weight pair");
+    }
+    return mix;
+}
+
 std::string
 knownProfiles()
 {
@@ -57,6 +93,10 @@ serveUsage()
            "  --shards N             EDF queue shards\n"
            "  --admission N          admission limit (queued jobs; 0 = off)\n"
            "  --latency-target SEC   SLA deadline per job\n"
+           "  --rung-mix S:W,..      ABR rung mix as scale:weight pairs\n"
+           "                         (e.g. 1:20,2:20,4:60 = 60% of jobs\n"
+           "                         at 1/4 resolution); default all jobs\n"
+           "                         run at full resolution\n"
            "  --backend NAME         machine profile servers run\n"
            "                         (" +
            knownProfiles() +
@@ -124,6 +164,7 @@ parseServeCli(const std::vector<std::string> &args)
                    arg == "--uploads-per-hour" || arg == "--duration" ||
                    arg == "--servers" || arg == "--shards" ||
                    arg == "--admission" || arg == "--latency-target" ||
+                   arg == "--rung-mix" ||
                    arg == "--backend" || arg == "--ghz" ||
                    arg == "--server-cores" || arg == "--backends" ||
                    arg == "--jobs" || arg == "--store" ||
@@ -166,6 +207,8 @@ parseServeCli(const std::vector<std::string> &args)
                     static_cast<size_t>(limit);
             } else if (flag == "--latency-target") {
                 cli.scenario.farm.latencyTargetSec = std::stod(v);
+            } else if (flag == "--rung-mix") {
+                cli.scenario.traffic.rungMix = parseRungMix(v);
             } else if (flag == "--backend") {
                 if (!backend::isProfile(v)) {
                     throw std::invalid_argument(

@@ -6,6 +6,8 @@
 #include "backend/profile.hpp"
 #include "encoders/registry.hpp"
 #include "sched/scheduler.hpp"
+#include "serve/traffic.hpp"
+#include "video/scale.hpp"
 #include "video/suite.hpp"
 
 namespace vepro::serve
@@ -14,14 +16,19 @@ namespace vepro::serve
 namespace
 {
 
-/** Full-scale 16x16 luma blocks of one encode of @p clip over
- *  @p reference_frames (how fixed-function backends are priced). */
+/** Production-scale 16x16 luma blocks of one encode of @p clip_id over
+ *  @p reference_frames (how fixed-function backends are priced). A
+ *  rung-carrying id ("name@scale") is priced at the rung's delivery
+ *  resolution, nominal/scale. */
 uint64_t
-fullScaleBlocks(const std::string &clip, int reference_frames)
+fullScaleBlocks(const std::string &clip_id, int reference_frames)
 {
-    const video::SuiteEntry &entry = video::suiteEntry(clip);
-    const uint64_t across = static_cast<uint64_t>((entry.nominalWidth + 15) / 16);
-    const uint64_t down = static_cast<uint64_t>((entry.nominalHeight + 15) / 16);
+    const RungId rung = parseRungId(clip_id);
+    const video::SuiteEntry &entry = video::suiteEntry(rung.clip);
+    const int width = entry.nominalWidth / rung.scale;
+    const int height = entry.nominalHeight / rung.scale;
+    const uint64_t across = static_cast<uint64_t>((width + 15) / 16);
+    const uint64_t down = static_cast<uint64_t>((height + 15) / 16);
     return across * down * static_cast<uint64_t>(reference_frames);
 }
 
@@ -69,7 +76,16 @@ CostModel::specFor(const std::string &clip, int crf, int preset) const
 {
     lab::JobSpec spec;
     spec.encoder = config_.encoder;
-    spec.video = clip;
+    const RungId rung = parseRungId(clip);
+    spec.video = rung.clip;
+    // The simulation proxy (divisor-scaled clip) can be too coarse to
+    // represent the deepest rungs; measure the deepest encodable proxy
+    // instead. Pricing (fullScaleBlocks, the divisor^2 extrapolation)
+    // still uses the true rung resolution.
+    const auto [pw, ph] = video::scaledSize(
+        video::suiteEntry(rung.clip),
+        video::SuiteScale{config_.divisor, config_.frames});
+    spec.scale = video::clampDownscale(pw, ph, rung.scale);
     spec.crf = crf;
     spec.preset = preset;
     spec.divisor = config_.divisor;
@@ -114,8 +130,10 @@ CostModel::resolveOn(const std::vector<std::string> &backends,
                 continue;
             }
             const video::SuiteScale scale{config_.divisor, config_.frames};
-            const video::Video clip =
-                video::loadSuiteVideo(clips.front(), scale);
+            // The probe only needs a task graph; the rung suffix (if
+            // any) does not change its shape, so strip it.
+            const video::Video clip = video::loadSuiteVideo(
+                parseRungId(clips.front()).clip, scale);
             encoders::EncodeParams params;
             params.crf = crfs.front();
             params.preset = preset;

@@ -165,7 +165,7 @@ runFleetScenario(const ServeScenario &scenario, lab::Orchestrator &orch,
     sopts.workers = jobs >= 1 ? jobs : 1;
     orch.startService(sopts);
     CostModel cost(orch, scenario.cost);
-    cost.resolveOn(config.backends, scenario.traffic.clips,
+    cost.resolveOn(config.backends, rungClipIds(scenario.traffic),
                    scenario.traffic.crfs);
     orch.stopService();
 

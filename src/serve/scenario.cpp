@@ -53,7 +53,7 @@ runScenario(const ServeScenario &scenario, lab::Orchestrator &orch,
     sopts.workers = jobs >= 1 ? jobs : 1;
     orch.startService(sopts);
     CostModel cost(orch, scenario.cost);
-    cost.resolve(scenario.traffic.clips, scenario.traffic.crfs);
+    cost.resolve(rungClipIds(scenario.traffic), scenario.traffic.crfs);
     orch.stopService();
 
     ScenarioRun run;

@@ -23,6 +23,76 @@ uniform01(core::SplitMix64 &rng)
 
 } // namespace
 
+std::string
+rungClipId(const std::string &clip, int scale)
+{
+    if (scale == 1) {
+        return clip;
+    }
+    return clip + "@" + std::to_string(scale);
+}
+
+RungId
+parseRungId(const std::string &id)
+{
+    RungId out;
+    const size_t at = id.rfind('@');
+    if (at == std::string::npos) {
+        out.clip = id;
+        return out;
+    }
+    out.clip = id.substr(0, at);
+    const std::string tail = id.substr(at + 1);
+    if (out.clip.empty() || tail.empty() ||
+        tail.find_first_not_of("0123456789") != std::string::npos) {
+        throw std::invalid_argument("serve: malformed rung clip id '" + id +
+                                    "' (want name@scale)");
+    }
+    out.scale = std::stoi(tail);
+    if (out.scale < 1) {
+        throw std::invalid_argument("serve: rung scale must be >= 1 in '" +
+                                    id + "'");
+    }
+    return out;
+}
+
+bool
+rungMixActive(const std::vector<TrafficConfig::RungShare> &mix)
+{
+    for (const TrafficConfig::RungShare &share : mix) {
+        if (share.scale != 1) {
+            return true;
+        }
+    }
+    return false;
+}
+
+std::vector<std::string>
+rungClipIds(const TrafficConfig &config)
+{
+    if (!rungMixActive(config.rungMix)) {
+        return config.clips;
+    }
+    std::vector<int> scales;
+    for (const TrafficConfig::RungShare &share : config.rungMix) {
+        bool known = false;
+        for (int s : scales) {
+            known = known || s == share.scale;
+        }
+        if (!known) {
+            scales.push_back(share.scale);
+        }
+    }
+    std::vector<std::string> ids;
+    ids.reserve(config.clips.size() * scales.size());
+    for (const std::string &clip : config.clips) {
+        for (int scale : scales) {
+            ids.push_back(rungClipId(clip, scale));
+        }
+    }
+    return ids;
+}
+
 double
 arrivalRatePerSec(const TrafficConfig &config, double t)
 {
@@ -45,6 +115,26 @@ generateTraffic(const TrafficConfig &config)
         throw std::invalid_argument(
             "serve: traffic needs a non-empty clip and CRF mix");
     }
+    if (config.rungMix.empty()) {
+        throw std::invalid_argument("serve: traffic needs a non-empty "
+                                    "rung mix");
+    }
+    double rung_weight_total = 0.0;
+    for (const TrafficConfig::RungShare &share : config.rungMix) {
+        if (share.scale < 1) {
+            throw std::invalid_argument(
+                "serve: rung scale must be >= 1");
+        }
+        if (!(share.weight > 0.0)) {
+            throw std::invalid_argument(
+                "serve: rung weights must be positive");
+        }
+        rung_weight_total += share.weight;
+    }
+    // Drawing a rung costs one RNG step, so it only happens when the
+    // mix actually asks for a non-full-resolution rung; the default mix
+    // keeps every pre-ladder traffic sequence byte-identical.
+    const bool rungs_active = rungMixActive(config.rungMix);
     std::vector<UploadJob> jobs;
     const double rate_max =
         static_cast<double>(config.users) * config.uploadsPerUserPerHour /
@@ -72,6 +162,18 @@ generateTraffic(const TrafficConfig &config)
         job.arrivalSec = t;
         job.clip = config.clips[rng.below(config.clips.size())];
         job.crf = config.crfs[rng.below(config.crfs.size())];
+        if (rungs_active) {
+            double pick = uniform01(rng) * rung_weight_total;
+            int scale = config.rungMix.back().scale;
+            for (const TrafficConfig::RungShare &share : config.rungMix) {
+                pick -= share.weight;
+                if (pick <= 0.0) {
+                    scale = share.scale;
+                    break;
+                }
+            }
+            job.clip = rungClipId(job.clip, scale);
+        }
         jobs.push_back(std::move(job));
     }
     return jobs;

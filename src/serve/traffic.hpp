@@ -46,6 +46,21 @@ struct TrafficConfig {
     std::vector<std::string> clips = {"desktop", "game1", "house"};
     /** CRF mix, drawn uniformly per upload. */
     std::vector<int> crfs = {32};
+
+    /** Traffic share of one ABR rung scale (weights are relative). */
+    struct RungShare {
+        int scale = 1;    ///< 1 = full resolution (lab::JobSpec::scale).
+        double weight = 1.0;
+    };
+    /**
+     * ABR rung mix: per-upload resolution rung, drawn by weight after
+     * the clip/CRF draws. Rung-carrying jobs get clip ids of the form
+     * "name@scale" (rungClipId), which the serve cost model parses back
+     * into JobSpec::scale. Byte-determinism contract: when every entry
+     * has scale == 1 (the default), NO rung draw is consumed from the
+     * RNG, so every pre-ladder traffic sequence replays byte-for-byte.
+     */
+    std::vector<RungShare> rungMix = {{1, 1.0}};
 };
 
 /** One upload: what arrived and when. The encoder/preset are NOT part
@@ -57,6 +72,28 @@ struct UploadJob {
     std::string clip;       ///< Suite clip name.
     int crf = 32;
 };
+
+/** "name@scale" for scale > 1, plain "name" for full resolution. */
+std::string rungClipId(const std::string &clip, int scale);
+
+/** Split a (possibly rung-carrying) clip id back into {name, scale}.
+ *  Plain suite names come back with scale = 1; throws
+ *  std::invalid_argument on a malformed "@" suffix. */
+struct RungId {
+    std::string clip;
+    int scale = 1;
+};
+RungId parseRungId(const std::string &id);
+
+/** True when @p mix requests any rung other than full resolution —
+ *  the condition under which generateTraffic consumes a rung draw. */
+bool rungMixActive(const std::vector<TrafficConfig::RungShare> &mix);
+
+/** Every clip id generateTraffic can emit for @p config: the clip list
+ *  crossed with the distinct mix scales (plain names when the mix is
+ *  the full-resolution default). This is what cost resolution must
+ *  cover before the farm dispatches. */
+std::vector<std::string> rungClipIds(const TrafficConfig &config);
 
 /** Instantaneous arrival rate (uploads/sec) at time @p t. */
 double arrivalRatePerSec(const TrafficConfig &config, double t);

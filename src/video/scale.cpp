@@ -1,0 +1,224 @@
+#include "video/scale.hpp"
+
+#include <algorithm>
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+#include "codec/kernels.hpp"
+#include "video/metrics.hpp"
+
+namespace vepro::video
+{
+
+namespace
+{
+
+/**
+ * Rounded mean of the (possibly clipped) box with top-left (x0, y0).
+ * Shared scalar code for every edge box, so edge handling is identical
+ * no matter which kernel table ran the interior.
+ */
+uint8_t
+partialBoxAvg(const Plane &src, int x0, int y0, int factor)
+{
+    const int x1 = std::min(x0 + factor, src.width());
+    const int y1 = std::min(y0 + factor, src.height());
+    uint32_t sum = 0;
+    for (int y = y0; y < y1; ++y) {
+        const uint8_t *r = src.row(y);
+        for (int x = x0; x < x1; ++x) {
+            sum += r[x];
+        }
+    }
+    const uint32_t cnt = static_cast<uint32_t>(x1 - x0) *
+                         static_cast<uint32_t>(y1 - y0);
+    return static_cast<uint8_t>((sum + cnt / 2) / cnt);
+}
+
+/**
+ * Center-aligned bilinear tap for output coordinate @p x: source index
+ * @p i0 and 6-bit blend weight @p w6 toward index i0+1. Pure integer:
+ * the source position in 1/64 units is floor((2x+1)*src_n*32/dst_n)-32,
+ * clamped to the plane. dst_n == src_n yields (i0, w6) == (x, 0), so
+ * same-size resampling is the identity.
+ */
+void
+tapAt(int x, int dst_n, int src_n, int &i0, int &w6)
+{
+    const int64_t s64 =
+        (2 * static_cast<int64_t>(x) + 1) * src_n * 32 / dst_n - 32;
+    if (s64 < 0) {
+        i0 = 0;
+        w6 = 0;
+        return;
+    }
+    i0 = static_cast<int>(s64 >> 6);
+    w6 = static_cast<int>(s64 & 63);
+    if (i0 >= src_n - 1) {
+        i0 = src_n - 1;
+        w6 = 0;
+    }
+}
+
+} // namespace
+
+Plane
+downscalePlane(const Plane &src, int factor)
+{
+    if (factor < 1) {
+        throw std::invalid_argument("downscalePlane: factor must be >= 1");
+    }
+    const int w = src.width();
+    const int h = src.height();
+    const int dw = (w + factor - 1) / factor;
+    const int dh = (h + factor - 1) / factor;
+    Plane dst(dw, dh);
+    if (w == 0 || h == 0) {
+        return dst;
+    }
+    const int fullW = w / factor;  // outputs whose box is fully in-bounds
+    const int fullH = h / factor;
+    const codec::KernelTable &k = codec::kernels();
+    for (int yd = 0; yd < dh; ++yd) {
+        const int y0 = yd * factor;
+        uint8_t *out = dst.row(yd);
+        int xd = 0;
+        if (yd < fullH && fullW > 0) {
+            k.boxdown(src.row(y0), src.stride(), factor, out, fullW);
+            xd = fullW;
+        }
+        for (; xd < dw; ++xd) {
+            out[xd] = partialBoxAvg(src, xd * factor, y0, factor);
+        }
+    }
+    return dst;
+}
+
+Frame
+downscaleFrame(const Frame &src, int factor)
+{
+    Plane y = downscalePlane(src.y(), factor);
+    if (y.width() % 2 != 0 || y.height() % 2 != 0) {
+        throw std::invalid_argument(
+            "downscaleFrame: result dimensions must be even (got " +
+            std::to_string(y.width()) + "x" + std::to_string(y.height()) +
+            ")");
+    }
+    Frame out(y.width(), y.height());
+    out.y() = std::move(y);
+    out.u() = downscalePlane(src.u(), factor);
+    out.v() = downscalePlane(src.v(), factor);
+    return out;
+}
+
+Video
+downscaleVideo(const Video &src, int factor)
+{
+    Video out(src.name(), src.fps());
+    for (int i = 0; i < src.frameCount(); ++i) {
+        out.addFrame(downscaleFrame(src.frame(i), factor));
+    }
+    return out;
+}
+
+Plane
+upscalePlane(const Plane &src, int dst_width, int dst_height)
+{
+    const int sw = src.width();
+    const int sh = src.height();
+    if (dst_width < 1 || dst_height < 1) {
+        throw std::invalid_argument("upscalePlane: target must be >= 1x1");
+    }
+    if (sw < 1 || sh < 1) {
+        throw std::invalid_argument("upscalePlane: source plane is empty");
+    }
+    Plane dst(dst_width, dst_height);
+    std::vector<int> hx(static_cast<size_t>(dst_width));
+    std::vector<int> hw(static_cast<size_t>(dst_width));
+    for (int x = 0; x < dst_width; ++x) {
+        tapAt(x, dst_width, sw, hx[static_cast<size_t>(x)],
+              hw[static_cast<size_t>(x)]);
+    }
+    std::vector<uint8_t> tmp(static_cast<size_t>(sw));
+    const codec::KernelTable &k = codec::kernels();
+    for (int yd = 0; yd < dst_height; ++yd) {
+        int i0 = 0;
+        int w6 = 0;
+        tapAt(yd, dst_height, sh, i0, w6);
+        const int i1 = std::min(i0 + 1, sh - 1);
+        k.lerpblend(src.row(i0), src.row(i1), w6, tmp.data(), sw);
+        uint8_t *out = dst.row(yd);
+        for (int x = 0; x < dst_width; ++x) {
+            const int xi = hx[static_cast<size_t>(x)];
+            const int xw = hw[static_cast<size_t>(x)];
+            const int a = tmp[static_cast<size_t>(xi)];
+            const int b = tmp[static_cast<size_t>(std::min(xi + 1, sw - 1))];
+            out[x] = static_cast<uint8_t>((a * (64 - xw) + b * xw + 32) >> 6);
+        }
+    }
+    return dst;
+}
+
+Frame
+upscaleFrame(const Frame &src, int width, int height)
+{
+    if (width < 2 || height < 2 || width % 2 != 0 || height % 2 != 0) {
+        throw std::invalid_argument(
+            "upscaleFrame: target dimensions must be even and >= 2");
+    }
+    Frame out(width, height);
+    out.y() = upscalePlane(src.y(), width, height);
+    out.u() = upscalePlane(src.u(), width / 2, height / 2);
+    out.v() = upscalePlane(src.v(), width / 2, height / 2);
+    return out;
+}
+
+Video
+upscaleVideo(const Video &src, int width, int height)
+{
+    Video out(src.name(), src.fps());
+    for (int i = 0; i < src.frameCount(); ++i) {
+        out.addFrame(upscaleFrame(src.frame(i), width, height));
+    }
+    return out;
+}
+
+int
+clampDownscale(int width, int height, int factor)
+{
+    if (factor < 1) {
+        throw std::invalid_argument("clampDownscale: factor must be >= 1");
+    }
+    const auto fits = [&](int f) {
+        const int dw = (width + f - 1) / f;
+        const int dh = (height + f - 1) / f;
+        return dw >= 16 && dh >= 16 && dw % 2 == 0 && dh % 2 == 0;
+    };
+    int f = factor;
+    while (f > 1 && !fits(f)) {
+        f /= 2;
+    }
+    return f >= 1 ? f : 1;
+}
+
+double
+scaleRoundTripMse(const Video &src, int factor)
+{
+    if (factor < 1) {
+        throw std::invalid_argument("scaleRoundTripMse: factor must be >= 1");
+    }
+    if (factor == 1 || src.frameCount() == 0) {
+        return 0.0;
+    }
+    double total = 0.0;
+    for (int i = 0; i < src.frameCount(); ++i) {
+        const Frame &ref = src.frame(i);
+        Frame down = downscaleFrame(ref, factor);
+        Frame up = upscaleFrame(down, ref.width(), ref.height());
+        total += mse(ref.y(), up.y());
+    }
+    return total / src.frameCount();
+}
+
+} // namespace vepro::video

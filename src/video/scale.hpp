@@ -1,0 +1,81 @@
+#ifndef VEPRO_VIDEO_SCALE_HPP
+#define VEPRO_VIDEO_SCALE_HPP
+
+/**
+ * @file
+ * Resolution scaling for ABR ladder rungs.
+ *
+ * Downscaling is exact box averaging by an integer factor: each output
+ * pixel is the rounded mean (sum + cnt/2) / cnt of its source box.
+ * Edge boxes that fall off an odd-sized plane average only the pixels
+ * that exist. Upscaling is separable bilinear with center-aligned
+ * sampling and 6-bit integer weights. Both paths are pure integer
+ * arithmetic, so results are bit-identical across platforms and across
+ * the scalar/AVX2/NEON kernel tables (codec::KernelTable::boxdown /
+ * ::lerpblend carry the hot loops; edge handling and the horizontal
+ * upscale pass are shared scalar code by construction).
+ *
+ * Upscaling to the source size after a downscale gives the "decode and
+ * compare at source resolution" half of per-title ladder RD: see
+ * scaleRoundTripMse and ladder::sweep (DESIGN.md §17).
+ */
+
+#include <string>
+
+#include "video/frame.hpp"
+
+namespace vepro::video
+{
+
+/**
+ * Box-downscale a plane by an integer @p factor >= 1. Output dimensions
+ * are ceil(w/factor) x ceil(h/factor); partial edge boxes average the
+ * available pixels. @throws std::invalid_argument for factor < 1.
+ */
+Plane downscalePlane(const Plane &src, int factor);
+
+/**
+ * Downscale a YUV420 frame: luma and both chroma planes each by
+ * @p factor. @throws std::invalid_argument when the resulting luma
+ * dimensions would be odd (YUV420 needs even dimensions).
+ */
+Frame downscaleFrame(const Frame &src, int factor);
+
+/** Downscale every frame of a clip; name and fps are preserved. */
+Video downscaleVideo(const Video &src, int factor);
+
+/**
+ * Bilinear-upscale (or identity-resample) a plane to exactly
+ * @p dst_width x @p dst_height. Center-aligned taps with 6-bit weights;
+ * upscaling to the source size reproduces the input bit-for-bit.
+ * @throws std::invalid_argument for empty targets or an empty source.
+ */
+Plane upscalePlane(const Plane &src, int dst_width, int dst_height);
+
+/** Upscale a YUV420 frame to @p width x @p height (must be even). */
+Frame upscaleFrame(const Frame &src, int width, int height);
+
+/** Upscale every frame of a clip; name and fps are preserved. */
+Video upscaleVideo(const Video &src, int width, int height);
+
+/**
+ * Largest usable downscale factor <= @p factor for a @p width x
+ * @p height luma plane: halves the factor until the result is even in
+ * both dimensions (YUV420) and at least 16x16 (the FrameCodec minimum).
+ * Coarse simulation proxies use this to stand in for rungs deeper than
+ * the proxy geometry can represent; at production resolutions it is the
+ * identity. Returns 1 when even halving cannot fit.
+ */
+int clampDownscale(int width, int height, int factor);
+
+/**
+ * Mean luma MSE of the downscale(factor) -> upscale-to-source round
+ * trip over all frames of @p src: the resolution-loss half of a ladder
+ * rung's distortion, independent of any encoder (DESIGN.md §17).
+ * Exactly 0.0 for factor == 1.
+ */
+double scaleRoundTripMse(const Video &src, int factor);
+
+} // namespace vepro::video
+
+#endif // VEPRO_VIDEO_SCALE_HPP

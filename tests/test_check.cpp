@@ -55,11 +55,11 @@ TEST(CheckNames, TargetNamesRoundTrip)
 
 TEST(CheckNames, FaultNamesRoundTrip)
 {
-    const Fault faults[] = {Fault::None,          Fault::CacheLru,
-                            Fault::CoreLatency,   Fault::BpredAlloc,
-                            Fault::KernelsSad,    Fault::StoreBit,
-                            Fault::ParallelDrop,  Fault::BackendEnergy,
-                            Fault::TraceFileDelta};
+    const Fault faults[] = {Fault::None,           Fault::CacheLru,
+                            Fault::CoreLatency,    Fault::BpredAlloc,
+                            Fault::KernelsSad,     Fault::StoreBit,
+                            Fault::ParallelDrop,   Fault::BackendEnergy,
+                            Fault::TraceFileDelta, Fault::LadderHull};
     for (Fault f : faults) {
         Fault back = Fault::None;
         ASSERT_TRUE(parseFault(faultName(f), back)) << faultName(f);
@@ -114,6 +114,7 @@ TEST(CheckInjection, EveryFaultIsCaught)
         {Fault::ParallelDrop, Target::Parallel},
         {Fault::BackendEnergy, Target::Energy},
         {Fault::TraceFileDelta, Target::TraceFile},
+        {Fault::LadderHull, Target::Ladder},
     };
     for (const FaultCase &fc : cases) {
         SCOPED_TRACE(faultName(fc.fault));

@@ -114,6 +114,33 @@ TEST_P(PixelKernels, BitIdenticalToScalar)
         v->reconstruct(a.buf.data(), a.stride, res.data(), w, h, dst_v.data(),
                        a.stride);
         EXPECT_EQ(dst_s, dst_v);
+
+        // Scaling kernels (ABR ladder rungs). boxdown: every factor
+        // whose boxes fit fully inside the block (partial edge boxes
+        // are scalar caller code by contract).
+        for (int factor : {1, 2, 3, 4}) {
+            if (w < factor || h < factor) {
+                continue;
+            }
+            const int dw = w / factor;
+            std::vector<uint8_t> down_s(dw, 0), down_v(dw, 0);
+            s.boxdown(a.buf.data(), a.stride, factor, down_s.data(), dw);
+            v->boxdown(a.buf.data(), a.stride, factor, down_v.data(), dw);
+            EXPECT_EQ(down_s, down_v) << "factor=" << factor;
+        }
+
+        // lerpblend: the full 6-bit weight range including both exact
+        // endpoints (w6 == 0 must reproduce `a` bit-for-bit).
+        for (int w6 : {0, 1, 21, 32, 63, 64}) {
+            std::vector<uint8_t> mix_s(w), mix_v(w);
+            s.lerpblend(a.buf.data(), b.buf.data(), w6, mix_s.data(), w);
+            v->lerpblend(a.buf.data(), b.buf.data(), w6, mix_v.data(), w);
+            EXPECT_EQ(mix_s, mix_v) << "w6=" << w6;
+            if (w6 == 0) {
+                EXPECT_EQ(0, std::memcmp(mix_s.data(), a.buf.data(),
+                                         static_cast<size_t>(w)));
+            }
+        }
     }
 }
 
@@ -243,6 +270,8 @@ TEST(KernelDispatch, AllEntriesPopulated)
         EXPECT_NE(t->idct, nullptr);
         EXPECT_NE(t->quant, nullptr);
         EXPECT_NE(t->dequant, nullptr);
+        EXPECT_NE(t->boxdown, nullptr);
+        EXPECT_NE(t->lerpblend, nullptr);
     }
 }
 

@@ -117,6 +117,42 @@ TEST(JobSpecHash, DefaultBackendKeepsThePreBackendKey)
     EXPECT_EQ(base.label().find("backend"), std::string::npos);
 }
 
+TEST(JobSpecHash, DefaultScaleKeepsThePreLadderKey)
+{
+    // Same append-only contract for the ladder rung (ISSUE 10): a
+    // scale-1 spec hashes byte-identically to specs from before the
+    // field existed — every store and trace written by earlier versions
+    // stays warm. Only a real rung (scale > 1) re-keys, and it re-keys
+    // BOTH identities: a downscaled input is a different op stream, so
+    // unlike backend/segments the rung is part of traceKey too.
+    const JobSpec base = makeSpec();
+    EXPECT_EQ(base.scale, 1);
+    EXPECT_EQ(base.canonicalKey(),
+              "encoder=SVT-AV1;video=game1;crf=30;preset=4;threads=1;"
+              "divisor=8;frames=6;maxTraceOps=1200000");
+    EXPECT_EQ(base.canonicalKey().find("scale"), std::string::npos);
+    EXPECT_EQ(base.traceKey().find("scale"), std::string::npos);
+    EXPECT_EQ(base.label().find("scale"), std::string::npos);
+
+    JobSpec rung = makeSpec();
+    rung.scale = 2;
+    EXPECT_NE(rung.hash(), base.hash());
+    EXPECT_EQ(rung.canonicalKey(), base.canonicalKey() + ";scale=2");
+    EXPECT_EQ(rung.traceKey(), base.traceKey() + ";scale=2");
+    EXPECT_NE(rung.label().find("scale=1/2"), std::string::npos);
+
+    // The rung suffix composes after the backend suffix, so a
+    // backend-swept rung point keeps one canonical ordering.
+    JobSpec both = makeSpec();
+    both.backend = "graviton-like";
+    both.scale = 4;
+    EXPECT_EQ(both.canonicalKey(),
+              base.canonicalKey() + ";backend=graviton-like;scale=4");
+    // ...but the trace identity ignores the machine: one captured rung
+    // trace replays across every backend.
+    EXPECT_EQ(both.traceKey(), base.traceKey() + ";scale=4");
+}
+
 TEST(JobSpecHash, BackendRoundTripsThroughRunScale)
 {
     JobSpec spec = makeSpec();

@@ -1,0 +1,308 @@
+/**
+ * @file
+ * Tests for vepro::ladder — per-title ABR ladders. Pinned properties:
+ *
+ *  1. hull extraction: golden answers for ties, duplicates, dominated
+ *     and collinear points (the documented 4-rule contract, which the
+ *     vepro-check oracle mirrors);
+ *  2. PSNR composition: exact reduction at scale 1, monotonicity in the
+ *     resampling loss, the 99 dB cap;
+ *  3. determinism: sweep tables render byte-identically regardless of
+ *     worker count;
+ *  4. cache replay: a warm sweep over a real store runs zero encoders
+ *     and zero computed jobs, and reproduces the cold tables byte for
+ *     byte.
+ */
+
+#include <atomic>
+#include <cmath>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "ladder/ladder.hpp"
+#include "lab/orchestrator.hpp"
+
+namespace vepro::ladder
+{
+namespace
+{
+
+namespace fs = std::filesystem;
+
+std::string
+freshDir(const std::string &tag)
+{
+    fs::path dir = fs::temp_directory_path() / ("vepro-ladder-" + tag);
+    fs::remove_all(dir);
+    return dir.string();
+}
+
+// ---- Hull goldens ----------------------------------------------------
+
+using Pts = std::vector<video::RdPoint>;
+using Hull = std::vector<size_t>;
+
+TEST(LadderHull, DegenerateSets)
+{
+    EXPECT_EQ(convexHull({}), Hull{});
+    EXPECT_EQ(convexHull({{100.0, 30.0}}), Hull{0});
+    EXPECT_EQ(convexHull(Pts{{100.0, 30.0}, {200.0, 40.0}}), (Hull{0, 1}));
+    // Two points, second dominated: psnr not strictly above.
+    EXPECT_EQ(convexHull(Pts{{100.0, 30.0}, {200.0, 30.0}}), Hull{0});
+}
+
+TEST(LadderHull, EqualRateKeepsHighestPsnrThenLowestIndex)
+{
+    // Rule 2: of the two rate-100 points the higher-psnr one survives.
+    EXPECT_EQ(convexHull(Pts{{100.0, 30.0}, {100.0, 35.0}, {200.0, 40.0}}),
+              (Hull{1, 2}));
+    // Exact duplicates: the first index survives.
+    EXPECT_EQ(convexHull(Pts{{100.0, 30.0}, {100.0, 30.0}, {200.0, 40.0}}),
+              (Hull{0, 2}));
+}
+
+TEST(LadderHull, DominatedPointsFallOff)
+{
+    // Rule 3: (150, 35) is worse than the cheaper (100, 40).
+    EXPECT_EQ(convexHull(Pts{{100.0, 40.0}, {150.0, 35.0}, {200.0, 45.0}}),
+              (Hull{0, 2}));
+}
+
+TEST(LadderHull, CollinearMidpointIsDropped)
+{
+    // Rule 4: the chord test uses <=, so an exactly-collinear midpoint
+    // is not a hull vertex (this is the rule vepro-check's ladder-hull
+    // fault breaks).
+    EXPECT_EQ(convexHull(Pts{{100.0, 30.0}, {200.0, 35.0}, {300.0, 40.0}}),
+              (Hull{0, 2}));
+    // Strictly concave-from-above midpoint stays.
+    EXPECT_EQ(convexHull(Pts{{100.0, 30.0}, {200.0, 38.0}, {300.0, 40.0}}),
+              (Hull{0, 1, 2}));
+    // Below the chord: cut.
+    EXPECT_EQ(convexHull(Pts{{100.0, 30.0}, {200.0, 32.0}, {300.0, 40.0}}),
+              (Hull{0, 2}));
+}
+
+TEST(LadderHull, OrderIsAscendingRate)
+{
+    const Hull hull = convexHull(
+        Pts{{300.0, 40.0}, {100.0, 20.0}, {200.0, 38.0}});
+    ASSERT_EQ(hull.size(), 3u);
+    EXPECT_EQ(hull[0], 1u);
+    EXPECT_EQ(hull[1], 2u);
+    EXPECT_EQ(hull[2], 0u);
+}
+
+// ---- PSNR composition ------------------------------------------------
+
+TEST(LadderPsnr, ScaleOneIsTheExactStoredPsnr)
+{
+    // mse_scale == 0 must NOT round-trip through pow/log10: the stored
+    // rung PSNR comes back bit-identical (capped at 99).
+    EXPECT_EQ(composePsnrAtSource(38.8125, 0.0), 38.8125);
+    EXPECT_EQ(composePsnrAtSource(150.0, 0.0), 99.0);
+}
+
+TEST(LadderPsnr, ResamplingLossMonotonicallyHurts)
+{
+    const double clean = composePsnrAtSource(40.0, 0.0);
+    const double small = composePsnrAtSource(40.0, 5.0);
+    const double large = composePsnrAtSource(40.0, 50.0);
+    EXPECT_LT(small, clean);
+    EXPECT_LT(large, small);
+    // Matches the documented closed form.
+    const double mse_coding = 255.0 * 255.0 * std::pow(10.0, -4.0);
+    EXPECT_DOUBLE_EQ(small, 10.0 * std::log10(255.0 * 255.0 /
+                                              (5.0 + mse_coding)));
+}
+
+TEST(LadderPsnr, HugeLossStaysFiniteAndCapped)
+{
+    EXPECT_GT(composePsnrAtSource(10.0, 10000.0), 0.0);
+    EXPECT_LE(composePsnrAtSource(1000.0, 1e-12), 99.0);
+}
+
+// ---- Sweep determinism over a fake runner ----------------------------
+
+/** Deterministic synthetic result: a pure function of the spec with
+ *  plausible RD shape (rate falls with CRF and scale, PSNR falls with
+ *  CRF) and scale-dependent uarch counters so the mix table has
+ *  non-trivial deltas. */
+lab::JobResult
+syntheticResult(const lab::JobSpec &spec)
+{
+    lab::JobResult r;
+    const double crf = spec.crf;
+    const double scale = spec.scale;
+    r.encode.wallSeconds = 1.0;
+    r.encode.instructions = static_cast<uint64_t>(4'000'000 / spec.scale);
+    r.encode.bitrateKbps = 9000.0 / (crf * scale);
+    r.encode.psnrDb = 58.0 - 0.45 * crf;
+    r.core.instructions = r.encode.instructions;
+    r.core.cycles = static_cast<uint64_t>(2'000'000 / spec.scale) +
+                    static_cast<uint64_t>(1000 * spec.crf);
+    r.core.slots.retiring = 400 / spec.scale;
+    r.core.slots.badSpec = 100;
+    r.core.slots.frontend = 80;
+    r.core.slots.backend = 220 * spec.scale;
+    r.core.slots.backendMemory = 150 * spec.scale;
+    r.core.mispredicts = 900;
+    r.core.l1dMisses = 1'000 * static_cast<uint64_t>(spec.scale);
+    r.core.l2Misses = 400;
+    r.core.llcMisses = 200 * static_cast<uint64_t>(spec.scale);
+    r.jobSeconds = 0.5;
+    return r;
+}
+
+LadderConfig
+syntheticConfig()
+{
+    LadderConfig config;
+    config.clips = {"cat", "desktop"};
+    config.rungs = {{1, {32, 44}}, {2, {32, 44}}, {4, {32, 44}}};
+    config.divisor = 8;
+    config.frames = 2;
+    config.maxTraceOps = 50'000;
+    return config;
+}
+
+LadderResult
+sweepWithJobs(int jobs, const std::string &dir)
+{
+    lab::OrchestratorOptions opts;
+    opts.jobs = jobs;
+    opts.storeDir = dir;
+    opts.progress = nullptr;
+    opts.verbose = false;
+    opts.runner = syntheticResult;
+    lab::Orchestrator orch(opts);
+    return sweep(syntheticConfig(), orch);
+}
+
+TEST(LadderSweep, TablesAreByteIdenticalAcrossWorkerCounts)
+{
+    const LadderResult one = sweepWithJobs(1, freshDir("jobs1"));
+    const LadderResult four = sweepWithJobs(4, freshDir("jobs4"));
+    EXPECT_EQ(one.ladder.toMarkdown(), four.ladder.toMarkdown());
+    EXPECT_EQ(one.rd.toMarkdown(), four.rd.toMarkdown());
+    EXPECT_EQ(one.uarch.toMarkdown(), four.uarch.toMarkdown());
+    EXPECT_EQ(one.ladder.toJson(), four.ladder.toJson());
+    EXPECT_EQ(one.rd.toJson(), four.rd.toJson());
+    EXPECT_EQ(one.uarch.toJson(), four.uarch.toJson());
+    EXPECT_EQ(one.mixLine, four.mixLine);
+    EXPECT_FALSE(one.mixLine.empty());
+}
+
+TEST(LadderSweep, HullMembersAreFlaggedAndTablesAgree)
+{
+    const LadderResult result = sweepWithJobs(1, freshDir("flags"));
+    ASSERT_EQ(result.titles.size(), 2u);
+    size_t ladder_rows = 0;
+    for (const TitleLadder &title : result.titles) {
+        EXPECT_EQ(title.points.size(), 6u);  // 3 rungs x 2 CRFs
+        EXPECT_FALSE(title.hull.empty());
+        ladder_rows += title.hull.size();
+        for (size_t i = 0; i < title.points.size(); ++i) {
+            const bool on = std::find(title.hull.begin(), title.hull.end(),
+                                      i) != title.hull.end();
+            EXPECT_EQ(title.points[i].onHull, on);
+        }
+        // Hull bitrates strictly ascend.
+        for (size_t i = 1; i < title.hull.size(); ++i) {
+            EXPECT_LT(title.points[title.hull[i - 1]].bitrateKbps,
+                      title.points[title.hull[i]].bitrateKbps);
+        }
+    }
+    EXPECT_EQ(result.ladder.rowCount(), ladder_rows);
+    EXPECT_EQ(result.rd.rowCount(), 12u);
+    // uarch: one row per scale + mix + delta.
+    EXPECT_EQ(result.uarch.rowCount(), 5u);
+}
+
+TEST(LadderSweep, RejectsBadConfigs)
+{
+    lab::OrchestratorOptions opts;
+    opts.progress = nullptr;
+    opts.verbose = false;
+    opts.runner = syntheticResult;
+    opts.storeDir = freshDir("reject");
+    lab::Orchestrator orch(opts);
+
+    LadderConfig empty_clips = syntheticConfig();
+    empty_clips.clips.clear();
+    EXPECT_THROW(sweep(empty_clips, orch), std::invalid_argument);
+
+    LadderConfig bad_scale = syntheticConfig();
+    bad_scale.rungs[0].scale = 0;
+    EXPECT_THROW(sweep(bad_scale, orch), std::invalid_argument);
+
+    LadderConfig no_crfs = syntheticConfig();
+    no_crfs.rungs[0].crfs.clear();
+    EXPECT_THROW(sweep(no_crfs, orch), std::invalid_argument);
+
+    // A mix share for a scale that was never measured is a config bug.
+    LadderConfig phantom_mix = syntheticConfig();
+    phantom_mix.rungMix = {{8, 1.0}};
+    EXPECT_THROW(sweep(phantom_mix, orch), std::invalid_argument);
+
+    LadderConfig bad_weight = syntheticConfig();
+    bad_weight.rungMix = {{1, 0.0}};
+    EXPECT_THROW(sweep(bad_weight, orch), std::invalid_argument);
+}
+
+// ---- Warm sweep over a real store ------------------------------------
+
+TEST(LadderSweep, WarmSweepRunsZeroEncodesAndReproducesTables)
+{
+    // Real (tiny) encodes: one clip, scales {1, 2}, one CRF, at the
+    // cheapest geometry. The second sweep over the same store must be
+    // pure replay: zero computed jobs, zero encoder invocations, and
+    // byte-identical tables.
+    const std::string dir = freshDir("warm");
+    LadderConfig config;
+    config.clips = {"cat"};
+    config.rungs = {{1, {40}}, {2, {40}}};
+    config.divisor = 16;
+    config.frames = 2;
+    config.maxTraceOps = 60'000;
+    config.rungMix = {{1, 0.4}, {2, 0.6}};
+
+    lab::OrchestratorOptions opts;
+    opts.jobs = 2;
+    opts.storeDir = dir;
+    opts.progress = nullptr;
+    opts.verbose = false;
+
+    std::string cold_ladder, cold_rd, cold_uarch, cold_mix;
+    {
+        lab::Orchestrator orch(opts);
+        const LadderResult cold = sweep(config, orch);
+        EXPECT_EQ(orch.requested(), 2u);
+        EXPECT_EQ(orch.computed(), 2u);
+        EXPECT_EQ(orch.cacheHits(), 0u);
+        EXPECT_GT(orch.encoderRuns(), 0u);
+        cold_ladder = cold.ladder.toMarkdown();
+        cold_rd = cold.rd.toMarkdown();
+        cold_uarch = cold.uarch.toMarkdown();
+        cold_mix = cold.mixLine;
+    }
+    {
+        lab::Orchestrator orch(opts);
+        const LadderResult warm = sweep(config, orch);
+        EXPECT_EQ(orch.requested(), 2u);
+        EXPECT_EQ(orch.computed(), 0u);
+        EXPECT_EQ(orch.cacheHits(), 2u);
+        EXPECT_EQ(orch.encoderRuns(), 0u);
+        EXPECT_EQ(warm.ladder.toMarkdown(), cold_ladder);
+        EXPECT_EQ(warm.rd.toMarkdown(), cold_rd);
+        EXPECT_EQ(warm.uarch.toMarkdown(), cold_uarch);
+        EXPECT_EQ(warm.mixLine, cold_mix);
+    }
+    fs::remove_all(dir);
+}
+
+} // namespace
+} // namespace vepro::ladder

@@ -13,6 +13,7 @@
 #include <algorithm>
 #include <cstdint>
 #include <filesystem>
+#include <map>
 #include <string>
 #include <vector>
 
@@ -150,6 +151,114 @@ TEST(Traffic, RateScalesWithUsersAndFollowsTheDiurnalShape)
         }
     }
     EXPECT_GT(first_half, (arrivals.size() - first_half) * 2);
+}
+
+// ---- ABR rung mix ----------------------------------------------------
+
+TEST(Traffic, InactiveRungMixKeepsTheByteExactPreLadderStream)
+{
+    // Byte-determinism contract: a rung mix that never leaves scale 1
+    // consumes ZERO extra RNG draws, so the whole arrival stream —
+    // clocks, clips, CRFs — replays exactly as before the field
+    // existed. Pre-ladder scenario goldens must not move.
+    TrafficConfig base;
+    base.seed = 42;
+    base.users = 500;
+    base.durationSec = 600.0;
+    const auto before = generateTraffic(base);
+
+    TrafficConfig explicit_mix = base;
+    explicit_mix.rungMix = {{1, 1.0}};
+    TrafficConfig split_mix = base;
+    split_mix.rungMix = {{1, 0.3}, {1, 0.7}};
+    for (const auto &jobs : {generateTraffic(explicit_mix),
+                             generateTraffic(split_mix)}) {
+        ASSERT_EQ(jobs.size(), before.size());
+        for (size_t i = 0; i < jobs.size(); ++i) {
+            EXPECT_DOUBLE_EQ(jobs[i].arrivalSec, before[i].arrivalSec);
+            EXPECT_EQ(jobs[i].clip, before[i].clip);
+            EXPECT_EQ(jobs[i].crf, before[i].crf);
+            EXPECT_EQ(jobs[i].clip.find('@'), std::string::npos);
+        }
+    }
+}
+
+TEST(Traffic, ActiveRungMixTagsUploadsAtTheRequestedShares)
+{
+    TrafficConfig config;
+    config.seed = 7;
+    config.users = 4000;
+    config.uploadsPerUserPerHour = 1.0;
+    config.durationSec = 1800.0;
+    config.rungMix = {{1, 20.0}, {2, 20.0}, {4, 60.0}};
+    const auto jobs = generateTraffic(config);
+    ASSERT_GT(jobs.size(), 400u);
+
+    std::map<int, size_t> by_scale;
+    for (const UploadJob &job : jobs) {
+        const RungId rung = parseRungId(job.clip);
+        by_scale[rung.scale]++;
+        // The base clip stays a real suite clip and the CRF a real CRF.
+        EXPECT_NE(std::find(config.clips.begin(), config.clips.end(),
+                            rung.clip),
+                  config.clips.end());
+    }
+    ASSERT_EQ(by_scale.size(), 3u);
+    const double n = static_cast<double>(jobs.size());
+    EXPECT_NEAR(by_scale[1] / n, 0.2, 0.05);
+    EXPECT_NEAR(by_scale[2] / n, 0.2, 0.05);
+    EXPECT_NEAR(by_scale[4] / n, 0.6, 0.05);
+
+    // Deterministic per seed, like every other traffic draw.
+    const auto again = generateTraffic(config);
+    ASSERT_EQ(again.size(), jobs.size());
+    for (size_t i = 0; i < jobs.size(); ++i) {
+        EXPECT_EQ(again[i].clip, jobs[i].clip);
+    }
+}
+
+TEST(Traffic, RungIdsRoundTripAndRejectGarbage)
+{
+    EXPECT_EQ(rungClipId("cat", 1), "cat");
+    EXPECT_EQ(rungClipId("cat", 4), "cat@4");
+
+    const RungId plain = parseRungId("cat");
+    EXPECT_EQ(plain.clip, "cat");
+    EXPECT_EQ(plain.scale, 1);
+    const RungId tagged = parseRungId("desktop@2");
+    EXPECT_EQ(tagged.clip, "desktop");
+    EXPECT_EQ(tagged.scale, 2);
+
+    for (const char *bad : {"cat@", "cat@x", "cat@0", "cat@-2", "cat@2x"}) {
+        EXPECT_THROW(parseRungId(bad), std::invalid_argument) << bad;
+    }
+
+    // The combo universe cost resolution must cover: clips x distinct
+    // mix scales, in clip-major order; inactive mixes pass through.
+    TrafficConfig config;
+    config.clips = {"a", "b"};
+    config.rungMix = {{1, 1.0}, {4, 2.0}, {4, 1.0}};
+    const std::vector<std::string> ids = rungClipIds(config);
+    ASSERT_EQ(ids.size(), 4u);
+    EXPECT_EQ(ids[0], "a");
+    EXPECT_EQ(ids[1], "a@4");
+    EXPECT_EQ(ids[2], "b");
+    EXPECT_EQ(ids[3], "b@4");
+    config.rungMix = {{1, 1.0}};
+    EXPECT_EQ(rungClipIds(config), config.clips);
+}
+
+TEST(Traffic, RejectsDegenerateRungMixes)
+{
+    TrafficConfig config;
+    config.rungMix.clear();
+    EXPECT_THROW(generateTraffic(config), std::invalid_argument);
+    config.rungMix = {{0, 1.0}};
+    EXPECT_THROW(generateTraffic(config), std::invalid_argument);
+    config.rungMix = {{2, 0.0}};
+    EXPECT_THROW(generateTraffic(config), std::invalid_argument);
+    config.rungMix = {{2, -1.0}};
+    EXPECT_THROW(generateTraffic(config), std::invalid_argument);
 }
 
 // ---- Farm queue contracts --------------------------------------------
@@ -401,6 +510,28 @@ TEST(ServeCli, BackendFlagsValidateAndOverride)
     ASSERT_EQ(fleet.fleetBackends.size(), 2u);
     EXPECT_EQ(fleet.fleetBackends[0], "xeon-bdw");
     EXPECT_EQ(fleet.fleetBackends[1], "hw-enc");
+}
+
+TEST(ServeCli, RungMixFlagParsesAndValidates)
+{
+    const ServeCli cli =
+        parseServeCli({"--quick", "--rung-mix", "1:20,2:20,4:60"});
+    ASSERT_TRUE(cli.error.empty()) << cli.error;
+    const auto &mix = cli.scenario.traffic.rungMix;
+    ASSERT_EQ(mix.size(), 3u);
+    EXPECT_EQ(mix[0].scale, 1);
+    EXPECT_DOUBLE_EQ(mix[0].weight, 20.0);
+    EXPECT_EQ(mix[1].scale, 2);
+    EXPECT_DOUBLE_EQ(mix[1].weight, 20.0);
+    EXPECT_EQ(mix[2].scale, 4);
+    EXPECT_DOUBLE_EQ(mix[2].weight, 60.0);
+
+    for (const char *bad :
+         {"2", "2:", ":5", "0:5", "2:0", "2:-1", "2:x", "1:20;2:80", ""}) {
+        const ServeCli broken = parseServeCli({"--rung-mix", bad, "--quick"});
+        EXPECT_FALSE(broken.error.empty()) << "'" << bad << "' was accepted";
+    }
+    EXPECT_FALSE(parseServeCli({"--rung-mix"}).error.empty());
 }
 
 TEST(ServeCli, FlagOrderDoesNotMatterAroundQuick)
@@ -716,6 +847,35 @@ TEST(CostModel, ExplicitOverridesSupersedeTheProfile)
     // twice the seconds.
     EXPECT_DOUBLE_EQ(b.serviceSeconds("game1", 32, 8),
                      2.0 * a.serviceSeconds("game1", 32, 8));
+}
+
+TEST(CostModel, RungCombosClampTheProxyButKeepTheBaseClip)
+{
+    const std::string dir = freshDir("rungspec");
+    CostModelConfig config;  // divisor 16: the coarse serve geometry
+    lab::OrchestratorOptions opts;
+    opts.storeDir = dir;
+    opts.verbose = false;
+    opts.runner = fakeRun;
+    lab::Orchestrator orch(opts);
+    CostModel cost(orch, config);
+
+    // Full-resolution combos pass through untouched.
+    EXPECT_EQ(cost.specFor("game1", 32, 4).video, "game1");
+    EXPECT_EQ(cost.specFor("game1", 32, 4).scale, 1);
+
+    // The 1080p proxy (128x64 luma) can hold the /4 rung directly.
+    const lab::JobSpec deep = cost.specFor("game1@4", 32, 4);
+    EXPECT_EQ(deep.video, "game1");
+    EXPECT_EQ(deep.scale, 4);
+
+    // The 720p proxy (80x48 luma) cannot: /4 would be 20x12, under the
+    // 16x16 codec floor, so the measurement falls back to the deepest
+    // encodable rung (/2). Block pricing still uses the true rung
+    // resolution — only the measured proxy clamps.
+    const lab::JobSpec clamped = cost.specFor("desktop@4", 32, 4);
+    EXPECT_EQ(clamped.video, "desktop");
+    EXPECT_EQ(clamped.scale, 2);
 }
 
 TEST(Scenario, FleetTableIsByteIdenticalAcrossOrchestratorJobs)

@@ -15,6 +15,7 @@
 #include "video/frame.hpp"
 #include "video/generator.hpp"
 #include "video/metrics.hpp"
+#include "video/scale.hpp"
 #include "video/suite.hpp"
 #include "video/y4m.hpp"
 
@@ -517,6 +518,148 @@ TEST(Y4m, MalformedHeaderTokensGetY4mError)
         }
         std::remove(path.c_str());
     }
+}
+
+// ---- Resolution scaling (ABR ladder rungs) ---------------------------
+
+TEST(Scale, BoxDownscaleKnownRounding)
+{
+    // One full 2x2 box, hand-computed: (10+11+12+14 + 2) / 4 = 12.
+    Plane p(2, 2);
+    p.set(0, 0, 10);
+    p.set(1, 0, 11);
+    p.set(0, 1, 12);
+    p.set(1, 1, 14);
+    Plane d = downscalePlane(p, 2);
+    ASSERT_EQ(d.width(), 1);
+    ASSERT_EQ(d.height(), 1);
+    EXPECT_EQ(d.at(0, 0), 12);
+
+    // Exact .5 rounds up: (10+11+12+13 + 2) / 4 = 12 (11.5 -> 12).
+    p.set(1, 1, 13);
+    EXPECT_EQ(downscalePlane(p, 2).at(0, 0), 12);
+}
+
+TEST(Scale, OddPlanePartialEdgeBoxes)
+{
+    // 5x3 by factor 2 -> 3x2: right column and bottom row average only
+    // the pixels that exist (cnt 2), the corner averages one.
+    Plane p(5, 3);
+    for (int y = 0; y < 3; ++y) {
+        for (int x = 0; x < 5; ++x) {
+            p.set(x, y, static_cast<uint8_t>(x + 10 * y));
+        }
+    }
+    Plane d = downscalePlane(p, 2);
+    ASSERT_EQ(d.width(), 3);
+    ASSERT_EQ(d.height(), 2);
+    EXPECT_EQ(d.at(0, 0), 6);   // (0+1+10+11+2)/4
+    EXPECT_EQ(d.at(1, 0), 8);   // (2+3+12+13+2)/4
+    EXPECT_EQ(d.at(2, 0), 9);   // (4+14+1)/2
+    EXPECT_EQ(d.at(0, 1), 21);  // (20+21+1)/2
+    EXPECT_EQ(d.at(1, 1), 23);  // (22+23+1)/2
+    EXPECT_EQ(d.at(2, 1), 24);  // single corner pixel
+}
+
+TEST(Scale, DegenerateGeometriesAndBadFactors)
+{
+    Plane thin(1, 7);
+    for (int y = 0; y < 7; ++y) {
+        thin.set(0, y, static_cast<uint8_t>(40 + y));
+    }
+    Plane d = downscalePlane(thin, 2);
+    ASSERT_EQ(d.width(), 1);
+    ASSERT_EQ(d.height(), 4);
+    EXPECT_EQ(d.at(0, 0), 41);  // (40+41+1)/2
+    EXPECT_EQ(d.at(0, 3), 46);  // lone bottom pixel
+
+    // Factor 1 is the identity.
+    Plane same = downscalePlane(thin, 1);
+    for (int y = 0; y < 7; ++y) {
+        EXPECT_EQ(same.at(0, y), thin.at(0, y));
+    }
+
+    EXPECT_THROW(downscalePlane(thin, 0), std::invalid_argument);
+    EXPECT_THROW(downscalePlane(thin, -2), std::invalid_argument);
+}
+
+TEST(Scale, FrameDownscaleKeepsYuv420Geometry)
+{
+    Frame f(8, 8);
+    Frame d = downscaleFrame(f, 2);
+    EXPECT_EQ(d.width(), 4);
+    EXPECT_EQ(d.height(), 4);
+    EXPECT_EQ(d.u().width(), 2);
+    EXPECT_EQ(d.u().height(), 2);
+    EXPECT_EQ(d.v().width(), 2);
+    EXPECT_EQ(d.v().height(), 2);
+
+    // 6x6 by 2 would give an odd 3x3 luma: not YUV420-representable.
+    EXPECT_THROW(downscaleFrame(Frame(6, 6), 2), std::invalid_argument);
+}
+
+TEST(Scale, UpscaleToSameSizeIsIdentity)
+{
+    Plane p(7, 5);
+    uint32_t state = 0x9e3779b9u;
+    for (int y = 0; y < 5; ++y) {
+        for (int x = 0; x < 7; ++x) {
+            state = state * 1664525u + 1013904223u;
+            p.set(x, y, static_cast<uint8_t>(state >> 24));
+        }
+    }
+    Plane up = upscalePlane(p, 7, 5);
+    for (int y = 0; y < 5; ++y) {
+        for (int x = 0; x < 7; ++x) {
+            EXPECT_EQ(up.at(x, y), p.at(x, y)) << x << "," << y;
+        }
+    }
+}
+
+TEST(Scale, UpscaleFromSinglePixelIsConstant)
+{
+    Plane p(1, 1);
+    p.set(0, 0, 173);
+    Plane up = upscalePlane(p, 9, 4);
+    for (int y = 0; y < 4; ++y) {
+        for (int x = 0; x < 9; ++x) {
+            EXPECT_EQ(up.at(x, y), 173);
+        }
+    }
+    EXPECT_THROW(upscalePlane(p, 0, 4), std::invalid_argument);
+    EXPECT_THROW(upscalePlane(Plane(), 4, 4), std::invalid_argument);
+}
+
+TEST(Scale, RoundTripMseZeroAtScaleOnePositiveBeyond)
+{
+    SuiteScale geometry;
+    geometry.divisor = 16;
+    geometry.frames = 2;
+    Video v = loadSuiteVideo("cat", geometry);
+    EXPECT_EQ(scaleRoundTripMse(v, 1), 0.0);  // exactly, by contract
+    const double mse2 = scaleRoundTripMse(v, 2);
+    EXPECT_GT(mse2, 0.0);
+    // A half-resolution round trip of natural-ish content should stay
+    // in a sane distortion band (>= 20 dB source PSNR).
+    EXPECT_LT(mse2, 255.0 * 255.0 * std::pow(10.0, -2.0));
+}
+
+TEST(Scale, ClampDownscaleHonoursCodecMinimum)
+{
+    // The serve proxy case that motivated it: a 720p clip at the coarse
+    // divisor-16 geometry is an 80x48 luma; /4 would be 20x12, below
+    // the 16x16 FrameCodec floor, so the deepest usable proxy is /2.
+    EXPECT_EQ(clampDownscale(80, 48, 4), 2);
+    // Production resolutions pass through untouched.
+    EXPECT_EQ(clampDownscale(1920, 1080, 4), 4);
+    EXPECT_EQ(clampDownscale(3840, 2160, 4), 4);
+    // Nothing fits: fall back to 1.
+    EXPECT_EQ(clampDownscale(16, 16, 2), 1);
+    EXPECT_EQ(clampDownscale(48, 32, 4), 2);
+    // Odd result dimensions also disqualify a factor (YUV420).
+    EXPECT_EQ(clampDownscale(34, 34, 2), 1);
+    EXPECT_EQ(clampDownscale(100, 100, 1), 1);
+    EXPECT_THROW(clampDownscale(64, 64, 0), std::invalid_argument);
 }
 
 /** Parameterised: every suite clip materialises with sane pixel stats. */
